@@ -1,0 +1,112 @@
+//! Component micro-benchmarks backing the paper's overhead claims:
+//!
+//! * §3.3 — the hardware-aware sampler is "super fast … O(1)" versus
+//!   Chameleon's O(n·k·I) clustering: `sampler_vote` vs
+//!   `chameleon_clustering`.
+//! * §3.1 — the prior generator's cost is "negligible" (one-off per layer):
+//!   `prior_initial_batch`.
+//! * §3.1 — Blueprint parsing overhead must stay a small fraction of
+//!   compilation time: `blueprint_encode`.
+//! * The measurement oracle and surrogate machinery every tuner shares:
+//!   `simulator_measure`, `space_features`, `surrogate_predict`,
+//!   `acquisition_score`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_core::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
+use glimpse_gpu_spec::database;
+use glimpse_mlkit::kmeans::kmeans;
+use glimpse_sim::Measurer;
+use glimpse_space::templates;
+use glimpse_tensor_prog::{models, Conv2dSpec};
+use glimpse_tuners::cost_model::GbtCostModel;
+use glimpse_tuners::history::{Trial, TuningHistory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn artifacts() -> &'static GlimpseArtifacts {
+    static CELL: OnceLock<GlimpseArtifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let gpus = database::training_gpus("RTX 2080 Ti");
+        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42)
+    })
+}
+
+fn bench_components(c: &mut Criterion) {
+    let gpu = database::find("RTX 2080 Ti").unwrap();
+    let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+    let mut rng = StdRng::seed_from_u64(1);
+    let configs: Vec<_> = (0..64).map(|_| space.sample_uniform(&mut rng)).collect();
+    let blueprint = artifacts().encode(gpu);
+    let sampler = EnsembleSampler::from_blueprint(&artifacts().codec, &blueprint, DEFAULT_MEMBERS, DEFAULT_TAU);
+
+    c.bench_function("blueprint_encode", |b| b.iter(|| std::hint::black_box(artifacts().encode(gpu))));
+
+    c.bench_function("sampler_vote_single_config", |b| {
+        let shape = space.kernel_shape(&configs[0]);
+        b.iter(|| std::hint::black_box(sampler.accept_shape(&shape)))
+    });
+
+    c.bench_function("sampler_filter_batch64", |b| {
+        b.iter_batched(|| configs.clone(), |batch| std::hint::black_box(sampler.filter(&space, batch)), BatchSize::SmallInput)
+    });
+
+    c.bench_function("chameleon_clustering_batch64", |b| {
+        let features: Vec<Vec<f64>> = configs.iter().map(|cfg| space.features(cfg)).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(kmeans(&features, 16, 25, &mut rng)))
+    });
+
+    c.bench_function("prior_initial_batch16", |b| {
+        let prior = artifacts().prior(space.template());
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| std::hint::black_box(prior.sample_initial(&space, &blueprint, 16, &mut rng)))
+    });
+
+    c.bench_function("acquisition_score", |b| {
+        let acq = artifacts().acquisition(space.template());
+        b.iter(|| std::hint::black_box(acq.score(&space, &configs[0], 800.0, 0.5, &blueprint)))
+    });
+
+    c.bench_function("simulator_measure", |b| {
+        let mut measurer = Measurer::new(gpu.clone(), 7);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % configs.len();
+            std::hint::black_box(measurer.measure(&space, &configs[i]))
+        })
+    });
+
+    c.bench_function("space_kernel_shape_and_features", |b| {
+        b.iter(|| std::hint::black_box(space.features(&configs[0])))
+    });
+
+    c.bench_function("surrogate_fit_predict_300", |b| {
+        // Fit on 300 measured trials, predict one config (the per-round
+        // cost AutoTVM pays).
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let tspace = templates::space_for_task(task);
+        let mut measurer = Measurer::new(gpu.clone(), 9);
+        let mut history = TuningHistory::new(&gpu.name, &task.id.model, task.id.index, task.template);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let cfg = tspace.sample_uniform(&mut rng);
+            history.push(Trial::from_measure(&measurer.measure(&tspace, &cfg)));
+        }
+        let probe = tspace.sample_uniform(&mut rng);
+        b.iter(|| {
+            let mut surrogate = GbtCostModel::new(0);
+            surrogate.fit(&tspace, &history);
+            std::hint::black_box(surrogate.predict(&tspace, &probe))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_components
+}
+criterion_main!(benches);

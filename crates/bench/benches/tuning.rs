@@ -1,0 +1,91 @@
+//! End-to-end tuning-round benchmarks: the compilation-side overhead each
+//! tuner pays per measured batch (the cost the paper's "faster compilation"
+//! claims are about, net of GPU time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_core::tuner::GlimpseTuner;
+use glimpse_gpu_spec::database;
+use glimpse_sim::Measurer;
+use glimpse_space::templates;
+use glimpse_tensor_prog::models;
+use glimpse_tuners::autotvm::AutoTvmTuner;
+use glimpse_tuners::chameleon::ChameleonTuner;
+use glimpse_tuners::dgp::DgpTuner;
+use glimpse_tuners::random::RandomTuner;
+use glimpse_tuners::{Budget, TuneContext, Tuner};
+use std::sync::OnceLock;
+
+fn artifacts() -> &'static GlimpseArtifacts {
+    static CELL: OnceLock<GlimpseArtifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let gpus = database::training_gpus("RTX 2080 Ti");
+        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42)
+    })
+}
+
+/// One 64-measurement tuning run per tuner (wall-clock cost of the
+/// *compiler*, since simulated GPU time is bookkeeping only).
+fn bench_tuning_rounds(c: &mut Criterion) {
+    let gpu = database::find("RTX 2080 Ti").unwrap();
+    let model = models::alexnet();
+    let task = model.tasks()[2].clone();
+    let space = templates::space_for_task(&task);
+    let mut group = c.benchmark_group("tuning_64_measurements");
+    group.sample_size(10);
+
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let mut measurer = Measurer::new(gpu.clone(), 7);
+            let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(64), 7);
+            std::hint::black_box(RandomTuner::new().tune(ctx))
+        })
+    });
+    group.bench_function("autotvm", |b| {
+        b.iter(|| {
+            let mut measurer = Measurer::new(gpu.clone(), 7);
+            let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(64), 7);
+            std::hint::black_box(AutoTvmTuner::new().tune(ctx))
+        })
+    });
+    group.bench_function("chameleon", |b| {
+        b.iter(|| {
+            let mut measurer = Measurer::new(gpu.clone(), 7);
+            let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(64), 7);
+            std::hint::black_box(ChameleonTuner::new().tune(ctx))
+        })
+    });
+    group.bench_function("dgp", |b| {
+        b.iter(|| {
+            let mut measurer = Measurer::new(gpu.clone(), 7);
+            let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(64), 7);
+            std::hint::black_box(DgpTuner::new().tune(ctx))
+        })
+    });
+    group.bench_function("glimpse", |b| {
+        b.iter(|| {
+            let mut measurer = Measurer::new(gpu.clone(), 7);
+            let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(64), 7);
+            std::hint::black_box(GlimpseTuner::new(artifacts(), gpu).tune(ctx))
+        })
+    });
+    group.finish();
+
+    // The one-off offline cost Glimpse amortizes across a fleet.
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("artifact_training_fast_preset", |b| {
+        b.iter(|| {
+            let gpus = vec![
+                database::find("GTX 1080").unwrap(),
+                database::find("RTX 2060").unwrap(),
+                database::find("RTX 3070").unwrap(),
+            ];
+            std::hint::black_box(GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning_rounds);
+criterion_main!(benches);

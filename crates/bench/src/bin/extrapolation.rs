@@ -1,0 +1,103 @@
+//! Extension experiment (beyond the paper): does the Blueprint generalize
+//! to *hypothetical* hardware?
+//!
+//! The paper's conclusion argues embeddings that encode domain knowledge
+//! can cope with "the constant evolution of the hardware". We test that
+//! directly: synthesize GPUs between and beyond the database entries
+//! (interpolated/extrapolated data sheets), and check that the Glimpse
+//! prior still beats random initialization on parts no one ever trained on.
+
+use glimpse_bench::report;
+use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_gpu_spec::{database, GpuSpec};
+use glimpse_sim::PerfModel;
+use glimpse_space::templates;
+use glimpse_tensor_prog::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Linear interpolation of two data sheets (clocks, bandwidth, counts).
+fn interpolate(name: &str, a: &GpuSpec, b: &GpuSpec, t: f64) -> GpuSpec {
+    let lerp = |x: f64, y: f64| x + (y - x) * t;
+    let lerpi = |x: u32, y: u32| lerp(f64::from(x), f64::from(y)).round() as u32;
+    let mut spec = if t < 0.5 { a.clone() } else { b.clone() };
+    spec.name = name.to_owned();
+    spec.sm_count = lerpi(a.sm_count, b.sm_count).max(1);
+    spec.base_clock_mhz = lerp(a.base_clock_mhz, b.base_clock_mhz);
+    spec.boost_clock_mhz = lerp(a.boost_clock_mhz, b.boost_clock_mhz);
+    spec.mem_bandwidth_gb_s = lerp(a.mem_bandwidth_gb_s, b.mem_bandwidth_gb_s);
+    spec.mem_bus_bits = lerpi(a.mem_bus_bits, b.mem_bus_bits);
+    spec.mem_size_gib = lerp(a.mem_size_gib, b.mem_size_gib);
+    spec.l2_cache_kib = lerpi(a.l2_cache_kib, b.l2_cache_kib);
+    spec.tdp_w = lerp(a.tdp_w, b.tdp_w);
+    spec.fp32_gflops = 2.0 * f64::from(spec.sm_count * spec.cores_per_sm) * spec.boost_clock_mhz / 1000.0;
+    spec
+}
+
+fn main() {
+    println!("Extension — Blueprint generalization to hypothetical GPUs\n");
+    // Train once on the real database (evaluation GPUs excluded to keep the
+    // protocol strict).
+    let trainers: Vec<&GpuSpec> = database::all()
+        .iter()
+        .filter(|g| !database::EVALUATION_GPUS.contains(&g.name.as_str()))
+        .collect();
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::default(), 42);
+
+    let a = database::find("RTX 2070").unwrap();
+    let b = database::find("RTX 3080").unwrap();
+    let hypotheticals: Vec<GpuSpec> = [0.25, 0.5, 0.75, 1.25]
+        .iter()
+        .map(|&t| interpolate(&format!("Hypothetical t={t}"), a, b, t))
+        .collect();
+
+    let model = models::resnet18();
+    let task = &model.tasks()[1];
+    let space = templates::space_for_task(task);
+    println!("task: {task}\n");
+
+    let mut rows = Vec::new();
+    for gpu in &hypotheticals {
+        gpu.validate().expect("interpolated sheet is consistent");
+        let perf = PerfModel::new(gpu.clone());
+        let blueprint = artifacts.encode(gpu);
+        let prior = artifacts.prior(task.template);
+        let mut rng = StdRng::seed_from_u64(5);
+        let prior_batch = prior.sample_initial(&space, &blueprint, 64, &mut rng);
+        let prior_best = prior_batch.iter().filter_map(|c| perf.throughput_gflops(&space, c)).fold(0.0f64, f64::max);
+        let prior_valid = prior_batch.iter().filter(|c| perf.throughput_gflops(&space, c).is_some()).count();
+        let random_best = (0..64)
+            .filter_map(|_| {
+                let c = space.sample_uniform(&mut rng);
+                perf.throughput_gflops(&space, &c)
+            })
+            .fold(0.0f64, f64::max);
+        let oracle = {
+            let mut best = 0.0f64;
+            let mut orng = StdRng::seed_from_u64(9);
+            for _ in 0..20_000 {
+                let c = space.sample_uniform(&mut orng);
+                if let Some(g) = perf.throughput_gflops(&space, &c) {
+                    best = best.max(g);
+                }
+            }
+            best
+        };
+        rows.push(vec![
+            gpu.name.clone(),
+            format!("{} SMs / {:.0} GFLOPS", gpu.sm_count, gpu.fp32_gflops),
+            format!("{prior_best:.0} ({:.0}%)", 100.0 * prior_best / oracle),
+            format!("{prior_valid}/64"),
+            format!("{random_best:.0} ({:.0}%)", 100.0 * random_best / oracle),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["hypothetical GPU", "scale", "prior best (vs oracle)", "prior valid", "random best (vs oracle)"],
+            &rows
+        )
+    );
+    println!("The prior, conditioned only on the synthesized data sheet's Blueprint,");
+    println!("should dominate blind random initialization on every hypothetical part.");
+}

@@ -1,0 +1,55 @@
+//! Figure 6: search steps relative to AutoTVM (lower is better).
+//!
+//! Counts the explorer's Markov-chain updates until each compiler reaches
+//! the run-to-quality target, per (GPU, model), normalized to AutoTVM.
+//! Paper geomeans: Chameleon ≈ 50.3 %, Glimpse ≈ 19.7 % (5.07× and 2.55×
+//! step reductions).
+
+use glimpse_bench::e2e::end_to_end;
+use glimpse_bench::experiment::TunerKind;
+use glimpse_bench::report;
+use glimpse_mlkit::stats::geomean;
+
+fn main() {
+    let e2e = end_to_end();
+    let (gpus, models) = glimpse_bench::experiment::evaluation_grid();
+    let kinds = [TunerKind::AutoTvm, TunerKind::Chameleon, TunerKind::Glimpse];
+
+    let mut rows = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for gpu in &gpus {
+        for model in &models {
+            let auto = e2e.get(TunerKind::AutoTvm, &gpu.name, model.name()).expect("autotvm run").explorer_steps() as f64;
+            let mut row = vec![gpu.name.clone(), model.name().to_owned()];
+            for (k, kind) in kinds.iter().enumerate() {
+                let steps = e2e.get(*kind, &gpu.name, model.name()).expect("run present").explorer_steps() as f64;
+                let ratio = steps / auto;
+                ratios[k].push(ratio);
+                row.push(report::percent(ratio));
+            }
+            rows.push(row);
+        }
+    }
+    let mut geo = vec!["geomean".to_owned(), String::new()];
+    for r in &ratios {
+        geo.push(report::percent(geomean(r)));
+    }
+    rows.push(geo);
+
+    println!("Figure 6 — search steps / AutoTVM (lower is better)");
+    println!("(paper geomeans: AutoTVM 100%, Chameleon 50.3%, Glimpse 19.7%)\n");
+    println!("{}", report::table(&["GPU", "model", "AutoTVM", "Chameleon", "Glimpse"], &rows));
+    println!(
+        "step reduction vs AutoTVM: Chameleon {}, Glimpse {} (paper: 2.55x, 5.07x)",
+        report::ratio(1.0 / geomean(&ratios[1])),
+        report::ratio(1.0 / geomean(&ratios[2])),
+    );
+    report::save_json(
+        &glimpse_bench::experiment::results_dir(),
+        "fig6",
+        &serde_json::json!({
+            "chameleon_step_fraction": geomean(&ratios[1]),
+            "glimpse_step_fraction": geomean(&ratios[2]),
+        }),
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 7: reduction in invalid configurations relative to AutoTVM
+//! (higher is better).
+//!
+//! Compares the *rate* of invalid hardware measurements per (GPU, model) at
+//! the run-to-quality budgets. Paper geomeans: Chameleon 1.23×,
+//! Glimpse 5.56×.
+
+use glimpse_bench::e2e::end_to_end;
+use glimpse_bench::experiment::TunerKind;
+use glimpse_bench::report;
+use glimpse_mlkit::stats::geomean;
+
+fn main() {
+    let e2e = end_to_end();
+    let (gpus, models) = glimpse_bench::experiment::evaluation_grid();
+    let kinds = [TunerKind::Chameleon, TunerKind::Glimpse];
+
+    let invalid_rate = |kind: TunerKind, gpu: &str, model: &str| -> f64 {
+        let r = e2e.get(kind, gpu, model).expect("run present");
+        // Rate per measurement; floor avoids division blow-ups when a tuner
+        // eliminates invalids entirely.
+        (r.invalid() as f64 / r.measurements().max(1) as f64).max(1e-3)
+    };
+
+    let mut rows = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for gpu in &gpus {
+        for model in &models {
+            let auto = invalid_rate(TunerKind::AutoTvm, &gpu.name, model.name());
+            let mut row = vec![gpu.name.clone(), model.name().to_owned(), "1.00x".to_owned()];
+            for (k, kind) in kinds.iter().enumerate() {
+                let ratio = auto / invalid_rate(*kind, &gpu.name, model.name());
+                ratios[k].push(ratio);
+                row.push(report::ratio(ratio));
+            }
+            rows.push(row);
+        }
+    }
+    let mut geo = vec!["geomean".to_owned(), String::new(), "1.00x".to_owned()];
+    for r in &ratios {
+        geo.push(report::ratio(geomean(r)));
+    }
+    rows.push(geo);
+
+    println!("Figure 7 — reduction in invalid configs / AutoTVM (higher is better)");
+    println!("(paper geomeans: Chameleon 1.23x, Glimpse 5.56x)\n");
+    println!("{}", report::table(&["GPU", "model", "AutoTVM", "Chameleon", "Glimpse"], &rows));
+    report::save_json(
+        &glimpse_bench::experiment::results_dir(),
+        "fig7",
+        &serde_json::json!({
+            "chameleon_invalid_reduction": geomean(&ratios[0]),
+            "glimpse_invalid_reduction": geomean(&ratios[1]),
+        }),
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 8: design-space exploration of the Blueprint.
+//!
+//! Sweeps the PCA component count over the GPU data-sheet database and
+//! reports information loss (reconstruction RMSE) against Blueprint size.
+//! The paper's "red star" operating point keeps < 0.5 % information loss at
+//! a small fraction of the raw feature width.
+
+use glimpse_bench::report;
+use glimpse_core::blueprint::BlueprintCodec;
+use glimpse_gpu_spec::{database, GpuSpec};
+
+fn main() {
+    let population: Vec<&GpuSpec> = database::all().iter().collect();
+    let sweep = BlueprintCodec::sweep(&population);
+    let recommended = BlueprintCodec::recommended_components(&population);
+
+    println!("Figure 8 — Blueprint size vs information loss");
+    println!("(paper: knee keeps <0.5% information loss at a fraction of full size)\n");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.components),
+                report::percent(p.size_fraction),
+                format!("{:.4}", p.rmse),
+                report::percent(1.0 - p.explained_variance),
+                if p.components == recommended { "<= operating point (red star)".to_owned() } else { String::new() },
+            ]
+        })
+        .collect();
+    println!("{}", report::table(&["components", "size", "RMSE (z-units)", "variance lost", ""], &rows));
+    println!("recommended Blueprint size: {recommended} components ({:.0}% of raw features)", 100.0 * recommended as f64 / sweep.len() as f64);
+
+    report::save_json(&glimpse_bench::experiment::results_dir(), "fig8", &sweep);
+}

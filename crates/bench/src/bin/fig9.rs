@@ -1,0 +1,79 @@
+//! Figure 9: end-to-end evaluation — optimization-time improvement (a) and
+//! output inference speed (b), both relative to AutoTVM.
+//!
+//! Paper geomeans: optimization time Chameleon 4.45×, DGP 3.50×, Glimpse
+//! 6.73×; inference speed Chameleon 1.047×, DGP 1.058×, Glimpse 1.058×
+//! (Glimpse ties or beats on latency while compiling much faster).
+
+use glimpse_bench::e2e::end_to_end;
+use glimpse_bench::experiment::TunerKind;
+use glimpse_bench::report;
+use glimpse_mlkit::stats::geomean;
+
+fn main() {
+    let e2e = end_to_end();
+    let (gpus, models) = glimpse_bench::experiment::evaluation_grid();
+    let kinds = [TunerKind::Chameleon, TunerKind::Dgp, TunerKind::Glimpse];
+
+    // (a) optimization time improvement over AutoTVM, per model
+    // (aggregated across GPUs), plus geomean.
+    println!("Figure 9a — optimization-time improvement over AutoTVM (higher is better)");
+    println!("(paper geomeans: Chameleon 4.45x, DGP 3.50x, Glimpse 6.73x)\n");
+    let mut rows = Vec::new();
+    let mut per_kind_all: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for model in &models {
+        let mut row = vec![model.name().to_owned()];
+        for (k, kind) in kinds.iter().enumerate() {
+            let mut ratios = Vec::new();
+            for gpu in &gpus {
+                let auto = e2e.get(TunerKind::AutoTvm, &gpu.name, model.name()).expect("run").gpu_hours();
+                let this = e2e.get(*kind, &gpu.name, model.name()).expect("run").gpu_hours();
+                ratios.push(auto / this.max(1e-9));
+            }
+            per_kind_all[k].extend(ratios.iter().copied());
+            row.push(report::ratio(geomean(&ratios)));
+        }
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_owned()];
+    for r in &per_kind_all {
+        geo.push(report::ratio(geomean(r)));
+    }
+    rows.push(geo.clone());
+    println!("{}", report::table(&["model", "Chameleon", "DGP", "Glimpse"], &rows));
+
+    // (b) inference speed of the output binary relative to AutoTVM.
+    println!("Figure 9b — inference speed / AutoTVM (higher is better)");
+    println!("(paper geomeans: Chameleon 1.047x, DGP 1.058x, Glimpse 1.058x)\n");
+    let mut rows_b = Vec::new();
+    let mut per_kind_lat: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for model in &models {
+        let mut row = vec![model.name().to_owned()];
+        for (k, kind) in kinds.iter().enumerate() {
+            let mut ratios = Vec::new();
+            for gpu in &gpus {
+                let auto = e2e.get(TunerKind::AutoTvm, &gpu.name, model.name()).expect("run").latency_ms;
+                let this = e2e.get(*kind, &gpu.name, model.name()).expect("run").latency_ms;
+                ratios.push(auto / this.max(1e-9));
+            }
+            per_kind_lat[k].extend(ratios.iter().copied());
+            row.push(format!("{:.3}", geomean(&ratios)));
+        }
+        rows_b.push(row);
+    }
+    let mut geo_b = vec!["geomean".to_owned()];
+    for r in &per_kind_lat {
+        geo_b.push(format!("{:.3}", geomean(r)));
+    }
+    rows_b.push(geo_b.clone());
+    println!("{}", report::table(&["model", "Chameleon", "DGP", "Glimpse"], &rows_b));
+
+    report::save_json(
+        &glimpse_bench::experiment::results_dir(),
+        "fig9",
+        &serde_json::json!({
+            "optimization_time_geomeans": { "chameleon": geomean(&per_kind_all[0]), "dgp": geomean(&per_kind_all[1]), "glimpse": geomean(&per_kind_all[2]) },
+            "inference_speed_geomeans": { "chameleon": geomean(&per_kind_lat[0]), "dgp": geomean(&per_kind_lat[1]), "glimpse": geomean(&per_kind_lat[2]) },
+        }),
+    );
+}

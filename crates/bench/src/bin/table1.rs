@@ -1,0 +1,44 @@
+//! Table 1: the DNN model / task inventory and the GPU fleet.
+
+use glimpse_bench::report;
+use glimpse_gpu_spec::database;
+use glimpse_tensor_prog::task::count_by_template;
+use glimpse_tensor_prog::{models, TemplateKind};
+
+fn main() {
+    println!("Table 1 — DNN models and GPUs\n");
+    let rows: Vec<Vec<String>> = models::evaluation_models()
+        .iter()
+        .map(|m| {
+            let by = count_by_template(m.tasks());
+            let get = |k: TemplateKind| by.iter().find(|(kind, _)| *kind == k).map_or(0, |(_, c)| *c);
+            vec![
+                m.name().to_owned(),
+                "ImageNet".to_owned(),
+                format!(
+                    "{} ({} conv2d, {} winograd conv2d, {} dense)",
+                    m.tasks().len(),
+                    get(TemplateKind::Conv2dDirect),
+                    get(TemplateKind::Conv2dWinograd),
+                    get(TemplateKind::Dense)
+                ),
+                format!("{:.2} GFLOP/inference", m.total_flops() / 1e9),
+            ]
+        })
+        .collect();
+    println!("{}", report::table(&["DNN model", "dataset", "number of tasks", "work"], &rows));
+
+    let gpu_rows: Vec<Vec<String>> = database::evaluation_gpus()
+        .iter()
+        .map(|g| {
+            vec![
+                g.name.clone(),
+                format!("{} ({})", g.generation, g.sm_arch),
+                format!("{} SMs / {} cores", g.sm_count, g.total_cores()),
+                format!("{:.1} TFLOPS, {:.0} GB/s", g.fp32_gflops / 1000.0, g.mem_bandwidth_gb_s),
+            ]
+        })
+        .collect();
+    println!("{}", report::table(&["hardware", "generation (gencode)", "compute", "peak"], &gpu_rows));
+    println!("training database: {} GPUs across {} generations", database::all().len(), 3);
+}

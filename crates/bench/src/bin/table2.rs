@@ -1,0 +1,63 @@
+//! Table 2: search time, inference latency, and the Hyper-Volume summary.
+//!
+//! HV = Search Reduction × Inference Reduction × 100 (Eq. 2), with
+//! reductions relative to the AutoTVM baseline. Paper: Glimpse posts the
+//! best HV on every model (5.75 / 4.40 / 3.70), driven by 83–87 % search
+//! reduction at equal-or-better latency.
+
+use glimpse_bench::e2e::end_to_end;
+use glimpse_bench::experiment::TunerKind;
+use glimpse_bench::report;
+
+fn main() {
+    let e2e = end_to_end();
+    let (gpus, models) = glimpse_bench::experiment::evaluation_grid();
+
+    // AutoTVM absolute columns: sum of GPU hours over the fleet, mean
+    // inference latency over the fleet.
+    println!("Table 2 — multi-objective comparison (Eq. 2: HV = SR x IR x 100)\n");
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for model in &models {
+        let auto_hours: f64 = gpus.iter().map(|g| e2e.get(TunerKind::AutoTvm, &g.name, model.name()).expect("run").gpu_hours()).sum();
+        let auto_lat: f64 = gpus
+            .iter()
+            .map(|g| e2e.get(TunerKind::AutoTvm, &g.name, model.name()).expect("run").latency_ms)
+            .sum::<f64>()
+            / gpus.len() as f64;
+        let mut row = vec![model.name().to_owned(), format!("{auto_hours:.2}"), format!("{auto_lat:.4}")];
+        let mut entry = serde_json::json!({
+            "model": model.name(), "autotvm_gpu_hours": auto_hours, "autotvm_latency_ms": auto_lat,
+        });
+        for kind in [TunerKind::Chameleon, TunerKind::Dgp, TunerKind::Glimpse] {
+            let hours: f64 = gpus.iter().map(|g| e2e.get(kind, &g.name, model.name()).expect("run").gpu_hours()).sum();
+            let lat: f64 = gpus.iter().map(|g| e2e.get(kind, &g.name, model.name()).expect("run").latency_ms).sum::<f64>() / gpus.len() as f64;
+            let sr = 1.0 - hours / auto_hours;
+            let ir = 1.0 - lat / auto_lat;
+            let hv = sr * ir * 100.0;
+            row.push(format!("{:.2} / {:.2} / {:.4}", sr * 100.0, ir * 100.0, hv));
+            entry[kind.label()] = serde_json::json!({
+                "gpu_hours": hours, "latency_ms": lat,
+                "search_reduction_pct": sr * 100.0, "inference_reduction_pct": ir * 100.0, "hv": hv,
+            });
+        }
+        rows.push(row);
+        payload.push(entry);
+    }
+    println!(
+        "{}",
+        report::table(
+            &[
+                "model",
+                "AutoTVM GPU-h",
+                "AutoTVM ms",
+                "Chameleon SR% / IR% / HV",
+                "DGP SR% / IR% / HV",
+                "Glimpse SR% / IR% / HV",
+            ],
+            &rows
+        )
+    );
+    println!("(paper Glimpse: SR 82.84/84.85/87.37%, HV 5.75/4.40/3.70 for AlexNet/ResNet-18/VGG-16)");
+    report::save_json(&glimpse_bench::experiment::results_dir(), "table2", &payload);
+}

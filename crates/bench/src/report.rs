@@ -1,0 +1,123 @@
+//! Plain-text table/series rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders an aligned text table (markdown-flavored).
+#[must_use]
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push('|');
+        for (cell, w) in cells.iter().zip(widths) {
+            let _ = write!(out, " {cell:w$} |");
+        }
+        out.push('\n');
+    };
+    line(&headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(), &widths, &mut out);
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+    }
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Renders a sorted-descending series as a compact sparkline-style row
+/// (used for the Fig. 4 initial-configuration curves).
+#[must_use]
+pub fn sparkline(label: &str, values: &[f64], max: f64) -> String {
+    const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = format!("{label:<12} ");
+    for v in values {
+        let idx = if max > 0.0 { ((v / max) * 8.0).round().clamp(0.0, 8.0) as usize } else { 0 };
+        out.push(GLYPHS[idx]);
+    }
+    out
+}
+
+/// Renders a 2-D heatmap (used by the Fig. 1 search-space visualization).
+#[must_use]
+pub fn heatmap(grid: &[Vec<f64>]) -> String {
+    const GLYPHS: [char; 9] = ['.', '1', '2', '3', '4', '5', '6', '7', '#'];
+    let max = grid.iter().flatten().copied().fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for row in grid {
+        for v in row {
+            let idx = if max > 0.0 { ((v / max) * 8.0).round().clamp(0.0, 8.0) as usize } else { 0 };
+            out.push(GLYPHS[idx]);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a serializable result to `results/<name>.json`.
+pub fn save_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("[glimpse-bench] could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[glimpse-bench] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[glimpse-bench] could not serialize {name}: {e}"),
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+#[must_use]
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&["a", "model"], &[vec!["1".into(), "AlexNet".into()], vec!["22".into(), "VGG-16".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[2].contains("AlexNet"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline("x", &[0.0, 4.0, 8.0], 8.0);
+        assert!(s.ends_with(['█']));
+    }
+
+    #[test]
+    fn heatmap_shape_matches_grid() {
+        let h = heatmap(&[vec![0.0, 1.0], vec![0.5, 0.25]]);
+        assert_eq!(h.lines().count(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(6.73), "6.73x");
+        assert_eq!(percent(0.5), "50.0%");
+    }
+}

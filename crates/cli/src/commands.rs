@@ -1,0 +1,296 @@
+//! Implementations of the `glimpse` subcommands.
+
+use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_core::blueprint::BlueprintCodec;
+use glimpse_core::explain;
+use glimpse_core::tuner::GlimpseTuner;
+use glimpse_gpu_spec::{database, datasheet, GpuSpec};
+use glimpse_sim::Measurer;
+use glimpse_space::templates;
+use glimpse_tensor_prog::{models, TemplateKind};
+use glimpse_tuners::autotvm::AutoTvmTuner;
+use glimpse_tuners::chameleon::ChameleonTuner;
+use glimpse_tuners::dgp::DgpTuner;
+use glimpse_tuners::genetic::GeneticTuner;
+use glimpse_tuners::random::RandomTuner;
+use glimpse_tuners::{Budget, TuneContext, Tuner, TuningOutcome};
+use std::path::PathBuf;
+
+/// Usage text for `glimpse help`.
+pub const USAGE: &str = "\
+glimpse — hardware-aware neural compilation (DAC'22 reproduction)
+
+  glimpse gpus                      list the data-sheet database
+  glimpse models                    list the model zoo and task counts
+  glimpse blueprint <gpu>           embed a GPU and explain the embedding
+  glimpse sheet <file>              parse a textual data sheet
+  glimpse sweep                     Blueprint size vs information loss (Fig. 8)
+  glimpse tune <model> <gpu> [opts] tune a model (or one task) on a GPU
+    --tuner <glimpse|autotvm|chameleon|dgp|random|genetic>   default: glimpse
+    --budget <n>                    measurements per task      default: 128
+    --task <i>                      tune only task i
+    --artifacts <path>              load/store meta-trained artifacts
+    --full-training                 full-size offline training (slow)
+";
+
+/// `glimpse gpus`
+pub fn gpus() -> Result<(), String> {
+    println!("{:<18} {:<16} {:>5} {:>7} {:>10} {:>9} {:>7}", "name", "generation", "SMs", "cores", "GFLOPS", "GB/s", "TDP W");
+    for gpu in database::all() {
+        println!(
+            "{:<18} {:<16} {:>5} {:>7} {:>10.0} {:>9.0} {:>7.0}",
+            gpu.name,
+            format!("{} ({})", gpu.generation, gpu.sm_arch),
+            gpu.sm_count,
+            gpu.total_cores(),
+            gpu.fp32_gflops,
+            gpu.mem_bandwidth_gb_s,
+            gpu.tdp_w
+        );
+    }
+    Ok(())
+}
+
+/// `glimpse models`
+pub fn models() -> Result<(), String> {
+    let mut all = models::evaluation_models();
+    all.extend(models::extended_models());
+    for model in all {
+        let conv = model.tasks().iter().filter(|t| t.template == TemplateKind::Conv2dDirect).count();
+        let wino = model.tasks().iter().filter(|t| t.template == TemplateKind::Conv2dWinograd).count();
+        let dense = model.tasks().iter().filter(|t| t.template == TemplateKind::Dense).count();
+        println!(
+            "{:<16} {:>2} tasks ({conv} conv2d, {wino} winograd, {dense} dense), {:>6.2} GFLOP/inference",
+            model.name(),
+            model.tasks().len(),
+            model.total_flops() / 1e9
+        );
+        for task in model.tasks() {
+            println!("    L{:<3} [{}] {}", task.id.index, task.template, task.op);
+        }
+    }
+    Ok(())
+}
+
+fn find_gpu(name: &str) -> Result<&'static GpuSpec, String> {
+    database::find(name).ok_or_else(|| format!("unknown GPU {name:?}; `glimpse gpus` lists the database"))
+}
+
+/// `glimpse blueprint <gpu>`
+pub fn blueprint(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: glimpse blueprint <gpu>")?;
+    let gpu = find_gpu(name)?;
+    let population: Vec<&GpuSpec> = database::training_gpus(&gpu.name);
+    let k = BlueprintCodec::recommended_components(&population);
+    let codec = BlueprintCodec::fit(&population, k).map_err(|e| e.to_string())?;
+    let bp = codec.encode(gpu);
+    println!("{bp}");
+    println!("values: {:?}", bp.values.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    let decoded = codec.decode(&bp);
+    println!("\ndecoded data sheet (leave-one-out codec, {} components):", k);
+    for name in glimpse_gpu_spec::features::FEATURE_NAMES {
+        let truth = glimpse_gpu_spec::FeatureVector::from_spec(gpu).get(name).unwrap_or(0.0);
+        let dec = decoded.get(name).unwrap_or(0.0);
+        println!("  {name:<24} sheet {truth:>12.1}   decoded {dec:>12.1}");
+    }
+    // Prior sensitivity via a quickly trained artifact set.
+    println!("\ntraining fast artifacts for sensitivity analysis ...");
+    let artifacts = GlimpseArtifacts::train_with(&population, TrainingOptions::fast(), 42);
+    let space = templates::conv2d_direct_space(&glimpse_tensor_prog::Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+    let report = explain::explain(&artifacts.codec, artifacts.prior(space.template()), &space, &artifacts.encode(gpu), 0.5);
+    println!("prior sensitivity per embedding dimension (3x3 conv template):");
+    for dim in report.ranked() {
+        let features: Vec<String> = dim.top_features.iter().map(|(n, _)| n.clone()).collect();
+        println!("  dim {:<2} TV {:.4}  loads on: {}", dim.dim, dim.prior_sensitivity, features.join(", "));
+    }
+    Ok(())
+}
+
+/// `glimpse sheet <file>`
+pub fn sheet(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: glimpse sheet <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec = datasheet::parse_sheet(&text).map_err(|e| e.to_string())?;
+    println!("parsed: {spec}");
+    let population: Vec<&GpuSpec> = database::all().iter().collect();
+    let k = BlueprintCodec::recommended_components(&population);
+    let codec = BlueprintCodec::fit(&population, k).map_err(|e| e.to_string())?;
+    let bp = codec.encode(&spec);
+    println!("blueprint ({} components): {:?}", k, bp.values.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    Ok(())
+}
+
+/// `glimpse sweep`
+pub fn sweep() -> Result<(), String> {
+    let population: Vec<&GpuSpec> = database::all().iter().collect();
+    println!("{:<12} {:>8} {:>14} {:>15}", "components", "size", "RMSE (z)", "variance lost");
+    for point in BlueprintCodec::sweep(&population) {
+        println!(
+            "{:<12} {:>7.1}% {:>14.4} {:>14.2}%",
+            point.components,
+            point.size_fraction * 100.0,
+            point.rmse,
+            (1.0 - point.explained_variance) * 100.0
+        );
+    }
+    println!("recommended: {} components", BlueprintCodec::recommended_components(&population));
+    Ok(())
+}
+
+#[derive(Debug)]
+struct TuneOptions {
+    model: String,
+    gpu: String,
+    tuner: String,
+    budget: usize,
+    task: Option<usize>,
+    artifacts_path: Option<PathBuf>,
+    full_training: bool,
+}
+
+fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
+    let mut positional = Vec::new();
+    let mut options = TuneOptions {
+        model: String::new(),
+        gpu: String::new(),
+        tuner: "glimpse".into(),
+        budget: 128,
+        task: None,
+        artifacts_path: None,
+        full_training: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tuner" => options.tuner = it.next().ok_or("--tuner needs a value")?.clone(),
+            "--budget" => {
+                options.budget = it.next().ok_or("--budget needs a value")?.parse().map_err(|_| "--budget must be an integer")?;
+            }
+            "--task" => {
+                options.task = Some(it.next().ok_or("--task needs a value")?.parse().map_err(|_| "--task must be an integer")?);
+            }
+            "--artifacts" => options.artifacts_path = Some(PathBuf::from(it.next().ok_or("--artifacts needs a value")?)),
+            "--full-training" => options.full_training = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("usage: glimpse tune <model> <gpu> [options]".into());
+    }
+    options.model = positional[0].clone();
+    options.gpu = positional[1].clone();
+    Ok(options)
+}
+
+fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtifacts, String> {
+    if let Some(path) = &options.artifacts_path {
+        if path.exists() {
+            eprintln!("loading artifacts from {}", path.display());
+            return GlimpseArtifacts::load(path).map_err(|e| e.to_string());
+        }
+    }
+    let training = if options.full_training { TrainingOptions::default() } else { TrainingOptions::fast() };
+    eprintln!("meta-training artifacts (leave-one-out{}) ...", if options.full_training { ", full size" } else { ", fast preset" });
+    let population = database::training_gpus(&gpu.name);
+    let artifacts = GlimpseArtifacts::train_with(&population, training, 42);
+    if let Some(path) = &options.artifacts_path {
+        artifacts.save(path).map_err(|e| e.to_string())?;
+        eprintln!("saved artifacts to {}", path.display());
+    }
+    Ok(artifacts)
+}
+
+/// `glimpse tune <model> <gpu> [options]`
+pub fn tune(args: &[String]) -> Result<(), String> {
+    let options = parse_tune_options(args)?;
+    let gpu = find_gpu(&options.gpu)?;
+    let model = models::find(&options.model).ok_or_else(|| format!("unknown model {:?}; `glimpse models` lists the zoo", options.model))?;
+    let needs_artifacts = options.tuner == "glimpse";
+    let artifacts = if needs_artifacts { Some(obtain_artifacts(gpu, &options)?) } else { None };
+
+    let tasks: Vec<usize> = match options.task {
+        Some(i) if i < model.tasks().len() => vec![i],
+        Some(i) => return Err(format!("task {i} out of range (model has {} tasks)", model.tasks().len())),
+        None => (0..model.tasks().len()).collect(),
+    };
+
+    println!("{:<5} {:<16} {:>10} {:>8} {:>9} {:>11}", "task", "template", "GFLOPS", "meas.", "invalid", "GPU seconds");
+    let mut total_s = 0.0;
+    for i in tasks {
+        let task = &model.tasks()[i];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(gpu.clone(), 7);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(options.budget), 7);
+        let outcome: TuningOutcome = match options.tuner.as_str() {
+            "glimpse" => GlimpseTuner::new(artifacts.as_ref().expect("artifacts built"), gpu).tune(ctx),
+            "autotvm" => AutoTvmTuner::new().tune(ctx),
+            "chameleon" => ChameleonTuner::new().tune(ctx),
+            "dgp" => DgpTuner::new().tune(ctx),
+            "random" => RandomTuner::new().tune(ctx),
+            "genetic" => GeneticTuner::new().tune(ctx),
+            other => return Err(format!("unknown tuner {other:?}")),
+        };
+        total_s += outcome.gpu_seconds;
+        println!(
+            "L{:<4} {:<16} {:>10.0} {:>8} {:>9} {:>11.1}",
+            i,
+            task.template.to_string(),
+            outcome.best_gflops,
+            outcome.measurements,
+            outcome.invalid_measurements,
+            outcome.gpu_seconds
+        );
+        if let Some(best) = &outcome.best_config {
+            println!("      {}", space.describe(best));
+        }
+    }
+    println!("\ntotal simulated GPU time: {:.1} s ({:.2} h)", total_s, total_s / 3600.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_options_parse_positionals_and_flags() {
+        let args: Vec<String> = ["resnet18", "RTX 3090", "--tuner", "autotvm", "--budget", "64", "--task", "3"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = parse_tune_options(&args).unwrap();
+        assert_eq!(options.model, "resnet18");
+        assert_eq!(options.gpu, "RTX 3090");
+        assert_eq!(options.tuner, "autotvm");
+        assert_eq!(options.budget, 64);
+        assert_eq!(options.task, Some(3));
+        assert!(!options.full_training);
+    }
+
+    #[test]
+    fn tune_options_reject_unknown_flags() {
+        let args: Vec<String> = ["m", "g", "--frobnicate"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_tune_options(&args).unwrap_err().contains("--frobnicate"));
+    }
+
+    #[test]
+    fn tune_options_require_two_positionals() {
+        let args: Vec<String> = vec!["onlymodel".into()];
+        assert!(parse_tune_options(&args).is_err());
+    }
+
+    #[test]
+    fn gpu_lookup_reports_unknown_names() {
+        assert!(find_gpu("RTX 9999").unwrap_err().contains("RTX 9999"));
+        assert!(find_gpu("Titan Xp").is_ok());
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for cmd in ["gpus", "models", "blueprint", "sheet", "sweep", "tune"] {
+            assert!(USAGE.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}
+

@@ -1,0 +1,43 @@
+//! `glimpse` — command-line interface to the Glimpse reproduction.
+//!
+//! ```text
+//! glimpse gpus                      list the data-sheet database
+//! glimpse models                    list the model zoo and task counts
+//! glimpse blueprint <gpu>           embed a GPU and explain the embedding
+//! glimpse sheet <file>              parse a textual data sheet
+//! glimpse sweep                     Blueprint size vs information loss
+//! glimpse tune <model> <gpu> [opts] tune a model (or one task) on a GPU
+//!   --tuner <glimpse|autotvm|chameleon|dgp|random|genetic>   (default glimpse)
+//!   --budget <n>                    measurements per task     (default 128)
+//!   --task <i>                      tune only task i
+//!   --artifacts <path>              load/store meta-trained artifacts
+//!   --full-training                 full-size offline training (slow)
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gpus") => commands::gpus(),
+        Some("models") => commands::models(),
+        Some("blueprint") => commands::blueprint(&args[1..]),
+        Some("sheet") => commands::sheet(&args[1..]),
+        Some("sweep") => commands::sweep(),
+        Some("tune") => commands::tune(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `glimpse help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `glimpse` binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn glimpse() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_glimpse"))
+}
+
+#[test]
+fn gpus_lists_the_database() {
+    let out = glimpse().arg("gpus").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Titan Xp", "RTX 2070 Super", "RTX 2080 Ti", "RTX 3090"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn models_lists_table1_counts() {
+    let out = glimpse().arg("models").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("AlexNet"));
+    assert!(text.contains("12 tasks"));
+    assert!(text.contains("17 tasks"));
+    assert!(text.contains("21 tasks"));
+    // Extension models appear too.
+    assert!(text.contains("SqueezeNet-1.1"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = glimpse().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("glimpse tune"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = glimpse().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+}
+
+#[test]
+fn sheet_parses_a_valid_data_sheet() {
+    let sheet = "\
+name: Test GPU\n\
+generation: Turing\n\
+sm_count: 40\n\
+cores_per_sm: 64\n\
+base_clock_mhz: 1500\n\
+boost_clock_mhz: 1700\n\
+mem_bandwidth_gb_s: 448\n\
+mem_bus_bits: 256\n\
+mem_size_gib: 8\n\
+l2_cache_kib: 4096\n\
+tdp_w: 200\n";
+    let path = std::env::temp_dir().join("glimpse-cli-test-sheet.txt");
+    std::fs::write(&path, sheet).unwrap();
+    let out = glimpse().arg("sheet").arg(&path).output().expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Test GPU"));
+    assert!(text.contains("blueprint"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sheet_rejects_garbage_with_nonzero_exit() {
+    let path = std::env::temp_dir().join("glimpse-cli-bad-sheet.txt");
+    std::fs::write(&path, "this is not a data sheet").unwrap();
+    let out = glimpse().arg("sheet").arg(&path).output().expect("spawn");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sweep_prints_the_recommendation() {
+    let out = glimpse().arg("sweep").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("recommended"));
+}
+
+#[test]
+fn tune_single_task_with_random_tuner() {
+    // The random tuner needs no artifact training — fast enough for a test.
+    let out = glimpse()
+        .args(["tune", "alexnet", "GTX 1080", "--tuner", "random", "--task", "2", "--budget", "24"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("L2"));
+    assert!(text.contains("total simulated GPU time"));
+}

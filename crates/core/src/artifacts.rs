@@ -1,0 +1,218 @@
+//! The offline side of Glimpse: corpus generation + meta-training, bundled
+//! into reusable artifacts.
+//!
+//! Everything here happens **before** tuning starts (the dotted arrows of
+//! Fig. 3) and is excluded from the compilation-time comparisons, exactly as
+//! in the paper: "Final outcome of this off-line process is the
+//! hardware-aware optimization strategy ingrained in the Hardware-Aware
+//! Exploration module."
+
+use crate::acquisition::NeuralAcquisition;
+use crate::blueprint::{Blueprint, BlueprintCodec};
+use crate::corpus::{self, CorpusEntry};
+use crate::prior::PriorNet;
+use glimpse_gpu_spec::{database, GpuSpec};
+use glimpse_mlkit::stats::child_rng;
+use glimpse_space::templates;
+use glimpse_tensor_prog::{Conv2dSpec, DenseSpec, TemplateKind};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the offline training pass (sized-down variants keep tests fast).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingOptions {
+    /// PCA components of the Blueprint (0 = auto via the Fig. 8 knee).
+    pub blueprint_dim: usize,
+    /// Uniform samples scored per (GPU, task) corpus pair.
+    pub samples_per_pair: usize,
+    /// Training epochs for the prior generator `H`.
+    pub prior_epochs: usize,
+    /// Training epochs for the neural acquisition.
+    pub acquisition_epochs: usize,
+    /// Top-quantile defining "good" configs for `H`.
+    pub quantile: f64,
+    /// Surrogate prefix size for acquisition meta-training.
+    pub prefix: usize,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        Self { blueprint_dim: 0, samples_per_pair: 300, prior_epochs: 250, acquisition_epochs: 6, quantile: 0.08, prefix: 60 }
+    }
+}
+
+impl TrainingOptions {
+    /// A heavily reduced variant for unit tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self { blueprint_dim: 4, samples_per_pair: 80, prior_epochs: 40, acquisition_epochs: 2, quantile: 0.1, prefix: 30 }
+    }
+}
+
+/// Everything Glimpse needs at tuning time, meta-trained offline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlimpseArtifacts {
+    /// The Blueprint encoder/decoder.
+    pub codec: BlueprintCodec,
+    priors: [PriorNet; 3],
+    acquisitions: [NeuralAcquisition; 3],
+}
+
+impl GlimpseArtifacts {
+    /// Trains artifacts on the whole database **except** `target` — the
+    /// leave-one-out protocol of the paper's evaluation — using default
+    /// (full-size) options.
+    #[must_use]
+    pub fn train_leave_one_out(target: &GpuSpec, seed: u64) -> Self {
+        let gpus = database::training_gpus(&target.name);
+        Self::train_with(&gpus, TrainingOptions::default(), seed)
+    }
+
+    /// Trains artifacts on an explicit GPU population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` has fewer than two entries.
+    #[must_use]
+    pub fn train_with(gpus: &[&GpuSpec], mut options: TrainingOptions, seed: u64) -> Self {
+        assert!(gpus.len() >= 2, "need at least two training GPUs");
+        if options.blueprint_dim == 0 {
+            options.blueprint_dim = BlueprintCodec::recommended_components(gpus);
+        }
+        let codec = BlueprintCodec::fit(gpus, options.blueprint_dim).expect("codec fit");
+        let tasks = corpus::training_tasks();
+        let entries = corpus::generate(gpus, &tasks, options.samples_per_pair, seed);
+        let refs: Vec<&CorpusEntry> = entries.iter().collect();
+        let encode = |name: &str| database::find(name).map(|g| codec.encode(g));
+
+        // Representative spaces fixing each template's head layout.
+        let conv_layout = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let wino_layout = templates::conv2d_winograd_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let dense_layout = templates::dense_space(&DenseSpec::new(1, 512, 1000));
+        let layouts = [&conv_layout, &wino_layout, &dense_layout];
+
+        let kinds = TemplateKind::ALL;
+        let mut rng = child_rng(seed, 0x617);
+        let priors = std::array::from_fn::<PriorNet, 3, _>(|i| {
+            let mut net = PriorNet::new(kinds[i], layouts[i], options.blueprint_dim, &mut rng);
+            net.train(&refs, encode, options.quantile, options.prior_epochs, 3e-3);
+            net
+        });
+        let mut rng = child_rng(seed, 0xACC);
+        let acquisitions = std::array::from_fn::<NeuralAcquisition, 3, _>(|i| {
+            let mut net = NeuralAcquisition::new(kinds[i], options.blueprint_dim, &mut rng);
+            net.train(&refs, encode, options.prefix, options.acquisition_epochs, 3e-3, seed ^ i as u64);
+            net
+        });
+
+        Self { codec, priors, acquisitions }
+    }
+
+
+    /// Persists the artifacts as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let text = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, text)
+    }
+
+    /// Loads artifacts persisted by [`GlimpseArtifacts::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading `path`, or an
+    /// `InvalidData` error if the file is not a valid artifact bundle.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Blueprint dimensionality.
+    #[must_use]
+    pub fn blueprint_dim(&self) -> usize {
+        self.codec.components()
+    }
+
+    /// Encodes a GPU with the fitted codec.
+    #[must_use]
+    pub fn encode(&self, gpu: &GpuSpec) -> Blueprint {
+        self.codec.encode(gpu)
+    }
+
+    /// The prior generator for a template.
+    #[must_use]
+    pub fn prior(&self, template: TemplateKind) -> &PriorNet {
+        &self.priors[template_index(template)]
+    }
+
+    /// The neural acquisition for a template.
+    #[must_use]
+    pub fn acquisition(&self, template: TemplateKind) -> &NeuralAcquisition {
+        &self.acquisitions[template_index(template)]
+    }
+}
+
+fn template_index(template: TemplateKind) -> usize {
+    TemplateKind::ALL.iter().position(|k| *k == template).expect("template in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_artifacts() -> GlimpseArtifacts {
+        let gpus = vec![
+            database::find("GTX 1080").unwrap(),
+            database::find("RTX 2060").unwrap(),
+            database::find("RTX 3070").unwrap(),
+        ];
+        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 9)
+    }
+
+    #[test]
+    fn artifacts_cover_all_templates() {
+        let artifacts = small_artifacts();
+        for kind in TemplateKind::ALL {
+            assert_eq!(artifacts.prior(kind).template(), kind);
+            assert_eq!(artifacts.acquisition(kind).template(), kind);
+        }
+        assert_eq!(artifacts.blueprint_dim(), 4);
+    }
+
+    #[test]
+    fn encode_produces_blueprint_of_declared_dim() {
+        let artifacts = small_artifacts();
+        let bp = artifacts.encode(database::find("RTX 2080 Ti").unwrap());
+        assert_eq!(bp.len(), artifacts.blueprint_dim());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = small_artifacts();
+        let b = small_artifacts();
+        let gpu = database::find("Titan Xp").unwrap();
+        assert_eq!(a.encode(gpu), b.encode(gpu));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let artifacts = small_artifacts();
+        let path = std::env::temp_dir().join("glimpse-artifacts-test.json");
+        artifacts.save(&path).unwrap();
+        let loaded = GlimpseArtifacts::load(&path).unwrap();
+        let gpu = database::find("RTX 2080 Ti").unwrap();
+        assert_eq!(loaded.encode(gpu), artifacts.encode(gpu));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("glimpse-artifacts-garbage.json");
+        std::fs::write(&path, "not json").unwrap();
+        let err = GlimpseArtifacts::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,159 @@
+//! Interpreting the Blueprint: which embedding dimensions drive Glimpse's
+//! decisions?
+//!
+//! The paper closes by arguing for "abstractions that encode domain
+//! knowledge" — this module makes the abstraction inspectable. It measures,
+//! by finite differences, how strongly each Blueprint dimension influences
+//! (a) the prior distributions `H` emits for a layer and (b) the decoded
+//! data-sheet reconstruction, and maps principal axes back onto raw
+//! data-sheet features via the decoder.
+
+use crate::blueprint::{Blueprint, BlueprintCodec};
+use crate::prior::PriorNet;
+use glimpse_gpu_spec::features::FEATURE_NAMES;
+use glimpse_space::SearchSpace;
+use serde::{Deserialize, Serialize};
+
+/// Sensitivity of one Blueprint dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensionReport {
+    /// Blueprint dimension index.
+    pub dim: usize,
+    /// Mean total-variation distance of the prior's per-head distributions
+    /// under a ±δ perturbation of this dimension.
+    pub prior_sensitivity: f64,
+    /// Raw data-sheet features this principal axis loads on most, with
+    /// their loading magnitudes (top three).
+    pub top_features: Vec<(String, f64)>,
+}
+
+/// Sensitivity report over all Blueprint dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlueprintReport {
+    /// The analysed GPU.
+    pub gpu: String,
+    /// Per-dimension sensitivities, dimension order.
+    pub dimensions: Vec<DimensionReport>,
+}
+
+impl BlueprintReport {
+    /// Dimensions ordered by descending prior sensitivity.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<&DimensionReport> {
+        let mut v: Vec<&DimensionReport> = self.dimensions.iter().collect();
+        v.sort_by(|a, b| b.prior_sensitivity.partial_cmp(&a.prior_sensitivity).expect("finite sensitivity"));
+        v
+    }
+}
+
+/// Produces the sensitivity report for one (GPU blueprint, layer) pair.
+///
+/// `delta` is the perturbation in embedding units (z-scored feature space;
+/// 0.5 is a reasonable default given unit-variance inputs).
+#[must_use]
+pub fn explain(codec: &BlueprintCodec, prior: &PriorNet, space: &SearchSpace, blueprint: &Blueprint, delta: f64) -> BlueprintReport {
+    let base_probs = prior.head_probs(space.op(), blueprint);
+    let dimensions = (0..blueprint.len())
+        .map(|dim| {
+            // Prior sensitivity: mean TV distance across heads for ±delta.
+            let mut tv_total = 0.0;
+            for sign in [-1.0, 1.0] {
+                let mut perturbed = blueprint.clone();
+                perturbed.values[dim] += sign * delta;
+                let probs = prior.head_probs(space.op(), &perturbed);
+                let mut tv = 0.0;
+                for (p, q) in base_probs.iter().zip(&probs) {
+                    tv += 0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>();
+                }
+                tv_total += tv / base_probs.len() as f64;
+            }
+            // Feature loadings: decode a unit move along this axis and rank
+            // the feature-space displacement.
+            let mut unit = blueprint.clone();
+            unit.values[dim] += 1.0;
+            let base_decoded = codec.decode(blueprint);
+            let moved_decoded = codec.decode(&unit);
+            let mut loadings: Vec<(String, f64)> = FEATURE_NAMES
+                .iter()
+                .map(|name| {
+                    let a = base_decoded.get(name).expect("known feature");
+                    let b = moved_decoded.get(name).expect("known feature");
+                    // Normalize by feature magnitude so GFLOPS doesn't dwarf
+                    // warp-scale features.
+                    let scale = a.abs().max(1.0);
+                    ((*name).to_owned(), (b - a).abs() / scale)
+                })
+                .collect();
+            loadings.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite loading"));
+            loadings.truncate(3);
+            DimensionReport { dim, prior_sensitivity: tv_total / 2.0, top_features: loadings }
+        })
+        .collect();
+    BlueprintReport { gpu: blueprint.gpu.clone(), dimensions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::{GlimpseArtifacts, TrainingOptions};
+    use glimpse_gpu_spec::database;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::Conv2dSpec;
+    use std::sync::OnceLock;
+
+    fn artifacts() -> &'static GlimpseArtifacts {
+        static CELL: OnceLock<GlimpseArtifacts> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let gpus = vec![
+                database::find("GTX 1080").unwrap(),
+                database::find("RTX 2060").unwrap(),
+                database::find("RTX 3070").unwrap(),
+                database::find("RTX 3080").unwrap(),
+            ];
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 33)
+        })
+    }
+
+    fn report() -> BlueprintReport {
+        let gpu = database::find("RTX 2080 Ti").unwrap();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let bp = artifacts().encode(gpu);
+        explain(&artifacts().codec, artifacts().prior(space.template()), &space, &bp, 0.5)
+    }
+
+    #[test]
+    fn report_covers_every_dimension() {
+        let r = report();
+        assert_eq!(r.dimensions.len(), artifacts().blueprint_dim());
+        for d in &r.dimensions {
+            assert!(d.prior_sensitivity >= 0.0);
+            assert_eq!(d.top_features.len(), 3);
+        }
+    }
+
+    #[test]
+    fn some_dimension_matters_to_the_prior() {
+        let r = report();
+        let max = r.ranked()[0].prior_sensitivity;
+        assert!(max > 1e-6, "trained prior must react to blueprint changes (max TV {max})");
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let r = report();
+        let ranked = r.ranked();
+        for w in ranked.windows(2) {
+            assert!(w[0].prior_sensitivity >= w[1].prior_sensitivity);
+        }
+    }
+
+    #[test]
+    fn loadings_name_real_features() {
+        let r = report();
+        for d in &r.dimensions {
+            for (name, _) in &d.top_features {
+                assert!(FEATURE_NAMES.contains(&name.as_str()), "unknown feature {name}");
+            }
+        }
+    }
+}

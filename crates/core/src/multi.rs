@@ -1,0 +1,186 @@
+//! Multi-hardware compilation: the `s* = argmax f(x_s | Θ_k)` for many `k`
+//! formulation of Eq. 1 (§2.2).
+//!
+//! The paper's motivating pain is tuning one model for a *fleet* of GPU
+//! generations. [`compile_fleet`] runs the Glimpse tuner over every
+//! (task, GPU) pair, re-using a single set of offline artifacts — only each
+//! target's Blueprint changes — and folds the per-task winners into
+//! per-GPU deployment plans.
+
+use crate::artifacts::GlimpseArtifacts;
+use crate::tuner::{GlimpseConfig, GlimpseTuner};
+use glimpse_gpu_spec::GpuSpec;
+use glimpse_sim::Measurer;
+use glimpse_space::{templates, Config};
+use glimpse_tensor_prog::{DnnModel, OpSpec, TemplateKind};
+use glimpse_tuners::{Budget, TuneContext, Tuner};
+use serde::{Deserialize, Serialize};
+
+/// The tuned kernel selected for one layer of the deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedKernel {
+    /// Task index within the model.
+    pub task_index: usize,
+    /// Template the layer will ship with (winograd beats direct when faster).
+    pub template: TemplateKind,
+    /// The chosen configuration.
+    pub config: Config,
+    /// Measured throughput (GFLOPS).
+    pub gflops: f64,
+}
+
+/// Deployment plan for one model on one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentPlan {
+    /// Target GPU name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// Selected kernel per non-winograd task (winograd is folded in).
+    pub kernels: Vec<PlannedKernel>,
+    /// End-to-end inference latency (ms).
+    pub latency_ms: f64,
+    /// Simulated GPU seconds the compilation cost.
+    pub compile_gpu_seconds: f64,
+}
+
+/// Compiles `model` for every GPU in `fleet` with shared artifacts,
+/// spending `budget` per task. Workers run in parallel (one thread per
+/// GPU, as over the paper's RPC setup).
+#[must_use]
+pub fn compile_fleet(
+    artifacts: &GlimpseArtifacts,
+    fleet: &[&GpuSpec],
+    model: &DnnModel,
+    budget: Budget,
+    config: GlimpseConfig,
+    seed: u64,
+) -> Vec<DeploymentPlan> {
+    let mut plans: Vec<DeploymentPlan> = Vec::with_capacity(fleet.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .iter()
+            .map(|gpu| scope.spawn(move || compile_one(artifacts, gpu, model, budget, config, seed)))
+            .collect();
+        for handle in handles {
+            plans.push(handle.join().expect("fleet worker panicked"));
+        }
+    });
+    plans
+}
+
+/// Compiles `model` for a single GPU (the per-target unit of
+/// [`compile_fleet`]).
+#[must_use]
+pub fn compile_one(
+    artifacts: &GlimpseArtifacts,
+    gpu: &GpuSpec,
+    model: &DnnModel,
+    budget: Budget,
+    config: GlimpseConfig,
+    seed: u64,
+) -> DeploymentPlan {
+    const FALLBACK_GFLOPS: f64 = 50.0;
+    let mut outcomes = Vec::with_capacity(model.tasks().len());
+    let mut compile_gpu_seconds = 0.0;
+    for (i, task) in model.tasks().iter().enumerate() {
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(gpu.clone(), seed.wrapping_add(i as u64));
+        let ctx = TuneContext::new(task, &space, &mut measurer, budget, seed.wrapping_add(i as u64));
+        let outcome = GlimpseTuner::with_config(artifacts, gpu, config).tune(ctx);
+        compile_gpu_seconds += outcome.gpu_seconds;
+        outcomes.push(outcome);
+    }
+
+    // Fold winograd variants into their direct counterparts.
+    let mut kernels = Vec::new();
+    let mut latency_ms = 0.0;
+    for (task, outcome) in model.tasks().iter().zip(&outcomes) {
+        if task.template == TemplateKind::Conv2dWinograd {
+            continue;
+        }
+        let mut best_template = task.template;
+        let mut best_gflops = outcome.best_gflops;
+        let mut best_config = outcome.best_config.clone();
+        if let OpSpec::Conv2d(c) = &task.op {
+            if c.winograd_eligible() {
+                if let Some((wt, wo)) = model
+                    .tasks()
+                    .iter()
+                    .zip(&outcomes)
+                    .find(|(t, _)| t.template == TemplateKind::Conv2dWinograd && t.op == task.op)
+                {
+                    if wo.best_gflops > best_gflops {
+                        best_template = wt.template;
+                        best_gflops = wo.best_gflops;
+                        best_config = wo.best_config.clone();
+                    }
+                }
+            }
+        }
+        latency_ms += task.latency_ms(best_gflops.max(FALLBACK_GFLOPS));
+        if let Some(config) = best_config {
+            kernels.push(PlannedKernel { task_index: task.id.index, template: best_template, config, gflops: best_gflops });
+        }
+    }
+    DeploymentPlan { gpu: gpu.name.clone(), model: model.name().to_owned(), kernels, latency_ms, compile_gpu_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::TrainingOptions;
+    use glimpse_gpu_spec::database;
+    use glimpse_tensor_prog::models;
+    use std::sync::OnceLock;
+
+    fn artifacts() -> &'static GlimpseArtifacts {
+        static CELL: OnceLock<GlimpseArtifacts> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let gpus = vec![
+                database::find("GTX 1080").unwrap(),
+                database::find("RTX 2060").unwrap(),
+                database::find("RTX 3070").unwrap(),
+            ];
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 17)
+        })
+    }
+
+    #[test]
+    fn fleet_compilation_produces_one_plan_per_gpu() {
+        let fleet = vec![database::find("Titan Xp").unwrap(), database::find("RTX 3090").unwrap()];
+        let model = models::alexnet();
+        let plans = compile_fleet(artifacts(), &fleet, &model, Budget::measurements(24), GlimpseConfig::default(), 3);
+        assert_eq!(plans.len(), 2);
+        for plan in &plans {
+            assert_eq!(plan.model, "AlexNet");
+            assert!(plan.latency_ms > 0.0 && plan.latency_ms.is_finite());
+            assert!(plan.compile_gpu_seconds > 0.0);
+            // Every non-winograd task ends up with a kernel (fallbacks aside).
+            assert!(plan.kernels.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn plan_folds_winograd_when_it_wins() {
+        let gpu = database::find("RTX 3090").unwrap();
+        let model = models::vgg16();
+        let plan = compile_one(artifacts(), gpu, &model, Budget::measurements(24), GlimpseConfig::default(), 5);
+        // 9 direct conv shapes + 3 dense = 12 deployable layers.
+        assert!(plan.kernels.len() <= 12);
+        // At least one eligible layer should pick the winograd template on a
+        // modern part (2.25x fewer multiplies is hard to beat).
+        assert!(
+            plan.kernels.iter().any(|k| k.template == TemplateKind::Conv2dWinograd),
+            "expected some winograd selections"
+        );
+    }
+
+    #[test]
+    fn faster_gpu_gets_lower_latency_plan() {
+        let model = models::alexnet();
+        let slow = compile_one(artifacts(), database::find("GTX 1050 Ti").unwrap(), &model, Budget::measurements(24), GlimpseConfig::default(), 7);
+        let fast = compile_one(artifacts(), database::find("RTX 3090").unwrap(), &model, Budget::measurements(24), GlimpseConfig::default(), 7);
+        assert!(fast.latency_ms < slow.latency_ms, "fast {} vs slow {}", fast.latency_ms, slow.latency_ms);
+    }
+}

@@ -1,0 +1,321 @@
+//! The Glimpse tuner: Algorithm 1 of the paper.
+//!
+//! ```text
+//! f̂ ← H(Π, Θ)                      (prior distributions from Blueprint)
+//! for i ← 0 to n:
+//!     Xs        ← simulated annealing with f̂ as energy    (§3.2)
+//!     Xs_pruned ← meta-optimizer with Θ as hints          (§3.2)
+//!     Xs_sampled← sampling to minimize invalid configs    (§3.3)
+//!     measure Xs_sampled on real hardware; update f̂
+//! ```
+//!
+//! The three ablation switches in [`GlimpseConfig`] turn each contribution
+//! off independently (used by the ablation harness).
+
+use crate::artifacts::GlimpseArtifacts;
+use crate::blueprint::Blueprint;
+use crate::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
+use glimpse_gpu_spec::GpuSpec;
+use glimpse_mlkit::sa::{anneal, SaParams};
+use glimpse_mlkit::stats::child_rng;
+use glimpse_space::Config;
+use glimpse_tuners::cost_model::GbtCostModel;
+use glimpse_tuners::{TuneContext, Tuner, TuningOutcome};
+
+/// Glimpse hyperparameters and ablation switches.
+#[derive(Debug, Clone, Copy)]
+pub struct GlimpseConfig {
+    /// Initial measurements drawn from the prior.
+    pub n_init: usize,
+    /// Hardware measurements per iteration.
+    pub batch_size: usize,
+    /// Parallel annealing chains per round.
+    pub sa_chains: usize,
+    /// Steps per chain per round (small: the acquisition is well-aligned).
+    pub sa_steps: usize,
+    /// Early-stop patience within a chain.
+    pub sa_patience: usize,
+    /// Ensemble size of the hardware-aware sampler.
+    pub ensemble_members: usize,
+    /// Rejection threshold τ (paper: 1/3 by grid search).
+    pub tau: f64,
+    /// Ablation: use the prior generator `H` for initialization.
+    pub use_prior: bool,
+    /// Ablation: use the neural acquisition (else raw surrogate energy).
+    pub use_acquisition: bool,
+    /// Ablation: use hardware-aware sampling.
+    pub use_sampler: bool,
+}
+
+impl Default for GlimpseConfig {
+    fn default() -> Self {
+        Self {
+            n_init: 16,
+            batch_size: 16,
+            sa_chains: 24,
+            sa_steps: 40,
+            sa_patience: 16,
+            ensemble_members: DEFAULT_MEMBERS,
+            tau: DEFAULT_TAU,
+            use_prior: true,
+            use_acquisition: true,
+            use_sampler: true,
+        }
+    }
+}
+
+/// The Glimpse tuner for one target GPU.
+#[derive(Debug, Clone)]
+pub struct GlimpseTuner<'a> {
+    artifacts: &'a GlimpseArtifacts,
+    blueprint: Blueprint,
+    sampler: EnsembleSampler,
+    config: GlimpseConfig,
+}
+
+impl<'a> GlimpseTuner<'a> {
+    /// Builds the tuner for `target` from offline artifacts.
+    #[must_use]
+    pub fn new(artifacts: &'a GlimpseArtifacts, target: &GpuSpec) -> Self {
+        Self::with_config(artifacts, target, GlimpseConfig::default())
+    }
+
+    /// Builds the tuner with explicit hyperparameters.
+    #[must_use]
+    pub fn with_config(artifacts: &'a GlimpseArtifacts, target: &GpuSpec, config: GlimpseConfig) -> Self {
+        let blueprint = artifacts.encode(target);
+        let sampler = EnsembleSampler::from_blueprint(&artifacts.codec, &blueprint, config.ensemble_members, config.tau);
+        Self { artifacts, blueprint, sampler, config }
+    }
+
+    /// The target's Blueprint.
+    #[must_use]
+    pub fn blueprint(&self) -> &Blueprint {
+        &self.blueprint
+    }
+
+    /// The generated sampler ensemble.
+    #[must_use]
+    pub fn sampler(&self) -> &EnsembleSampler {
+        &self.sampler
+    }
+}
+
+impl Tuner for GlimpseTuner<'_> {
+    fn name(&self) -> &str {
+        "Glimpse"
+    }
+
+    fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
+        let mut rng = child_rng(ctx.seed, 0x911A_95E);
+        let template = ctx.space.template();
+        let prior = self.artifacts.prior(template);
+        let acquisition = self.artifacts.acquisition(template);
+        let total_budget = ctx.budget.max_measurements.max(1);
+
+        // Initial batch from the prior distributions (Algorithm 1, line 1),
+        // filtered by the hardware-aware sampler.
+        let initial: Vec<Config> = if self.config.use_prior {
+            let raw = prior.sample_initial(ctx.space, &self.blueprint, self.config.n_init * 3, &mut rng);
+            let mut filtered = if self.config.use_sampler { self.sampler.filter(ctx.space, raw) } else { raw };
+            filtered.truncate(self.config.n_init);
+            let mut attempts = 0;
+            while filtered.len() < self.config.n_init && attempts < 200 {
+                attempts += 1;
+                let extra = prior.sample_initial(ctx.space, &self.blueprint, 4, &mut rng);
+                for config in extra {
+                    if filtered.len() < self.config.n_init
+                        && !filtered.contains(&config)
+                        && (!self.config.use_sampler || self.sampler.accept(ctx.space, &config))
+                    {
+                        filtered.push(config);
+                    }
+                }
+            }
+            filtered
+        } else {
+            (0..self.config.n_init).map(|_| ctx.space.sample_uniform(&mut rng)).collect()
+        };
+        ctx.measure_batch(&initial);
+
+        let mut model = GbtCostModel::new(ctx.seed ^ 0x91);
+        while !ctx.exhausted() {
+            model.fit(ctx.space, ctx.history());
+            let t_frac = ctx.history().len() as f64 / total_budget as f64;
+
+            // Chain starts: incumbents + fresh prior samples (the prior keeps
+            // proposing plausible regions even mid-run).
+            let mut ranked = ctx.history().valid_pairs();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            let mut starts: Vec<Config> = ranked.iter().map(|(c, _)| (*c).clone()).take(self.config.sa_chains / 2).collect();
+            if self.config.use_prior {
+                starts.extend(prior.sample_initial(ctx.space, &self.blueprint, self.config.sa_chains - starts.len(), &mut rng));
+            }
+            while starts.len() < self.config.sa_chains {
+                starts.push(ctx.space.sample_uniform(&mut rng));
+            }
+
+            let space = ctx.space;
+            let blueprint = &self.blueprint;
+            let use_acq = self.config.use_acquisition;
+            // Early in the run the meta-learned, Blueprint-conditioned
+            // acquisition carries most of the signal; as local evidence
+            // accumulates the online surrogate becomes the sharper guide.
+            // Blending by optimization progress is the exploration ->
+            // exploitation shift MetaBO's budget feature modulates (§3.2).
+            let exploit = t_frac.clamp(0.0, 1.0);
+            let energy = |c: &Config| {
+                let mu = model.predict(space, c);
+                if use_acq {
+                    let acq = acquisition.score(space, c, mu, t_frac, blueprint);
+                    (1.0 - exploit) * acq + exploit * mu
+                } else {
+                    mu
+                }
+            };
+            let outcome = anneal(
+                &starts,
+                energy,
+                |c, r| space.neighbor(c, r),
+                SaParams {
+                    chains: self.config.sa_chains,
+                    max_steps: self.config.sa_steps,
+                    t_start: 0.6,
+                    t_end: 0.05,
+                    patience: self.config.sa_patience,
+                },
+                &mut rng,
+            );
+            ctx.add_explorer_steps(outcome.steps_executed);
+
+            // Hardware-aware sampling: reject proposals the ensemble vetoes.
+            let mut batch: Vec<Config> = Vec::new();
+            for (config, _) in outcome.top_k(self.config.sa_chains) {
+                if batch.len() >= self.config.batch_size {
+                    break;
+                }
+                let fresh = !ctx.seen(&config) && !batch.contains(&config);
+                let accepted = !self.config.use_sampler || self.sampler.accept(space, &config);
+                if fresh && accepted {
+                    batch.push(config);
+                }
+            }
+            // Fill remainder from the prior (sampler-checked).
+            let mut attempts = 0;
+            while batch.len() < self.config.batch_size && attempts < 300 {
+                attempts += 1;
+                let config = if self.config.use_prior {
+                    prior.sample_initial(space, blueprint, 2, &mut rng).pop().expect("nonempty")
+                } else {
+                    space.sample_uniform(&mut rng)
+                };
+                let fresh = !ctx.seen(&config) && !batch.contains(&config);
+                let accepted = !self.config.use_sampler || self.sampler.accept(space, &config);
+                if fresh && accepted {
+                    batch.push(config);
+                }
+            }
+            if batch.is_empty() {
+                batch.push(space.sample_uniform(&mut rng));
+            }
+            ctx.measure_batch(&batch);
+        }
+        ctx.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::TrainingOptions;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::Measurer;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+    use glimpse_tuners::autotvm::AutoTvmTuner;
+    use glimpse_tuners::Budget;
+    use std::sync::OnceLock;
+
+    fn artifacts() -> &'static GlimpseArtifacts {
+        static CELL: OnceLock<GlimpseArtifacts> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let gpus: Vec<&glimpse_gpu_spec::GpuSpec> = vec![
+                database::find("GTX 1080").unwrap(),
+                database::find("GTX 1080 Ti").unwrap(),
+                database::find("RTX 2060").unwrap(),
+                database::find("RTX 2080").unwrap(),
+                database::find("RTX 3070").unwrap(),
+                database::find("RTX 3080").unwrap(),
+            ];
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 21)
+        })
+    }
+
+    fn run_glimpse(config: GlimpseConfig, budget: usize, seed: u64) -> TuningOutcome {
+        let target = database::find("RTX 2080 Ti").unwrap();
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(target.clone(), seed);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(budget), seed);
+        GlimpseTuner::with_config(artifacts(), target, config).tune(ctx)
+    }
+
+    fn run_autotvm(budget: usize, seed: u64) -> TuningOutcome {
+        let target = database::find("RTX 2080 Ti").unwrap();
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(target.clone(), seed);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(budget), seed);
+        AutoTvmTuner::new().tune(ctx)
+    }
+
+    #[test]
+    fn glimpse_produces_valid_outcome() {
+        let outcome = run_glimpse(GlimpseConfig::default(), 64, 1);
+        assert_eq!(outcome.tuner, "Glimpse");
+        assert!(outcome.best_gflops > 0.0);
+        assert!(outcome.measurements <= 64);
+    }
+
+    #[test]
+    fn glimpse_has_fewer_invalids_than_autotvm() {
+        let glimpse = run_glimpse(GlimpseConfig::default(), 128, 2);
+        let autotvm = run_autotvm(128, 2);
+        assert!(
+            glimpse.invalid_fraction() <= autotvm.invalid_fraction(),
+            "glimpse {} vs autotvm {}",
+            glimpse.invalid_fraction(),
+            autotvm.invalid_fraction()
+        );
+    }
+
+    #[test]
+    fn glimpse_uses_fewer_explorer_steps() {
+        let glimpse = run_glimpse(GlimpseConfig::default(), 128, 3);
+        let autotvm = run_autotvm(128, 3);
+        assert!(
+            (glimpse.explorer_steps as f64) < 0.6 * autotvm.explorer_steps as f64,
+            "glimpse {} vs autotvm {}",
+            glimpse.explorer_steps,
+            autotvm.explorer_steps
+        );
+    }
+
+    #[test]
+    fn ablation_switches_change_behavior() {
+        let full = run_glimpse(GlimpseConfig::default(), 64, 4);
+        let no_sampler = run_glimpse(GlimpseConfig { use_sampler: false, ..GlimpseConfig::default() }, 64, 4);
+        // Without the sampler, invalid measurements cannot decrease.
+        assert!(no_sampler.invalid_measurements >= full.invalid_measurements);
+    }
+
+    #[test]
+    fn blueprint_matches_artifact_dim() {
+        let target = database::find("RTX 2080 Ti").unwrap();
+        let tuner = GlimpseTuner::new(artifacts(), target);
+        assert_eq!(tuner.blueprint().len(), artifacts().blueprint_dim());
+        assert_eq!(tuner.sampler().len(), DEFAULT_MEMBERS);
+    }
+}

@@ -1,0 +1,269 @@
+//! Numeric feature extraction from data-sheet records.
+//!
+//! The Blueprint PCA (§3.1) operates on a fixed-width vector of data-sheet
+//! quantities. [`FeatureVector::from_spec`] extracts that vector; the
+//! [`Normalizer`] z-scores feature columns over a GPU population so that PCA
+//! is not dominated by large-magnitude fields (GFLOPS vs. warp size).
+
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Names of the extracted features, in vector order.
+pub const FEATURE_NAMES: [&str; 16] = [
+    "sm_count",
+    "cores_per_sm",
+    "total_cores",
+    "base_clock_mhz",
+    "boost_clock_mhz",
+    "mem_bandwidth_gb_s",
+    "mem_bus_bits",
+    "mem_size_gib",
+    "l2_cache_kib",
+    "shared_mem_per_sm_kib",
+    "registers_per_sm",
+    "max_threads_per_sm",
+    "max_blocks_per_sm",
+    "fp32_gflops",
+    "ridge_flops_per_byte",
+    "generation_ordinal",
+];
+
+/// Number of features extracted per GPU.
+pub const FEATURE_COUNT: usize = FEATURE_NAMES.len();
+
+/// A fixed-width numeric view of one GPU's data sheet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Extracts the raw (unnormalized) feature vector from a spec.
+    #[must_use]
+    pub fn from_spec(spec: &GpuSpec) -> Self {
+        let values = vec![
+            f64::from(spec.sm_count),
+            f64::from(spec.cores_per_sm),
+            f64::from(spec.total_cores()),
+            spec.base_clock_mhz,
+            spec.boost_clock_mhz,
+            spec.mem_bandwidth_gb_s,
+            f64::from(spec.mem_bus_bits),
+            spec.mem_size_gib,
+            f64::from(spec.l2_cache_kib),
+            f64::from(spec.shared_mem_per_sm_kib),
+            f64::from(spec.registers_per_sm),
+            f64::from(spec.max_threads_per_sm),
+            f64::from(spec.max_blocks_per_sm),
+            spec.fp32_gflops,
+            spec.ridge_point_flops_per_byte(),
+            spec.generation.ordinal() as f64,
+        ];
+        debug_assert_eq!(values.len(), FEATURE_COUNT);
+        Self { values }
+    }
+
+    /// Builds a feature vector directly from values (e.g. a PCA
+    /// reconstruction). Panics if `values.len() != FEATURE_COUNT` — the
+    /// width is part of the type's contract.
+    #[must_use]
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), FEATURE_COUNT, "feature vector must have {FEATURE_COUNT} entries");
+        Self { values }
+    }
+
+    /// The feature values in [`FEATURE_NAMES`] order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of features (always [`FEATURE_COUNT`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false; present for API completeness (C-ITER style).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of the named feature.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES.iter().position(|n| *n == name).map(|i| self.values[i])
+    }
+}
+
+impl AsRef<[f64]> for FeatureVector {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Per-column z-score normalizer fitted over a GPU population.
+///
+/// Columns with zero variance (e.g. `registers_per_sm`, identical on every
+/// part in the database) are passed through centered but unscaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits column means and standard deviations over `population`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is empty.
+    #[must_use]
+    pub fn fit(population: &[FeatureVector]) -> Self {
+        assert!(!population.is_empty(), "cannot fit a normalizer on an empty population");
+        let n = population.len() as f64;
+        let width = population[0].len();
+        let mut means = vec![0.0; width];
+        for fv in population {
+            for (m, v) in means.iter_mut().zip(fv.values()) {
+                *m += v / n;
+            }
+        }
+        let mut stds = vec![0.0; width];
+        for fv in population {
+            for ((s, v), m) in stds.iter_mut().zip(fv.values()).zip(&means) {
+                *s += (v - m).powi(2) / n;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt();
+        }
+        Self { means, stds }
+    }
+
+    /// Z-scores a feature vector (zero-variance columns are only centered).
+    #[must_use]
+    pub fn normalize(&self, fv: &FeatureVector) -> Vec<f64> {
+        fv.values()
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| if *s > 1e-9 * (1.0 + m.abs()) { (v - m) / s } else { v - m })
+            .collect()
+    }
+
+    /// Inverts [`Normalizer::normalize`].
+    #[must_use]
+    pub fn denormalize(&self, z: &[f64]) -> FeatureVector {
+        let values = z
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| if *s > 1e-9 * (1.0 + m.abs()) { v * s + m } else { v + m })
+            .collect();
+        FeatureVector::from_values(values)
+    }
+
+    /// Fitted column means.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted column standard deviations.
+    #[must_use]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Extracts and z-scores the whole database in one call, returning the
+/// normalized matrix (row per GPU) and the fitted normalizer.
+#[must_use]
+pub fn normalized_population(specs: &[&GpuSpec]) -> (Vec<Vec<f64>>, Normalizer) {
+    let raw: Vec<FeatureVector> = specs.iter().map(|s| FeatureVector::from_spec(s)).collect();
+    let normalizer = Normalizer::fit(&raw);
+    let rows = raw.iter().map(|fv| normalizer.normalize(fv)).collect();
+    (rows, normalizer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database;
+    use proptest::prelude::*;
+
+    fn population() -> Vec<FeatureVector> {
+        database::all().iter().map(FeatureVector::from_spec).collect()
+    }
+
+    #[test]
+    fn feature_vector_width_matches_names() {
+        let gpu = database::find("Titan Xp").unwrap();
+        assert_eq!(FeatureVector::from_spec(gpu).len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn named_lookup_matches_spec() {
+        let gpu = database::find("RTX 3090").unwrap();
+        let fv = FeatureVector::from_spec(gpu);
+        assert_eq!(fv.get("sm_count"), Some(82.0));
+        assert_eq!(fv.get("mem_bus_bits"), Some(384.0));
+        assert_eq!(fv.get("nonexistent"), None);
+    }
+
+    #[test]
+    fn normalizer_produces_zero_mean_unit_variance() {
+        let pop = population();
+        let norm = Normalizer::fit(&pop);
+        let width = pop[0].len();
+        let n = pop.len() as f64;
+        for col in 0..width {
+            let zs: Vec<f64> = pop.iter().map(|fv| norm.normalize(fv)[col]).collect();
+            let mean: f64 = zs.iter().sum::<f64>() / n;
+            assert!(mean.abs() < 1e-6, "column {col} mean {mean}");
+            let var: f64 = zs.iter().map(|z| (z - mean).powi(2)).sum::<f64>() / n;
+            // Zero-variance columns stay zero-variance; others become unit.
+            assert!(var.abs() < 1e-6 || (var - 1.0).abs() < 1e-6, "column {col} var {var}");
+        }
+    }
+
+    #[test]
+    fn denormalize_inverts_normalize() {
+        let pop = population();
+        let norm = Normalizer::fit(&pop);
+        for fv in &pop {
+            let z = norm.normalize(fv);
+            let back = norm.denormalize(&z);
+            for (a, b) in fv.values().iter().zip(back.values()) {
+                assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_population_has_row_per_gpu() {
+        let specs: Vec<&crate::GpuSpec> = database::all().iter().collect();
+        let (rows, _) = normalized_population(&specs);
+        assert_eq!(rows.len(), database::all().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector must have")]
+    fn from_values_rejects_wrong_width() {
+        let _ = FeatureVector::from_values(vec![1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn normalize_roundtrip_on_scaled_specs(scale in 0.5f64..2.0, idx in 0usize..24) {
+            let pop = population();
+            let norm = Normalizer::fit(&pop);
+            let base = &pop[idx];
+            let scaled = FeatureVector::from_values(base.values().iter().map(|v| v * scale).collect());
+            let back = norm.denormalize(&norm.normalize(&scaled));
+            for (a, b) in scaled.values().iter().zip(back.values()) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! GPU micro-architecture generations and compute capabilities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// NVIDIA micro-architecture generation, as listed in public data sheets.
+///
+/// The paper's Table 1 evaluates Pascal (`sm_61`), Turing (`sm_75`), and
+/// Ampere (`sm_86`) parts; the training database additionally covers the full
+/// consumer line-up of those generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Generation {
+    /// Pascal (GTX 10 series, Titan Xp), 2016.
+    Pascal,
+    /// Turing (RTX 20 / GTX 16 series), 2018.
+    Turing,
+    /// Ampere (RTX 30 series), 2020.
+    Ampere,
+}
+
+impl Generation {
+    /// All generations in chronological order.
+    pub const ALL: [Generation; 3] = [Generation::Pascal, Generation::Turing, Generation::Ampere];
+
+    /// The default compute capability (`gencode`) of consumer parts of this
+    /// generation, matching the paper's Table 1.
+    #[must_use]
+    pub fn default_sm_arch(self) -> SmArch {
+        match self {
+            Generation::Pascal => SmArch::Sm61,
+            Generation::Turing => SmArch::Sm75,
+            Generation::Ampere => SmArch::Sm86,
+        }
+    }
+
+    /// Release-order index (Pascal = 0), used as an ordinal data-sheet feature.
+    #[must_use]
+    pub fn ordinal(self) -> usize {
+        match self {
+            Generation::Pascal => 0,
+            Generation::Turing => 1,
+            Generation::Ampere => 2,
+        }
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Generation::Pascal => "Pascal",
+            Generation::Turing => "Turing",
+            Generation::Ampere => "Ampere",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned when parsing a [`Generation`] or [`SmArch`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArchError {
+    input: String,
+}
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown GPU architecture: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+impl FromStr for Generation {
+    type Err = ParseArchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "pascal" => Ok(Generation::Pascal),
+            "turing" => Ok(Generation::Turing),
+            "ampere" => Ok(Generation::Ampere),
+            _ => Err(ParseArchError { input: s.to_owned() }),
+        }
+    }
+}
+
+/// CUDA compute capability (the `gencode` column of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SmArch {
+    /// Pascal consumer parts.
+    Sm61,
+    /// Turing.
+    Sm75,
+    /// Ampere consumer parts.
+    Sm86,
+}
+
+impl SmArch {
+    /// Numeric compute capability, e.g. `61` for `sm_61`.
+    #[must_use]
+    pub fn version(self) -> u32 {
+        match self {
+            SmArch::Sm61 => 61,
+            SmArch::Sm75 => 75,
+            SmArch::Sm86 => 86,
+        }
+    }
+
+    /// The generation this compute capability belongs to.
+    #[must_use]
+    pub fn generation(self) -> Generation {
+        match self {
+            SmArch::Sm61 => Generation::Pascal,
+            SmArch::Sm75 => Generation::Turing,
+            SmArch::Sm86 => Generation::Ampere,
+        }
+    }
+}
+
+impl fmt::Display for SmArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sm_{}", self.version())
+    }
+}
+
+impl FromStr for SmArch {
+    type Err = ParseArchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sm_61" | "61" => Ok(SmArch::Sm61),
+            "sm_75" | "75" => Ok(SmArch::Sm75),
+            "sm_86" | "86" => Ok(SmArch::Sm86),
+            _ => Err(ParseArchError { input: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_roundtrips_through_display_and_fromstr() {
+        for generation in Generation::ALL {
+            let text = generation.to_string();
+            assert_eq!(text.parse::<Generation>().unwrap(), generation);
+        }
+    }
+
+    #[test]
+    fn generation_ordinals_are_chronological() {
+        let ordinals: Vec<usize> = Generation::ALL.iter().map(|g| g.ordinal()).collect();
+        assert_eq!(ordinals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sm_arch_matches_table1_gencodes() {
+        assert_eq!(Generation::Pascal.default_sm_arch().to_string(), "sm_61");
+        assert_eq!(Generation::Turing.default_sm_arch().to_string(), "sm_75");
+        assert_eq!(Generation::Ampere.default_sm_arch().to_string(), "sm_86");
+    }
+
+    #[test]
+    fn sm_arch_parses_both_forms() {
+        assert_eq!("sm_75".parse::<SmArch>().unwrap(), SmArch::Sm75);
+        assert_eq!("86".parse::<SmArch>().unwrap(), SmArch::Sm86);
+    }
+
+    #[test]
+    fn parse_errors_describe_the_input() {
+        let err = "volta".parse::<Generation>().unwrap_err();
+        assert!(err.to_string().contains("volta"));
+    }
+
+    #[test]
+    fn sm_arch_generation_is_consistent() {
+        for generation in Generation::ALL {
+            assert_eq!(generation.default_sm_arch().generation(), generation);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Gradient-boosted regression trees.
+//!
+//! AutoTVM's surrogate cost model is an XGBoost ranker; this module is the
+//! reproduction's equivalent: depth-limited regression trees fitted to
+//! residuals with shrinkage and optional feature subsampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`Gbt`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Number of boosting rounds.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Minimum samples to split a node.
+    pub min_samples_split: usize,
+    /// Fraction of features considered per split (0 < f ≤ 1).
+    pub feature_fraction: f64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self { trees: 50, max_depth: 4, learning_rate: 0.15, min_samples_split: 4, feature_fraction: 0.9 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf(v) => *v,
+            Node::Split { feature, threshold, left, right } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble (squared loss).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbt {
+    base: f64,
+    trees: Vec<Node>,
+    params: GbtParams,
+}
+
+impl Gbt {
+    /// Fits the ensemble on `(xs, ys)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glimpse_mlkit::gbt::{Gbt, GbtParams};
+    /// use rand::SeedableRng;
+    ///
+    /// let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+    /// let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let model = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+    /// assert!((model.predict(&[25.0]) - 50.0).abs() < 8.0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or ragged.
+    #[must_use]
+    pub fn fit<R: Rng + ?Sized>(xs: &[Vec<f64>], ys: &[f64], params: GbtParams, rng: &mut R) -> Self {
+        assert!(!xs.is_empty(), "empty training set");
+        assert_eq!(xs.len(), ys.len());
+        let width = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == width), "ragged features");
+        let base = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut residuals: Vec<f64> = ys.iter().map(|y| y - base).collect();
+        let mut trees = Vec::with_capacity(params.trees);
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..params.trees {
+            let tree = build_tree(xs, &residuals, &indices, params.max_depth, &params, rng);
+            for (r, x) in residuals.iter_mut().zip(xs) {
+                *r -= params.learning_rate * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Self { base, trees, params }
+    }
+
+    /// Predicted value at `x`.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base + self.params.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Number of fitted trees.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the ensemble has no trees.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+fn build_tree<R: Rng + ?Sized>(
+    xs: &[Vec<f64>],
+    targets: &[f64],
+    indices: &[usize],
+    depth: usize,
+    params: &GbtParams,
+    rng: &mut R,
+) -> Node {
+    let mean: f64 = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len().max(1) as f64;
+    if depth == 0 || indices.len() < params.min_samples_split {
+        return Node::Leaf(mean);
+    }
+    let width = xs[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    let parent_sse: f64 = indices.iter().map(|&i| (targets[i] - mean).powi(2)).sum();
+    for feature in 0..width {
+        if params.feature_fraction < 1.0 && rng.gen::<f64>() > params.feature_fraction {
+            continue;
+        }
+        // Candidate thresholds: quantile-ish midpoints of sorted unique values.
+        let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let step = (values.len() / 16).max(1);
+        for w in values.windows(2).step_by(step) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (mut ln, mut ls, mut rn, mut rs) = (0usize, 0.0f64, 0usize, 0.0f64);
+            for &i in indices {
+                if xs[i][feature] <= threshold {
+                    ln += 1;
+                    ls += targets[i];
+                } else {
+                    rn += 1;
+                    rs += targets[i];
+                }
+            }
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let (lm, rm) = (ls / ln as f64, rs / rn as f64);
+            let mut sse = 0.0;
+            for &i in indices {
+                let m = if xs[i][feature] <= threshold { lm } else { rm };
+                sse += (targets[i] - m).powi(2);
+            }
+            let gain = parent_sse - sse;
+            if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-12 {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+    match best {
+        None => Node::Leaf(mean),
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+            let left = build_tree(xs, targets, &left_idx, depth - 1, params, rng);
+            let right = build_tree(xs, targets, &right_idx, depth - 1, params, rng);
+            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn friedman_like(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + x[1] * x[2] - 2.0 * (x[3] - 0.5).powi(2)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (xs, ys) = friedman_like(400, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gbt = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+        let mse: f64 = xs.iter().zip(&ys).map(|(x, y)| (gbt.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
+        let var = crate::stats::std_dev(&ys).powi(2);
+        assert!(mse < 0.05 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn ranks_better_than_random() {
+        // The cost-model role only needs ranking quality: check Spearman-ish
+        // agreement on held-out data.
+        let (xs, ys) = friedman_like(600, 3);
+        let (train_x, test_x) = xs.split_at(400);
+        let (train_y, test_y) = ys.split_at(400);
+        let mut rng = StdRng::seed_from_u64(4);
+        let gbt = Gbt::fit(train_x, train_y, GbtParams::default(), &mut rng);
+        let preds: Vec<f64> = test_x.iter().map(|x| gbt.predict(x)).collect();
+        // Count concordant pairs.
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        for i in 0..test_y.len() {
+            for j in i + 1..test_y.len() {
+                total += 1;
+                if (test_y[i] - test_y[j]) * (preds[i] - preds[j]) > 0.0 {
+                    concordant += 1;
+                }
+            }
+        }
+        let tau = concordant as f64 / total as f64;
+        assert!(tau > 0.85, "concordance {tau}");
+    }
+
+    #[test]
+    fn constant_targets_yield_constant_model() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![5.0; 20];
+        let mut rng = StdRng::seed_from_u64(5);
+        let gbt = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+        assert!((gbt.predict(&[100.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt_training_fit() {
+        let (xs, ys) = friedman_like(200, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let small = Gbt::fit(&xs, &ys, GbtParams { trees: 5, ..GbtParams::default() }, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let large = Gbt::fit(&xs, &ys, GbtParams { trees: 80, ..GbtParams::default() }, &mut rng);
+        let mse = |g: &Gbt| xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mse(&large) <= mse(&small));
+    }
+
+    #[test]
+    fn len_reports_tree_count() {
+        let (xs, ys) = friedman_like(50, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let gbt = Gbt::fit(&xs, &ys, GbtParams { trees: 7, ..GbtParams::default() }, &mut rng);
+        assert_eq!(gbt.len(), 7);
+        assert!(!gbt.is_empty());
+    }
+}

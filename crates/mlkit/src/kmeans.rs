@@ -1,0 +1,194 @@
+//! K-means clustering (k-means++ seeding, Lloyd iterations).
+//!
+//! Chameleon's *adaptive sampling* clusters the explorer's proposed
+//! configurations and measures only the cluster centroids (§3.3 discusses
+//! why that remains hardware-agnostic). The paper quotes its complexity as
+//! `O(n·k·I)` — this implementation is exactly that loop.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KmeansResult {
+    /// Cluster centroids (k rows).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+/// Runs k-means with k-means++ initialization.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let points = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let result = glimpse_mlkit::kmeans::kmeans(&points, 2, 20, &mut rng);
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[2]);
+/// ```
+///
+/// `k` is clamped to the number of points. Converges when assignments stop
+/// changing or after `max_iters`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k == 0`, or rows are ragged.
+#[must_use]
+pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut R) -> KmeansResult {
+    assert!(!points.is_empty(), "kmeans needs at least one point");
+    assert!(k > 0, "k must be positive");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "ragged points");
+    let k = k.min(points.len());
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points.iter().map(|p| nearest_distance_sq(p, &centroids)).collect();
+        let idx = crate::stats::sample_weighted(&d2, rng);
+        centroids.push(points[idx].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for (a, p) in assignments.iter_mut().zip(points) {
+            let best = nearest_index(p, &centroids);
+            if best != *a {
+                *a = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (a, p) in assignments.iter().zip(points) {
+            counts[*a] += 1;
+            for (s, v) in sums[*a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+    let inertia = points.iter().zip(&assignments).map(|(p, &a)| distance_sq(p, &centroids[a])).sum();
+    KmeansResult { centroids, assignments, iterations, inertia }
+}
+
+/// Index of the input point nearest to each centroid — Chameleon snaps
+/// centroids back to real configurations before measuring.
+#[must_use]
+pub fn snap_to_points(centroids: &[Vec<f64>], points: &[Vec<f64>]) -> Vec<usize> {
+    centroids.iter().map(|c| nearest_index(c, points)).collect()
+}
+
+fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+fn nearest_index(p: &[f64], set: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in set.iter().enumerate() {
+        let d = distance_sq(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn nearest_distance_sq(p: &[f64], set: &[Vec<f64>]) -> f64 {
+    set.iter().map(|c| distance_sq(p, c)).fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_blobs(seed: u64) -> Vec<Vec<f64>> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        for center in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
+            for _ in 0..30 {
+                points.push(vec![center[0] + rng.gen_range(-0.5..0.5), center[1] + rng.gen_range(-0.5..0.5)]);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let points = three_blobs(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = kmeans(&points, 3, 50, &mut rng);
+        // Each blob of 30 should map to a single cluster.
+        for blob in 0..3 {
+            let firsts = &result.assignments[blob * 30..(blob + 1) * 30];
+            assert!(firsts.iter().all(|a| a == &firsts[0]), "blob {blob} split");
+        }
+        assert!(result.inertia < 100.0);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let points = vec![vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = kmeans(&points, 10, 10, &mut rng);
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn snap_returns_real_point_indices() {
+        let points = three_blobs(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = kmeans(&points, 3, 50, &mut rng);
+        let snapped = snap_to_points(&result.centroids, &points);
+        for idx in snapped {
+            assert!(idx < points.len());
+        }
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = kmeans(&points, 1, 20, &mut rng);
+        assert!((result.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_in_k() {
+        let points = three_blobs(7);
+        let mut inertias = Vec::new();
+        for k in 1..=4 {
+            let mut rng = StdRng::seed_from_u64(100);
+            inertias.push(kmeans(&points, k, 100, &mut rng).inertia);
+        }
+        for w in inertias.windows(2) {
+            // Allow small tolerance: k-means++ is randomized.
+            assert!(w[1] <= w[0] * 1.05, "{inertias:?}");
+        }
+    }
+}

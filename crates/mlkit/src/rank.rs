@@ -1,0 +1,169 @@
+//! Rank-correlation metrics for surrogate-model diagnostics.
+//!
+//! Cost models in neural compilers are trained as *rankers* (AutoTVM uses a
+//! rank objective): what matters is ordering candidate configurations, not
+//! absolute latency. These metrics quantify that ordering quality and are
+//! used by the test suite and the diagnostics in `glimpse-tuners`.
+
+/// Kendall's τ-a rank correlation between two equally long slices.
+///
+/// Returns a value in `[-1, 1]`; 1 means identical ordering. Ties count as
+/// discordant-neutral (numerator contribution 0).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two elements.
+#[must_use]
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must align");
+    assert!(a.len() >= 2, "need at least two observations");
+    let n = a.len();
+    let mut numerator = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let x = (a[i] - a[j]).signum();
+            let y = (b[i] - b[j]).signum();
+            numerator += (x * y) as i64;
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    numerator as f64 / pairs
+}
+
+/// Spearman's ρ: Pearson correlation of the rank transforms.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two elements.
+#[must_use]
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must align");
+    assert!(a.len() >= 2, "need at least two observations");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Fraction of the true top-`k` set recovered by the predicted top-`k`
+/// (recall@k) — the metric that matters for batch selection: the tuner only
+/// ever measures its top-k predictions.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > len`.
+#[must_use]
+pub fn top_k_recall(truth: &[f64], predicted: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "slices must align");
+    assert!(k > 0 && k <= truth.len(), "k out of range");
+    let top = |v: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[j].partial_cmp(&v[i]).expect("finite values"));
+        idx.truncate(k);
+        idx
+    };
+    let true_top = top(truth);
+    let pred_top = top(predicted);
+    let hits = pred_top.iter().filter(|i| true_top.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Average ranks with ties sharing their mean rank.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let shared = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = shared;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_orderings_score_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_orderings_score_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &b) + 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_mean_rank() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn top_k_recall_counts_overlap() {
+        let truth = [9.0, 8.0, 1.0, 2.0];
+        let predicted = [8.5, 1.5, 9.5, 0.5]; // predicted top-2 = {2, 0}, true = {0, 1}
+        assert!((top_k_recall(&truth, &predicted, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_predictions_have_zero_spearman() {
+        let truth = [1.0, 2.0, 3.0];
+        let predicted = [5.0, 5.0, 5.0];
+        assert_eq!(spearman_rho(&truth, &predicted), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn tau_is_symmetric(v in proptest::collection::vec(-10.0f64..10.0, 3..20)) {
+            let shifted: Vec<f64> = v.iter().map(|x| x * 2.0 + 1.0).collect();
+            let t1 = kendall_tau(&v, &shifted);
+            let t2 = kendall_tau(&shifted, &v);
+            prop_assert!((t1 - t2).abs() < 1e-12);
+            prop_assert!((t1 - 1.0).abs() < 1e-12); // monotone transform preserves order
+        }
+
+        #[test]
+        fn metrics_are_bounded(a in proptest::collection::vec(-5.0f64..5.0, 4..16), seed in 0u64..50) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let b: Vec<f64> = (0..a.len()).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            prop_assert!(kendall_tau(&a, &b).abs() <= 1.0 + 1e-12);
+            prop_assert!(spearman_rho(&a, &b).abs() <= 1.0 + 1e-12);
+        }
+    }
+}

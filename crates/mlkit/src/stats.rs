@@ -1,0 +1,224 @@
+//! Summary statistics and sampling helpers used across the reproduction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Numerically stable softmax.
+///
+/// # Examples
+///
+/// ```
+/// let p = glimpse_mlkit::stats::softmax(&[0.0, 0.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+#[must_use]
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Index of the maximum element (first on ties).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+#[must_use]
+pub fn argmax(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        assert!(!v.is_nan(), "no NaN in argmax");
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len().max(1) as f64).sqrt()
+}
+
+/// Geometric mean of positive values — the aggregation the paper's Figures
+/// 5, 6, and 9 report.
+///
+/// # Examples
+///
+/// ```
+/// assert!((glimpse_mlkit::stats::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is non-positive or the slice is empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    assert!(values.iter().all(|v| *v > 0.0), "geomean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Linear-interpolation quantile of an unsorted slice, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Samples an index from an (unnormalized, non-negative) weight vector.
+/// Falls back to uniform if all weights are zero.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or contains a negative weight.
+pub fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+/// Deterministic RNG fan-out: derives a child RNG from a parent seed and a
+/// stream label, so parallel components stay reproducible and decorrelated.
+#[must_use]
+pub fn child_rng(seed: u64, stream: u64) -> StdRng {
+    // SplitMix64 mixing of (seed, stream) into a fresh 64-bit state.
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = vec![3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert_eq!(quantile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [0.0, 0.0, 1.0];
+        for _ in 0..100 {
+            assert_eq!(sample_weighted(&weights, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_zero_weights_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [0.0, 0.0];
+        let mut seen = [0usize; 2];
+        for _ in 0..200 {
+            seen[sample_weighted(&weights, &mut rng)] += 1;
+        }
+        assert!(seen[0] > 50 && seen[1] > 50);
+    }
+
+    #[test]
+    fn child_rngs_differ_by_stream() {
+        use rand::Rng;
+        let a: u64 = child_rng(7, 0).gen();
+        let b: u64 = child_rng(7, 1).gen();
+        let a2: u64 = child_rng(7, 0).gen();
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_monotone(q1 in 0.0f64..1.0, q2 in 0.0f64..1.0, mut vals in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(quantile(&vals, lo) <= quantile(&vals, hi) + 1e-12);
+        }
+
+        #[test]
+        fn softmax_probabilities_valid(logits in proptest::collection::vec(-20.0f64..20.0, 1..10)) {
+            let p = softmax(&logits);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|x| *x >= 0.0));
+        }
+    }
+}

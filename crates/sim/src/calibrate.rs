@@ -1,0 +1,129 @@
+//! Calibration utilities: estimating the measurement channel's noise and
+//! overhead constants from observed traces.
+//!
+//! Real auto-tuning pipelines estimate their measurement noise to size
+//! repeat counts and early-stopping thresholds. These estimators recover
+//! the simulator's own constants from the outside — used by tests to pin
+//! the contract (σ ≈ 3 %, log-normal) and available to downstream users
+//! who swap in their own measurement channels.
+
+use crate::measure::{Measurer, Outcome};
+use glimpse_space::{Config, SearchSpace};
+
+/// Noise statistics of repeated measurements of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseEstimate {
+    /// Sample mean latency (seconds).
+    pub mean_latency_s: f64,
+    /// Relative standard deviation of the log-latencies (the log-normal σ,
+    /// shrunk by the measurer's internal repeat-averaging).
+    pub log_sigma: f64,
+    /// Number of repeats used.
+    pub samples: usize,
+}
+
+/// Measures `config` `n` times and estimates the channel's noise.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the configuration is invalid on this channel.
+#[must_use]
+pub fn estimate_noise(measurer: &mut Measurer, space: &SearchSpace, config: &Config, n: usize) -> NoiseEstimate {
+    assert!(n >= 2, "need at least two repeats");
+    let mut logs = Vec::with_capacity(n);
+    let mut sum = 0.0;
+    for _ in 0..n {
+        match measurer.measure(space, config).outcome {
+            Outcome::Valid { latency_s, .. } => {
+                logs.push(latency_s.ln());
+                sum += latency_s;
+            }
+            Outcome::Invalid(reason) => panic!("cannot calibrate on an invalid configuration ({reason})"),
+        }
+    }
+    let mean_log = logs.iter().sum::<f64>() / n as f64;
+    let var = logs.iter().map(|l| (l - mean_log).powi(2)).sum::<f64>() / (n - 1) as f64;
+    NoiseEstimate { mean_latency_s: sum / n as f64, log_sigma: var.sqrt(), samples: n }
+}
+
+/// Estimates the per-measurement overhead (seconds) by differencing the
+/// channel clock against the measured run times.
+#[must_use]
+pub fn estimate_overhead(measurer: &mut Measurer, space: &SearchSpace, configs: &[Config]) -> f64 {
+    let start = measurer.elapsed_gpu_seconds();
+    let mut run_time = 0.0;
+    let mut counted = 0usize;
+    for config in configs {
+        if let Outcome::Valid { latency_s, .. } = measurer.measure(space, config).outcome {
+            run_time += latency_s * f64::from(crate::measure::REPEATS);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        return 0.0;
+    }
+    (measurer.elapsed_gpu_seconds() - start - run_time) / counted as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{NOISE_SIGMA, REPEATS, VALID_OVERHEAD_S};
+    use glimpse_gpu_spec::database;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn valid_config(measurer: &Measurer, space: &SearchSpace) -> Config {
+        let mut rng = StdRng::seed_from_u64(1);
+        loop {
+            let c = space.sample_uniform(&mut rng);
+            if measurer.model().latency_s(space, &c).is_some() {
+                return c;
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_sigma_matches_the_declared_channel_noise() {
+        let gpu = database::find("RTX 2080 Ti").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let mut measurer = Measurer::new(gpu, 3);
+        let config = valid_config(&measurer, &space);
+        let estimate = estimate_noise(&mut measurer, &space, &config, 400);
+        // Each reported latency averages REPEATS runs, so the observable
+        // sigma is NOISE_SIGMA / sqrt(REPEATS).
+        let expected = NOISE_SIGMA / f64::from(REPEATS).sqrt();
+        assert!((estimate.log_sigma - expected).abs() < 0.4 * expected, "sigma {} vs expected {expected}", estimate.log_sigma);
+        assert_eq!(estimate.samples, 400);
+    }
+
+    #[test]
+    fn recovered_overhead_matches_the_declared_constant() {
+        let gpu = database::find("Titan Xp").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let mut measurer = Measurer::new(gpu, 5);
+        let config = valid_config(&measurer, &space);
+        let configs = vec![config; 20];
+        let overhead = estimate_overhead(&mut measurer, &space, &configs);
+        assert!((overhead - VALID_OVERHEAD_S).abs() < 1e-6, "overhead {overhead}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot calibrate on an invalid configuration")]
+    fn calibration_rejects_invalid_configs() {
+        let gpu = database::find("Titan Xp").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 128, 128, 28, 3, 1, 1));
+        let mut measurer = Measurer::new(gpu, 7);
+        // Find an invalid config.
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = loop {
+            let c = space.sample_uniform(&mut rng);
+            if measurer.model().latency_s(&space, &c).is_none() {
+                break c;
+            }
+        };
+        let _ = estimate_noise(&mut measurer, &space, &config, 5);
+    }
+}

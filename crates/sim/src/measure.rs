@@ -1,0 +1,284 @@
+//! The measurement harness: noisy evaluations with simulated-time accounting.
+//!
+//! Every call to [`Measurer::measure`] stands in for the paper's full
+//! compile → upload-over-RPC → run-n-times → average pipeline. It debits a
+//! simulated GPU clock: valid configurations pay compilation + transfer +
+//! repeated runs, invalid ones pay compilation + the failed launch. The
+//! accumulated clock is what Table 2's "ΣGPU Search (GPU Hours)" reports.
+
+use crate::model::PerfModel;
+use crate::validity::{self, InvalidReason};
+use glimpse_gpu_spec::GpuSpec;
+use glimpse_space::{Config, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Simulated seconds charged per measured configuration on top of the run
+/// time (compile, transfer, launch pipeline). Calibrated so AutoTVM-scale
+/// budgets land in the paper's "tens of GPU hours" regime.
+pub const VALID_OVERHEAD_S: f64 = 3.5;
+/// Simulated seconds charged for a configuration that fails at launch.
+pub const INVALID_OVERHEAD_S: f64 = 1.2;
+/// Number of timed repetitions averaged per valid measurement.
+pub const REPEATS: u32 = 3;
+/// Relative measurement noise (log-normal σ).
+pub const NOISE_SIGMA: f64 = 0.03;
+
+/// Outcome of one hardware measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The kernel ran; noisy averaged latency and derived throughput.
+    Valid {
+        /// Measured latency in seconds.
+        latency_s: f64,
+        /// Throughput in GFLOPS (direct-algorithm FLOPs / latency).
+        gflops: f64,
+    },
+    /// The launch failed with a resource violation.
+    Invalid(InvalidReason),
+}
+
+impl Outcome {
+    /// Throughput if valid.
+    #[must_use]
+    pub fn gflops(&self) -> Option<f64> {
+        match self {
+            Outcome::Valid { gflops, .. } => Some(*gflops),
+            Outcome::Invalid(_) => None,
+        }
+    }
+
+    /// Whether the measurement succeeded.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Outcome::Valid { .. })
+    }
+}
+
+/// One measurement record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureResult {
+    /// The measured configuration.
+    pub config: Config,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Simulated GPU seconds this measurement cost.
+    pub cost_s: f64,
+}
+
+/// A measurement channel to one (simulated) GPU.
+#[derive(Debug, Clone)]
+pub struct Measurer {
+    model: PerfModel,
+    rng: StdRng,
+    clock_s: f64,
+    valid_count: u64,
+    invalid_count: u64,
+}
+
+impl Measurer {
+    /// Opens a measurement channel to `gpu` with a deterministic noise seed.
+    #[must_use]
+    pub fn new(gpu: GpuSpec, seed: u64) -> Self {
+        Self { model: PerfModel::new(gpu), rng: StdRng::seed_from_u64(seed), clock_s: 0.0, valid_count: 0, invalid_count: 0 }
+    }
+
+    /// The underlying noise-free model.
+    #[must_use]
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// The GPU behind this channel.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuSpec {
+        self.model.gpu()
+    }
+
+    /// Total simulated GPU seconds consumed so far.
+    #[must_use]
+    pub fn elapsed_gpu_seconds(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Number of valid measurements performed.
+    #[must_use]
+    pub fn valid_count(&self) -> u64 {
+        self.valid_count
+    }
+
+    /// Number of invalid (failed) measurements performed.
+    #[must_use]
+    pub fn invalid_count(&self) -> u64 {
+        self.invalid_count
+    }
+
+    /// Measures one configuration, debiting the simulated clock.
+    pub fn measure(&mut self, space: &SearchSpace, config: &Config) -> MeasureResult {
+        let shape = space.kernel_shape(config);
+        match validity::check(self.gpu(), &shape) {
+            Err(reason) => {
+                self.invalid_count += 1;
+                self.clock_s += INVALID_OVERHEAD_S;
+                MeasureResult { config: config.clone(), outcome: Outcome::Invalid(reason), cost_s: INVALID_OVERHEAD_S }
+            }
+            Ok(()) => {
+                let true_latency = self
+                    .model
+                    .latency_s(space, config)
+                    .expect("validity already checked");
+                // Average of REPEATS noisy runs (log-normal multiplicative noise).
+                let mut sum = 0.0;
+                for _ in 0..REPEATS {
+                    let z = standard_normal(&mut self.rng);
+                    sum += true_latency * (NOISE_SIGMA * z).exp();
+                }
+                let latency_s = sum / f64::from(REPEATS);
+                let gflops = space.op().flops() / latency_s / 1e9;
+                let cost_s = VALID_OVERHEAD_S + f64::from(REPEATS) * latency_s;
+                self.valid_count += 1;
+                self.clock_s += cost_s;
+                MeasureResult { config: config.clone(), outcome: Outcome::Valid { latency_s, gflops }, cost_s }
+            }
+        }
+    }
+
+    /// Measures a batch in submission order.
+    pub fn measure_batch(&mut self, space: &SearchSpace, configs: &[Config]) -> Vec<MeasureResult> {
+        configs.iter().map(|c| self.measure(space, c)).collect()
+    }
+
+    /// Noise-free oracle: the best configuration among `n` uniform samples.
+    /// Used by the harness as the "near-exhaustive optimum" for Fig. 1 and
+    /// as the normalizer for output-code quality. Costs no simulated time.
+    #[must_use]
+    pub fn oracle_best(&self, space: &SearchSpace, n: usize, seed: u64) -> (Config, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best: Option<(Config, f64)> = None;
+        for _ in 0..n {
+            let c = space.sample_uniform(&mut rng);
+            if let Some(g) = self.model.throughput_gflops(space, &c) {
+                if best.as_ref().map_or(true, |(_, b)| g > *b) {
+                    best = Some((c, g));
+                }
+            }
+        }
+        best.expect("oracle found no valid configuration")
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimpse_gpu_spec::database;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::Conv2dSpec;
+
+    fn setup() -> (Measurer, SearchSpace) {
+        let gpu = database::find("RTX 2070 Super").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        (Measurer::new(gpu, 7), space)
+    }
+
+    #[test]
+    fn clock_advances_per_measurement() {
+        let (mut m, space) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.elapsed_gpu_seconds(), 0.0);
+        for _ in 0..10 {
+            let c = space.sample_uniform(&mut rng);
+            m.measure(&space, &c);
+        }
+        assert!(m.elapsed_gpu_seconds() >= 10.0 * INVALID_OVERHEAD_S - 1e-9);
+        assert_eq!(m.valid_count() + m.invalid_count(), 10);
+    }
+
+    #[test]
+    fn invalid_measurements_cost_less() {
+        let (mut m, space) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut valid_cost = None;
+        let mut invalid_cost = None;
+        while valid_cost.is_none() || invalid_cost.is_none() {
+            let c = space.sample_uniform(&mut rng);
+            let r = m.measure(&space, &c);
+            match r.outcome {
+                Outcome::Valid { .. } => valid_cost = Some(r.cost_s),
+                Outcome::Invalid(_) => invalid_cost = Some(r.cost_s),
+            }
+        }
+        assert!(invalid_cost.unwrap() < valid_cost.unwrap());
+    }
+
+    #[test]
+    fn noise_is_small_and_unbiased() {
+        let (mut m, space) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Find one valid config, measure it many times.
+        let config = loop {
+            let c = space.sample_uniform(&mut rng);
+            if m.model().latency_s(&space, &c).is_some() {
+                break c;
+            }
+        };
+        let truth = m.model().latency_s(&space, &config).unwrap();
+        let mut sum = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            if let Outcome::Valid { latency_s, .. } = m.measure(&space, &config).outcome {
+                sum += latency_s;
+                assert!((latency_s / truth - 1.0).abs() < 0.15, "noise too large");
+            } else {
+                panic!("config became invalid");
+            }
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean / truth - 1.0).abs() < 0.01, "bias {}", mean / truth - 1.0);
+    }
+
+    #[test]
+    fn measurements_are_deterministic_given_seed() {
+        let gpu = database::find("Titan Xp").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = space.sample_uniform(&mut rng);
+        let run = || {
+            let mut m = Measurer::new(gpu.clone(), 99);
+            m.measure(&space, &c).outcome
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oracle_best_is_at_least_as_good_as_any_sample() {
+        let (m, space) = setup();
+        let (_, best) = m.oracle_best(&space, 500, 11);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let c = space.sample_uniform(&mut rng);
+            if let Some(g) = m.model().throughput_gflops(&space, &c) {
+                assert!(g <= best + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_counts() {
+        let (mut m, space) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let configs: Vec<_> = (0..8).map(|_| space.sample_uniform(&mut rng)).collect();
+        let results = m.measure_batch(&space, &configs);
+        assert_eq!(results.len(), 8);
+        for (r, c) in results.iter().zip(&configs) {
+            assert_eq!(&r.config, c);
+        }
+    }
+}

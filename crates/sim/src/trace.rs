@@ -1,0 +1,186 @@
+//! Measurement traces: record, cache, and replay hardware measurements.
+//!
+//! Real tuning runs persist every measurement (TVM's tuning logs) both for
+//! transfer learning and so that re-runs never pay for a configuration
+//! twice. [`TraceCache`] gives the simulator the same property: a
+//! memoizing layer over a [`Measurer`] keyed by configuration, with hit
+//! accounting. Replaying a hit costs no simulated GPU time — exactly like
+//! looking up a log entry instead of launching a kernel.
+
+use crate::measure::{MeasureResult, Measurer, Outcome};
+use glimpse_space::{Config, SearchSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A memoizing measurement layer for one (GPU, task) pair.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceCache {
+    // Serialized as a pair list: JSON maps require string keys.
+    #[serde(with = "entry_list")]
+    entries: HashMap<Vec<usize>, Outcome>,
+    hits: u64,
+    misses: u64,
+}
+
+mod entry_list {
+    use super::{HashMap, Outcome};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(map: &HashMap<Vec<usize>, Outcome>, s: S) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&Vec<usize>, &Outcome)> = map.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<HashMap<Vec<usize>, Outcome>, D::Error> {
+        let pairs: Vec<(Vec<usize>, Outcome)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl TraceCache {
+    /// Empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Measures through the cache: a repeated configuration replays the
+    /// recorded outcome at zero simulated cost.
+    pub fn measure(&mut self, measurer: &mut Measurer, space: &SearchSpace, config: &Config) -> MeasureResult {
+        let key = config.indices().to_vec();
+        if let Some(outcome) = self.entries.get(&key) {
+            self.hits += 1;
+            return MeasureResult { config: config.clone(), outcome: *outcome, cost_s: 0.0 };
+        }
+        self.misses += 1;
+        let result = measurer.measure(space, config);
+        self.entries.insert(key, result.outcome);
+        result
+    }
+
+    /// Number of cached outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (real measurements) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Recorded outcome for a configuration, if present.
+    #[must_use]
+    pub fn lookup(&self, config: &Config) -> Option<&Outcome> {
+        self.entries.get(config.indices())
+    }
+
+    /// Pre-seeds the cache from recorded `(config, outcome)` pairs (e.g. a
+    /// previous run's journal).
+    pub fn preload<I: IntoIterator<Item = (Config, Outcome)>>(&mut self, records: I) {
+        for (config, outcome) in records {
+            self.entries.insert(config.indices().to_vec(), outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimpse_gpu_spec::database;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Measurer, SearchSpace) {
+        let gpu = database::find("RTX 2070 Super").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        (Measurer::new(gpu, 7), space)
+    }
+
+    #[test]
+    fn repeat_measurements_cost_nothing() {
+        let (mut measurer, space) = setup();
+        let mut cache = TraceCache::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = space.sample_uniform(&mut rng);
+        let first = cache.measure(&mut measurer, &space, &config);
+        let clock_after_first = measurer.elapsed_gpu_seconds();
+        let second = cache.measure(&mut measurer, &space, &config);
+        assert_eq!(measurer.elapsed_gpu_seconds(), clock_after_first, "hit must not advance the clock");
+        assert_eq!(second.cost_s, 0.0);
+        assert_eq!(first.outcome, second.outcome);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_entries() {
+        let (mut measurer, space) = setup();
+        let mut cache = TraceCache::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let config = space.sample_uniform(&mut rng);
+            cache.measure(&mut measurer, &space, &config);
+        }
+        assert_eq!(cache.len(), 10);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn preload_replays_prior_runs() {
+        let (mut measurer, space) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = space.sample_uniform(&mut rng);
+        let result = measurer.measure(&space, &config);
+
+        let mut cache = TraceCache::new();
+        cache.preload([(config.clone(), result.outcome)]);
+        let clock = measurer.elapsed_gpu_seconds();
+        let replay = cache.measure(&mut measurer, &space, &config);
+        assert_eq!(replay.outcome, result.outcome);
+        assert_eq!(measurer.elapsed_gpu_seconds(), clock);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn lookup_finds_only_recorded_configs() {
+        let (mut measurer, space) = setup();
+        let mut cache = TraceCache::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = space.sample_uniform(&mut rng);
+        let b = space.sample_uniform(&mut rng);
+        cache.measure(&mut measurer, &space, &a);
+        assert!(cache.lookup(&a).is_some());
+        assert!(cache.lookup(&b).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_entries() {
+        let (mut measurer, space) = setup();
+        let mut cache = TraceCache::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let config = space.sample_uniform(&mut rng);
+            cache.measure(&mut measurer, &space, &config);
+        }
+        let json = serde_json::to_string(&cache).unwrap();
+        let back: TraceCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), cache.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the performance model's physical invariants: the
+//! simulator can be synthetic, but it must not be *unphysical*, or the
+//! tuners would learn artifacts instead of schedules.
+
+use glimpse_gpu_spec::{database, GpuSpec};
+use glimpse_sim::{validity, PerfModel};
+use glimpse_space::templates;
+use glimpse_tensor_prog::{models, Conv2dSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn conv_space() -> glimpse_space::SearchSpace {
+    templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn throughput_never_exceeds_peak(seed in 0u64..1000, gpu_idx in 0usize..24) {
+        let gpu = &database::all()[gpu_idx];
+        let model = PerfModel::new(gpu.clone());
+        let space = conv_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        if let Some(latency) = model.latency_s(&space, &config) {
+            // Effective (algorithm) FLOPs per second cannot beat the ALUs.
+            let eff = space.op().effective_flops(space.template());
+            prop_assert!(eff / latency <= gpu.fp32_gflops * 1e9 * 1.0001);
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts(seed in 0u64..500) {
+        let base = database::find("RTX 2070 Super").unwrap().clone();
+        let mut fat = base.clone();
+        fat.mem_bandwidth_gb_s *= 2.0;
+        let space = conv_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        let a = PerfModel::new(base).latency_s(&space, &config);
+        let b = PerfModel::new(fat).latency_s(&space, &config);
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!(b <= a * 1.0001, "doubling bandwidth slowed the kernel: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn higher_clock_never_hurts_compute(seed in 0u64..500) {
+        let base = database::find("GTX 1080").unwrap().clone();
+        let mut fast = base.clone();
+        fast.boost_clock_mhz *= 1.2;
+        fast.fp32_gflops *= 1.2;
+        let space = conv_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        let shape = space.kernel_shape(&config);
+        if validity::check(&base, &shape).is_err() {
+            return Ok(());
+        }
+        let slow_model = PerfModel::new(base);
+        let fast_model = PerfModel::new(fast);
+        let eff = space.op().effective_flops(space.template());
+        let bytes = space.op().compulsory_bytes();
+        let a = slow_model.breakdown(space.template(), eff, bytes, &shape);
+        let b = fast_model.breakdown(space.template(), eff, bytes, &shape);
+        // Compute side must not regress; the memory side is clock-free.
+        // (The latency-hiding knee shifts with clock, but its normalization
+        // keeps the product bounded by the raw clock gain.)
+        prop_assert!(b.compute_s <= a.compute_s * 1.05, "compute {} -> {}", a.compute_s, b.compute_s);
+    }
+
+    #[test]
+    fn validity_is_monotone_in_limits(seed in 0u64..500) {
+        // A config valid on a small GPU stays valid on a strictly roomier one.
+        let small = database::find("RTX 2070 Super").unwrap(); // Turing: 64 KiB blocks
+        let big = database::find("RTX 3090").unwrap(); // Ampere: 100 KiB blocks, more threads/SM
+        let space = conv_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        let shape = space.kernel_shape(&config);
+        if validity::check(small, &shape).is_ok() {
+            prop_assert!(validity::check(big, &shape).is_ok(), "roomier GPU rejected a valid config");
+        }
+    }
+}
+
+#[test]
+fn every_task_has_reachable_valid_configs_on_every_evaluation_gpu() {
+    for gpu in database::evaluation_gpus() {
+        let model = PerfModel::new(gpu.clone());
+        for dnn in models::evaluation_models() {
+            for task in dnn.tasks() {
+                let space = templates::space_for_task(task);
+                let mut rng = StdRng::seed_from_u64(1);
+                let found = (0..4000).any(|_| {
+                    let c = space.sample_uniform(&mut rng);
+                    model.throughput_gflops(&space, &c).is_some()
+                });
+                assert!(found, "{} has no valid config in 4000 samples on {}", task, gpu.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_ranking_is_stable_across_noise_seeds() {
+    // The measurement noise must not reorder clearly different configs.
+    let gpu: &GpuSpec = database::find("Titan Xp").unwrap();
+    let space = conv_space();
+    let model = PerfModel::new(gpu.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut configs = Vec::new();
+    while configs.len() < 2 {
+        let c = space.sample_uniform(&mut rng);
+        if model.throughput_gflops(&space, &c).is_some() {
+            configs.push(c);
+        }
+    }
+    let (a, b) = (&configs[0], &configs[1]);
+    let ga = model.throughput_gflops(&space, a).unwrap();
+    let gb = model.throughput_gflops(&space, b).unwrap();
+    // Only check when the gap is far beyond the 3% noise.
+    if (ga - gb).abs() / ga.max(gb) > 0.3 {
+        for seed in 0..20 {
+            let mut m = glimpse_sim::Measurer::new(gpu.clone(), seed);
+            let ra = m.measure(&space, a).outcome.gflops().unwrap();
+            let rb = m.measure(&space, b).outcome.gflops().unwrap();
+            assert_eq!(ra > rb, ga > gb, "noise reordered well-separated configs");
+        }
+    }
+}

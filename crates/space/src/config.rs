@@ -1,0 +1,394 @@
+//! Configurations and the search space that indexes them.
+
+use crate::kernel::{KernelShape, ResolvedKnobs, Semantics};
+use crate::knob::{Knob, KnobValue};
+use glimpse_tensor_prog::{OpSpec, TemplateKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One point in a search space: a choice index per knob.
+///
+/// Configs are meaningful only relative to the [`SearchSpace`] that produced
+/// them; the space validates index bounds on every use.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    indices: Vec<usize>,
+}
+
+impl Config {
+    /// Creates a config from per-knob choice indices.
+    #[must_use]
+    pub fn new(indices: Vec<usize>) -> Self {
+        Self { indices }
+    }
+
+    /// The per-knob choice indices.
+    #[must_use]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Choice index of the `k`-th knob.
+    #[must_use]
+    pub fn index(&self, k: usize) -> usize {
+        self.indices[k]
+    }
+}
+
+/// A complete, enumerable configuration space for one (template, operator)
+/// pair, with the binding semantics needed to lower configs to kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    name: String,
+    template: TemplateKind,
+    op: OpSpec,
+    knobs: Vec<Knob>,
+    semantics: Semantics,
+}
+
+impl SearchSpace {
+    /// Assembles a space. Intended for the [`crate::templates`] builders;
+    /// exposed so downstream code can build custom templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `knobs` is empty.
+    #[must_use]
+    pub fn new(name: &str, template: TemplateKind, op: OpSpec, knobs: Vec<Knob>, semantics: Semantics) -> Self {
+        assert!(!knobs.is_empty(), "a search space needs at least one knob");
+        Self { name: name.to_owned(), template, op, knobs, semantics }
+    }
+
+    /// Human-readable space name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The code template this space configures.
+    #[must_use]
+    pub fn template(&self) -> TemplateKind {
+        self.template
+    }
+
+    /// The operator workload.
+    #[must_use]
+    pub fn op(&self) -> &OpSpec {
+        &self.op
+    }
+
+    /// The knob list, in template order.
+    #[must_use]
+    pub fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    /// Looks up a knob index by name.
+    #[must_use]
+    pub fn knob_index(&self, name: &str) -> Option<usize> {
+        self.knobs.iter().position(|k| k.name() == name)
+    }
+
+    /// Total number of configurations (product of knob cardinalities).
+    #[must_use]
+    pub fn size(&self) -> u128 {
+        self.knobs.iter().map(|k| k.cardinality() as u128).product()
+    }
+
+    /// Per-knob cardinalities (the mixed radix of [`SearchSpace::flat_index`]).
+    #[must_use]
+    pub fn radix(&self) -> Vec<usize> {
+        self.knobs.iter().map(Knob::cardinality).collect()
+    }
+
+    /// Bijection from configs to `0..size()`, little-endian mixed radix
+    /// (knob 0 is the fastest-varying digit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any choice index is out of range for its knob.
+    #[must_use]
+    pub fn flat_index(&self, config: &Config) -> u128 {
+        assert_eq!(config.indices().len(), self.knobs.len(), "config/knob arity mismatch");
+        let mut flat: u128 = 0;
+        let mut stride: u128 = 1;
+        for (knob, &idx) in self.knobs.iter().zip(config.indices()) {
+            assert!(idx < knob.cardinality(), "choice {idx} out of range for {}", knob.name());
+            flat += idx as u128 * stride;
+            stride *= knob.cardinality() as u128;
+        }
+        flat
+    }
+
+    /// Inverse of [`SearchSpace::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= size()`.
+    #[must_use]
+    pub fn config_from_flat(&self, flat: u128) -> Config {
+        assert!(flat < self.size(), "flat index out of range");
+        let mut rest = flat;
+        let indices = self
+            .knobs
+            .iter()
+            .map(|k| {
+                let card = k.cardinality() as u128;
+                let idx = (rest % card) as usize;
+                rest /= card;
+                idx
+            })
+            .collect();
+        Config::new(indices)
+    }
+
+    /// Uniform random configuration.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Config {
+        Config::new(self.knobs.iter().map(|k| rng.gen_range(0..k.cardinality())).collect())
+    }
+
+    /// Single-knob mutation: pick one knob and move it to a different random
+    /// choice — the Markov-chain step AutoTVM's simulated annealing uses.
+    pub fn neighbor<R: Rng + ?Sized>(&self, config: &Config, rng: &mut R) -> Config {
+        let mut indices = config.indices().to_vec();
+        // Prefer knobs with more than one choice; fall back to identity if
+        // the whole space is a single point.
+        let mutable: Vec<usize> = self.knobs.iter().enumerate().filter(|(_, k)| k.cardinality() > 1).map(|(i, _)| i).collect();
+        if let Some(&knob) = mutable.get(rng.gen_range(0..mutable.len().max(1)).min(mutable.len().saturating_sub(1))) {
+            let card = self.knobs[knob].cardinality();
+            let mut next = rng.gen_range(0..card - 1);
+            if next >= indices[knob] {
+                next += 1;
+            }
+            indices[knob] = next;
+        }
+        Config::new(indices)
+    }
+
+    /// The knob values selected by `config`, in knob order.
+    #[must_use]
+    pub fn values<'a>(&'a self, config: &Config) -> Vec<&'a KnobValue> {
+        self.knobs.iter().zip(config.indices()).map(|(k, &i)| k.value(i)).collect()
+    }
+
+    /// Lowers a config to its kernel resource shape via the template's
+    /// binding semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's arity or indices don't match this space.
+    #[must_use]
+    pub fn kernel_shape(&self, config: &Config) -> KernelShape {
+        let values = self.values(config);
+        let splits: Vec<&[u32]> = values.iter().filter_map(|v| v.as_split()).collect();
+        let unroll_steps = values
+            .iter()
+            .find_map(|v| v.as_int())
+            .map_or(0, |v| u32::try_from(v.max(0)).unwrap_or(u32::MAX));
+        let explicit_unroll = values.iter().find_map(|v| v.as_flag()).unwrap_or(false);
+        self.semantics.kernel_shape(&ResolvedKnobs { splits, unroll_steps, explicit_unroll })
+    }
+
+    /// Numeric feature encoding of a config for cost models and the prior
+    /// generator: per-knob log₂ factors followed by derived resource
+    /// features from the kernel shape.
+    #[must_use]
+    pub fn features(&self, config: &Config) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.feature_width());
+        for (knob, &idx) in self.knobs.iter().zip(config.indices()) {
+            knob.push_features(idx, &mut out);
+        }
+        let shape = self.kernel_shape(config);
+        out.push((shape.threads_per_block as f64).log2());
+        out.push((shape.blocks as f64).log2());
+        out.push((1.0 + shape.shared_bytes as f64).log2());
+        out.push((shape.work_per_thread as f64).log2());
+        out.push(f64::from(shape.inner_x).log2());
+        out.push(f64::from(shape.tx.max(1)).log2());
+        out.push(f64::from(shape.reduce_tile).log2());
+        out.push((shape.regs_per_thread as f64).log2());
+        out
+    }
+
+    /// Width of [`SearchSpace::features`] vectors for this space.
+    #[must_use]
+    pub fn feature_width(&self) -> usize {
+        self.knobs.iter().map(Knob::feature_width).sum::<usize>() + DERIVED_FEATURES
+    }
+
+
+    /// Iterates every configuration in flat-index order. Only sensible for
+    /// small spaces; the iterator is lazy so callers can `.take(n)`.
+    pub fn iter(&self) -> impl Iterator<Item = Config> + '_ {
+        let size = self.size();
+        (0..size).map(move |flat| self.config_from_flat(flat))
+    }
+
+    /// Number of knobs two configs disagree on (Hamming distance in choice
+    /// space) — the move metric of the single-knob SA neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configs' arities differ.
+    #[must_use]
+    pub fn hamming_distance(&self, a: &Config, b: &Config) -> usize {
+        assert_eq!(a.indices().len(), b.indices().len(), "config arity mismatch");
+        a.indices().iter().zip(b.indices()).filter(|(x, y)| x != y).count()
+    }
+
+    /// Human-readable description of a config, TVM-log style:
+    /// `tile_f=[2,2,4,2] tile_y=[1,1,8,7] ... unroll_explicit=true`.
+    #[must_use]
+    pub fn describe(&self, config: &Config) -> String {
+        self.knobs
+            .iter()
+            .zip(config.indices())
+            .map(|(k, &i)| format!("{}={}", k.name(), k.value(i)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Features padded (or truncated) to a fixed width, for models shared
+    /// across templates.
+    #[must_use]
+    pub fn features_padded(&self, config: &Config, width: usize) -> Vec<f64> {
+        let mut f = self.features(config);
+        f.resize(width, 0.0);
+        f
+    }
+}
+
+/// Number of derived (kernel-shape) features appended by
+/// [`SearchSpace::features`].
+pub const DERIVED_FEATURES: usize = 8;
+
+impl fmt::Display for SearchSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {} knobs, {} configs", self.name, self.template, self.knobs.len(), self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates;
+    use glimpse_tensor_prog::Conv2dSpec;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1))
+    }
+
+    #[test]
+    fn flat_index_roundtrips() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let c = s.sample_uniform(&mut rng);
+            let flat = s.flat_index(&c);
+            assert_eq!(s.config_from_flat(flat), c);
+        }
+    }
+
+    #[test]
+    fn size_is_product_of_radix() {
+        let s = space();
+        let expected: u128 = s.radix().iter().map(|r| *r as u128).product();
+        assert_eq!(s.size(), expected);
+    }
+
+    #[test]
+    fn neighbor_changes_exactly_one_knob() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = s.sample_uniform(&mut rng);
+        for _ in 0..50 {
+            let n = s.neighbor(&c, &mut rng);
+            let diffs = c.indices().iter().zip(n.indices()).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn features_have_declared_width() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(11);
+        let c = s.sample_uniform(&mut rng);
+        assert_eq!(s.features(&c).len(), s.feature_width());
+        assert_eq!(s.features_padded(&c, 64).len(), 64);
+    }
+
+    #[test]
+    fn knob_lookup_by_name() {
+        let s = space();
+        assert!(s.knob_index("tile_f").is_some());
+        assert!(s.knob_index("tile_x").is_some());
+        assert!(s.knob_index("nonexistent").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "flat index out of range")]
+    fn config_from_flat_bounds_checked() {
+        let s = space();
+        let _ = s.config_from_flat(s.size());
+    }
+
+    #[test]
+    fn values_align_with_knobs() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = s.sample_uniform(&mut rng);
+        let values = s.values(&c);
+        assert_eq!(values.len(), s.knobs().len());
+    }
+
+    proptest! {
+        #[test]
+        fn flat_indices_are_dense(seed in 0u64..500) {
+            let s = templates::dense_space(&glimpse_tensor_prog::DenseSpec::new(1, 64, 100));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = s.sample_uniform(&mut rng);
+            prop_assert!(s.flat_index(&c) < s.size());
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_config_once_for_tiny_space() {
+        use crate::kernel::Semantics;
+        use crate::knob::Knob;
+        use glimpse_tensor_prog::{DenseSpec, OpSpec, TemplateKind};
+        let spec = DenseSpec::new(1, 4, 4);
+        let knobs = vec![Knob::split("tile_y", 4, 2), Knob::split("tile_k", 4, 2), Knob::flag("unroll_explicit")];
+        let tiny = SearchSpace::new("tiny", TemplateKind::Dense, OpSpec::Dense(spec), knobs, Semantics::Dense(spec));
+        let all: Vec<Config> = tiny.iter().collect();
+        assert_eq!(all.len() as u128, tiny.size());
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|c| c.indices().to_vec());
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_knobs() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = s.sample_uniform(&mut rng);
+        assert_eq!(s.hamming_distance(&a, &a), 0);
+        let n = s.neighbor(&a, &mut rng);
+        assert_eq!(s.hamming_distance(&a, &n), 1);
+    }
+
+    #[test]
+    fn describe_names_every_knob() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(14);
+        let c = s.sample_uniform(&mut rng);
+        let text = s.describe(&c);
+        for knob in s.knobs() {
+            assert!(text.contains(knob.name()), "missing {} in {text}", knob.name());
+        }
+    }
+}

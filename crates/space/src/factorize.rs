@@ -1,0 +1,166 @@
+//! Integer factorization utilities behind TVM-style `define_split` knobs.
+
+/// All positive divisors of `n`, ascending.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn divisors(n: u32) -> Vec<u32> {
+    assert!(n > 0, "divisors of zero are undefined");
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while (d as u64) * (d as u64) <= n as u64 {
+        if n % d == 0 {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// All ordered factorizations of `extent` into exactly `parts` positive
+/// factors (factors may be 1), in lexicographic order. This is exactly the
+/// choice set of TVM's `define_split(..., num_outputs = parts)`.
+///
+/// # Examples
+///
+/// ```
+/// let f = glimpse_space::factorize::ordered_factorizations(6, 2);
+/// assert_eq!(f, vec![vec![1, 6], vec![2, 3], vec![3, 2], vec![6, 1]]);
+/// ```
+///
+/// The count equals `∏_p C(e_p + parts - 1, parts - 1)` over the prime
+/// factorization `extent = ∏ p^e_p`.
+///
+/// # Panics
+///
+/// Panics if `extent == 0` or `parts == 0`.
+#[must_use]
+pub fn ordered_factorizations(extent: u32, parts: usize) -> Vec<Vec<u32>> {
+    assert!(extent > 0, "extent must be positive");
+    assert!(parts > 0, "parts must be positive");
+    let mut out = Vec::new();
+    let mut current = vec![1u32; parts];
+    fill(extent, parts, &mut current, 0, &mut out);
+    out
+}
+
+fn fill(remaining: u32, parts: usize, current: &mut Vec<u32>, at: usize, out: &mut Vec<Vec<u32>>) {
+    if at + 1 == parts {
+        current[at] = remaining;
+        out.push(current.clone());
+        return;
+    }
+    for d in divisors(remaining) {
+        current[at] = d;
+        fill(remaining / d, parts, current, at + 1, out);
+    }
+}
+
+/// Number of ordered factorizations of `extent` into `parts` factors,
+/// computed from the prime factorization without enumerating.
+#[must_use]
+pub fn count_ordered_factorizations(extent: u32, parts: usize) -> u128 {
+    assert!(extent > 0 && parts > 0);
+    let mut n = extent;
+    let mut count: u128 = 1;
+    let mut p = 2u32;
+    while p * p <= n {
+        if n % p == 0 {
+            let mut e = 0u32;
+            while n % p == 0 {
+                n /= p;
+                e += 1;
+            }
+            count *= stars_and_bars(e as u128, parts as u128 - 1);
+        }
+        p += 1;
+    }
+    if n > 1 {
+        count *= stars_and_bars(1, parts as u128 - 1);
+    }
+    count
+}
+
+/// C(e + bars, bars): ways to place `e` identical items into `bars + 1` bins.
+fn stars_and_bars(e: u128, bars: u128) -> u128 {
+    // C(e + bars, bars) computed multiplicatively.
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 1..=bars {
+        num *= e + i;
+        den *= i;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn factorizations_of_4_into_2() {
+        assert_eq!(ordered_factorizations(4, 2), vec![vec![1, 4], vec![2, 2], vec![4, 1]]);
+    }
+
+    #[test]
+    fn factorization_count_matches_formula() {
+        for (extent, parts) in [(64u32, 4usize), (224, 4), (13, 2), (1000, 4), (49, 4), (1, 4)] {
+            let listed = ordered_factorizations(extent, parts).len() as u128;
+            assert_eq!(listed, count_ordered_factorizations(extent, parts), "extent={extent} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn vgg_first_layer_split_sizes_match_paper_scale() {
+        // 64 into 4 parts: C(9,3) = 84; 224 = 2^5*7 into 4: 56*4 = 224.
+        assert_eq!(count_ordered_factorizations(64, 4), 84);
+        assert_eq!(count_ordered_factorizations(224, 4), 224);
+    }
+
+    #[test]
+    fn factorizations_of_one() {
+        assert_eq!(ordered_factorizations(1, 3), vec![vec![1, 1, 1]]);
+    }
+
+    proptest! {
+        #[test]
+        fn every_factorization_multiplies_back(extent in 1u32..=256, parts in 1usize..=4) {
+            for f in ordered_factorizations(extent, parts) {
+                prop_assert_eq!(f.iter().product::<u32>(), extent);
+                prop_assert_eq!(f.len(), parts);
+            }
+        }
+
+        #[test]
+        fn divisors_divide(n in 1u32..10_000) {
+            for d in divisors(n) {
+                prop_assert_eq!(n % d, 0);
+            }
+        }
+
+        #[test]
+        fn factorizations_are_unique(extent in 1u32..=128, parts in 1usize..=4) {
+            let mut all = ordered_factorizations(extent, parts);
+            let len = all.len();
+            all.sort();
+            all.dedup();
+            prop_assert_eq!(all.len(), len);
+        }
+    }
+}

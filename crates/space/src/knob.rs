@@ -1,0 +1,225 @@
+//! Schedule knobs: the dimensions of the configuration search space.
+
+use crate::factorize::ordered_factorizations;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value a knob takes in one configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KnobValue {
+    /// Ordered split factors whose product equals the axis extent.
+    Split(Vec<u32>),
+    /// One integer drawn from an explicit list (e.g. `auto_unroll_max_step`).
+    Int(i64),
+    /// A boolean flag (e.g. `unroll_explicit`).
+    Flag(bool),
+}
+
+impl KnobValue {
+    /// The split factors, if this is a split value.
+    #[must_use]
+    pub fn as_split(&self) -> Option<&[u32]> {
+        match self {
+            KnobValue::Split(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an int value.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            KnobValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The flag, if this is a flag value.
+    #[must_use]
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            KnobValue::Flag(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KnobValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobValue::Split(factors) => {
+                write!(f, "[")?;
+                for (i, x) in factors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            KnobValue::Int(v) => write!(f, "{v}"),
+            KnobValue::Flag(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One tunable dimension of a template's search space, with its full,
+/// enumerable choice list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knob {
+    name: String,
+    choices: Vec<KnobValue>,
+}
+
+impl Knob {
+    /// A TVM `define_split`: all ordered factorizations of `extent` into
+    /// `parts` factors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let knob = glimpse_space::Knob::split("tile_x", 4, 2);
+    /// assert_eq!(knob.cardinality(), 3); // [1,4], [2,2], [4,1]
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extent == 0` or `parts == 0`.
+    #[must_use]
+    pub fn split(name: &str, extent: u32, parts: usize) -> Self {
+        let choices = ordered_factorizations(extent, parts).into_iter().map(KnobValue::Split).collect();
+        Self { name: name.to_owned(), choices }
+    }
+
+    /// A TVM `define_knob` over an explicit integer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn int_list(name: &str, values: &[i64]) -> Self {
+        assert!(!values.is_empty(), "knob {name} needs at least one choice");
+        Self { name: name.to_owned(), choices: values.iter().map(|v| KnobValue::Int(*v)).collect() }
+    }
+
+    /// A boolean knob.
+    #[must_use]
+    pub fn flag(name: &str) -> Self {
+        Self { name: name.to_owned(), choices: vec![KnobValue::Flag(false), KnobValue::Flag(true)] }
+    }
+
+    /// The knob's name (e.g. `"tile_x"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The enumerated choice list.
+    #[must_use]
+    pub fn choices(&self) -> &[KnobValue] {
+        &self.choices
+    }
+
+    /// Number of choices (the knob's cardinality).
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// The value at a choice index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cardinality()`.
+    #[must_use]
+    pub fn value(&self, index: usize) -> &KnobValue {
+        &self.choices[index]
+    }
+
+    /// Number of scalar features this knob contributes to a config feature
+    /// vector (split width, or 1 for int/flag knobs).
+    #[must_use]
+    pub fn feature_width(&self) -> usize {
+        match &self.choices[0] {
+            KnobValue::Split(f) => f.len(),
+            _ => 1,
+        }
+    }
+
+    /// Appends this choice's features (log₂ factors / scaled scalars).
+    pub fn push_features(&self, index: usize, out: &mut Vec<f64>) {
+        match &self.choices[index] {
+            KnobValue::Split(factors) => out.extend(factors.iter().map(|f| f64::from(*f).log2())),
+            KnobValue::Int(v) => out.push((1.0 + *v as f64).log2()),
+            KnobValue::Flag(v) => out.push(if *v { 1.0 } else { 0.0 }),
+        }
+    }
+}
+
+impl fmt::Display for Knob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} choices)", self.name, self.cardinality())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_knob_enumerates_all_factorizations() {
+        let k = Knob::split("tile_x", 8, 3);
+        // 8 = 2^3 into 3 parts: C(5,2) = 10
+        assert_eq!(k.cardinality(), 10);
+        for choice in k.choices() {
+            assert_eq!(choice.as_split().unwrap().iter().product::<u32>(), 8);
+        }
+    }
+
+    #[test]
+    fn int_knob_preserves_order() {
+        let k = Knob::int_list("auto_unroll_max_step", &[0, 512, 1500]);
+        assert_eq!(k.cardinality(), 3);
+        assert_eq!(k.value(1).as_int(), Some(512));
+    }
+
+    #[test]
+    fn flag_knob_has_two_choices() {
+        let k = Knob::flag("unroll_explicit");
+        assert_eq!(k.cardinality(), 2);
+        assert_eq!(k.value(0).as_flag(), Some(false));
+        assert_eq!(k.value(1).as_flag(), Some(true));
+    }
+
+    #[test]
+    fn feature_width_matches_pushed_features() {
+        for k in [Knob::split("s", 12, 4), Knob::int_list("i", &[1, 2]), Knob::flag("f")] {
+            let mut out = Vec::new();
+            k.push_features(0, &mut out);
+            assert_eq!(out.len(), k.feature_width());
+        }
+    }
+
+    #[test]
+    fn split_features_are_log2_factors() {
+        let k = Knob::split("s", 8, 2);
+        let idx = k.choices().iter().position(|c| c.as_split() == Some(&[2, 4][..])).unwrap();
+        let mut out = Vec::new();
+        k.push_features(idx, &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn value_accessors_are_mutually_exclusive() {
+        let v = KnobValue::Split(vec![1, 2]);
+        assert!(v.as_split().is_some() && v.as_int().is_none() && v.as_flag().is_none());
+        let v = KnobValue::Int(3);
+        assert!(v.as_int() == Some(3) && v.as_split().is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(KnobValue::Split(vec![1, 2, 4]).to_string(), "[1,2,4]");
+        assert_eq!(Knob::flag("unroll_explicit").to_string(), "unroll_explicit (2 choices)");
+    }
+}

@@ -1,0 +1,157 @@
+//! TVM-style tuning-log lines: a stable, human-greppable text form for
+//! (space, config, result) records.
+//!
+//! TVM persists every trial as one JSON line; tools downstream (log
+//! browsers, transfer learning, TenSet-style corpora) all speak that
+//! format. This module provides the equivalent for this reproduction:
+//!
+//! ```text
+//! {"space":"conv2d_nchw (conv2d N1C64H56W56 -> C64 k3x3 s1 p1)","knobs":{"tile_f":"[2,2,8,2]",...},"gflops":2412.5}
+//! ```
+//!
+//! Encoding goes through the *knob values*, not the choice indices, so log
+//! lines survive template-extent changes (a config is re-resolved against
+//! the current space by value).
+
+use crate::config::{Config, SearchSpace};
+use crate::knob::KnobValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One serialized trial record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Space display name (workload identity).
+    pub space: String,
+    /// Knob name → rendered value (e.g. `"tile_x" -> "[1,2,14,2]"`).
+    pub knobs: Vec<(String, String)>,
+    /// Measured throughput, if the trial was valid.
+    pub gflops: Option<f64>,
+}
+
+/// Error resolving a log record against a space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError {
+    reason: String,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log record does not fit the space: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Encodes a config (plus optional measurement) into a record.
+#[must_use]
+pub fn encode(space: &SearchSpace, config: &Config, gflops: Option<f64>) -> LogRecord {
+    let knobs = space
+        .knobs()
+        .iter()
+        .zip(config.indices())
+        .map(|(k, &i)| (k.name().to_owned(), k.value(i).to_string()))
+        .collect();
+    LogRecord { space: space.name().to_owned(), knobs, gflops }
+}
+
+/// Resolves a record back to a config in `space`, matching knob values by
+/// their rendered form.
+///
+/// # Errors
+///
+/// Returns [`ResolveError`] if a knob is missing, unknown, or its recorded
+/// value is not among the space's choices (e.g. a different extent).
+pub fn decode(space: &SearchSpace, record: &LogRecord) -> Result<Config, ResolveError> {
+    let mut indices = vec![usize::MAX; space.knobs().len()];
+    for (name, rendered) in &record.knobs {
+        let Some(k) = space.knob_index(name) else {
+            return Err(ResolveError { reason: format!("unknown knob {name:?}") });
+        };
+        let knob = &space.knobs()[k];
+        let Some(choice) = knob.choices().iter().position(|v: &KnobValue| v.to_string() == *rendered) else {
+            return Err(ResolveError { reason: format!("value {rendered} not a choice of {name:?}") });
+        };
+        indices[k] = choice;
+    }
+    if let Some(missing) = indices.iter().position(|&i| i == usize::MAX) {
+        return Err(ResolveError { reason: format!("knob {:?} missing from record", space.knobs()[missing].name()) });
+    }
+    Ok(Config::new(indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates;
+    use glimpse_tensor_prog::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1))
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let config = s.sample_uniform(&mut rng);
+            let record = encode(&s, &config, Some(123.4));
+            let back = decode(&s, &record).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+
+    #[test]
+    fn record_survives_json() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = s.sample_uniform(&mut rng);
+        let record = encode(&s, &config, None);
+        let line = serde_json::to_string(&record).unwrap();
+        let parsed: LogRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(decode(&s, &parsed).unwrap(), config);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_extents() {
+        let s = space();
+        let other = templates::conv2d_direct_space(&Conv2dSpec::square(1, 128, 128, 28, 3, 1, 1));
+        let mut rng = StdRng::seed_from_u64(3);
+        // A tile_f split of 128 can't resolve against out_channels = 64.
+        let config = loop {
+            let c = other.sample_uniform(&mut rng);
+            let f = other.knobs()[0].value(c.index(0)).to_string();
+            if decode(&s, &encode(&other, &c, None)).is_err() {
+                break c;
+            }
+            let _ = f;
+        };
+        let record = encode(&other, &config, None);
+        assert!(decode(&s, &record).is_err());
+    }
+
+    #[test]
+    fn decode_reports_missing_knobs() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = s.sample_uniform(&mut rng);
+        let mut record = encode(&s, &config, None);
+        record.knobs.pop();
+        let err = decode(&s, &record).unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn decode_reports_unknown_knobs() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = s.sample_uniform(&mut rng);
+        let mut record = encode(&s, &config, None);
+        record.knobs[0].0 = "tile_q".into();
+        let err = decode(&s, &record).unwrap_err();
+        assert!(err.to_string().contains("tile_q"));
+    }
+}

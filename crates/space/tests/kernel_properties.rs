@@ -1,0 +1,85 @@
+//! Property tests on the kernel-shape lowering: the resource algebra must
+//! hold for every template and every configuration.
+
+use glimpse_space::templates;
+use glimpse_space::SearchSpace;
+use glimpse_tensor_prog::{models, Conv2dSpec, DenseSpec, OpSpec, TemplateKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spaces() -> Vec<SearchSpace> {
+    vec![
+        templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1)),
+        templates::conv2d_direct_space(&Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3)),
+        templates::conv2d_winograd_space(&Conv2dSpec::square(1, 128, 128, 28, 3, 1, 1)),
+        templates::dense_space(&DenseSpec::new(1, 4096, 4096)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resources_are_positive_and_consistent(seed in 0u64..2000, which in 0usize..4) {
+        let space = &spaces()[which];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        let shape = space.kernel_shape(&config);
+        prop_assert!(shape.threads_per_block >= 1);
+        prop_assert!(shape.blocks >= 1);
+        prop_assert!(shape.vthreads >= 1);
+        prop_assert!(shape.work_per_thread >= 1);
+        prop_assert!(shape.reduce_tile >= 1);
+        prop_assert!(u64::from(shape.reduce_tile) <= shape.reduce_len);
+        prop_assert_eq!(shape.total_threads(), shape.blocks * shape.threads_per_block);
+        prop_assert!(shape.block_load_bytes > 0.0);
+        prop_assert!(shape.regs_per_thread >= 24, "base register cost must be included");
+    }
+
+    #[test]
+    fn features_are_finite_everywhere(seed in 0u64..2000, which in 0usize..4) {
+        let space = &spaces()[which];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        for (i, f) in space.features(&config).iter().enumerate() {
+            prop_assert!(f.is_finite(), "feature {i} = {f}");
+        }
+    }
+
+    #[test]
+    fn conv_direct_output_coverage_is_exact(seed in 0u64..2000) {
+        // blocks x threads x work == full output volume (no over/under
+        // computation) for the direct conv template.
+        let spec = Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1);
+        let space = templates::conv2d_direct_space(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = space.sample_uniform(&mut rng);
+        let shape = space.kernel_shape(&config);
+        let volume = u64::from(spec.out_channels) * u64::from(spec.out_h()) * u64::from(spec.out_w());
+        prop_assert_eq!(shape.blocks * shape.threads_per_block * shape.work_per_thread, volume);
+    }
+}
+
+#[test]
+fn every_evaluation_task_lowers_every_sampled_config() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for model in models::evaluation_models() {
+        for task in model.tasks() {
+            let space = templates::space_for_task(task);
+            for _ in 0..20 {
+                let config = space.sample_uniform(&mut rng);
+                let shape = space.kernel_shape(&config);
+                assert!(shape.threads_per_block >= 1, "{task}");
+                match task.template {
+                    TemplateKind::Dense => {
+                        if let OpSpec::Dense(d) = &task.op {
+                            assert_eq!(shape.reduce_len, u64::from(d.in_features));
+                        }
+                    }
+                    _ => assert!(shape.reduce_len >= 1),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! 2-D convolution operator specification (NCHW, OIHW).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2-D convolution layer in NCHW layout with OIHW weights.
+///
+/// This mirrors the workload tuple TVM hands to its CUDA `conv2d` templates:
+/// `(batch, in_channels, in_size, out_channels, kernel, stride, padding)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Batch size (the paper tunes inference, batch = 1).
+    pub batch: u32,
+    /// Input channels.
+    pub in_channels: u32,
+    /// Output channels.
+    pub out_channels: u32,
+    /// Input height in pixels.
+    pub in_h: u32,
+    /// Input width in pixels.
+    pub in_w: u32,
+    /// Kernel height.
+    pub kernel_h: u32,
+    /// Kernel width.
+    pub kernel_w: u32,
+    /// Stride (same in both dimensions).
+    pub stride: u32,
+    /// Zero padding (same on all sides).
+    pub padding: u32,
+}
+
+impl Conv2dSpec {
+    /// Convenience constructor for square inputs and kernels.
+    #[must_use]
+    pub fn square(batch: u32, in_channels: u32, out_channels: u32, in_size: u32, kernel: u32, stride: u32, padding: u32) -> Self {
+        Self {
+            batch,
+            in_channels,
+            out_channels,
+            in_h: in_size,
+            in_w: in_size,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output height after padding and striding.
+    #[must_use]
+    pub fn out_h(&self) -> u32 {
+        (self.in_h + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width after padding and striding.
+    #[must_use]
+    pub fn out_w(&self) -> u32 {
+        (self.in_w + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Multiply–accumulate-counted FLOPs (2 × MACs) for one forward pass.
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        2.0 * f64::from(self.batch)
+            * f64::from(self.out_channels)
+            * f64::from(self.out_h())
+            * f64::from(self.out_w())
+            * f64::from(self.in_channels)
+            * f64::from(self.kernel_h)
+            * f64::from(self.kernel_w)
+    }
+
+    /// Bytes of the (fp32) input activation tensor.
+    #[must_use]
+    pub fn input_bytes(&self) -> f64 {
+        4.0 * f64::from(self.batch) * f64::from(self.in_channels) * f64::from(self.in_h) * f64::from(self.in_w)
+    }
+
+    /// Bytes of the (fp32) weight tensor.
+    #[must_use]
+    pub fn weight_bytes(&self) -> f64 {
+        4.0 * f64::from(self.out_channels) * f64::from(self.in_channels) * f64::from(self.kernel_h) * f64::from(self.kernel_w)
+    }
+
+    /// Bytes of the (fp32) output activation tensor.
+    #[must_use]
+    pub fn output_bytes(&self) -> f64 {
+        4.0 * f64::from(self.batch) * f64::from(self.out_channels) * f64::from(self.out_h()) * f64::from(self.out_w())
+    }
+
+    /// Whether TVM's CUDA Winograd template applies: unit stride, square
+    /// 3×3 (or small 5×5) kernel. This rule reproduces Table 1's winograd
+    /// task counts (4 for AlexNet, 4 for ResNet-18, 9 for VGG-16).
+    #[must_use]
+    pub fn winograd_eligible(&self) -> bool {
+        self.stride == 1 && self.kernel_h == self.kernel_w && (self.kernel_h == 3 || self.kernel_h == 5)
+    }
+
+    /// Arithmetic intensity in FLOPs per byte of compulsory traffic.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() / (self.input_bytes() + self.weight_bytes() + self.output_bytes())
+    }
+
+    /// Checks structural validity (non-zero dims, kernel fits input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch == 0 || self.in_channels == 0 || self.out_channels == 0 {
+            return Err("batch and channel counts must be positive".to_owned());
+        }
+        if self.kernel_h == 0 || self.kernel_w == 0 || self.stride == 0 {
+            return Err("kernel and stride must be positive".to_owned());
+        }
+        if self.in_h + 2 * self.padding < self.kernel_h || self.in_w + 2 * self.padding < self.kernel_w {
+            return Err("kernel larger than padded input".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Conv2dSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv2d N{}C{}H{}W{} -> C{} k{}x{} s{} p{}",
+            self.batch, self.in_channels, self.in_h, self.in_w, self.out_channels, self.kernel_h, self.kernel_w, self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn resnet_conv1() -> Conv2dSpec {
+        Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3)
+    }
+
+    #[test]
+    fn output_size_matches_hand_calculation() {
+        let c = resnet_conv1();
+        assert_eq!(c.out_h(), 112);
+        assert_eq!(c.out_w(), 112);
+        let c = Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1);
+        assert_eq!(c.out_h(), 56);
+    }
+
+    #[test]
+    fn flops_match_hand_calculation() {
+        // conv1 of ResNet-18: 2 * 64 * 112^2 * 3 * 7 * 7 = 236_027_904
+        let c = resnet_conv1();
+        assert!((c.flops() - 236_027_904.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn winograd_eligibility_rule() {
+        assert!(Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1).winograd_eligible());
+        assert!(Conv2dSpec::square(1, 64, 192, 27, 5, 1, 2).winograd_eligible());
+        assert!(!Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3).winograd_eligible());
+        assert!(!Conv2dSpec::square(1, 64, 128, 56, 3, 2, 1).winograd_eligible());
+        assert!(!Conv2dSpec::square(1, 64, 128, 56, 1, 1, 0).winograd_eligible());
+    }
+
+    #[test]
+    fn validation_catches_degenerate_shapes() {
+        assert!(resnet_conv1().validate().is_ok());
+        let mut bad = resnet_conv1();
+        bad.stride = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = resnet_conv1();
+        bad.in_h = 2;
+        bad.padding = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(resnet_conv1().to_string(), "conv2d N1C3H224W224 -> C64 k7x7 s2 p3");
+    }
+
+    proptest! {
+        #[test]
+        fn flops_scale_linearly_with_batch(b in 1u32..8, c in 1u32..64) {
+            let one = Conv2dSpec::square(1, c, 32, 28, 3, 1, 1);
+            let many = Conv2dSpec::square(b, c, 32, 28, 3, 1, 1);
+            prop_assert!((many.flops() - f64::from(b) * one.flops()).abs() < 1e-6 * many.flops().max(1.0));
+        }
+
+        #[test]
+        fn output_never_exceeds_padded_input(size in 8u32..64, k in 1u32..6, s in 1u32..4, p in 0u32..3) {
+            prop_assume!(size + 2 * p >= k);
+            let c = Conv2dSpec::square(1, 8, 8, size, k, s, p);
+            prop_assert!(c.out_h() <= size + 2 * p);
+            prop_assert!(c.out_h() >= 1);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Dense (fully connected) operator specification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense layer: `output[b, o] = Σ_i input[b, i] · weight[o, i]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseSpec {
+    /// Batch size.
+    pub batch: u32,
+    /// Input features.
+    pub in_features: u32,
+    /// Output features.
+    pub out_features: u32,
+}
+
+impl DenseSpec {
+    /// Creates a dense spec.
+    #[must_use]
+    pub fn new(batch: u32, in_features: u32, out_features: u32) -> Self {
+        Self { batch, in_features, out_features }
+    }
+
+    /// Multiply–accumulate-counted FLOPs (2 × MACs) for one forward pass.
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        2.0 * f64::from(self.batch) * f64::from(self.in_features) * f64::from(self.out_features)
+    }
+
+    /// Bytes of the (fp32) input activations.
+    #[must_use]
+    pub fn input_bytes(&self) -> f64 {
+        4.0 * f64::from(self.batch) * f64::from(self.in_features)
+    }
+
+    /// Bytes of the (fp32) weight matrix.
+    #[must_use]
+    pub fn weight_bytes(&self) -> f64 {
+        4.0 * f64::from(self.in_features) * f64::from(self.out_features)
+    }
+
+    /// Bytes of the (fp32) output activations.
+    #[must_use]
+    pub fn output_bytes(&self) -> f64 {
+        4.0 * f64::from(self.batch) * f64::from(self.out_features)
+    }
+
+    /// Arithmetic intensity in FLOPs per byte of compulsory traffic. Dense
+    /// layers at batch 1 are heavily memory-bound (intensity < 1).
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() / (self.input_bytes() + self.weight_bytes() + self.output_bytes())
+    }
+
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any dimension is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch == 0 || self.in_features == 0 || self.out_features == 0 {
+            return Err("all dense dimensions must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DenseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dense N{} {}x{}", self.batch, self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_match_hand_calculation() {
+        // VGG-16 fc6: 2 * 25088 * 4096
+        let d = DenseSpec::new(1, 25_088, 4_096);
+        assert!((d.flops() - 205_520_896.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn batch_one_dense_is_memory_bound() {
+        let d = DenseSpec::new(1, 4_096, 4_096);
+        assert!(d.arithmetic_intensity() < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_zero_dims() {
+        assert!(DenseSpec::new(1, 0, 10).validate().is_err());
+        assert!(DenseSpec::new(1, 10, 10).validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(DenseSpec::new(1, 512, 1000).to_string(), "dense N1 512x1000");
+    }
+}

@@ -1,0 +1,207 @@
+//! Operator + template pairing: what TVM calls a *code template* (§2.1).
+
+use crate::conv::Conv2dSpec;
+use crate::dense::DenseSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The code template a task is lowered to, matching the template kinds the
+/// paper's Table 1 counts (conv2d, winograd conv2d, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TemplateKind {
+    /// Direct tiled convolution (TVM `conv2d_nchw.cuda`).
+    Conv2dDirect,
+    /// Winograd convolution (TVM `conv2d_nchw_winograd.cuda`).
+    Conv2dWinograd,
+    /// Tiled matrix–vector / matrix–matrix product (TVM `dense.cuda`).
+    Dense,
+}
+
+impl TemplateKind {
+    /// All template kinds.
+    pub const ALL: [TemplateKind; 3] = [TemplateKind::Conv2dDirect, TemplateKind::Conv2dWinograd, TemplateKind::Dense];
+}
+
+impl fmt::Display for TemplateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TemplateKind::Conv2dDirect => "conv2d",
+            TemplateKind::Conv2dWinograd => "winograd conv2d",
+            TemplateKind::Dense => "dense",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A concrete operator instance to be tuned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpSpec {
+    /// 2-D convolution.
+    Conv2d(Conv2dSpec),
+    /// Dense layer.
+    Dense(DenseSpec),
+}
+
+impl OpSpec {
+    /// FLOPs of one forward pass through the operator.
+    ///
+    /// For the Winograd template callers should use
+    /// [`OpSpec::effective_flops`] which accounts for the transform's
+    /// multiplication savings; `flops` is always the direct-algorithm count
+    /// (what GFLOPS throughput numbers are conventionally reported against).
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        match self {
+            OpSpec::Conv2d(c) => c.flops(),
+            OpSpec::Dense(d) => d.flops(),
+        }
+    }
+
+    /// Algorithm-adjusted FLOPs: Winograd F(2×2, 3×3) performs ~2.25× fewer
+    /// multiplies than the direct method (per Lavin & Gray), at the price of
+    /// extra transform traffic.
+    #[must_use]
+    pub fn effective_flops(&self, template: TemplateKind) -> f64 {
+        match (self, template) {
+            (OpSpec::Conv2d(c), TemplateKind::Conv2dWinograd) => {
+                // m = 2 output tile: (m + r - 1)^2 / (m^2 * r^2) multiply ratio.
+                let r = f64::from(c.kernel_h);
+                let m = 2.0;
+                let ratio = ((m + r - 1.0) * (m + r - 1.0)) / (m * m * r * r);
+                c.flops() * ratio
+            }
+            _ => self.flops(),
+        }
+    }
+
+    /// Total compulsory (cold-cache) memory traffic in bytes.
+    #[must_use]
+    pub fn compulsory_bytes(&self) -> f64 {
+        match self {
+            OpSpec::Conv2d(c) => c.input_bytes() + c.weight_bytes() + c.output_bytes(),
+            OpSpec::Dense(d) => d.input_bytes() + d.weight_bytes() + d.output_bytes(),
+        }
+    }
+
+    /// Whether the Winograd template may be instantiated for this operator.
+    #[must_use]
+    pub fn winograd_eligible(&self) -> bool {
+        match self {
+            OpSpec::Conv2d(c) => c.winograd_eligible(),
+            OpSpec::Dense(_) => false,
+        }
+    }
+
+    /// Numeric description of the layer, used by the prior generator `H`
+    /// (§3.1 takes "a layer specification" as input) and by cost-model
+    /// transfer across tasks. Log-scaled to keep magnitudes comparable.
+    #[must_use]
+    pub fn layer_features(&self) -> Vec<f64> {
+        fn lg(v: f64) -> f64 {
+            (1.0 + v).log2()
+        }
+        match self {
+            OpSpec::Conv2d(c) => vec![
+                1.0, // operator class: conv
+                lg(f64::from(c.batch)),
+                lg(f64::from(c.in_channels)),
+                lg(f64::from(c.out_channels)),
+                lg(f64::from(c.in_h)),
+                lg(f64::from(c.in_w)),
+                f64::from(c.kernel_h),
+                f64::from(c.stride),
+                f64::from(c.padding),
+                lg(c.flops()),
+                lg(c.arithmetic_intensity()),
+            ],
+            OpSpec::Dense(d) => vec![
+                0.0, // operator class: dense
+                lg(f64::from(d.batch)),
+                lg(f64::from(d.in_features)),
+                lg(f64::from(d.out_features)),
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                lg(d.flops()),
+                lg(d.arithmetic_intensity()),
+            ],
+        }
+    }
+
+    /// Width of [`OpSpec::layer_features`].
+    pub const LAYER_FEATURE_COUNT: usize = 11;
+}
+
+impl fmt::Display for OpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpSpec::Conv2d(c) => c.fmt(f),
+            OpSpec::Dense(d) => d.fmt(f),
+        }
+    }
+}
+
+impl From<Conv2dSpec> for OpSpec {
+    fn from(value: Conv2dSpec) -> Self {
+        OpSpec::Conv2d(value)
+    }
+}
+
+impl From<DenseSpec> for OpSpec {
+    fn from(value: DenseSpec) -> Self {
+        OpSpec::Dense(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winograd_reduces_effective_flops_for_3x3() {
+        let op = OpSpec::Conv2d(Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let direct = op.effective_flops(TemplateKind::Conv2dDirect);
+        let wino = op.effective_flops(TemplateKind::Conv2dWinograd);
+        assert!((direct / wino - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_never_winograd_eligible() {
+        let op = OpSpec::Dense(DenseSpec::new(1, 512, 1000));
+        assert!(!op.winograd_eligible());
+        assert_eq!(op.effective_flops(TemplateKind::Dense), op.flops());
+    }
+
+    #[test]
+    fn layer_features_have_declared_width() {
+        let conv = OpSpec::Conv2d(Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3));
+        let dense = OpSpec::Dense(DenseSpec::new(1, 4096, 1000));
+        assert_eq!(conv.layer_features().len(), OpSpec::LAYER_FEATURE_COUNT);
+        assert_eq!(dense.layer_features().len(), OpSpec::LAYER_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn layer_features_distinguish_operator_class() {
+        let conv = OpSpec::Conv2d(Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3));
+        let dense = OpSpec::Dense(DenseSpec::new(1, 4096, 1000));
+        assert_eq!(conv.layer_features()[0], 1.0);
+        assert_eq!(dense.layer_features()[0], 0.0);
+    }
+
+    #[test]
+    fn template_display_matches_table1_vocabulary() {
+        assert_eq!(TemplateKind::Conv2dDirect.to_string(), "conv2d");
+        assert_eq!(TemplateKind::Conv2dWinograd.to_string(), "winograd conv2d");
+        assert_eq!(TemplateKind::Dense.to_string(), "dense");
+    }
+
+    #[test]
+    fn conversions_from_specs() {
+        let c = Conv2dSpec::square(1, 8, 8, 8, 3, 1, 1);
+        assert!(matches!(OpSpec::from(c), OpSpec::Conv2d(_)));
+        let d = DenseSpec::new(1, 8, 8);
+        assert!(matches!(OpSpec::from(d), OpSpec::Dense(_)));
+    }
+}

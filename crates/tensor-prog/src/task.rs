@@ -1,0 +1,180 @@
+//! Tuning tasks: unique (template, operator) pairs extracted from a model.
+//!
+//! TVM de-duplicates identical workloads before tuning — two ResNet blocks
+//! with the same convolution shape share one task — and weights each task by
+//! its occurrence count when reassembling end-to-end latency. Table 1's task
+//! counts are counts of these de-duplicated tasks.
+
+use crate::op::{OpSpec, TemplateKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier for a task within a model: model name plus index in
+/// extraction order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId {
+    /// Name of the model the task came from.
+    pub model: String,
+    /// Index within the model's task list (extraction order).
+    pub index: usize,
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/L{}", self.model, self.index)
+    }
+}
+
+/// One auto-tuning task: a code template instantiated for an operator,
+/// weighted by how many times the layer occurs in the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Stable identifier.
+    pub id: TaskId,
+    /// The code template to tune.
+    pub template: TemplateKind,
+    /// The operator workload.
+    pub op: OpSpec,
+    /// Number of layers in the model sharing this workload.
+    pub occurrences: u32,
+}
+
+impl Task {
+    /// FLOPs of one forward pass through one occurrence of this layer
+    /// (direct-algorithm count, the denominator of reported GFLOPS).
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        self.op.flops()
+    }
+
+    /// FLOPs weighted by how many times the layer occurs in the model.
+    #[must_use]
+    pub fn weighted_flops(&self) -> f64 {
+        self.flops() * f64::from(self.occurrences)
+    }
+
+    /// Converts an achieved throughput (GFLOPS) on this task into the
+    /// latency contribution (milliseconds) of all its occurrences.
+    #[must_use]
+    pub fn latency_ms(&self, gflops: f64) -> f64 {
+        assert!(gflops > 0.0, "throughput must be positive");
+        self.weighted_flops() / gflops / 1e6
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {} x{}", self.id, self.template, self.op, self.occurrences)
+    }
+}
+
+/// Builds the de-duplicated task list for a model from its raw layer list.
+///
+/// Winograd-eligible convolutions produce **two** tasks (direct + winograd),
+/// reproducing how TVM tunes both templates and picks the faster; dense
+/// layers produce one. De-duplication is by (template, workload).
+#[must_use]
+pub fn extract_tasks(model: &str, layers: &[OpSpec]) -> Vec<Task> {
+    let mut tasks: Vec<Task> = Vec::new();
+    let push = |template: TemplateKind, op: OpSpec, tasks: &mut Vec<Task>| {
+        if let Some(existing) = tasks.iter_mut().find(|t| t.template == template && t.op == op) {
+            existing.occurrences += 1;
+        } else {
+            let index = tasks.len();
+            tasks.push(Task { id: TaskId { model: model.to_owned(), index }, template, op, occurrences: 1 });
+        }
+    };
+    // First pass: direct templates for every layer.
+    for op in layers {
+        let template = match op {
+            OpSpec::Conv2d(_) => TemplateKind::Conv2dDirect,
+            OpSpec::Dense(_) => TemplateKind::Dense,
+        };
+        push(template, *op, &mut tasks);
+    }
+    // Second pass: winograd variants for eligible convolutions, so direct
+    // tasks keep contiguous indices (matching TVM's extraction order).
+    for op in layers {
+        if op.winograd_eligible() {
+            push(TemplateKind::Conv2dWinograd, *op, &mut tasks);
+        }
+    }
+    tasks
+}
+
+/// Counts tasks per template kind, for checking against Table 1.
+#[must_use]
+pub fn count_by_template(tasks: &[Task]) -> [(TemplateKind, usize); 3] {
+    TemplateKind::ALL.map(|k| (k, tasks.iter().filter(|t| t.template == k).count()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2dSpec;
+    use crate::dense::DenseSpec;
+
+    fn layers() -> Vec<OpSpec> {
+        vec![
+            OpSpec::Conv2d(Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3)),
+            OpSpec::Conv2d(Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1)),
+            OpSpec::Conv2d(Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1)),
+            OpSpec::Dense(DenseSpec::new(1, 512, 1000)),
+        ]
+    }
+
+    #[test]
+    fn duplicate_layers_merge_into_one_weighted_task() {
+        let tasks = extract_tasks("toy", &layers());
+        // conv1 direct, 3x3 direct (x2), dense, 3x3 winograd (x2)
+        assert_eq!(tasks.len(), 4);
+        let three_by_three = tasks.iter().find(|t| t.template == TemplateKind::Conv2dDirect && t.occurrences == 2).unwrap();
+        assert_eq!(three_by_three.occurrences, 2);
+        let wino = tasks.iter().find(|t| t.template == TemplateKind::Conv2dWinograd).unwrap();
+        assert_eq!(wino.occurrences, 2);
+    }
+
+    #[test]
+    fn task_ids_are_sequential_and_unique() {
+        let tasks = extract_tasks("toy", &layers());
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id.index, i);
+            assert_eq!(t.id.model, "toy");
+        }
+    }
+
+    #[test]
+    fn weighted_flops_accounts_for_occurrences() {
+        let tasks = extract_tasks("toy", &layers());
+        let t = tasks.iter().find(|t| t.occurrences == 2).unwrap();
+        assert!((t.weighted_flops() - 2.0 * t.flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_conversion_is_dimensionally_correct() {
+        // 2 GFLOP of work at 1000 GFLOPS through one occurrence = 2 ms.
+        let task = Task {
+            id: TaskId { model: "toy".into(), index: 0 },
+            template: TemplateKind::Dense,
+            op: OpSpec::Dense(DenseSpec::new(1, 1_000_000, 1_000)),
+            occurrences: 1,
+        };
+        let latency = task.latency_ms(1000.0);
+        assert!((latency - task.flops() / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_by_template_covers_all_kinds() {
+        let tasks = extract_tasks("toy", &layers());
+        let counts = count_by_template(&tasks);
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, tasks.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn latency_rejects_nonpositive_throughput() {
+        let tasks = extract_tasks("toy", &layers());
+        let _ = tasks[0].latency_ms(0.0);
+    }
+}

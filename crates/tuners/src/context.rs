@@ -1,0 +1,253 @@
+//! The tuning loop contract: [`Tuner`], [`TuneContext`], [`TuningOutcome`].
+
+use crate::budget::Budget;
+use crate::history::{Trial, TuningHistory};
+use glimpse_sim::Measurer;
+use glimpse_space::{Config, SearchSpace};
+use glimpse_tensor_prog::Task;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Everything a tuner needs for one run on one (GPU, task) pair.
+#[derive(Debug)]
+pub struct TuneContext<'a> {
+    /// The task being tuned (identity + occurrence weight).
+    pub task: &'a Task,
+    /// The task's configuration space.
+    pub space: &'a SearchSpace,
+    /// Measurement channel to the target GPU.
+    pub measurer: &'a mut Measurer,
+    /// Stopping criteria.
+    pub budget: Budget,
+    /// Seed for the tuner's own randomness.
+    pub seed: u64,
+    history: TuningHistory,
+    visited: HashSet<Vec<usize>>,
+    gpu_seconds_at_start: f64,
+    explorer_steps: usize,
+    best_trajectory: Vec<f64>,
+}
+
+impl<'a> TuneContext<'a> {
+    /// Opens a tuning run.
+    #[must_use]
+    pub fn new(task: &'a Task, space: &'a SearchSpace, measurer: &'a mut Measurer, budget: Budget, seed: u64) -> Self {
+        let gpu = measurer.gpu().name.clone();
+        let gpu_seconds_at_start = measurer.elapsed_gpu_seconds();
+        let history = TuningHistory::new(&gpu, &task.id.model, task.id.index, task.template);
+        Self {
+            task,
+            space,
+            measurer,
+            budget,
+            seed,
+            history,
+            visited: HashSet::new(),
+            gpu_seconds_at_start,
+            explorer_steps: 0,
+            best_trajectory: Vec::new(),
+        }
+    }
+
+    /// The journal so far.
+    #[must_use]
+    pub fn history(&self) -> &TuningHistory {
+        &self.history
+    }
+
+    /// Simulated GPU seconds consumed by this run.
+    #[must_use]
+    pub fn gpu_seconds(&self) -> f64 {
+        self.measurer.elapsed_gpu_seconds() - self.gpu_seconds_at_start
+    }
+
+    /// Whether the run should stop (budget bounds or plateau convergence).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.budget.exhausted(self.history.len(), self.gpu_seconds(), self.history.best_gflops())
+            || self.budget.plateaued(&self.best_trajectory)
+    }
+
+    /// Measurements still allowed by the budget's count cap.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.budget.remaining_measurements(self.history.len())
+    }
+
+    /// Records explorer work (SA chain updates, acquisition evaluations) —
+    /// the "search steps" metric of Fig. 6.
+    pub fn add_explorer_steps(&mut self, steps: usize) {
+        self.explorer_steps += steps;
+    }
+
+    /// Whether a configuration was already measured in this run.
+    #[must_use]
+    pub fn seen(&self, config: &Config) -> bool {
+        self.visited.contains(config.indices())
+    }
+
+    /// Measures one configuration (respecting the budget), returning its
+    /// throughput if it was valid. Duplicate configurations are measured
+    /// again only if `config` was never seen (callers should pre-filter
+    /// with [`TuneContext::seen`] to save budget).
+    pub fn measure(&mut self, config: &Config) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        self.visited.insert(config.indices().to_vec());
+        let result = self.measurer.measure(self.space, config);
+        let trial = Trial::from_measure(&result);
+        let gflops = trial.gflops;
+        self.history.push(trial);
+        let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(gflops.unwrap_or(0.0));
+        self.best_trajectory.push(best);
+        gflops
+    }
+
+    /// Folds an externally measured trial into this run's journal without
+    /// re-measuring (the measurer's clock already advanced when the trial
+    /// was taken — e.g. by a portfolio member sharing this measurer).
+    pub fn absorb(&mut self, trial: Trial) {
+        self.visited.insert(trial.config.indices().to_vec());
+        let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(trial.gflops.unwrap_or(0.0));
+        self.best_trajectory.push(best);
+        self.history.push(trial);
+    }
+
+    /// Measures a batch, stopping early if the budget runs out mid-batch.
+    pub fn measure_batch(&mut self, configs: &[Config]) -> Vec<Option<f64>> {
+        configs.iter().map(|c| self.measure(c)).collect()
+    }
+
+    /// Consumes the context into the final outcome.
+    #[must_use]
+    pub fn finish(self, tuner: &str) -> TuningOutcome {
+        let gpu_seconds = self.gpu_seconds();
+        TuningOutcome {
+            tuner: tuner.to_owned(),
+            best_gflops: self.history.best_gflops(),
+            best_config: self.history.best_config().cloned(),
+            measurements: self.history.len(),
+            invalid_measurements: self.history.invalid_count(),
+            explorer_steps: self.explorer_steps,
+            gpu_seconds,
+            history: self.history,
+        }
+    }
+}
+
+/// Result of one tuning run, with the metrics the paper's figures compare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// Name of the tuner that produced this outcome.
+    pub tuner: String,
+    /// Best measured throughput (GFLOPS).
+    pub best_gflops: f64,
+    /// Best configuration, if any measurement succeeded.
+    pub best_config: Option<Config>,
+    /// Total hardware measurements.
+    pub measurements: usize,
+    /// Invalid (failed) measurements among them — Fig. 7's numerator.
+    pub invalid_measurements: usize,
+    /// Explorer steps (Markov-chain updates / acquisition evaluations) —
+    /// Fig. 6's metric.
+    pub explorer_steps: usize,
+    /// Simulated GPU seconds — Table 2's "GPU hours" contribution.
+    pub gpu_seconds: f64,
+    /// The full measurement journal.
+    pub history: TuningHistory,
+}
+
+impl TuningOutcome {
+    /// Fraction of measurements that were invalid.
+    #[must_use]
+    pub fn invalid_fraction(&self) -> f64 {
+        if self.measurements == 0 {
+            0.0
+        } else {
+            self.invalid_measurements as f64 / self.measurements as f64
+        }
+    }
+}
+
+/// A tensor-program auto-tuner (Algorithm 1's outer loop).
+pub trait Tuner {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Runs the tuning loop until the context's budget is exhausted.
+    fn tune(&mut self, ctx: TuneContext<'_>) -> TuningOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimpse_gpu_spec::database;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (glimpse_tensor_prog::Task, SearchSpace, Measurer) {
+        let model = models::alexnet();
+        let task = model.tasks()[2].clone();
+        let space = templates::space_for_task(&task);
+        let measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), 3);
+        (task, space, measurer)
+    }
+
+    #[test]
+    fn budget_stops_measurement() {
+        let (task, space, mut measurer) = fixture();
+        let mut ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(5), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let c = space.sample_uniform(&mut rng);
+            ctx.measure(&c);
+        }
+        assert_eq!(ctx.history().len(), 5);
+        assert!(ctx.exhausted());
+    }
+
+    #[test]
+    fn outcome_metrics_are_consistent() {
+        let (task, space, mut measurer) = fixture();
+        let mut ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(10), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let c = space.sample_uniform(&mut rng);
+            ctx.measure(&c);
+        }
+        ctx.add_explorer_steps(42);
+        let outcome = ctx.finish("test");
+        assert_eq!(outcome.measurements, 10);
+        assert_eq!(outcome.explorer_steps, 42);
+        assert!(outcome.gpu_seconds > 0.0);
+        assert_eq!(outcome.history.len(), 10);
+        assert!(outcome.invalid_fraction() >= 0.0 && outcome.invalid_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn seen_tracks_visited_configs() {
+        let (task, space, mut measurer) = fixture();
+        let mut ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(10), 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = space.sample_uniform(&mut rng);
+        assert!(!ctx.seen(&c));
+        ctx.measure(&c);
+        assert!(ctx.seen(&c));
+    }
+
+    #[test]
+    fn quality_target_short_circuits() {
+        let (task, space, mut measurer) = fixture();
+        // Any valid measurement exceeds 0.001 GFLOPS, so one valid sample ends it.
+        let mut ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(1000).with_target(0.001), 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        while !ctx.exhausted() {
+            let c = space.sample_uniform(&mut rng);
+            ctx.measure(&c);
+        }
+        assert!(ctx.history().len() < 1000);
+    }
+}

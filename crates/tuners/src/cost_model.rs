@@ -1,0 +1,197 @@
+//! Surrogate cost models (`f̂ ≈ f` of §2.1) over config features.
+//!
+//! AutoTVM fits a boosted-tree ranker on measured `(features, throughput)`
+//! pairs and lets simulated annealing optimize the surrogate instead of the
+//! hardware. Transfer learning (§2.2, Fig. 5) warm-starts the model with
+//! pairs from *other* (GPU, task) runs, decaying their weight as local
+//! evidence accumulates.
+
+use crate::history::TuningHistory;
+use glimpse_mlkit::gbt::{Gbt, GbtParams};
+use glimpse_space::{Config, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Throughput scale (GFLOPS) applied before fitting, keeping targets O(1).
+const SCORE_SCALE: f64 = 1000.0;
+
+/// A gradient-boosted surrogate with optional transfer warm-start.
+#[derive(Debug, Clone)]
+pub struct GbtCostModel {
+    params: GbtParams,
+    seed: u64,
+    model: Option<Gbt>,
+    transfer_x: Vec<Vec<f64>>,
+    transfer_y: Vec<f64>,
+}
+
+impl GbtCostModel {
+    /// Fresh, unfitted model.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { params: GbtParams::default(), seed, model: None, transfer_x: Vec::new(), transfer_y: Vec::new() }
+    }
+
+    /// Loads transfer pairs from foreign tuning logs. `space` must be the
+    /// *target* task's space; only logs whose configs are dimensionally
+    /// compatible (same knob arity) are usable and others are skipped.
+    pub fn load_transfer(&mut self, space: &SearchSpace, logs: &[&TuningHistory], per_log_cap: usize) {
+        let arity = space.knobs().len();
+        for log in logs {
+            let mut taken = 0usize;
+            for (config, gflops) in log.valid_pairs() {
+                if config.indices().len() != arity || taken >= per_log_cap {
+                    continue;
+                }
+                if config.indices().iter().zip(space.knobs()).any(|(i, k)| *i >= k.cardinality()) {
+                    continue;
+                }
+                self.transfer_x.push(space.features(config));
+                self.transfer_y.push(gflops / SCORE_SCALE);
+                taken += 1;
+            }
+        }
+    }
+
+    /// Number of transfer pairs loaded.
+    #[must_use]
+    pub fn transfer_len(&self) -> usize {
+        self.transfer_x.len()
+    }
+
+    /// Whether the model has been fitted at least once.
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Refits on the history's valid measurements (invalid trials enter as
+    /// zero-throughput examples so the surrogate learns to avoid them).
+    /// Transfer pairs participate until local data outnumbers them 2:1.
+    pub fn fit(&mut self, space: &SearchSpace, history: &TuningHistory) {
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for trial in &history.trials {
+            xs.push(space.features(&trial.config));
+            ys.push(trial.gflops.unwrap_or(0.0) / SCORE_SCALE);
+        }
+        if !self.transfer_x.is_empty() && xs.len() < 2 * self.transfer_x.len() {
+            xs.extend(self.transfer_x.iter().cloned());
+            ys.extend(self.transfer_y.iter().copied());
+        }
+        if xs.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.model = Some(Gbt::fit(&xs, &ys, self.params, &mut rng));
+    }
+
+    /// Predicted throughput (GFLOPS) of `config`.
+    ///
+    /// Returns 0 before the first [`GbtCostModel::fit`].
+    #[must_use]
+    pub fn predict(&self, space: &SearchSpace, config: &Config) -> f64 {
+        self.predict_features(&space.features(config))
+    }
+
+    /// Predicted throughput from a pre-computed feature vector.
+    #[must_use]
+    pub fn predict_features(&self, features: &[f64]) -> f64 {
+        self.model.as_ref().map_or(0.0, |m| m.predict(features) * SCORE_SCALE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Trial;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::Measurer;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::{models, TemplateKind};
+
+    fn measured_history(n: usize, seed: u64) -> (SearchSpace, TuningHistory) {
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), seed);
+        let mut history = TuningHistory::new("Titan Xp", &task.id.model, task.id.index, task.template);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let c = space.sample_uniform(&mut rng);
+            let r = measurer.measure(&space, &c);
+            history.push(Trial::from_measure(&r));
+        }
+        (space, history)
+    }
+
+    #[test]
+    fn unfitted_model_predicts_zero() {
+        let (space, history) = measured_history(1, 1);
+        let model = GbtCostModel::new(0);
+        assert_eq!(model.predict(&space, &history.trials[0].config), 0.0);
+        assert!(!model.is_fitted());
+    }
+
+    #[test]
+    fn fitted_model_ranks_measured_configs() {
+        let (space, history) = measured_history(300, 2);
+        let mut model = GbtCostModel::new(0);
+        model.fit(&space, &history);
+        assert!(model.is_fitted());
+        // Rank correlation between prediction and truth on training data.
+        let pairs = history.valid_pairs();
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        for i in 0..pairs.len() {
+            for j in i + 1..pairs.len() {
+                let (pi, pj) = (model.predict(&space, pairs[i].0), model.predict(&space, pairs[j].0));
+                total += 1;
+                if (pairs[i].1 - pairs[j].1) * (pi - pj) > 0.0 {
+                    concordant += 1;
+                }
+            }
+        }
+        let tau = concordant as f64 / total.max(1) as f64;
+        assert!(tau > 0.7, "rank agreement {tau}");
+    }
+
+    #[test]
+    fn invalid_trials_teach_avoidance() {
+        let (space, history) = measured_history(300, 3);
+        let mut model = GbtCostModel::new(0);
+        model.fit(&space, &history);
+        let invalid_preds: Vec<f64> =
+            history.trials.iter().filter(|t| !t.is_valid()).take(50).map(|t| model.predict(&space, &t.config)).collect();
+        let valid_best = history.best_gflops();
+        let mean_invalid = invalid_preds.iter().sum::<f64>() / invalid_preds.len().max(1) as f64;
+        assert!(mean_invalid < valid_best * 0.5, "invalid mean {mean_invalid} vs best {valid_best}");
+    }
+
+    #[test]
+    fn transfer_pairs_load_and_cap() {
+        let (space, history) = measured_history(100, 4);
+        let mut model = GbtCostModel::new(0);
+        model.load_transfer(&space, &[&history], 10);
+        assert!(model.transfer_len() <= 10);
+        assert!(model.transfer_len() > 0);
+    }
+
+    #[test]
+    fn transfer_from_mismatched_template_is_skipped() {
+        let (space, _) = measured_history(5, 5);
+        let dense_model = models::alexnet();
+        let dense_task = dense_model.tasks().iter().find(|t| t.template == TemplateKind::Dense).unwrap();
+        let dense_space = templates::space_for_task(dense_task);
+        let mut dense_history = TuningHistory::new("Titan Xp", "AlexNet", dense_task.id.index, TemplateKind::Dense);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), 6);
+        for _ in 0..20 {
+            let c = dense_space.sample_uniform(&mut rng);
+            dense_history.push(Trial::from_measure(&measurer.measure(&dense_space, &c)));
+        }
+        let mut model = GbtCostModel::new(0);
+        model.load_transfer(&space, &[&dense_history], 100);
+        assert_eq!(model.transfer_len(), 0, "dense configs must not enter a conv space model");
+    }
+}

@@ -1,0 +1,222 @@
+//! The DGP baseline (Sun et al., "Fast and Efficient DNN Deployment via
+//! Deep Gaussian Transfer Learning", ICCV 2021).
+//!
+//! DGP places a Gaussian process over configuration features and transfers
+//! knowledge *across layers of the same target GPU*: logs from previously
+//! tuned tasks fit a boosted-tree prior mean, and the GP models residuals
+//! around it. Candidates are scored by expected improvement; the best
+//! acquisition batch is measured.
+
+use crate::context::{TuneContext, Tuner, TuningOutcome};
+use crate::cost_model::GbtCostModel;
+use crate::history::TuningHistory;
+use glimpse_mlkit::gp::{GaussianProcess, RbfKernel};
+use glimpse_mlkit::stats::child_rng;
+use glimpse_space::Config;
+use rand::Rng;
+
+/// DGP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DgpConfig {
+    /// Random measurements before the first GP fit.
+    pub n_init: usize,
+    /// Hardware measurements per iteration.
+    pub batch_size: usize,
+    /// Candidate pool scored by the acquisition per iteration.
+    pub candidates: usize,
+    /// Maximum observations the exact GP conditions on (recent-best subset).
+    pub gp_cap: usize,
+    /// Cross-task logs from the same GPU for the transfer prior.
+    pub transfer: Vec<TuningHistory>,
+}
+
+impl Default for DgpConfig {
+    fn default() -> Self {
+        Self { n_init: 16, batch_size: 16, candidates: 384, gp_cap: 200, transfer: Vec::new() }
+    }
+}
+
+/// The DGP tuner.
+#[derive(Debug, Clone)]
+pub struct DgpTuner {
+    config: DgpConfig,
+}
+
+impl DgpTuner {
+    /// Creates the tuner with default hyperparameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { config: DgpConfig::default() }
+    }
+
+    /// Creates the tuner with explicit hyperparameters.
+    #[must_use]
+    pub fn with_config(config: DgpConfig) -> Self {
+        Self { config }
+    }
+
+    /// Supplies cross-task transfer logs (same target GPU).
+    #[must_use]
+    pub fn with_transfer(mut self, logs: Vec<TuningHistory>) -> Self {
+        self.config.transfer = logs;
+        self
+    }
+}
+
+impl Default for DgpTuner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Normalization scale for GP targets.
+const SCALE: f64 = 1000.0;
+
+impl Tuner for DgpTuner {
+    fn name(&self) -> &str {
+        "DGP"
+    }
+
+    fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
+        let mut rng = child_rng(ctx.seed, 0xD6_9000);
+
+        // Transfer prior mean from other tasks on this GPU.
+        let mut prior = GbtCostModel::new(ctx.seed ^ 0x77);
+        if !self.config.transfer.is_empty() {
+            let refs: Vec<&TuningHistory> = self.config.transfer.iter().collect();
+            prior.load_transfer(ctx.space, &refs, 64);
+        }
+
+        while ctx.history().len() < self.config.n_init && !ctx.exhausted() {
+            let config = ctx.space.sample_uniform(&mut rng);
+            ctx.measure(&config);
+            ctx.add_explorer_steps(1);
+        }
+
+        while !ctx.exhausted() {
+            if prior.transfer_len() > 0 {
+                prior.fit(ctx.space, ctx.history());
+            }
+            // GP over residuals (or raw values without a prior), on the
+            // most recent + best observations up to the cap.
+            let mut obs: Vec<(Vec<f64>, f64)> = ctx
+                .history()
+                .trials
+                .iter()
+                .map(|t| {
+                    let f = ctx.space.features(&t.config);
+                    let y = t.gflops.unwrap_or(0.0);
+                    let m = if prior.is_fitted() { prior.predict_features(&f) } else { 0.0 };
+                    (f, (y - m) / SCALE)
+                })
+                .collect();
+            if obs.len() > self.config.gp_cap {
+                let skip = obs.len() - self.config.gp_cap;
+                obs.drain(0..skip);
+            }
+            let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = obs.into_iter().unzip();
+            let gp = GaussianProcess::fit(RbfKernel { variance: 1.0, length_scale: 4.0 }, 1e-4, xs, &ys);
+
+            let best_y = ctx.history().best_gflops();
+            let mut scored: Vec<(Config, f64)> = Vec::with_capacity(self.config.candidates);
+            let mut ranked = ctx.history().valid_pairs();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            for i in 0..self.config.candidates {
+                // Mix of uniform candidates and neighbors of incumbents.
+                let candidate = if i % 3 == 0 && !ranked.is_empty() {
+                    let base = ranked[rng.gen_range(0..ranked.len().min(8))].0;
+                    ctx.space.neighbor(base, &mut rng)
+                } else {
+                    ctx.space.sample_uniform(&mut rng)
+                };
+                if ctx.seen(&candidate) {
+                    continue;
+                }
+                let f = ctx.space.features(&candidate);
+                let m = if prior.is_fitted() { prior.predict_features(&f) } else { 0.0 };
+                let acq = match &gp {
+                    Ok(gp) => {
+                        let residual_best = (best_y - m) / SCALE;
+                        gp.expected_improvement(&f, residual_best)
+                    }
+                    Err(_) => rng.gen::<f64>(),
+                };
+                scored.push((candidate, acq));
+            }
+            ctx.add_explorer_steps(scored.len());
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite acquisition"));
+            let mut batch: Vec<Config> = Vec::new();
+            for (config, _) in scored {
+                if batch.len() >= self.config.batch_size {
+                    break;
+                }
+                if !batch.contains(&config) {
+                    batch.push(config);
+                }
+            }
+            let mut attempts = 0;
+            while batch.len() < self.config.batch_size && attempts < 100 {
+                attempts += 1;
+                let config = ctx.space.sample_uniform(&mut rng);
+                if !ctx.seen(&config) && !batch.contains(&config) {
+                    batch.push(config);
+                }
+            }
+            ctx.measure_batch(&batch);
+        }
+        ctx.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::random::RandomTuner;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::Measurer;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+
+    fn run_tuner<T: Tuner>(mut tuner: T, task_idx: usize, budget: usize, seed: u64) -> TuningOutcome {
+        let model = models::alexnet();
+        let task = &model.tasks()[task_idx];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("RTX 3090").unwrap().clone(), seed);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(budget), seed);
+        tuner.tune(ctx)
+    }
+
+    #[test]
+    fn beats_random_search() {
+        let mut wins = 0;
+        for seed in [1u64, 2, 3] {
+            let dgp = run_tuner(DgpTuner::new(), 2, 128, seed);
+            let random = run_tuner(RandomTuner::new(), 2, 128, seed);
+            if dgp.best_gflops > random.best_gflops {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 2, "DGP won only {wins}/3");
+    }
+
+    #[test]
+    fn transfer_prior_consumes_cross_task_logs() {
+        let donor = run_tuner(DgpTuner::new(), 2, 64, 9);
+        let tuner = DgpTuner::new().with_transfer(vec![donor.history]);
+        let outcome = run_tuner(tuner, 3, 64, 10);
+        assert!(outcome.best_gflops > 0.0);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let outcome = run_tuner(DgpTuner::new(), 2, 40, 11);
+        assert!(outcome.measurements <= 40);
+    }
+
+    #[test]
+    fn explorer_steps_count_acquisition_evaluations() {
+        let outcome = run_tuner(DgpTuner::new(), 2, 64, 12);
+        assert!(outcome.explorer_steps >= outcome.measurements);
+    }
+}

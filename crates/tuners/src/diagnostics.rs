@@ -1,0 +1,113 @@
+//! Surrogate-model diagnostics: how good is `f̂ ≈ f` really?
+//!
+//! §2.1 frames neural compilation around a learned approximation of the
+//! hardware. These helpers quantify that approximation on a recorded
+//! [`TuningHistory`] — rank correlation (cost models are rankers), top-k
+//! recall (only the top-k ever gets measured), and a learning curve over
+//! measurement counts. Used by tests, the CLI, and post-hoc analysis.
+
+use crate::cost_model::GbtCostModel;
+use crate::history::TuningHistory;
+use glimpse_mlkit::rank::{kendall_tau, spearman_rho, top_k_recall};
+use glimpse_space::SearchSpace;
+use serde::{Deserialize, Serialize};
+
+/// Rank-quality summary of a surrogate on held-out trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateQuality {
+    /// Kendall τ between predictions and measurements.
+    pub kendall_tau: f64,
+    /// Spearman ρ between predictions and measurements.
+    pub spearman_rho: f64,
+    /// Recall of the true top-8 within the predicted top-8.
+    pub top8_recall: f64,
+    /// Number of held-out trials evaluated.
+    pub holdout: usize,
+}
+
+/// Fits a surrogate on the first `train` trials of `history` and scores its
+/// ranking quality on the remainder (invalid trials count as 0 GFLOPS,
+/// matching how the tuners train).
+///
+/// Returns `None` if there are fewer than 8 held-out trials to judge on.
+#[must_use]
+pub fn holdout_quality(space: &SearchSpace, history: &TuningHistory, train: usize, seed: u64) -> Option<SurrogateQuality> {
+    if history.len() < train + 8 {
+        return None;
+    }
+    let mut prefix = TuningHistory::new(&history.gpu, &history.model, history.task_index, history.template);
+    for trial in &history.trials[..train] {
+        prefix.push(trial.clone());
+    }
+    let mut model = GbtCostModel::new(seed);
+    model.fit(space, &prefix);
+
+    let holdout = &history.trials[train..];
+    let truth: Vec<f64> = holdout.iter().map(|t| t.gflops.unwrap_or(0.0)).collect();
+    let predicted: Vec<f64> = holdout.iter().map(|t| model.predict(space, &t.config)).collect();
+    Some(SurrogateQuality {
+        kendall_tau: kendall_tau(&truth, &predicted),
+        spearman_rho: spearman_rho(&truth, &predicted),
+        top8_recall: top_k_recall(&truth, &predicted, 8.min(truth.len())),
+        holdout: holdout.len(),
+    })
+}
+
+/// Learning curve: surrogate quality at increasing training-prefix sizes.
+/// Points where the holdout would be too small are omitted.
+#[must_use]
+pub fn learning_curve(space: &SearchSpace, history: &TuningHistory, prefixes: &[usize], seed: u64) -> Vec<(usize, SurrogateQuality)> {
+    prefixes
+        .iter()
+        .filter_map(|&n| holdout_quality(space, history, n, seed).map(|q| (n, q)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Trial;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::Measurer;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn measured_history(n: usize) -> (SearchSpace, TuningHistory) {
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("RTX 2070 Super").unwrap().clone(), 3);
+        let mut history = TuningHistory::new("RTX 2070 Super", &task.id.model, task.id.index, task.template);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..n {
+            let c = space.sample_uniform(&mut rng);
+            history.push(Trial::from_measure(&measurer.measure(&space, &c)));
+        }
+        (space, history)
+    }
+
+    #[test]
+    fn trained_surrogate_ranks_clearly_better_than_chance() {
+        let (space, history) = measured_history(400);
+        let quality = holdout_quality(&space, &history, 300, 1).unwrap();
+        assert!(quality.kendall_tau > 0.3, "tau {}", quality.kendall_tau);
+        assert!(quality.spearman_rho > 0.4, "rho {}", quality.spearman_rho);
+        assert_eq!(quality.holdout, 100);
+    }
+
+    #[test]
+    fn quality_improves_with_more_training_data() {
+        let (space, history) = measured_history(400);
+        let curve = learning_curve(&space, &history, &[30, 300], 1);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1].1.spearman_rho >= curve[0].1.spearman_rho - 0.1, "{curve:?}");
+    }
+
+    #[test]
+    fn tiny_histories_yield_none() {
+        let (space, history) = measured_history(10);
+        assert!(holdout_quality(&space, &history, 8, 1).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Portfolio tuning: interleave several tuners and let measured progress
+//! decide who gets the next slice of budget.
+//!
+//! Algorithm selection is the classic answer when no single search strategy
+//! dominates every (hardware, layer) pair — which is precisely the premise
+//! behind the paper's Fig. 1. The portfolio runs each member tuner in
+//! fixed-size slices and allocates the remaining budget by UCB1 over the
+//! per-slice improvement each member has delivered.
+//!
+//! Because the [`Tuner`] trait consumes its context, members are modeled as
+//! *factories*: each slice constructs a fresh member over a shared journal
+//! prefix (the measured history is shared through the [`TuneContext`]'s
+//! dedup, so members build on one another's measurements).
+
+use crate::context::{TuneContext, Tuner, TuningOutcome};
+use crate::Budget;
+
+/// One member of the portfolio: a display name plus a factory for a boxed
+/// tuner instance.
+pub struct Member {
+    name: &'static str,
+    build: Box<dyn Fn() -> Box<dyn Tuner> + Send + Sync>,
+}
+
+impl Member {
+    /// Creates a member from a factory closure.
+    pub fn new<F>(name: &'static str, build: F) -> Self
+    where
+        F: Fn() -> Box<dyn Tuner> + Send + Sync + 'static,
+    {
+        Self { name, build: Box::new(build) }
+    }
+
+    /// Member display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.name
+    }
+}
+
+impl std::fmt::Debug for Member {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Member").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// The portfolio tuner.
+#[derive(Debug)]
+pub struct PortfolioTuner {
+    members: Vec<Member>,
+    /// Measurements granted per slice.
+    pub slice: usize,
+    /// UCB exploration coefficient.
+    pub exploration: f64,
+}
+
+impl PortfolioTuner {
+    /// Creates a portfolio over `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    #[must_use]
+    pub fn new(members: Vec<Member>) -> Self {
+        assert!(!members.is_empty(), "portfolio needs at least one member");
+        Self { members, slice: 32, exploration: 0.4 }
+    }
+}
+
+impl Tuner for PortfolioTuner {
+    fn name(&self) -> &str {
+        "Portfolio"
+    }
+
+    fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
+        let n = self.members.len();
+        let mut plays = vec![0usize; n];
+        let mut gains = vec![0.0f64; n];
+        let mut round = 0usize;
+        while !ctx.exhausted() {
+            // UCB1 with unplayed-first.
+            let pick = (0..n).find(|&i| plays[i] == 0).unwrap_or_else(|| {
+                let total: usize = plays.iter().sum();
+                (0..n)
+                    .max_by(|&a, &b| {
+                        let score = |i: usize| {
+                            gains[i] / plays[i] as f64 + self.exploration * ((total as f64).ln() / plays[i] as f64).sqrt()
+                        };
+                        score(a).partial_cmp(&score(b)).expect("finite UCB scores")
+                    })
+                    .expect("nonempty members")
+            });
+
+            // Run the member for one slice in a sub-context sharing our
+            // measurer (the clock and noise stream carry across slices).
+            let before_best = ctx.history().best_gflops();
+            let slice_budget = Budget::measurements(self.slice.min(ctx.remaining().max(1)));
+            let sub = TuneContext::new(ctx.task, ctx.space, ctx.measurer, slice_budget, ctx.seed.wrapping_add(round as u64 * 7919));
+            let outcome = (self.members[pick].build)().tune(sub);
+            round += 1;
+            // Fold the slice's trials into the main journal.
+            ctx.add_explorer_steps(outcome.explorer_steps);
+            for trial in &outcome.history.trials {
+                if ctx.exhausted() {
+                    break;
+                }
+                ctx.absorb(trial.clone());
+            }
+            let improvement = (ctx.history().best_gflops() - before_best).max(0.0);
+            plays[pick] += 1;
+            gains[pick] += improvement / before_best.max(1.0);
+        }
+        ctx.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autotvm::AutoTvmTuner;
+    use crate::genetic::GeneticTuner;
+    use crate::random::RandomTuner;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::Measurer;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+
+    fn members() -> Vec<Member> {
+        vec![
+            Member::new("autotvm", || Box::new(AutoTvmTuner::new())),
+            Member::new("genetic", || Box::new(GeneticTuner::new())),
+            Member::new("random", || Box::new(RandomTuner::new())),
+        ]
+    }
+
+    fn run(budget: usize, seed: u64) -> TuningOutcome {
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("GTX 1080 Ti").unwrap().clone(), seed);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(budget), seed);
+        PortfolioTuner::new(members()).tune(ctx)
+    }
+
+    #[test]
+    fn portfolio_spends_the_budget_and_finds_valid_configs() {
+        let outcome = run(128, 1);
+        assert_eq!(outcome.tuner, "Portfolio");
+        assert!(outcome.measurements <= 128);
+        assert!(outcome.measurements >= 96, "portfolio under-spent: {}", outcome.measurements);
+        assert!(outcome.best_gflops > 0.0);
+    }
+
+    #[test]
+    fn portfolio_is_at_least_as_good_as_pure_random() {
+        let portfolio = run(128, 2);
+        let mut measurer = Measurer::new(database::find("GTX 1080 Ti").unwrap().clone(), 2);
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(128), 2);
+        let random = RandomTuner::new().tune(ctx);
+        assert!(portfolio.best_gflops >= 0.8 * random.best_gflops, "portfolio {} vs random {}", portfolio.best_gflops, random.best_gflops);
+    }
+
+    #[test]
+    #[should_panic(expected = "portfolio needs at least one member")]
+    fn empty_portfolio_is_rejected() {
+        let _ = PortfolioTuner::new(Vec::new());
+    }
+}

@@ -1,0 +1,111 @@
+//! Replay tuning: re-issue a recorded journal's configurations verbatim.
+//!
+//! Two production uses, both borrowed from how TVM logs are used in
+//! practice: (a) *re-measurement* — validate a past run's winners on a
+//! fresh measurement channel (different noise seed, recalibrated device);
+//! (b) *regression pinning* — CI replays a golden journal and compares
+//! outcomes, catching accidental behavior changes in the measurement stack.
+
+use crate::context::{TuneContext, Tuner, TuningOutcome};
+use crate::history::TuningHistory;
+
+/// Replays the configurations of a recorded history, in order.
+#[derive(Debug, Clone)]
+pub struct ReplayTuner {
+    source: TuningHistory,
+}
+
+impl ReplayTuner {
+    /// Creates a replayer for `source`.
+    #[must_use]
+    pub fn new(source: TuningHistory) -> Self {
+        Self { source }
+    }
+
+    /// The journal being replayed.
+    #[must_use]
+    pub fn source(&self) -> &TuningHistory {
+        &self.source
+    }
+}
+
+impl Tuner for ReplayTuner {
+    fn name(&self) -> &str {
+        "Replay"
+    }
+
+    fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
+        for trial in &self.source.trials {
+            if ctx.exhausted() {
+                break;
+            }
+            ctx.measure(&trial.config);
+        }
+        ctx.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::random::RandomTuner;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::Measurer;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+
+    fn recorded_run(seed: u64) -> TuningOutcome {
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), seed);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(40), seed);
+        RandomTuner::new().tune(ctx)
+    }
+
+    #[test]
+    fn replay_visits_identical_configs() {
+        let original = recorded_run(1);
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), 999); // different noise
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(40), 999);
+        let replayed = ReplayTuner::new(original.history.clone()).tune(ctx);
+        assert_eq!(replayed.measurements, original.measurements);
+        for (a, b) in replayed.history.trials.iter().zip(&original.history.trials) {
+            assert_eq!(a.config, b.config);
+        }
+    }
+
+    #[test]
+    fn replay_under_different_noise_stays_close() {
+        let original = recorded_run(2);
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), 31337);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(40), 31337);
+        let replayed = ReplayTuner::new(original.history.clone()).tune(ctx);
+        // Validity pattern is deterministic; throughputs differ only by noise.
+        for (a, b) in replayed.history.trials.iter().zip(&original.history.trials) {
+            assert_eq!(a.is_valid(), b.is_valid());
+            if let (Some(x), Some(y)) = (a.gflops, b.gflops) {
+                assert!((x / y - 1.0).abs() < 0.2, "replay diverged: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_respects_tighter_budget() {
+        let original = recorded_run(3);
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(database::find("Titan Xp").unwrap().clone(), 5);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(10), 5);
+        let replayed = ReplayTuner::new(original.history).tune(ctx);
+        assert_eq!(replayed.measurements, 10);
+    }
+}

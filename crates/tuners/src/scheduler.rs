@@ -1,0 +1,190 @@
+//! Cross-task budget scheduling: where should the next measurement go?
+//!
+//! A model is many tasks (Table 1), and a fixed compilation budget can be
+//! spent uniformly or *where it buys the most end-to-end latency* — the
+//! idea behind dynamic tensor-program optimization (DynaTune, ICLR '21,
+//! which the paper cites among the hardware-agnostic line). The scheduler
+//! here allocates measurement rounds across a model's tasks by expected
+//! latency gain, estimated from each task's remaining FLOPs at its current
+//! best throughput versus a diminishing-returns projection.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy across tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Equal rounds per task (what the paper's per-layer budgets do).
+    RoundRobin,
+    /// Rounds go to the task with the largest projected latency gain.
+    LatencyGain,
+}
+
+/// State of one schedulable task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskState {
+    /// Total weighted FLOPs of the task (occurrences folded in).
+    pub weighted_flops: f64,
+    /// Best throughput measured so far (GFLOPS), 0 before any success.
+    pub best_gflops: f64,
+    /// Rounds already granted.
+    pub rounds: usize,
+    /// Whether the task's tuner reported convergence.
+    pub converged: bool,
+}
+
+impl TaskState {
+    /// Current latency contribution in milliseconds (∞FLOPs at 0 GFLOPS is
+    /// capped by a conservative fallback, as in deployment).
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        const FALLBACK_GFLOPS: f64 = 50.0;
+        self.weighted_flops / self.best_gflops.max(FALLBACK_GFLOPS) / 1e6
+    }
+
+    /// Projected latency if one more round improves throughput by the
+    /// diminishing-returns factor `1 + g/(rounds+1)`.
+    fn projected_latency_ms(&self, gain_per_round: f64) -> f64 {
+        let improved = self.best_gflops.max(50.0) * (1.0 + gain_per_round / (self.rounds as f64 + 1.0));
+        self.weighted_flops / improved / 1e6
+    }
+}
+
+/// The budget scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskScheduler {
+    policy: SchedulePolicy,
+    tasks: Vec<TaskState>,
+    /// First-round optimistic relative gain (decays per round).
+    gain_per_round: f64,
+}
+
+impl TaskScheduler {
+    /// Creates a scheduler over tasks given their weighted FLOPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weighted_flops` is empty.
+    #[must_use]
+    pub fn new(policy: SchedulePolicy, weighted_flops: &[f64]) -> Self {
+        assert!(!weighted_flops.is_empty(), "need at least one task");
+        let tasks = weighted_flops
+            .iter()
+            .map(|&f| TaskState { weighted_flops: f, best_gflops: 0.0, rounds: 0, converged: false })
+            .collect();
+        Self { policy, tasks, gain_per_round: 0.5 }
+    }
+
+    /// Task states, in construction order.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskState] {
+        &self.tasks
+    }
+
+    /// Picks the task that should receive the next measurement round, or
+    /// `None` when every task has converged.
+    #[must_use]
+    pub fn next_task(&self) -> Option<usize> {
+        let open: Vec<usize> = (0..self.tasks.len()).filter(|&i| !self.tasks[i].converged).collect();
+        if open.is_empty() {
+            return None;
+        }
+        match self.policy {
+            SchedulePolicy::RoundRobin => open.iter().copied().min_by_key(|&i| self.tasks[i].rounds),
+            SchedulePolicy::LatencyGain => open.iter().copied().max_by(|&a, &b| {
+                let ga = self.tasks[a].latency_ms() - self.tasks[a].projected_latency_ms(self.gain_per_round);
+                let gb = self.tasks[b].latency_ms() - self.tasks[b].projected_latency_ms(self.gain_per_round);
+                ga.partial_cmp(&gb).expect("finite gains")
+            }),
+        }
+    }
+
+    /// Reports a round's result for a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn report(&mut self, task: usize, best_gflops: f64, converged: bool) {
+        let state = &mut self.tasks[task];
+        state.rounds += 1;
+        state.best_gflops = state.best_gflops.max(best_gflops);
+        state.converged = converged;
+    }
+
+    /// Current end-to-end latency estimate (ms) across all tasks.
+    #[must_use]
+    pub fn total_latency_ms(&self) -> f64 {
+        self.tasks.iter().map(TaskState::latency_ms).sum()
+    }
+
+    /// Whether every task has converged.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.tasks.iter().all(|t| t.converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flops() -> Vec<f64> {
+        vec![4.0e9, 1.0e9, 0.1e9] // one heavy task, one medium, one light
+    }
+
+    #[test]
+    fn round_robin_balances_rounds() {
+        let mut s = TaskScheduler::new(SchedulePolicy::RoundRobin, &flops());
+        for _ in 0..9 {
+            let i = s.next_task().unwrap();
+            s.report(i, 500.0, false);
+        }
+        assert!(s.tasks().iter().all(|t| t.rounds == 3), "{:?}", s.tasks());
+    }
+
+    #[test]
+    fn latency_gain_prioritizes_the_heavy_task() {
+        let mut s = TaskScheduler::new(SchedulePolicy::LatencyGain, &flops());
+        for _ in 0..9 {
+            let i = s.next_task().unwrap();
+            s.report(i, 500.0, false);
+        }
+        assert!(s.tasks()[0].rounds > s.tasks()[2].rounds, "{:?}", s.tasks());
+    }
+
+    #[test]
+    fn converged_tasks_get_no_more_rounds() {
+        let mut s = TaskScheduler::new(SchedulePolicy::RoundRobin, &flops());
+        s.report(0, 900.0, true);
+        for _ in 0..6 {
+            let i = s.next_task().unwrap();
+            assert_ne!(i, 0);
+            s.report(i, 500.0, false);
+        }
+    }
+
+    #[test]
+    fn all_converged_means_done() {
+        let mut s = TaskScheduler::new(SchedulePolicy::LatencyGain, &flops());
+        for i in 0..3 {
+            s.report(i, 700.0, true);
+        }
+        assert!(s.done());
+        assert_eq!(s.next_task(), None);
+    }
+
+    #[test]
+    fn total_latency_tracks_improvements() {
+        let mut s = TaskScheduler::new(SchedulePolicy::LatencyGain, &flops());
+        let before = s.total_latency_ms();
+        s.report(0, 2000.0, false);
+        let after = s.total_latency_ms();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn latency_uses_fallback_before_any_success() {
+        let s = TaskScheduler::new(SchedulePolicy::RoundRobin, &[1.0e9]);
+        // 1 GFLOP at the 50 GFLOPS fallback = 20 ms.
+        assert!((s.total_latency_ms() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Blueprint explorer: inspect the hardware embedding itself.
+//!
+//! ```sh
+//! cargo run --release --example blueprint_explorer
+//! ```
+//!
+//! Shows the Fig. 8 size/information-loss trade-off, the embedding of each
+//! evaluation GPU, nearest neighbors in Blueprint space (embeddings cluster
+//! by generation and scale), and how the decoded data-sheet values drive
+//! the hardware-aware sampler's thresholds.
+
+use glimpse_repro::core::blueprint::BlueprintCodec;
+use glimpse_repro::core::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
+use glimpse_repro::gpu_spec::{database, GpuSpec};
+
+fn main() {
+    let population: Vec<&GpuSpec> = database::all().iter().collect();
+
+    println!("Blueprint size vs information loss (Fig. 8):");
+    for point in BlueprintCodec::sweep(&population) {
+        let bar = "#".repeat((point.rmse * 60.0).round() as usize);
+        println!("  k={:<2} ({:>5.1}% size)  rmse {:.4} {bar}", point.components, point.size_fraction * 100.0, point.rmse);
+    }
+    let k = BlueprintCodec::recommended_components(&population);
+    println!("  operating point: k = {k} (<0.5% variance lost)\n");
+
+    let codec = BlueprintCodec::fit(&population, k).expect("codec");
+    println!("evaluation-GPU embeddings (first 4 of {k} dims):");
+    let blueprints: Vec<_> = database::all().iter().map(|g| codec.encode(g)).collect();
+    for gpu in database::evaluation_gpus() {
+        let bp = codec.encode(gpu);
+        let head: Vec<String> = bp.values.iter().take(4).map(|v| format!("{v:+.2}")).collect();
+        println!("  {:<16} [{}]", gpu.name, head.join(", "));
+    }
+
+    println!("\nnearest neighbors in Blueprint space:");
+    for gpu in database::evaluation_gpus() {
+        let me = codec.encode(gpu);
+        let mut dists: Vec<(&str, f64)> = blueprints
+            .iter()
+            .filter(|b| b.gpu != gpu.name)
+            .map(|b| {
+                let d: f64 = b.values.iter().zip(&me.values).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+                (b.gpu.as_str(), d)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        println!("  {:<16} -> {} (d={:.2}), {} (d={:.2})", gpu.name, dists[0].0, dists[0].1, dists[1].0, dists[1].1);
+    }
+
+    println!("\nsampler thresholds generated from each Blueprint (§3.3):");
+    for gpu in database::evaluation_gpus() {
+        let bp = codec.encode(gpu);
+        let sampler = EnsembleSampler::from_blueprint(&codec, &bp, DEFAULT_MEMBERS, DEFAULT_TAU);
+        let decoded = codec.decode(&bp);
+        println!(
+            "  {:<16} {} members, tau={:.2}; decoded smem/SM {:.0} KiB (sheet {} KiB), decoded threads/SM {:.0} (sheet {})",
+            gpu.name,
+            sampler.len(),
+            sampler.tau(),
+            decoded.get("shared_mem_per_sm_kib").unwrap(),
+            gpu.shared_mem_per_sm_kib,
+            decoded.get("max_threads_per_sm").unwrap(),
+            gpu.max_threads_per_sm,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Bring-your-own data sheet: tune for a GPU that is in *nobody's*
+//! database.
+//!
+//! ```sh
+//! cargo run --release --example custom_gpu [path/to/sheet.txt]
+//! ```
+//!
+//! This is the deployment story the paper's conclusion points at ("cope
+//! with the constant evolution of the hardware"): a new GPU ships, you copy
+//! its public data sheet into a text file, and the already-trained Glimpse
+//! artifacts adapt through the Blueprint alone — no re-training, no code
+//! change. Without a path argument, a built-in hypothetical "RTX 4070-ish"
+//! sheet is used.
+
+use glimpse_repro::core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_repro::core::tuner::GlimpseTuner;
+use glimpse_repro::gpu_spec::{database, datasheet};
+use glimpse_repro::sim::Measurer;
+use glimpse_repro::space::templates;
+use glimpse_repro::tensor_prog::models;
+use glimpse_repro::tuners::random::RandomTuner;
+use glimpse_repro::tuners::{Budget, TuneContext, Tuner};
+
+const BUILTIN_SHEET: &str = "\
+# A hypothetical next-generation part, straight from a vendor page.
+name: Custom GPU X
+generation: Ampere
+sm_count: 46
+cores_per_sm: 128
+base_clock_mhz: 1920
+boost_clock_mhz: 2475
+mem_bandwidth_gb_s: 504
+mem_bus_bits: 192
+mem_size_gib: 12
+l2_cache_kib: 8192
+tdp_w: 200
+";
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => BUILTIN_SHEET.to_owned(),
+    };
+    let gpu = datasheet::parse_sheet(&text).unwrap_or_else(|e| {
+        eprintln!("bad data sheet: {e}");
+        std::process::exit(1);
+    });
+    println!("parsed sheet: {gpu}");
+
+    // Artifacts trained on the stock database only — the custom GPU has
+    // never been seen by any component.
+    println!("meta-training artifacts on the stock 24-GPU database ...");
+    let trainers: Vec<&glimpse_repro::gpu_spec::GpuSpec> = database::all().iter().collect();
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42);
+    let blueprint = artifacts.encode(&gpu);
+    println!("blueprint for the unseen part: {blueprint}");
+
+    let model = models::resnet18();
+    let task = &model.tasks()[1];
+    let space = templates::space_for_task(task);
+    println!("task: {task}\n");
+
+    let budget = Budget::measurements(96);
+    let mut measurer = Measurer::new(gpu.clone(), 7);
+    let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
+    let glimpse = GlimpseTuner::new(&artifacts, &gpu).tune(ctx);
+
+    let mut measurer = Measurer::new(gpu.clone(), 7);
+    let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
+    let random = RandomTuner::new().tune(ctx);
+
+    println!("{:<10} {:>12} {:>9} {:>13}", "tuner", "best GFLOPS", "invalid", "GPU seconds");
+    for outcome in [&glimpse, &random] {
+        println!(
+            "{:<10} {:>12.0} {:>9} {:>13.1}",
+            outcome.tuner, outcome.best_gflops, outcome.invalid_measurements, outcome.gpu_seconds
+        );
+    }
+    println!(
+        "\nOn a GPU no component ever saw, the Blueprint still bought {:.1}x better\ninitial+guided search than blind sampling at the same budget.",
+        glimpse.best_gflops / random.best_gflops.max(1e-9)
+    );
+}

@@ -1,0 +1,77 @@
+//! Deployment scenario: compile a full DNN for a target GPU and report
+//! end-to-end inference latency.
+//!
+//! ```sh
+//! cargo run --release --example deploy_model -- [alexnet|resnet18|vgg16] [gpu name]
+//! ```
+//!
+//! This is the deployment engineer's workflow of §2: every task of the
+//! model is tuned (both the direct and Winograd template for eligible
+//! convolutions), the faster implementation is kept per layer, and the
+//! per-layer latencies are folded into the model's inference latency.
+
+use glimpse_repro::core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_repro::core::tuner::GlimpseTuner;
+use glimpse_repro::gpu_spec::database;
+use glimpse_repro::sim::Measurer;
+use glimpse_repro::space::templates;
+use glimpse_repro::tensor_prog::{models, OpSpec, TemplateKind};
+use glimpse_repro::tuners::{Budget, TuneContext, Tuner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_name = args.get(1).map_or("resnet18", String::as_str);
+    let gpu_name = args.get(2).map_or("RTX 2070 Super", String::as_str);
+
+    let model = models::find(model_name).unwrap_or_else(|| {
+        eprintln!("unknown model {model_name}; use alexnet | resnet18 | vgg16");
+        std::process::exit(1);
+    });
+    let target = database::find(gpu_name).unwrap_or_else(|| {
+        eprintln!("unknown GPU {gpu_name}; see glimpse_gpu_spec::database");
+        std::process::exit(1);
+    });
+
+    println!("deploying {} on {target}", model.name());
+    println!("meta-training artifacts (one-off, leave-one-out) ...");
+    let gpus = database::training_gpus(&target.name);
+    let artifacts = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42);
+
+    let budget_per_task = Budget::measurements(96);
+    let mut bests: Vec<(usize, TemplateKind, OpSpec, f64)> = Vec::new();
+    let mut total_gpu_s = 0.0;
+    for task in model.tasks() {
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(target.clone(), 11);
+        let ctx = TuneContext::new(task, &space, &mut measurer, budget_per_task, 11);
+        let outcome = GlimpseTuner::new(&artifacts, target).tune(ctx);
+        println!(
+            "  L{:<2} {:<16} {:>8.0} GFLOPS  ({} measurements, {} invalid)",
+            task.id.index,
+            task.template.to_string(),
+            outcome.best_gflops,
+            outcome.measurements,
+            outcome.invalid_measurements
+        );
+        total_gpu_s += outcome.gpu_seconds;
+        bests.push((task.id.index, task.template, task.op, outcome.best_gflops));
+    }
+
+    // Fold per-task results into end-to-end latency: eligible convolutions
+    // keep the faster of (direct, winograd).
+    let mut latency_ms = 0.0;
+    for task in model.tasks() {
+        if task.template == TemplateKind::Conv2dWinograd {
+            continue;
+        }
+        let direct = bests.iter().find(|(i, ..)| *i == task.id.index).expect("tuned").3;
+        let wino = bests
+            .iter()
+            .find(|(_, tpl, op, _)| *tpl == TemplateKind::Conv2dWinograd && *op == task.op)
+            .map_or(0.0, |(.., g)| *g);
+        let chosen = direct.max(wino).max(50.0);
+        latency_ms += task.latency_ms(chosen);
+    }
+    println!("\ncompilation used {:.1} simulated GPU minutes", total_gpu_s / 60.0);
+    println!("end-to-end {} inference latency on {}: {:.3} ms", model.name(), target.name, latency_ms);
+}

@@ -1,0 +1,72 @@
+//! Quickstart: tune one convolution layer on one GPU with Glimpse.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline: pick a GPU from the data-sheet database, train
+//! the offline artifacts (Blueprint codec + prior generator + acquisition)
+//! on *other* GPUs, then tune a ResNet-18 convolution and compare against
+//! plain AutoTVM at the same measurement budget.
+
+use glimpse_repro::core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_repro::core::tuner::GlimpseTuner;
+use glimpse_repro::gpu_spec::database;
+use glimpse_repro::sim::Measurer;
+use glimpse_repro::space::templates;
+use glimpse_repro::tensor_prog::models;
+use glimpse_repro::tuners::autotvm::AutoTvmTuner;
+use glimpse_repro::tuners::{Budget, TuneContext, Tuner};
+
+fn main() {
+    // 1. The target GPU, straight from the public data-sheet database.
+    let target = database::find("RTX 2080 Ti").expect("GPU in database");
+    println!("target: {target}");
+
+    // 2. Offline (one-off): meta-train Glimpse's artifacts on every *other*
+    //    GPU in the database — the target is never seen during training.
+    //    (`TrainingOptions::fast()` keeps this example snappy; the figure
+    //    harnesses use the full-size defaults.)
+    println!("meta-training artifacts (leave-one-out) ...");
+    let gpus = database::training_gpus(&target.name);
+    let artifacts = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42);
+    println!("blueprint: {}", artifacts.encode(target));
+
+    // 3. Pick a task: the 3x3 stride-1 convolution of ResNet-18's stage 1.
+    let model = models::resnet18();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    println!("task: {task}");
+    println!("search space: {} configurations", space.size());
+
+    // 4. Run-to-quality, the paper's comparison mode: each compiler runs
+    //    until its output code reaches 90 % of the near-exhaustive optimum
+    //    (or a hard measurement cap), and we compare the GPU time burned.
+    let oracle = Measurer::new(target.clone(), 7).oracle_best(&space, 20_000, 7).1;
+    let budget = Budget::measurements(384).with_target(0.9 * oracle);
+    println!("quality target: {:.0} GFLOPS (90% of the near-exhaustive best {:.0})", 0.9 * oracle, oracle);
+
+    let mut measurer = Measurer::new(target.clone(), 7);
+    let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
+    let glimpse = GlimpseTuner::new(&artifacts, target).tune(ctx);
+
+    let mut measurer = Measurer::new(target.clone(), 7);
+    let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
+    let autotvm = AutoTvmTuner::new().tune(ctx);
+
+    println!("\n               best GFLOPS  measurements  invalid  explorer steps  GPU seconds");
+    for outcome in [&glimpse, &autotvm] {
+        println!(
+            "{:<12} {:>12.0} {:>13} {:>8} {:>15} {:>12.1}",
+            outcome.tuner, outcome.best_gflops, outcome.measurements, outcome.invalid_measurements, outcome.explorer_steps, outcome.gpu_seconds
+        );
+    }
+    let speedup = autotvm.gpu_seconds / glimpse.gpu_seconds.max(1e-9);
+    println!("\nGlimpse reached the quality target in {speedup:.2}x less GPU time.");
+    if let Some(config) = &glimpse.best_config {
+        println!("best configuration knob values:");
+        for (knob, value) in space.knobs().iter().zip(space.values(config)) {
+            println!("  {:<22} = {value}", knob.name());
+        }
+    }
+}

@@ -49,7 +49,11 @@ fn bench_components(c: &mut Criterion) {
     });
 
     c.bench_function("sampler_filter_batch64", |b| {
-        b.iter_batched(|| configs.clone(), |batch| std::hint::black_box(sampler.filter(&space, batch)), BatchSize::SmallInput)
+        b.iter_batched(
+            || configs.clone(),
+            |batch| std::hint::black_box(sampler.filter(&space, batch)),
+            BatchSize::SmallInput,
+        )
     });
 
     c.bench_function("chameleon_clustering_batch64", |b| {

@@ -39,8 +39,8 @@ fn run(config: GlimpseConfig, artifacts: &glimpse_core::GlimpseArtifacts, gpu_na
 
 fn summarize(name: &str, outcomes: &[TuningOutcome], oracles: &[f64]) -> Vec<String> {
     let quality: Vec<f64> = outcomes.iter().zip(oracles).map(|(o, or)| (o.best_gflops / or).max(1e-3)).collect();
-    let invalid: f64 = outcomes.iter().map(|o| o.invalid_measurements as f64).sum::<f64>()
-        / outcomes.iter().map(|o| o.measurements as f64).sum::<f64>();
+    let invalid: f64 =
+        outcomes.iter().map(|o| o.invalid_measurements as f64).sum::<f64>() / outcomes.iter().map(|o| o.measurements as f64).sum::<f64>();
     let steps: usize = outcomes.iter().map(|o| o.explorer_steps).sum();
     vec![
         name.to_owned(),
@@ -70,12 +70,28 @@ fn main() {
     ));
     rows.push(summarize(
         "  - neural acquisition (raw surrogate)",
-        &run(GlimpseConfig { use_acquisition: false, ..base }, &artifacts, gpu_name, 3),
+        &run(
+            GlimpseConfig {
+                use_acquisition: false,
+                ..base
+            },
+            &artifacts,
+            gpu_name,
+            3,
+        ),
         &oracles,
     ));
     rows.push(summarize(
         "  - hardware-aware sampler",
-        &run(GlimpseConfig { use_sampler: false, ..base }, &artifacts, gpu_name, 3),
+        &run(
+            GlimpseConfig {
+                use_sampler: false,
+                ..base
+            },
+            &artifacts,
+            gpu_name,
+            3,
+        ),
         &oracles,
     ));
     println!("{}", report::table(&headers, &rows));
@@ -84,16 +100,27 @@ fn main() {
     let mut tau_rows = Vec::new();
     for tau in [0.0, 1.0 / 6.0, 1.0 / 3.0, 0.5, 0.8] {
         let config = GlimpseConfig { tau, ..base };
-        tau_rows.push(summarize(&format!("tau = {tau:.2}"), &run(config, &artifacts, gpu_name, 4), &oracles));
+        tau_rows.push(summarize(
+            &format!("tau = {tau:.2}"),
+            &run(config, &artifacts, gpu_name, 4),
+            &oracles,
+        ));
     }
     println!("{}", report::table(&headers, &tau_rows));
 
     println!("Blueprint dimensionality (ties to Fig. 8):\n");
     let mut dim_rows = Vec::new();
     for dim in [2usize, 4, 6, 10] {
-        let options = TrainingOptions { blueprint_dim: dim, ..TrainingOptions::default() };
+        let options = TrainingOptions {
+            blueprint_dim: dim,
+            ..TrainingOptions::default()
+        };
         let arts = cached_artifacts_with(gpu, options, ARTIFACT_SEED, &format!("dim{dim}"));
-        dim_rows.push(summarize(&format!("blueprint dim = {dim}"), &run(base, &arts, gpu_name, 5), &oracles));
+        dim_rows.push(summarize(
+            &format!("blueprint dim = {dim}"),
+            &run(base, &arts, gpu_name, 5),
+            &oracles,
+        ));
     }
     println!("{}", report::table(&headers, &dim_rows));
 }

@@ -5,7 +5,23 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["table1", "fig8", "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "table2", "fig5", "ablation", "extrapolation", "diagnostics", "report_md"];
+    let bins = [
+        "table1",
+        "fig8",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig9",
+        "table2",
+        "fig5",
+        "ablation",
+        "extrapolation",
+        "diagnostics",
+        "report_md",
+    ];
     for bin in bins {
         println!("\n================================================================");
         println!("== {bin}");

@@ -42,7 +42,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", report::table(&["train n", "Kendall tau", "Spearman rho", "top-8 recall", "holdout"], &rows));
+    println!(
+        "{}",
+        report::table(&["train n", "Kendall tau", "Spearman rho", "top-8 recall", "holdout"], &rows)
+    );
 
     // Sampler confusion matrix on each evaluation GPU.
     println!("Hardware-aware sampler confusion (2000 uniform configs per GPU):\n");
@@ -78,7 +81,15 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["GPU", "caught invalid", "leaked invalid", "rejected valid", "passed valid", "recall", "false-reject"],
+            &[
+                "GPU",
+                "caught invalid",
+                "leaked invalid",
+                "rejected valid",
+                "passed valid",
+                "recall",
+                "false-reject"
+            ],
             &rows
         )
     );

@@ -64,7 +64,10 @@ fn main() {
         let prior = artifacts.prior(task.template);
         let mut rng = StdRng::seed_from_u64(5);
         let prior_batch = prior.sample_initial(&space, &blueprint, 64, &mut rng);
-        let prior_best = prior_batch.iter().filter_map(|c| perf.throughput_gflops(&space, c)).fold(0.0f64, f64::max);
+        let prior_best = prior_batch
+            .iter()
+            .filter_map(|c| perf.throughput_gflops(&space, c))
+            .fold(0.0f64, f64::max);
         let prior_valid = prior_batch.iter().filter(|c| perf.throughput_gflops(&space, c).is_some()).count();
         let random_best = (0..64)
             .filter_map(|_| {
@@ -94,7 +97,13 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["hypothetical GPU", "scale", "prior best (vs oracle)", "prior valid", "random best (vs oracle)"],
+            &[
+                "hypothetical GPU",
+                "scale",
+                "prior best (vs oracle)",
+                "prior valid",
+                "random best (vs oracle)"
+            ],
             &rows
         )
     );

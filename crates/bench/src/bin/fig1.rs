@@ -27,7 +27,7 @@ fn near_exhaustive_best(model: &PerfModel, space: &SearchSpace, seed: u64) -> (C
     for _ in 0..SAMPLES {
         let c = space.sample_uniform(&mut rng);
         if let Some(g) = model.throughput_gflops(space, &c) {
-            if best.as_ref().map_or(true, |(_, b)| g > *b) {
+            if best.as_ref().is_none_or(|(_, b)| g > *b) {
                 best = Some((c, g));
             }
         }
@@ -78,8 +78,16 @@ fn main() {
     let slow_b = (1.0 - ti_on_titan / titan_best) * 100.0;
 
     let rows = vec![
-        vec!["Titan Xp optimum on Titan Xp".into(), format!("{titan_best:.0} GFLOPS"), String::new()],
-        vec!["RTX 2080 Ti optimum on RTX 2080 Ti".into(), format!("{ti_best:.0} GFLOPS"), String::new()],
+        vec![
+            "Titan Xp optimum on Titan Xp".into(),
+            format!("{titan_best:.0} GFLOPS"),
+            String::new(),
+        ],
+        vec![
+            "RTX 2080 Ti optimum on RTX 2080 Ti".into(),
+            format!("{ti_best:.0} GFLOPS"),
+            String::new(),
+        ],
         vec![
             "Titan Xp optimum -> RTX 2080 Ti".into(),
             format!("{titan_on_ti:.0} GFLOPS"),

@@ -40,13 +40,14 @@ fn main() {
     let outcome = GlimpseTuner::new(&artifacts, target).tune(ctx);
     println!(
         "  -> prior H seeded {} initial configs; explorer ran {} steps; sampler let {} invalid through\n",
-        16,
-        outcome.explorer_steps,
-        outcome.invalid_measurements
+        16, outcome.explorer_steps, outcome.invalid_measurements
     );
 
     println!("[Real HW measurements]      glimpse_sim::Measurer (simulated fleet)");
-    println!("  -> {} measurements, {:.1} simulated GPU seconds\n", outcome.measurements, outcome.gpu_seconds);
+    println!(
+        "  -> {} measurements, {:.1} simulated GPU seconds\n",
+        outcome.measurements, outcome.gpu_seconds
+    );
 
     println!("[Binary]                    best configuration");
     if let Some(best) = &outcome.best_config {

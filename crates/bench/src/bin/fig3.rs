@@ -7,9 +7,9 @@
 use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
 use glimpse_core::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
 use glimpse_gpu_spec::database;
+use glimpse_mlkit::stats::child_rng;
 use glimpse_space::templates;
 use glimpse_tensor_prog::models;
-use glimpse_mlkit::stats::child_rng;
 
 fn main() {
     println!("Figure 3 — Glimpse's components, instantiated\n");
@@ -31,8 +31,15 @@ fn main() {
     println!("(1) Prior Distribution Generator  glimpse_core::prior::PriorNet");
     let prior = artifacts.prior(space.template());
     let initial = prior.sample_initial(&space, &blueprint, 8, &mut rng);
-    println!("  H(layer, blueprint) -> {} per-dimension heads; initial batch of {}", prior.layout().heads().len(), initial.len());
-    println!("  entropy of the product prior: {:.3} (1.0 = uniform)\n", prior.prior_entropy(&space, &blueprint));
+    println!(
+        "  H(layer, blueprint) -> {} per-dimension heads; initial batch of {}",
+        prior.layout().heads().len(),
+        initial.len()
+    );
+    println!(
+        "  entropy of the product prior: {:.3} (1.0 = uniform)\n",
+        prior.prior_entropy(&space, &blueprint)
+    );
 
     println!("(2) Hardware-Aware Exploration    glimpse_core::acquisition::NeuralAcquisition");
     let acq = artifacts.acquisition(space.template());

@@ -64,7 +64,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", report::table(&["sampler", "best GFLOPS", "median GFLOPS", "valid", "best vs oracle"], &rows));
+        println!(
+            "{}",
+            report::table(&["sampler", "best GFLOPS", "median GFLOPS", "valid", "best vs oracle"], &rows)
+        );
         payload.push(serde_json::json!({
             "gpu": gpu_name,
             "model": model_name,

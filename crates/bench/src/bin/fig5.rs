@@ -36,11 +36,7 @@ fn main() {
                 let result = run_model(kind, gpu, model, Some(&artifacts), transfer, mode, 909);
                 // Output-code quality proxy: geomean over tasks of
                 // best/oracle (robust across layers of different scale).
-                let per_task: Vec<f64> = result
-                    .tasks
-                    .iter()
-                    .map(|t| (t.best_gflops / t.oracle_gflops).max(1e-3))
-                    .collect();
+                let per_task: Vec<f64> = result.tasks.iter().map(|t| (t.best_gflops / t.oracle_gflops).max(1e-3)).collect();
                 scores.push(geomean(&per_task));
             }
             let tl_ratio = scores[1] / scores[0];

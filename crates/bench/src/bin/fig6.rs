@@ -19,7 +19,10 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
     for gpu in &gpus {
         for model in &models {
-            let auto = e2e.get(TunerKind::AutoTvm, &gpu.name, model.name()).expect("autotvm run").explorer_steps() as f64;
+            let auto = e2e
+                .get(TunerKind::AutoTvm, &gpu.name, model.name())
+                .expect("autotvm run")
+                .explorer_steps() as f64;
             let mut row = vec![gpu.name.clone(), model.name().to_owned()];
             for (k, kind) in kinds.iter().enumerate() {
                 let steps = e2e.get(*kind, &gpu.name, model.name()).expect("run present").explorer_steps() as f64;

@@ -24,12 +24,22 @@ fn main() {
                 report::percent(p.size_fraction),
                 format!("{:.4}", p.rmse),
                 report::percent(1.0 - p.explained_variance),
-                if p.components == recommended { "<= operating point (red star)".to_owned() } else { String::new() },
+                if p.components == recommended {
+                    "<= operating point (red star)".to_owned()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
-    println!("{}", report::table(&["components", "size", "RMSE (z-units)", "variance lost", ""], &rows));
-    println!("recommended Blueprint size: {recommended} components ({:.0}% of raw features)", 100.0 * recommended as f64 / sweep.len() as f64);
+    println!(
+        "{}",
+        report::table(&["components", "size", "RMSE (z-units)", "variance lost", ""], &rows)
+    );
+    println!(
+        "recommended Blueprint size: {recommended} components ({:.0}% of raw features)",
+        100.0 * recommended as f64 / sweep.len() as f64
+    );
 
     report::save_json(&glimpse_bench::experiment::results_dir(), "fig8", &sweep);
 }

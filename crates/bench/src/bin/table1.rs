@@ -39,6 +39,9 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", report::table(&["hardware", "generation (gencode)", "compute", "peak"], &gpu_rows));
+    println!(
+        "{}",
+        report::table(&["hardware", "generation (gencode)", "compute", "peak"], &gpu_rows)
+    );
     println!("training database: {} GPUs across {} generations", database::all().len(), 3);
 }

@@ -19,7 +19,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut payload = Vec::new();
     for model in &models {
-        let auto_hours: f64 = gpus.iter().map(|g| e2e.get(TunerKind::AutoTvm, &g.name, model.name()).expect("run").gpu_hours()).sum();
+        let auto_hours: f64 = gpus
+            .iter()
+            .map(|g| e2e.get(TunerKind::AutoTvm, &g.name, model.name()).expect("run").gpu_hours())
+            .sum();
         let auto_lat: f64 = gpus
             .iter()
             .map(|g| e2e.get(TunerKind::AutoTvm, &g.name, model.name()).expect("run").latency_ms)
@@ -30,8 +33,15 @@ fn main() {
             "model": model.name(), "autotvm_gpu_hours": auto_hours, "autotvm_latency_ms": auto_lat,
         });
         for kind in [TunerKind::Chameleon, TunerKind::Dgp, TunerKind::Glimpse] {
-            let hours: f64 = gpus.iter().map(|g| e2e.get(kind, &g.name, model.name()).expect("run").gpu_hours()).sum();
-            let lat: f64 = gpus.iter().map(|g| e2e.get(kind, &g.name, model.name()).expect("run").latency_ms).sum::<f64>() / gpus.len() as f64;
+            let hours: f64 = gpus
+                .iter()
+                .map(|g| e2e.get(kind, &g.name, model.name()).expect("run").gpu_hours())
+                .sum();
+            let lat: f64 = gpus
+                .iter()
+                .map(|g| e2e.get(kind, &g.name, model.name()).expect("run").latency_ms)
+                .sum::<f64>()
+                / gpus.len() as f64;
             let sr = 1.0 - hours / auto_hours;
             let ir = 1.0 - lat / auto_lat;
             let hv = sr * ir * 100.0;

@@ -29,7 +29,11 @@ pub const MEASUREMENT_CAP: usize = 768;
 pub fn mode_for(kind: TunerKind) -> BudgetMode {
     match kind {
         TunerKind::AutoTvm | TunerKind::AutoTvmTransfer | TunerKind::Random => BudgetMode::Measurements(AUTOTVM_TRIALS),
-        _ => BudgetMode::Converged { window: PLATEAU_WINDOW, epsilon: PLATEAU_EPSILON, cap: MEASUREMENT_CAP },
+        _ => BudgetMode::Converged {
+            window: PLATEAU_WINDOW,
+            epsilon: PLATEAU_EPSILON,
+            cap: MEASUREMENT_CAP,
+        },
     }
 }
 
@@ -121,7 +125,9 @@ pub fn end_to_end() -> EndToEnd {
             }
         }
     });
-    let e2e = EndToEnd { results: per_gpu.into_iter().flatten().collect() };
+    let e2e = EndToEnd {
+        results: per_gpu.into_iter().flatten().collect(),
+    };
     report::save_json(&dir, &format!("e2e-{RUN_SEED}"), &e2e);
     // The AutoTVM histories double as the transfer-learning donor corpus
     // (Fig. 5); persist them so that pass is free.
@@ -141,7 +147,11 @@ pub fn autotvm_log_store() -> LogStore {
         }
     }
     let (gpus, models) = evaluation_grid();
-    let mode = BudgetMode::Converged { window: PLATEAU_WINDOW, epsilon: PLATEAU_EPSILON, cap: MEASUREMENT_CAP };
+    let mode = BudgetMode::Converged {
+        window: PLATEAU_WINDOW,
+        epsilon: PLATEAU_EPSILON,
+        cap: MEASUREMENT_CAP,
+    };
     let mut store = LogStore::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = gpus

@@ -287,7 +287,13 @@ pub fn run_model(
         tasks.push(run);
     }
     let latency_ms = end_to_end_latency_ms(&bests);
-    ModelGpuResult { tuner: kind, gpu: gpu.name.clone(), model: model.name().to_owned(), tasks, latency_ms }
+    ModelGpuResult {
+        tuner: kind,
+        gpu: gpu.name.clone(),
+        model: model.name().to_owned(),
+        tasks,
+        latency_ms,
+    }
 }
 
 /// Reconstructs end-to-end model latency from per-task best throughputs.
@@ -349,7 +355,15 @@ mod tests {
         let model = models::alexnet();
         let task = &model.tasks()[2];
         let store = LogStore::new();
-        let (run, _) = run_task(TunerKind::AutoTvm, gpu, task, None, &store, BudgetMode::ToQuality { frac: 0.5, cap: 200 }, 2);
+        let (run, _) = run_task(
+            TunerKind::AutoTvm,
+            gpu,
+            task,
+            None,
+            &store,
+            BudgetMode::ToQuality { frac: 0.5, cap: 200 },
+            2,
+        );
         assert!(run.measurements <= 200);
         assert!(run.best_gflops >= 0.5 * run.oracle_gflops || run.measurements == 200);
     }

@@ -40,7 +40,11 @@ pub fn sparkline(label: &str, values: &[f64], max: f64) -> String {
     const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let mut out = format!("{label:<12} ");
     for v in values {
-        let idx = if max > 0.0 { ((v / max) * 8.0).round().clamp(0.0, 8.0) as usize } else { 0 };
+        let idx = if max > 0.0 {
+            ((v / max) * 8.0).round().clamp(0.0, 8.0) as usize
+        } else {
+            0
+        };
         out.push(GLYPHS[idx]);
     }
     out
@@ -54,7 +58,11 @@ pub fn heatmap(grid: &[Vec<f64>]) -> String {
     let mut out = String::new();
     for row in grid {
         for v in row {
-            let idx = if max > 0.0 { ((v / max) * 8.0).round().clamp(0.0, 8.0) as usize } else { 0 };
+            let idx = if max > 0.0 {
+                ((v / max) * 8.0).round().clamp(0.0, 8.0) as usize
+            } else {
+                0
+            };
             out.push(GLYPHS[idx]);
             out.push(' ');
         }
@@ -96,7 +104,10 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(&["a", "model"], &[vec!["1".into(), "AlexNet".into()], vec!["22".into(), "VGG-16".into()]]);
+        let t = table(
+            &["a", "model"],
+            &[vec!["1".into(), "AlexNet".into()], vec!["22".into(), "VGG-16".into()]],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));

@@ -5,7 +5,7 @@ use glimpse_core::blueprint::BlueprintCodec;
 use glimpse_core::explain;
 use glimpse_core::tuner::GlimpseTuner;
 use glimpse_gpu_spec::{database, datasheet, GpuSpec};
-use glimpse_sim::Measurer;
+use glimpse_sim::{DevicePool, FaultPlan, Measurer};
 use glimpse_space::templates;
 use glimpse_tensor_prog::{models, TemplateKind};
 use glimpse_tuners::autotvm::AutoTvmTuner;
@@ -31,11 +31,24 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --task <i>                      tune only task i
     --artifacts <path>              load/store meta-trained artifacts
     --full-training                 full-size offline training (slow)
+    --fault-plan <spec>             inject measurement faults, e.g.
+                                    timeout=0.1,launch=0.05,lost=0.02,dead=0.01
+    --fault-seed <n>                fault stream seed          default: 0
+  glimpse experiment <model> [opts] tune one task across a device fleet
+    --task <i>                      task to tune               default: 0
+    --tuner <autotvm|chameleon|dgp|random|genetic>            default: autotvm
+    --budget <n>                    measurements per device    default: 64
+    --gpus <a,b,c>                  fleet (default: the 4 evaluation GPUs)
+    --fault-plan <spec>             inject measurement faults (as above)
+    --fault-seed <n>                fault stream seed          default: 0
 ";
 
 /// `glimpse gpus`
 pub fn gpus() -> Result<(), String> {
-    println!("{:<18} {:<16} {:>5} {:>7} {:>10} {:>9} {:>7}", "name", "generation", "SMs", "cores", "GFLOPS", "GB/s", "TDP W");
+    println!(
+        "{:<18} {:<16} {:>5} {:>7} {:>10} {:>9} {:>7}",
+        "name", "generation", "SMs", "cores", "GFLOPS", "GB/s", "TDP W"
+    );
     for gpu in database::all() {
         println!(
             "{:<18} {:<16} {:>5} {:>7} {:>10.0} {:>9.0} {:>7.0}",
@@ -85,7 +98,10 @@ pub fn blueprint(args: &[String]) -> Result<(), String> {
     let codec = BlueprintCodec::fit(&population, k).map_err(|e| e.to_string())?;
     let bp = codec.encode(gpu);
     println!("{bp}");
-    println!("values: {:?}", bp.values.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "values: {:?}",
+        bp.values.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     let decoded = codec.decode(&bp);
     println!("\ndecoded data sheet (leave-one-out codec, {} components):", k);
     for name in glimpse_gpu_spec::features::FEATURE_NAMES {
@@ -97,11 +113,22 @@ pub fn blueprint(args: &[String]) -> Result<(), String> {
     println!("\ntraining fast artifacts for sensitivity analysis ...");
     let artifacts = GlimpseArtifacts::train_with(&population, TrainingOptions::fast(), 42);
     let space = templates::conv2d_direct_space(&glimpse_tensor_prog::Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
-    let report = explain::explain(&artifacts.codec, artifacts.prior(space.template()), &space, &artifacts.encode(gpu), 0.5);
+    let report = explain::explain(
+        &artifacts.codec,
+        artifacts.prior(space.template()),
+        &space,
+        &artifacts.encode(gpu),
+        0.5,
+    );
     println!("prior sensitivity per embedding dimension (3x3 conv template):");
     for dim in report.ranked() {
         let features: Vec<String> = dim.top_features.iter().map(|(n, _)| n.clone()).collect();
-        println!("  dim {:<2} TV {:.4}  loads on: {}", dim.dim, dim.prior_sensitivity, features.join(", "));
+        println!(
+            "  dim {:<2} TV {:.4}  loads on: {}",
+            dim.dim,
+            dim.prior_sensitivity,
+            features.join(", ")
+        );
     }
     Ok(())
 }
@@ -116,7 +143,11 @@ pub fn sheet(args: &[String]) -> Result<(), String> {
     let k = BlueprintCodec::recommended_components(&population);
     let codec = BlueprintCodec::fit(&population, k).map_err(|e| e.to_string())?;
     let bp = codec.encode(&spec);
-    println!("blueprint ({} components): {:?}", k, bp.values.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "blueprint ({} components): {:?}",
+        k,
+        bp.values.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     Ok(())
 }
 
@@ -146,10 +177,26 @@ struct TuneOptions {
     task: Option<usize>,
     artifacts_path: Option<PathBuf>,
     full_training: bool,
+    faults: FaultPlan,
+}
+
+/// Parses `--fault-plan`/`--fault-seed` values into a plan (seed applied
+/// after the rate spec so flag order doesn't matter).
+fn parse_fault_flags(spec: Option<&str>, seed: Option<&str>) -> Result<FaultPlan, String> {
+    let mut plan = match spec {
+        Some(s) => FaultPlan::parse(s)?,
+        None => FaultPlan::none(),
+    };
+    if let Some(s) = seed {
+        plan.seed = s.parse().map_err(|_| "--fault-seed must be an integer")?;
+    }
+    Ok(plan)
 }
 
 fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
     let mut positional = Vec::new();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed: Option<String> = None;
     let mut options = TuneOptions {
         model: String::new(),
         gpu: String::new(),
@@ -158,19 +205,31 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
         task: None,
         artifacts_path: None,
         full_training: false,
+        faults: FaultPlan::none(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--tuner" => options.tuner = it.next().ok_or("--tuner needs a value")?.clone(),
             "--budget" => {
-                options.budget = it.next().ok_or("--budget needs a value")?.parse().map_err(|_| "--budget must be an integer")?;
+                options.budget = it
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget must be an integer")?;
             }
             "--task" => {
-                options.task = Some(it.next().ok_or("--task needs a value")?.parse().map_err(|_| "--task must be an integer")?);
+                options.task = Some(
+                    it.next()
+                        .ok_or("--task needs a value")?
+                        .parse()
+                        .map_err(|_| "--task must be an integer")?,
+                );
             }
             "--artifacts" => options.artifacts_path = Some(PathBuf::from(it.next().ok_or("--artifacts needs a value")?)),
             "--full-training" => options.full_training = true,
+            "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
+            "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
@@ -180,6 +239,7 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
     }
     options.model = positional[0].clone();
     options.gpu = positional[1].clone();
+    options.faults = parse_fault_flags(fault_spec.as_deref(), fault_seed.as_deref())?;
     Ok(options)
 }
 
@@ -190,8 +250,15 @@ fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtif
             return GlimpseArtifacts::load(path).map_err(|e| e.to_string());
         }
     }
-    let training = if options.full_training { TrainingOptions::default() } else { TrainingOptions::fast() };
-    eprintln!("meta-training artifacts (leave-one-out{}) ...", if options.full_training { ", full size" } else { ", fast preset" });
+    let training = if options.full_training {
+        TrainingOptions::default()
+    } else {
+        TrainingOptions::fast()
+    };
+    eprintln!(
+        "meta-training artifacts (leave-one-out{}) ...",
+        if options.full_training { ", full size" } else { ", fast preset" }
+    );
     let population = database::training_gpus(&gpu.name);
     let artifacts = GlimpseArtifacts::train_with(&population, training, 42);
     if let Some(path) = &options.artifacts_path {
@@ -207,7 +274,11 @@ pub fn tune(args: &[String]) -> Result<(), String> {
     let gpu = find_gpu(&options.gpu)?;
     let model = models::find(&options.model).ok_or_else(|| format!("unknown model {:?}; `glimpse models` lists the zoo", options.model))?;
     let needs_artifacts = options.tuner == "glimpse";
-    let artifacts = if needs_artifacts { Some(obtain_artifacts(gpu, &options)?) } else { None };
+    let artifacts = if needs_artifacts {
+        Some(obtain_artifacts(gpu, &options)?)
+    } else {
+        None
+    };
 
     let tasks: Vec<usize> = match options.task {
         Some(i) if i < model.tasks().len() => vec![i],
@@ -215,37 +286,175 @@ pub fn tune(args: &[String]) -> Result<(), String> {
         None => (0..model.tasks().len()).collect(),
     };
 
-    println!("{:<5} {:<16} {:>10} {:>8} {:>9} {:>11}", "task", "template", "GFLOPS", "meas.", "invalid", "GPU seconds");
+    if options.faults.any() {
+        eprintln!(
+            "injecting faults (seed {}): {:?}",
+            options.faults.seed,
+            options.faults.rates_for(&gpu.name)
+        );
+    }
+    println!(
+        "{:<5} {:<16} {:>10} {:>8} {:>9} {:>8} {:>11}",
+        "task", "template", "GFLOPS", "meas.", "invalid", "faulted", "GPU seconds"
+    );
     let mut total_s = 0.0;
     for i in tasks {
         let task = &model.tasks()[i];
         let space = templates::space_for_task(task);
-        let mut measurer = Measurer::new(gpu.clone(), 7);
+        let mut measurer = Measurer::with_faults(gpu.clone(), 7, &options.faults);
         let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(options.budget), 7);
-        let outcome: TuningOutcome = match options.tuner.as_str() {
-            "glimpse" => GlimpseTuner::new(artifacts.as_ref().expect("artifacts built"), gpu).tune(ctx),
-            "autotvm" => AutoTvmTuner::new().tune(ctx),
-            "chameleon" => ChameleonTuner::new().tune(ctx),
-            "dgp" => DgpTuner::new().tune(ctx),
-            "random" => RandomTuner::new().tune(ctx),
-            "genetic" => GeneticTuner::new().tune(ctx),
-            other => return Err(format!("unknown tuner {other:?}")),
-        };
+        let outcome = run_tuner(&options.tuner, artifacts.as_ref(), gpu, ctx)?;
         total_s += outcome.gpu_seconds;
         println!(
-            "L{:<4} {:<16} {:>10.0} {:>8} {:>9} {:>11.1}",
+            "L{:<4} {:<16} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}",
             i,
             task.template.to_string(),
             outcome.best_gflops,
             outcome.measurements,
             outcome.invalid_measurements,
+            outcome.faulted_measurements,
             outcome.gpu_seconds
         );
         if let Some(best) = &outcome.best_config {
             println!("      {}", space.describe(best));
         }
+        if measurer.is_device_dead() {
+            eprintln!("device {} died during task {i}; remaining tasks will report no kernels", gpu.name);
+        }
     }
     println!("\ntotal simulated GPU time: {:.1} s ({:.2} h)", total_s, total_s / 3600.0);
+    Ok(())
+}
+
+fn run_tuner(tuner: &str, artifacts: Option<&GlimpseArtifacts>, gpu: &GpuSpec, ctx: TuneContext<'_>) -> Result<TuningOutcome, String> {
+    Ok(match tuner {
+        "glimpse" => GlimpseTuner::new(artifacts.expect("artifacts built"), gpu).tune(ctx),
+        "autotvm" => AutoTvmTuner::new().tune(ctx),
+        "chameleon" => ChameleonTuner::new().tune(ctx),
+        "dgp" => DgpTuner::new().tune(ctx),
+        "random" => RandomTuner::new().tune(ctx),
+        "genetic" => GeneticTuner::new().tune(ctx),
+        other => return Err(format!("unknown tuner {other:?}")),
+    })
+}
+
+#[derive(Debug)]
+struct ExperimentOptions {
+    model: String,
+    tuner: String,
+    budget: usize,
+    task: usize,
+    gpus: Vec<String>,
+    faults: FaultPlan,
+}
+
+fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String> {
+    let mut positional = Vec::new();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed: Option<String> = None;
+    let mut options = ExperimentOptions {
+        model: String::new(),
+        tuner: "autotvm".into(),
+        budget: 64,
+        task: 0,
+        gpus: Vec::new(),
+        faults: FaultPlan::none(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tuner" => options.tuner = it.next().ok_or("--tuner needs a value")?.clone(),
+            "--budget" => {
+                options.budget = it
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget must be an integer")?;
+            }
+            "--task" => {
+                options.task = it
+                    .next()
+                    .ok_or("--task needs a value")?
+                    .parse()
+                    .map_err(|_| "--task must be an integer")?;
+            }
+            "--gpus" => {
+                options.gpus = it
+                    .next()
+                    .ok_or("--gpus needs a value")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
+            "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() != 1 {
+        return Err("usage: glimpse experiment <model> [options]".into());
+    }
+    options.model = positional[0].clone();
+    if options.gpus.is_empty() {
+        options.gpus = database::EVALUATION_GPUS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    options.faults = parse_fault_flags(fault_spec.as_deref(), fault_seed.as_deref())?;
+    Ok(options)
+}
+
+/// `glimpse experiment <model> [options]` — tunes one task on every device
+/// of a fleet through a [`DevicePool`], surviving faulted or dead devices,
+/// and prints the pool's health summary.
+pub fn experiment(args: &[String]) -> Result<(), String> {
+    let options = parse_experiment_options(args)?;
+    if options.tuner == "glimpse" {
+        return Err("the fleet experiment drives baseline tuners; use `glimpse tune` for the glimpse tuner".into());
+    }
+    let model = models::find(&options.model).ok_or_else(|| format!("unknown model {:?}; `glimpse models` lists the zoo", options.model))?;
+    let task = model
+        .tasks()
+        .get(options.task)
+        .ok_or_else(|| format!("task {} out of range (model has {} tasks)", options.task, model.tasks().len()))?;
+    let fleet: Vec<GpuSpec> = options.gpus.iter().map(|name| find_gpu(name).cloned()).collect::<Result<_, _>>()?;
+    let space = templates::space_for_task(task);
+    if options.faults.any() {
+        eprintln!("injecting faults (seed {})", options.faults.seed);
+    }
+
+    let pool = DevicePool::with_faults(&fleet, 7, &options.faults);
+    let results = pool.run_all(|index, measurer| {
+        let ctx = TuneContext::new(task, &space, measurer, Budget::measurements(options.budget), 7 + index as u64);
+        run_tuner(&options.tuner, None, &fleet[index], ctx)
+    });
+
+    println!(
+        "task L{} [{}] {} under tuner {:?}",
+        task.id.index, task.template, task.op, options.tuner
+    );
+    println!(
+        "{:<18} {:>10} {:>8} {:>9} {:>8} {:>11}",
+        "device", "GFLOPS", "meas.", "invalid", "faulted", "GPU seconds"
+    );
+    for (name, result) in pool.names().iter().zip(&results) {
+        match result {
+            Ok(Ok(outcome)) => println!(
+                "{:<18} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}",
+                name,
+                outcome.best_gflops,
+                outcome.measurements,
+                outcome.invalid_measurements,
+                outcome.faulted_measurements,
+                outcome.gpu_seconds
+            ),
+            Ok(Err(message)) => println!("{name:<18} tuner error: {message}"),
+            Err(error) => println!("{name:<18} {error}"),
+        }
+    }
+    println!("\nfleet health:");
+    print!("{}", pool.summary());
     Ok(())
 }
 
@@ -288,9 +497,49 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for cmd in ["gpus", "models", "blueprint", "sheet", "sweep", "tune"] {
+        for cmd in ["gpus", "models", "blueprint", "sheet", "sweep", "tune", "experiment"] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
     }
-}
 
+    #[test]
+    fn tune_options_parse_fault_flags() {
+        let args: Vec<String> = ["m", "g", "--fault-plan", "timeout=0.2,dead=0.01", "--fault-seed", "9"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = parse_tune_options(&args).unwrap();
+        assert_eq!(options.faults.seed, 9);
+        assert!((options.faults.default_rates.timeout - 0.2).abs() < 1e-12);
+        assert!((options.faults.default_rates.device_dead - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_one_line_error() {
+        let args: Vec<String> = ["m", "g", "--fault-plan", "timeout=2.0"].iter().map(|s| (*s).to_owned()).collect();
+        let err = parse_tune_options(&args).unwrap_err();
+        assert!(err.contains("[0, 1]"), "got: {err}");
+        assert!(!err.contains('\n'));
+    }
+
+    #[test]
+    fn experiment_options_default_to_the_evaluation_fleet() {
+        let args: Vec<String> = vec!["resnet18".into()];
+        let options = parse_experiment_options(&args).unwrap();
+        assert_eq!(options.gpus.len(), 4);
+        assert_eq!(options.tuner, "autotvm");
+        assert!(!options.faults.any());
+    }
+
+    #[test]
+    fn experiment_options_parse_gpu_list() {
+        let args: Vec<String> = ["vgg16", "--gpus", "Titan Xp, RTX 3090", "--task", "2", "--fault-seed", "5"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = parse_experiment_options(&args).unwrap();
+        assert_eq!(options.gpus, vec!["Titan Xp".to_string(), "RTX 3090".to_string()]);
+        assert_eq!(options.task, 2);
+        assert_eq!(options.faults.seed, 5);
+    }
+}

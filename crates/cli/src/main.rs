@@ -12,6 +12,9 @@
 //!   --task <i>                      tune only task i
 //!   --artifacts <path>              load/store meta-trained artifacts
 //!   --full-training                 full-size offline training (slow)
+//!   --fault-plan <spec>             inject measurement faults
+//!   --fault-seed <n>                fault stream seed
+//! glimpse experiment <model> [opts] tune one task across a device fleet
 //! ```
 
 mod commands;
@@ -27,6 +30,7 @@ fn main() -> ExitCode {
         Some("sheet") => commands::sheet(&args[1..]),
         Some("sweep") => commands::sweep(),
         Some("tune") => commands::tune(&args[1..]),
+        Some("experiment") => commands::experiment(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

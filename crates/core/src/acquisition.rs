@@ -49,7 +49,11 @@ impl NeuralAcquisition {
     pub fn new<R: Rng + ?Sized>(template: TemplateKind, blueprint_dim: usize, rng: &mut R) -> Self {
         let input = PADDED_FEATURES + 2 + blueprint_dim; // features ‖ μ̂ ‖ t/T ‖ blueprint
         let mlp = Mlp::new(&[input, 48, 48, 1], Activation::Relu, rng);
-        Self { template, blueprint_dim, mlp }
+        Self {
+            template,
+            blueprint_dim,
+            mlp,
+        }
     }
 
     /// The template this acquisition serves.
@@ -103,7 +107,15 @@ impl NeuralAcquisition {
             // Mid-tuning surrogate on the prefix.
             let train_x: Vec<Vec<f64>> = entry.samples[..prefix].iter().map(|s| space.features(&s.config)).collect();
             let train_y: Vec<f64> = entry.samples[..prefix].iter().map(|s| s.gflops / SCALE).collect();
-            let surrogate = Gbt::fit(&train_x, &train_y, GbtParams { trees: 25, ..GbtParams::default() }, &mut rng);
+            let surrogate = Gbt::fit(
+                &train_x,
+                &train_y,
+                GbtParams {
+                    trees: 25,
+                    ..GbtParams::default()
+                },
+                &mut rng,
+            );
             // Remaining samples at random progress points become rows.
             for sample in &entry.samples[prefix..] {
                 let features = space.features_padded(&sample.config, PADDED_FEATURES);
@@ -156,7 +168,15 @@ impl NeuralAcquisition {
             let space = entry.space();
             let train_x: Vec<Vec<f64>> = entry.samples[..prefix].iter().map(|s| space.features(&s.config)).collect();
             let train_y: Vec<f64> = entry.samples[..prefix].iter().map(|s| s.gflops / SCALE).collect();
-            let surrogate = Gbt::fit(&train_x, &train_y, GbtParams { trees: 25, ..GbtParams::default() }, &mut rng);
+            let surrogate = Gbt::fit(
+                &train_x,
+                &train_y,
+                GbtParams {
+                    trees: 25,
+                    ..GbtParams::default()
+                },
+                &mut rng,
+            );
             for sample in &entry.samples[prefix..] {
                 let mu = surrogate.predict(&space.features(&sample.config)) * SCALE;
                 let pred = self.score(&space, &sample.config, mu, 0.5, &blueprint);
@@ -233,7 +253,10 @@ mod tests {
         let (entries, _) = fixture();
         let mut rng = StdRng::seed_from_u64(7);
         let acq = NeuralAcquisition::new(TemplateKind::Conv2dDirect, 4, &mut rng);
-        let bad = Blueprint { gpu: "x".into(), values: vec![0.0; 9] };
+        let bad = Blueprint {
+            gpu: "x".into(),
+            values: vec![0.0; 9],
+        };
         let space = entries[0].space();
         let _ = acq.score(&space, &entries[0].samples[0].config, 0.0, 0.0, &bad);
     }

@@ -36,7 +36,14 @@ pub struct TrainingOptions {
 
 impl Default for TrainingOptions {
     fn default() -> Self {
-        Self { blueprint_dim: 0, samples_per_pair: 300, prior_epochs: 250, acquisition_epochs: 6, quantile: 0.08, prefix: 60 }
+        Self {
+            blueprint_dim: 0,
+            samples_per_pair: 300,
+            prior_epochs: 250,
+            acquisition_epochs: 6,
+            quantile: 0.08,
+            prefix: 60,
+        }
     }
 }
 
@@ -44,7 +51,14 @@ impl TrainingOptions {
     /// A heavily reduced variant for unit tests.
     #[must_use]
     pub fn fast() -> Self {
-        Self { blueprint_dim: 4, samples_per_pair: 80, prior_epochs: 40, acquisition_epochs: 2, quantile: 0.1, prefix: 30 }
+        Self {
+            blueprint_dim: 4,
+            samples_per_pair: 80,
+            prior_epochs: 40,
+            acquisition_epochs: 2,
+            quantile: 0.1,
+            prefix: 30,
+        }
     }
 }
 
@@ -104,9 +118,12 @@ impl GlimpseArtifacts {
             net
         });
 
-        Self { codec, priors, acquisitions }
+        Self {
+            codec,
+            priors,
+            acquisitions,
+        }
     }
-
 
     /// Persists the artifacts as JSON.
     ///

@@ -85,7 +85,9 @@ impl BlueprintCodec {
     /// `k` is out of range.
     pub fn fit(population: &[&GpuSpec], k: usize) -> Result<Self, CodecError> {
         if population.len() < 2 {
-            return Err(CodecError { reason: "need at least two GPUs".into() });
+            return Err(CodecError {
+                reason: "need at least two GPUs".into(),
+            });
         }
         let raw: Vec<FeatureVector> = population.iter().map(|s| FeatureVector::from_spec(s)).collect();
         let normalizer = Normalizer::fit(&raw);
@@ -136,7 +138,10 @@ impl BlueprintCodec {
     pub fn encode(&self, gpu: &GpuSpec) -> Blueprint {
         let fv = FeatureVector::from_spec(gpu);
         let z = self.normalizer.normalize(&fv);
-        Blueprint { gpu: gpu.name.clone(), values: self.pca.transform(&z) }
+        Blueprint {
+            gpu: gpu.name.clone(),
+            values: self.pca.transform(&z),
+        }
     }
 
     /// Decodes a Blueprint back to approximate raw data-sheet features.
@@ -184,7 +189,7 @@ mod tests {
         // Fig. 8's knee: a handful of components carries > 99.5% of the
         // data-sheet variance.
         let k = BlueprintCodec::recommended_components(&population());
-        assert!(k >= 2 && k <= 8, "recommended k = {k}");
+        assert!((2..=8).contains(&k), "recommended k = {k}");
     }
 
     #[test]

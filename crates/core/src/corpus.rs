@@ -56,7 +56,10 @@ impl CorpusEntry {
     /// Best sample, if any configuration was valid.
     #[must_use]
     pub fn best(&self) -> Option<&CorpusSample> {
-        self.samples.iter().filter(|s| s.gflops > 0.0).max_by(|a, b| a.gflops.partial_cmp(&b.gflops).expect("finite gflops"))
+        self.samples
+            .iter()
+            .filter(|s| s.gflops > 0.0)
+            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).expect("finite gflops"))
     }
 }
 
@@ -86,7 +89,11 @@ pub fn generate(gpus: &[&GpuSpec], tasks: &[Task], samples_per_pair: usize, seed
                     CorpusSample { config, gflops }
                 })
                 .collect();
-            entries.push(CorpusEntry { gpu: gpu.name.clone(), task: task.clone(), samples });
+            entries.push(CorpusEntry {
+                gpu: gpu.name.clone(),
+                task: task.clone(),
+                samples,
+            });
         }
     }
     entries

@@ -86,10 +86,17 @@ pub fn explain(codec: &BlueprintCodec, prior: &PriorNet, space: &SearchSpace, bl
                 .collect();
             loadings.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite loading"));
             loadings.truncate(3);
-            DimensionReport { dim, prior_sensitivity: tv_total / 2.0, top_features: loadings }
+            DimensionReport {
+                dim,
+                prior_sensitivity: tv_total / 2.0,
+                top_features: loadings,
+            }
         })
         .collect();
-    BlueprintReport { gpu: blueprint.gpu.clone(), dimensions }
+    BlueprintReport {
+        gpu: blueprint.gpu.clone(),
+        dimensions,
+    }
 }
 
 #[cfg(test)]

@@ -10,11 +10,12 @@
 use crate::artifacts::GlimpseArtifacts;
 use crate::tuner::{GlimpseConfig, GlimpseTuner};
 use glimpse_gpu_spec::GpuSpec;
-use glimpse_sim::Measurer;
+use glimpse_sim::{FaultPlan, Measurer};
 use glimpse_space::{templates, Config};
 use glimpse_tensor_prog::{DnnModel, OpSpec, TemplateKind};
 use glimpse_tuners::{Budget, TuneContext, Tuner};
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
 
 /// The tuned kernel selected for one layer of the deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,7 +48,10 @@ pub struct DeploymentPlan {
 /// Compiles `model` for every GPU in `fleet` with shared artifacts,
 /// spending `budget` per task. Workers run in parallel (one thread per
 /// GPU, as over the paper's RPC setup).
-#[must_use]
+///
+/// A worker that panics degrades only its own GPU: the failed target is
+/// reported as an `Err` carrying the panic message while the rest of the
+/// fleet still gets its plans (one per fleet entry, in fleet order).
 pub fn compile_fleet(
     artifacts: &GlimpseArtifacts,
     fleet: &[&GpuSpec],
@@ -55,18 +59,51 @@ pub fn compile_fleet(
     budget: Budget,
     config: GlimpseConfig,
     seed: u64,
-) -> Vec<DeploymentPlan> {
-    let mut plans: Vec<DeploymentPlan> = Vec::with_capacity(fleet.len());
+) -> Vec<Result<DeploymentPlan, String>> {
+    compile_fleet_with_faults(artifacts, fleet, model, budget, config, seed, &FaultPlan::none())
+}
+
+/// [`compile_fleet`] with fault injection on every worker's measurement
+/// channel.
+pub fn compile_fleet_with_faults(
+    artifacts: &GlimpseArtifacts,
+    fleet: &[&GpuSpec],
+    model: &DnnModel,
+    budget: Budget,
+    config: GlimpseConfig,
+    seed: u64,
+    faults: &FaultPlan,
+) -> Vec<Result<DeploymentPlan, String>> {
+    let mut plans = Vec::with_capacity(fleet.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = fleet
             .iter()
-            .map(|gpu| scope.spawn(move || compile_one(artifacts, gpu, model, budget, config, seed)))
+            .map(|gpu| {
+                scope.spawn(move || {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        compile_one_with_faults(artifacts, gpu, model, budget, config, seed, faults)
+                    }))
+                })
+            })
             .collect();
-        for handle in handles {
-            plans.push(handle.join().expect("fleet worker panicked"));
+        for (gpu, handle) in fleet.iter().zip(handles) {
+            plans.push(match handle.join() {
+                Ok(Ok(plan)) => Ok(plan),
+                Ok(Err(payload)) | Err(payload) => Err(format!("worker for {} panicked: {}", gpu.name, panic_message(&*payload))),
+            });
         }
     });
     plans
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
+    }
 }
 
 /// Compiles `model` for a single GPU (the per-target unit of
@@ -80,12 +117,26 @@ pub fn compile_one(
     config: GlimpseConfig,
     seed: u64,
 ) -> DeploymentPlan {
+    compile_one_with_faults(artifacts, gpu, model, budget, config, seed, &FaultPlan::none())
+}
+
+/// [`compile_one`] with fault injection on the measurement channel.
+#[must_use]
+pub fn compile_one_with_faults(
+    artifacts: &GlimpseArtifacts,
+    gpu: &GpuSpec,
+    model: &DnnModel,
+    budget: Budget,
+    config: GlimpseConfig,
+    seed: u64,
+    faults: &FaultPlan,
+) -> DeploymentPlan {
     const FALLBACK_GFLOPS: f64 = 50.0;
     let mut outcomes = Vec::with_capacity(model.tasks().len());
     let mut compile_gpu_seconds = 0.0;
     for (i, task) in model.tasks().iter().enumerate() {
         let space = templates::space_for_task(task);
-        let mut measurer = Measurer::new(gpu.clone(), seed.wrapping_add(i as u64));
+        let mut measurer = Measurer::with_faults(gpu.clone(), seed.wrapping_add(i as u64), faults);
         let ctx = TuneContext::new(task, &space, &mut measurer, budget, seed.wrapping_add(i as u64));
         let outcome = GlimpseTuner::with_config(artifacts, gpu, config).tune(ctx);
         compile_gpu_seconds += outcome.gpu_seconds;
@@ -120,10 +171,21 @@ pub fn compile_one(
         }
         latency_ms += task.latency_ms(best_gflops.max(FALLBACK_GFLOPS));
         if let Some(config) = best_config {
-            kernels.push(PlannedKernel { task_index: task.id.index, template: best_template, config, gflops: best_gflops });
+            kernels.push(PlannedKernel {
+                task_index: task.id.index,
+                template: best_template,
+                config,
+                gflops: best_gflops,
+            });
         }
     }
-    DeploymentPlan { gpu: gpu.name.clone(), model: model.name().to_owned(), kernels, latency_ms, compile_gpu_seconds }
+    DeploymentPlan {
+        gpu: gpu.name.clone(),
+        model: model.name().to_owned(),
+        kernels,
+        latency_ms,
+        compile_gpu_seconds,
+    }
 }
 
 #[cfg(test)]
@@ -153,12 +215,44 @@ mod tests {
         let plans = compile_fleet(artifacts(), &fleet, &model, Budget::measurements(24), GlimpseConfig::default(), 3);
         assert_eq!(plans.len(), 2);
         for plan in &plans {
+            let plan = plan.as_ref().expect("fault-free fleet worker succeeded");
             assert_eq!(plan.model, "AlexNet");
             assert!(plan.latency_ms > 0.0 && plan.latency_ms.is_finite());
             assert!(plan.compile_gpu_seconds > 0.0);
             // Every non-winograd task ends up with a kernel (fallbacks aside).
             assert!(plan.kernels.len() <= 8);
         }
+    }
+
+    #[test]
+    fn fleet_compilation_survives_a_dead_device() {
+        use glimpse_sim::FaultPlan;
+        let fleet = vec![database::find("Titan Xp").unwrap(), database::find("RTX 3090").unwrap()];
+        let model = models::alexnet();
+        // Titan Xp dies on its very first measurement; the 3090 is clean.
+        let plan = FaultPlan {
+            seed: 11,
+            ..FaultPlan::none()
+        }
+        .with_dead_device("Titan Xp");
+        let plans = compile_fleet_with_faults(
+            artifacts(),
+            &fleet,
+            &model,
+            Budget::measurements(12),
+            GlimpseConfig::default(),
+            3,
+            &plan,
+        );
+        assert_eq!(plans.len(), 2);
+        // The dead device still yields a (degenerate) plan rather than
+        // poisoning the fleet: its tuning loops terminate via the
+        // dead-device exhaustion check.
+        let dead_plan = plans[0].as_ref().expect("dead device degrades, not panics");
+        assert!(dead_plan.kernels.is_empty(), "no kernels can be tuned on a dead device");
+        let live_plan = plans[1].as_ref().expect("healthy worker unaffected");
+        assert!(!live_plan.kernels.is_empty());
+        assert!(live_plan.latency_ms.is_finite());
     }
 
     #[test]
@@ -179,8 +273,27 @@ mod tests {
     #[test]
     fn faster_gpu_gets_lower_latency_plan() {
         let model = models::alexnet();
-        let slow = compile_one(artifacts(), database::find("GTX 1050 Ti").unwrap(), &model, Budget::measurements(24), GlimpseConfig::default(), 7);
-        let fast = compile_one(artifacts(), database::find("RTX 3090").unwrap(), &model, Budget::measurements(24), GlimpseConfig::default(), 7);
-        assert!(fast.latency_ms < slow.latency_ms, "fast {} vs slow {}", fast.latency_ms, slow.latency_ms);
+        let slow = compile_one(
+            artifacts(),
+            database::find("GTX 1050 Ti").unwrap(),
+            &model,
+            Budget::measurements(24),
+            GlimpseConfig::default(),
+            7,
+        );
+        let fast = compile_one(
+            artifacts(),
+            database::find("RTX 3090").unwrap(),
+            &model,
+            Budget::measurements(24),
+            GlimpseConfig::default(),
+            7,
+        );
+        assert!(
+            fast.latency_ms < slow.latency_ms,
+            "fast {} vs slow {}",
+            fast.latency_ms,
+            slow.latency_ms
+        );
     }
 }

@@ -84,7 +84,10 @@ impl HeadLayout {
                     }
                 }
                 KnobValue::Int(_) | KnobValue::Flag(_) => {
-                    heads.push(Head::Choice { knob: k, cardinality: knob.cardinality() });
+                    heads.push(Head::Choice {
+                        knob: k,
+                        cardinality: knob.cardinality(),
+                    });
                 }
             }
         }
@@ -180,7 +183,12 @@ impl PriorNet {
         let layout = HeadLayout::from_space(layout_space);
         let input = OpSpec::LAYER_FEATURE_COUNT + blueprint_dim;
         let mlp = Mlp::new(&[input, 64, 64, layout.output_width()], Activation::Relu, rng);
-        Self { template, layout, blueprint_dim, mlp }
+        Self {
+            template,
+            layout,
+            blueprint_dim,
+            mlp,
+        }
     }
 
     /// The template this generator serves.
@@ -236,7 +244,6 @@ impl PriorNet {
         }
         out
     }
-
 
     /// Deterministically enumerates the `k` highest-weight configurations
     /// of the product prior (beam search over knobs in layout order) — the
@@ -444,9 +451,16 @@ mod tests {
 
     #[test]
     fn training_reduces_cross_entropy() {
-        let gpus = vec![database::find("GTX 1080").unwrap(), database::find("RTX 2060").unwrap(), database::find("RTX 3070").unwrap()];
-        let tasks: Vec<glimpse_tensor_prog::Task> =
-            corpus::training_tasks().into_iter().filter(|t| t.template == TemplateKind::Conv2dDirect).take(4).collect();
+        let gpus = vec![
+            database::find("GTX 1080").unwrap(),
+            database::find("RTX 2060").unwrap(),
+            database::find("RTX 3070").unwrap(),
+        ];
+        let tasks: Vec<glimpse_tensor_prog::Task> = corpus::training_tasks()
+            .into_iter()
+            .filter(|t| t.template == TemplateKind::Conv2dDirect)
+            .take(4)
+            .collect();
         let entries = corpus::generate(&gpus, &tasks, 150, 3);
         let refs: Vec<&CorpusEntry> = entries.iter().collect();
         let pop: Vec<&glimpse_gpu_spec::GpuSpec> = database::all().iter().collect();
@@ -498,9 +512,16 @@ mod tests {
 
     #[test]
     fn prior_entropy_is_normalized_and_drops_with_training() {
-        let gpus = vec![database::find("GTX 1080").unwrap(), database::find("RTX 2060").unwrap(), database::find("RTX 3070").unwrap()];
-        let tasks: Vec<glimpse_tensor_prog::Task> =
-            corpus::training_tasks().into_iter().filter(|t| t.template == TemplateKind::Conv2dDirect).take(4).collect();
+        let gpus = vec![
+            database::find("GTX 1080").unwrap(),
+            database::find("RTX 2060").unwrap(),
+            database::find("RTX 3070").unwrap(),
+        ];
+        let tasks: Vec<glimpse_tensor_prog::Task> = corpus::training_tasks()
+            .into_iter()
+            .filter(|t| t.template == TemplateKind::Conv2dDirect)
+            .take(4)
+            .collect();
         let entries = corpus::generate(&gpus, &tasks, 150, 9);
         let refs: Vec<&CorpusEntry> = entries.iter().collect();
         let pop: Vec<&glimpse_gpu_spec::GpuSpec> = database::all().iter().collect();

@@ -101,7 +101,11 @@ impl EnsembleSampler {
         let members_vec = (0..members)
             .map(|i| {
                 // Spread factors in [0.85, 1.15] around the reconstruction.
-                let f = if members == 1 { 1.0 } else { 0.85 + 0.30 * i as f64 / (members - 1) as f64 };
+                let f = if members == 1 {
+                    1.0
+                } else {
+                    0.85 + 0.30 * i as f64 / (members - 1) as f64
+                };
                 ThresholdPredictor {
                     max_threads: base.max_threads * f,
                     max_shared_bytes: base.max_shared_bytes * f,
@@ -229,11 +233,18 @@ mod tests {
         for _ in 0..2000 {
             let c = space.sample_uniform(&mut rng);
             let shape = space.kernel_shape(&c);
-            if shape.shared_bytes > 48 * 1024 && shape.shared_bytes <= 100 * 1024 && !pascal.accept_shape(&shape) && ampere.accept_shape(&shape) {
+            if shape.shared_bytes > 48 * 1024
+                && shape.shared_bytes <= 100 * 1024
+                && !pascal.accept_shape(&shape)
+                && ampere.accept_shape(&shape)
+            {
                 pascal_only_rejects += 1;
             }
         }
-        assert!(pascal_only_rejects > 10, "Pascal sampler must reject mid-size shared memory ({pascal_only_rejects})");
+        assert!(
+            pascal_only_rejects > 10,
+            "Pascal sampler must reject mid-size shared memory ({pascal_only_rejects})"
+        );
     }
 
     #[test]

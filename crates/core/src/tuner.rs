@@ -85,7 +85,12 @@ impl<'a> GlimpseTuner<'a> {
     pub fn with_config(artifacts: &'a GlimpseArtifacts, target: &GpuSpec, config: GlimpseConfig) -> Self {
         let blueprint = artifacts.encode(target);
         let sampler = EnsembleSampler::from_blueprint(&artifacts.codec, &blueprint, config.ensemble_members, config.tau);
-        Self { artifacts, blueprint, sampler, config }
+        Self {
+            artifacts,
+            blueprint,
+            sampler,
+            config,
+        }
     }
 
     /// The target's Blueprint.
@@ -107,7 +112,7 @@ impl Tuner for GlimpseTuner<'_> {
     }
 
     fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
-        let mut rng = child_rng(ctx.seed, 0x911A_95E);
+        let mut rng = child_rng(ctx.seed, 0x0911_A95E);
         let template = ctx.space.template();
         let prior = self.artifacts.prior(template);
         let acquisition = self.artifacts.acquisition(template);
@@ -117,7 +122,11 @@ impl Tuner for GlimpseTuner<'_> {
         // filtered by the hardware-aware sampler.
         let initial: Vec<Config> = if self.config.use_prior {
             let raw = prior.sample_initial(ctx.space, &self.blueprint, self.config.n_init * 3, &mut rng);
-            let mut filtered = if self.config.use_sampler { self.sampler.filter(ctx.space, raw) } else { raw };
+            let mut filtered = if self.config.use_sampler {
+                self.sampler.filter(ctx.space, raw)
+            } else {
+                raw
+            };
             filtered.truncate(self.config.n_init);
             let mut attempts = 0;
             while filtered.len() < self.config.n_init && attempts < 200 {
@@ -306,7 +315,14 @@ mod tests {
     #[test]
     fn ablation_switches_change_behavior() {
         let full = run_glimpse(GlimpseConfig::default(), 64, 4);
-        let no_sampler = run_glimpse(GlimpseConfig { use_sampler: false, ..GlimpseConfig::default() }, 64, 4);
+        let no_sampler = run_glimpse(
+            GlimpseConfig {
+                use_sampler: false,
+                ..GlimpseConfig::default()
+            },
+            64,
+            4,
+        );
         // Without the sampler, invalid measurements cannot decrease.
         assert!(no_sampler.invalid_measurements >= full.invalid_measurements);
     }

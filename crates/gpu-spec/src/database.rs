@@ -33,32 +33,320 @@ struct Row {
 
 const ROWS: &[Row] = &[
     // Pascal (sm_61)
-    Row { name: "GTX 1050 Ti", generation: Generation::Pascal, sm_count: 6, cores_per_sm: 128, base_mhz: 1290.0, boost_mhz: 1392.0, bandwidth_gb_s: 112.1, bus_bits: 128, mem_gib: 4.0, l2_kib: 1024, tdp_w: 75.0 },
-    Row { name: "GTX 1060 6GB", generation: Generation::Pascal, sm_count: 10, cores_per_sm: 128, base_mhz: 1506.0, boost_mhz: 1708.0, bandwidth_gb_s: 192.2, bus_bits: 192, mem_gib: 6.0, l2_kib: 1536, tdp_w: 120.0 },
-    Row { name: "GTX 1070", generation: Generation::Pascal, sm_count: 15, cores_per_sm: 128, base_mhz: 1506.0, boost_mhz: 1683.0, bandwidth_gb_s: 256.3, bus_bits: 256, mem_gib: 8.0, l2_kib: 2048, tdp_w: 150.0 },
-    Row { name: "GTX 1070 Ti", generation: Generation::Pascal, sm_count: 19, cores_per_sm: 128, base_mhz: 1607.0, boost_mhz: 1683.0, bandwidth_gb_s: 256.3, bus_bits: 256, mem_gib: 8.0, l2_kib: 2048, tdp_w: 180.0 },
-    Row { name: "GTX 1080", generation: Generation::Pascal, sm_count: 20, cores_per_sm: 128, base_mhz: 1607.0, boost_mhz: 1733.0, bandwidth_gb_s: 320.3, bus_bits: 256, mem_gib: 8.0, l2_kib: 2048, tdp_w: 180.0 },
-    Row { name: "GTX 1080 Ti", generation: Generation::Pascal, sm_count: 28, cores_per_sm: 128, base_mhz: 1480.0, boost_mhz: 1582.0, bandwidth_gb_s: 484.4, bus_bits: 352, mem_gib: 11.0, l2_kib: 2816, tdp_w: 250.0 },
-    Row { name: "Titan X (Pascal)", generation: Generation::Pascal, sm_count: 28, cores_per_sm: 128, base_mhz: 1417.0, boost_mhz: 1531.0, bandwidth_gb_s: 480.4, bus_bits: 384, mem_gib: 12.0, l2_kib: 3072, tdp_w: 250.0 },
-    Row { name: "Titan Xp", generation: Generation::Pascal, sm_count: 30, cores_per_sm: 128, base_mhz: 1405.0, boost_mhz: 1582.0, bandwidth_gb_s: 547.6, bus_bits: 384, mem_gib: 12.0, l2_kib: 3072, tdp_w: 250.0 },
+    Row {
+        name: "GTX 1050 Ti",
+        generation: Generation::Pascal,
+        sm_count: 6,
+        cores_per_sm: 128,
+        base_mhz: 1290.0,
+        boost_mhz: 1392.0,
+        bandwidth_gb_s: 112.1,
+        bus_bits: 128,
+        mem_gib: 4.0,
+        l2_kib: 1024,
+        tdp_w: 75.0,
+    },
+    Row {
+        name: "GTX 1060 6GB",
+        generation: Generation::Pascal,
+        sm_count: 10,
+        cores_per_sm: 128,
+        base_mhz: 1506.0,
+        boost_mhz: 1708.0,
+        bandwidth_gb_s: 192.2,
+        bus_bits: 192,
+        mem_gib: 6.0,
+        l2_kib: 1536,
+        tdp_w: 120.0,
+    },
+    Row {
+        name: "GTX 1070",
+        generation: Generation::Pascal,
+        sm_count: 15,
+        cores_per_sm: 128,
+        base_mhz: 1506.0,
+        boost_mhz: 1683.0,
+        bandwidth_gb_s: 256.3,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 2048,
+        tdp_w: 150.0,
+    },
+    Row {
+        name: "GTX 1070 Ti",
+        generation: Generation::Pascal,
+        sm_count: 19,
+        cores_per_sm: 128,
+        base_mhz: 1607.0,
+        boost_mhz: 1683.0,
+        bandwidth_gb_s: 256.3,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 2048,
+        tdp_w: 180.0,
+    },
+    Row {
+        name: "GTX 1080",
+        generation: Generation::Pascal,
+        sm_count: 20,
+        cores_per_sm: 128,
+        base_mhz: 1607.0,
+        boost_mhz: 1733.0,
+        bandwidth_gb_s: 320.3,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 2048,
+        tdp_w: 180.0,
+    },
+    Row {
+        name: "GTX 1080 Ti",
+        generation: Generation::Pascal,
+        sm_count: 28,
+        cores_per_sm: 128,
+        base_mhz: 1480.0,
+        boost_mhz: 1582.0,
+        bandwidth_gb_s: 484.4,
+        bus_bits: 352,
+        mem_gib: 11.0,
+        l2_kib: 2816,
+        tdp_w: 250.0,
+    },
+    Row {
+        name: "Titan X (Pascal)",
+        generation: Generation::Pascal,
+        sm_count: 28,
+        cores_per_sm: 128,
+        base_mhz: 1417.0,
+        boost_mhz: 1531.0,
+        bandwidth_gb_s: 480.4,
+        bus_bits: 384,
+        mem_gib: 12.0,
+        l2_kib: 3072,
+        tdp_w: 250.0,
+    },
+    Row {
+        name: "Titan Xp",
+        generation: Generation::Pascal,
+        sm_count: 30,
+        cores_per_sm: 128,
+        base_mhz: 1405.0,
+        boost_mhz: 1582.0,
+        bandwidth_gb_s: 547.6,
+        bus_bits: 384,
+        mem_gib: 12.0,
+        l2_kib: 3072,
+        tdp_w: 250.0,
+    },
     // Turing (sm_75)
-    Row { name: "GTX 1650", generation: Generation::Turing, sm_count: 14, cores_per_sm: 64, base_mhz: 1485.0, boost_mhz: 1665.0, bandwidth_gb_s: 128.1, bus_bits: 128, mem_gib: 4.0, l2_kib: 1024, tdp_w: 75.0 },
-    Row { name: "GTX 1660", generation: Generation::Turing, sm_count: 22, cores_per_sm: 64, base_mhz: 1530.0, boost_mhz: 1785.0, bandwidth_gb_s: 192.1, bus_bits: 192, mem_gib: 6.0, l2_kib: 1536, tdp_w: 120.0 },
-    Row { name: "GTX 1660 Ti", generation: Generation::Turing, sm_count: 24, cores_per_sm: 64, base_mhz: 1500.0, boost_mhz: 1770.0, bandwidth_gb_s: 288.0, bus_bits: 192, mem_gib: 6.0, l2_kib: 1536, tdp_w: 120.0 },
-    Row { name: "RTX 2060", generation: Generation::Turing, sm_count: 30, cores_per_sm: 64, base_mhz: 1365.0, boost_mhz: 1680.0, bandwidth_gb_s: 336.0, bus_bits: 192, mem_gib: 6.0, l2_kib: 3072, tdp_w: 160.0 },
-    Row { name: "RTX 2060 Super", generation: Generation::Turing, sm_count: 34, cores_per_sm: 64, base_mhz: 1470.0, boost_mhz: 1650.0, bandwidth_gb_s: 448.0, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 175.0 },
-    Row { name: "RTX 2070", generation: Generation::Turing, sm_count: 36, cores_per_sm: 64, base_mhz: 1410.0, boost_mhz: 1620.0, bandwidth_gb_s: 448.0, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 175.0 },
-    Row { name: "RTX 2070 Super", generation: Generation::Turing, sm_count: 40, cores_per_sm: 64, base_mhz: 1605.0, boost_mhz: 1770.0, bandwidth_gb_s: 448.0, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 215.0 },
-    Row { name: "RTX 2080", generation: Generation::Turing, sm_count: 46, cores_per_sm: 64, base_mhz: 1515.0, boost_mhz: 1710.0, bandwidth_gb_s: 448.0, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 215.0 },
-    Row { name: "RTX 2080 Super", generation: Generation::Turing, sm_count: 48, cores_per_sm: 64, base_mhz: 1650.0, boost_mhz: 1815.0, bandwidth_gb_s: 496.1, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 250.0 },
-    Row { name: "RTX 2080 Ti", generation: Generation::Turing, sm_count: 68, cores_per_sm: 64, base_mhz: 1350.0, boost_mhz: 1545.0, bandwidth_gb_s: 616.0, bus_bits: 352, mem_gib: 11.0, l2_kib: 5632, tdp_w: 250.0 },
-    Row { name: "Titan RTX", generation: Generation::Turing, sm_count: 72, cores_per_sm: 64, base_mhz: 1350.0, boost_mhz: 1770.0, bandwidth_gb_s: 672.0, bus_bits: 384, mem_gib: 24.0, l2_kib: 6144, tdp_w: 280.0 },
+    Row {
+        name: "GTX 1650",
+        generation: Generation::Turing,
+        sm_count: 14,
+        cores_per_sm: 64,
+        base_mhz: 1485.0,
+        boost_mhz: 1665.0,
+        bandwidth_gb_s: 128.1,
+        bus_bits: 128,
+        mem_gib: 4.0,
+        l2_kib: 1024,
+        tdp_w: 75.0,
+    },
+    Row {
+        name: "GTX 1660",
+        generation: Generation::Turing,
+        sm_count: 22,
+        cores_per_sm: 64,
+        base_mhz: 1530.0,
+        boost_mhz: 1785.0,
+        bandwidth_gb_s: 192.1,
+        bus_bits: 192,
+        mem_gib: 6.0,
+        l2_kib: 1536,
+        tdp_w: 120.0,
+    },
+    Row {
+        name: "GTX 1660 Ti",
+        generation: Generation::Turing,
+        sm_count: 24,
+        cores_per_sm: 64,
+        base_mhz: 1500.0,
+        boost_mhz: 1770.0,
+        bandwidth_gb_s: 288.0,
+        bus_bits: 192,
+        mem_gib: 6.0,
+        l2_kib: 1536,
+        tdp_w: 120.0,
+    },
+    Row {
+        name: "RTX 2060",
+        generation: Generation::Turing,
+        sm_count: 30,
+        cores_per_sm: 64,
+        base_mhz: 1365.0,
+        boost_mhz: 1680.0,
+        bandwidth_gb_s: 336.0,
+        bus_bits: 192,
+        mem_gib: 6.0,
+        l2_kib: 3072,
+        tdp_w: 160.0,
+    },
+    Row {
+        name: "RTX 2060 Super",
+        generation: Generation::Turing,
+        sm_count: 34,
+        cores_per_sm: 64,
+        base_mhz: 1470.0,
+        boost_mhz: 1650.0,
+        bandwidth_gb_s: 448.0,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 175.0,
+    },
+    Row {
+        name: "RTX 2070",
+        generation: Generation::Turing,
+        sm_count: 36,
+        cores_per_sm: 64,
+        base_mhz: 1410.0,
+        boost_mhz: 1620.0,
+        bandwidth_gb_s: 448.0,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 175.0,
+    },
+    Row {
+        name: "RTX 2070 Super",
+        generation: Generation::Turing,
+        sm_count: 40,
+        cores_per_sm: 64,
+        base_mhz: 1605.0,
+        boost_mhz: 1770.0,
+        bandwidth_gb_s: 448.0,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 215.0,
+    },
+    Row {
+        name: "RTX 2080",
+        generation: Generation::Turing,
+        sm_count: 46,
+        cores_per_sm: 64,
+        base_mhz: 1515.0,
+        boost_mhz: 1710.0,
+        bandwidth_gb_s: 448.0,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 215.0,
+    },
+    Row {
+        name: "RTX 2080 Super",
+        generation: Generation::Turing,
+        sm_count: 48,
+        cores_per_sm: 64,
+        base_mhz: 1650.0,
+        boost_mhz: 1815.0,
+        bandwidth_gb_s: 496.1,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 250.0,
+    },
+    Row {
+        name: "RTX 2080 Ti",
+        generation: Generation::Turing,
+        sm_count: 68,
+        cores_per_sm: 64,
+        base_mhz: 1350.0,
+        boost_mhz: 1545.0,
+        bandwidth_gb_s: 616.0,
+        bus_bits: 352,
+        mem_gib: 11.0,
+        l2_kib: 5632,
+        tdp_w: 250.0,
+    },
+    Row {
+        name: "Titan RTX",
+        generation: Generation::Turing,
+        sm_count: 72,
+        cores_per_sm: 64,
+        base_mhz: 1350.0,
+        boost_mhz: 1770.0,
+        bandwidth_gb_s: 672.0,
+        bus_bits: 384,
+        mem_gib: 24.0,
+        l2_kib: 6144,
+        tdp_w: 280.0,
+    },
     // Ampere (sm_86)
-    Row { name: "RTX 3060", generation: Generation::Ampere, sm_count: 28, cores_per_sm: 128, base_mhz: 1320.0, boost_mhz: 1777.0, bandwidth_gb_s: 360.0, bus_bits: 192, mem_gib: 12.0, l2_kib: 3072, tdp_w: 170.0 },
-    Row { name: "RTX 3060 Ti", generation: Generation::Ampere, sm_count: 38, cores_per_sm: 128, base_mhz: 1410.0, boost_mhz: 1665.0, bandwidth_gb_s: 448.0, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 200.0 },
-    Row { name: "RTX 3070", generation: Generation::Ampere, sm_count: 46, cores_per_sm: 128, base_mhz: 1500.0, boost_mhz: 1725.0, bandwidth_gb_s: 448.0, bus_bits: 256, mem_gib: 8.0, l2_kib: 4096, tdp_w: 220.0 },
-    Row { name: "RTX 3080", generation: Generation::Ampere, sm_count: 68, cores_per_sm: 128, base_mhz: 1440.0, boost_mhz: 1710.0, bandwidth_gb_s: 760.3, bus_bits: 320, mem_gib: 10.0, l2_kib: 5120, tdp_w: 320.0 },
-    Row { name: "RTX 3090", generation: Generation::Ampere, sm_count: 82, cores_per_sm: 128, base_mhz: 1395.0, boost_mhz: 1695.0, bandwidth_gb_s: 936.2, bus_bits: 384, mem_gib: 24.0, l2_kib: 6144, tdp_w: 350.0 },
+    Row {
+        name: "RTX 3060",
+        generation: Generation::Ampere,
+        sm_count: 28,
+        cores_per_sm: 128,
+        base_mhz: 1320.0,
+        boost_mhz: 1777.0,
+        bandwidth_gb_s: 360.0,
+        bus_bits: 192,
+        mem_gib: 12.0,
+        l2_kib: 3072,
+        tdp_w: 170.0,
+    },
+    Row {
+        name: "RTX 3060 Ti",
+        generation: Generation::Ampere,
+        sm_count: 38,
+        cores_per_sm: 128,
+        base_mhz: 1410.0,
+        boost_mhz: 1665.0,
+        bandwidth_gb_s: 448.0,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 200.0,
+    },
+    Row {
+        name: "RTX 3070",
+        generation: Generation::Ampere,
+        sm_count: 46,
+        cores_per_sm: 128,
+        base_mhz: 1500.0,
+        boost_mhz: 1725.0,
+        bandwidth_gb_s: 448.0,
+        bus_bits: 256,
+        mem_gib: 8.0,
+        l2_kib: 4096,
+        tdp_w: 220.0,
+    },
+    Row {
+        name: "RTX 3080",
+        generation: Generation::Ampere,
+        sm_count: 68,
+        cores_per_sm: 128,
+        base_mhz: 1440.0,
+        boost_mhz: 1710.0,
+        bandwidth_gb_s: 760.3,
+        bus_bits: 320,
+        mem_gib: 10.0,
+        l2_kib: 5120,
+        tdp_w: 320.0,
+    },
+    Row {
+        name: "RTX 3090",
+        generation: Generation::Ampere,
+        sm_count: 82,
+        cores_per_sm: 128,
+        base_mhz: 1395.0,
+        boost_mhz: 1695.0,
+        bandwidth_gb_s: 936.2,
+        bus_bits: 384,
+        mem_gib: 24.0,
+        l2_kib: 6144,
+        tdp_w: 350.0,
+    },
 ];
 
 fn expand(row: &Row) -> GpuSpec {
@@ -114,7 +402,10 @@ pub fn find(name: &str) -> Option<&'static GpuSpec> {
 /// The four evaluation GPUs of Table 1, in the paper's order.
 #[must_use]
 pub fn evaluation_gpus() -> Vec<&'static GpuSpec> {
-    EVALUATION_GPUS.iter().map(|n| find(n).expect("evaluation GPU present in database")).collect()
+    EVALUATION_GPUS
+        .iter()
+        .map(|n| find(n).expect("evaluation GPU present in database"))
+        .collect()
 }
 
 /// Every database entry except `excluded`, used for leave-one-out

@@ -37,11 +37,17 @@ pub struct ParseSheetError {
 
 impl ParseSheetError {
     fn at(line: usize, reason: impl Into<String>) -> Self {
-        Self { line: Some(line), reason: reason.into() }
+        Self {
+            line: Some(line),
+            reason: reason.into(),
+        }
     }
 
     fn general(reason: impl Into<String>) -> Self {
-        Self { line: None, reason: reason.into() }
+        Self {
+            line: None,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -88,18 +94,23 @@ pub fn parse_sheet(text: &str) -> Result<GpuSpec, ParseSheetError> {
     }
 
     let take = |key: &str| -> Result<String, ParseSheetError> {
-        fields.get(key).cloned().ok_or_else(|| ParseSheetError::general(format!("missing required key {key:?}")))
+        fields
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ParseSheetError::general(format!("missing required key {key:?}")))
     };
     let num = |key: &str| -> Result<f64, ParseSheetError> {
-        take(key)?.parse::<f64>().map_err(|_| ParseSheetError::general(format!("{key:?} is not a number")))
+        take(key)?
+            .parse::<f64>()
+            .map_err(|_| ParseSheetError::general(format!("{key:?} is not a number")))
     };
     let int = |key: &str| -> Result<u32, ParseSheetError> {
-        take(key)?.parse::<u32>().map_err(|_| ParseSheetError::general(format!("{key:?} is not an integer")))
+        take(key)?
+            .parse::<u32>()
+            .map_err(|_| ParseSheetError::general(format!("{key:?} is not an integer")))
     };
 
-    let generation: Generation = take("generation")?
-        .parse()
-        .map_err(|e| ParseSheetError::general(format!("{e}")))?;
+    let generation: Generation = take("generation")?.parse().map_err(|e| ParseSheetError::general(format!("{e}")))?;
     let (shared_per_sm, shared_per_block, threads_per_sm, blocks_per_sm) = match generation {
         Generation::Pascal => (96, 48, 2048, 32),
         Generation::Turing => (64, 64, 1024, 16),
@@ -110,7 +121,9 @@ pub fn parse_sheet(text: &str) -> Result<GpuSpec, ParseSheetError> {
     let boost = num("boost_clock_mhz")?;
     let derived_gflops = 2.0 * f64::from(sm_count * cores_per_sm) * boost / 1000.0;
     let fp32_gflops = match fields.get("fp32_gflops") {
-        Some(v) => v.parse::<f64>().map_err(|_| ParseSheetError::general("\"fp32_gflops\" is not a number"))?,
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| ParseSheetError::general("\"fp32_gflops\" is not a number"))?,
         None => derived_gflops,
     };
 

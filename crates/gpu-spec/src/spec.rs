@@ -117,10 +117,7 @@ impl GpuSpec {
             return Err(SpecError::new(&self.name, "warp size must be 32"));
         }
         if self.max_threads_per_block > self.max_threads_per_sm {
-            return Err(SpecError::new(
-                &self.name,
-                "block thread limit cannot exceed SM thread limit",
-            ));
+            return Err(SpecError::new(&self.name, "block thread limit cannot exceed SM thread limit"));
         }
         if self.max_shared_mem_per_block_kib > self.shared_mem_per_sm_kib {
             return Err(SpecError::new(
@@ -159,7 +156,10 @@ pub struct SpecError {
 
 impl SpecError {
     fn new(gpu: &str, problem: &str) -> Self {
-        Self { gpu: gpu.to_owned(), problem: problem.to_owned() }
+        Self {
+            gpu: gpu.to_owned(),
+            problem: problem.to_owned(),
+        }
     }
 
     /// Name of the GPU whose record failed validation.
@@ -192,7 +192,13 @@ mod tests {
     fn derived_gflops_tracks_datasheet() {
         for gpu in database::all() {
             let gap = (gpu.derived_fp32_gflops() - gpu.fp32_gflops).abs() / gpu.fp32_gflops;
-            assert!(gap < 0.25, "{}: derived {:.0} vs sheet {:.0}", gpu.name, gpu.derived_fp32_gflops(), gpu.fp32_gflops);
+            assert!(
+                gap < 0.25,
+                "{}: derived {:.0} vs sheet {:.0}",
+                gpu.name,
+                gpu.derived_fp32_gflops(),
+                gpu.fp32_gflops
+            );
         }
     }
 

@@ -24,21 +24,37 @@ pub struct GbtParams {
 
 impl Default for GbtParams {
     fn default() -> Self {
-        Self { trees: 50, max_depth: 4, learning_rate: 0.15, min_samples_split: 4, feature_fraction: 0.9 }
+        Self {
+            trees: 50,
+            max_depth: 4,
+            learning_rate: 0.15,
+            min_samples_split: 4,
+            feature_fraction: 0.9,
+        }
     }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
         match self {
             Node::Leaf(v) => *v,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] <= *threshold {
                     left.predict(x)
                 } else {
@@ -115,14 +131,7 @@ impl Gbt {
     }
 }
 
-fn build_tree<R: Rng + ?Sized>(
-    xs: &[Vec<f64>],
-    targets: &[f64],
-    indices: &[usize],
-    depth: usize,
-    params: &GbtParams,
-    rng: &mut R,
-) -> Node {
+fn build_tree<R: Rng + ?Sized>(xs: &[Vec<f64>], targets: &[f64], indices: &[usize], depth: usize, params: &GbtParams, rng: &mut R) -> Node {
     let mean: f64 = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len().max(1) as f64;
     if depth == 0 || indices.len() < params.min_samples_split {
         return Node::Leaf(mean);
@@ -130,6 +139,7 @@ fn build_tree<R: Rng + ?Sized>(
     let width = xs[0].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
     let parent_sse: f64 = indices.iter().map(|&i| (targets[i] - mean).powi(2)).sum();
+    #[allow(clippy::needless_range_loop)] // `feature` also indexes inner rows of `xs`
     for feature in 0..width {
         if params.feature_fraction < 1.0 && rng.gen::<f64>() > params.feature_fraction {
             continue;
@@ -164,7 +174,7 @@ fn build_tree<R: Rng + ?Sized>(
                 sse += (targets[i] - m).powi(2);
             }
             let gain = parent_sse - sse;
-            if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-12 {
+            if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
                 best = Some((feature, threshold, gain));
             }
         }
@@ -175,7 +185,12 @@ fn build_tree<R: Rng + ?Sized>(
             let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| xs[i][feature] <= threshold);
             let left = build_tree(xs, targets, &left_idx, depth - 1, params, rng);
             let right = build_tree(xs, targets, &right_idx, depth - 1, params, rng);
-            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
         }
     }
 }
@@ -242,9 +257,25 @@ mod tests {
     fn more_trees_do_not_hurt_training_fit() {
         let (xs, ys) = friedman_like(200, 6);
         let mut rng = StdRng::seed_from_u64(7);
-        let small = Gbt::fit(&xs, &ys, GbtParams { trees: 5, ..GbtParams::default() }, &mut rng);
+        let small = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                trees: 5,
+                ..GbtParams::default()
+            },
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(7);
-        let large = Gbt::fit(&xs, &ys, GbtParams { trees: 80, ..GbtParams::default() }, &mut rng);
+        let large = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                trees: 80,
+                ..GbtParams::default()
+            },
+            &mut rng,
+        );
         let mse = |g: &Gbt| xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mse(&large) <= mse(&small));
     }
@@ -253,7 +284,15 @@ mod tests {
     fn len_reports_tree_count() {
         let (xs, ys) = friedman_like(50, 8);
         let mut rng = StdRng::seed_from_u64(9);
-        let gbt = Gbt::fit(&xs, &ys, GbtParams { trees: 7, ..GbtParams::default() }, &mut rng);
+        let gbt = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                trees: 7,
+                ..GbtParams::default()
+            },
+            &mut rng,
+        );
         assert_eq!(gbt.len(), 7);
         assert!(!gbt.is_empty());
     }

@@ -27,7 +27,10 @@ impl RbfKernel {
 
 impl Default for RbfKernel {
     fn default() -> Self {
-        Self { variance: 1.0, length_scale: 1.0 }
+        Self {
+            variance: 1.0,
+            length_scale: 1.0,
+        }
     }
 }
 
@@ -96,7 +99,14 @@ impl GaussianProcess {
         };
         let centered: Vec<f64> = y.iter().map(|v| v - mean_offset).collect();
         let alpha = l.cholesky_solve(&centered);
-        Ok(Self { kernel, noise, x, l, alpha, mean_offset })
+        Ok(Self {
+            kernel,
+            noise,
+            x,
+            l,
+            alpha,
+            mean_offset,
+        })
     }
 
     /// Number of observations the GP conditions on.
@@ -121,6 +131,7 @@ impl GaussianProcess {
         let mut v = vec![0.0; n];
         for i in 0..n {
             let mut sum = ks[i];
+            #[allow(clippy::needless_range_loop)] // triangular solve: `j` indexes both `l` and `v`
             for j in 0..i {
                 sum -= self.l[(i, j)] * v[j];
             }
@@ -182,7 +193,16 @@ mod tests {
     #[test]
     fn interpolates_training_points() {
         let (xs, ys) = sine_data(20);
-        let gp = GaussianProcess::fit(RbfKernel { variance: 1.0, length_scale: 0.8 }, 1e-6, xs.clone(), &ys).unwrap();
+        let gp = GaussianProcess::fit(
+            RbfKernel {
+                variance: 1.0,
+                length_scale: 0.8,
+            },
+            1e-6,
+            xs.clone(),
+            &ys,
+        )
+        .unwrap();
         for (x, y) in xs.iter().zip(&ys) {
             let (mu, _) = gp.predict(x);
             assert!((mu - y).abs() < 1e-2, "at {x:?}: {mu} vs {y}");
@@ -201,7 +221,16 @@ mod tests {
     #[test]
     fn predicts_smooth_interpolation() {
         let (xs, ys) = sine_data(30);
-        let gp = GaussianProcess::fit(RbfKernel { variance: 1.0, length_scale: 0.8 }, 1e-6, xs, &ys).unwrap();
+        let gp = GaussianProcess::fit(
+            RbfKernel {
+                variance: 1.0,
+                length_scale: 0.8,
+            },
+            1e-6,
+            xs,
+            &ys,
+        )
+        .unwrap();
         let (mu, _) = gp.predict(&[1.55]);
         assert!((mu - 1.55f64.sin()).abs() < 0.05);
     }

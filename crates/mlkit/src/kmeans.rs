@@ -89,7 +89,12 @@ pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, 
         }
     }
     let inertia = points.iter().zip(&assignments).map(|(p, &a)| distance_sq(p, &centroids[a])).sum();
-    KmeansResult { centroids, assignments, iterations, inertia }
+    KmeansResult {
+        centroids,
+        assignments,
+        iterations,
+        inertia,
+    }
 }
 
 /// Index of the input point nearest to each centroid — Chameleon snaps

@@ -15,7 +15,11 @@ impl Matrix {
     /// Zero matrix of the given shape.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -39,7 +43,11 @@ impl Matrix {
         let cols = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let data = rows.iter().flatten().copied().collect();
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -125,7 +133,9 @@ impl Matrix {
     #[must_use]
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "vector length must equal column count");
-        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite

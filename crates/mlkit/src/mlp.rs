@@ -102,7 +102,11 @@ impl Mlp {
         assert!(widths.len() >= 2, "an MLP needs input and output widths");
         assert!(widths.iter().all(|w| *w > 0), "layer widths must be positive");
         let layers = widths.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
-        Self { layers, activation, step: 0 }
+        Self {
+            layers,
+            activation,
+            step: 0,
+        }
     }
 
     /// Input width.
@@ -304,9 +308,7 @@ mod tests {
         let mut mlp = Mlp::new(&[3, 16, 4], Activation::Relu, &mut rng);
         let xs = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
         let targets = [0usize, 1, 2];
-        let ce = |mlp: &Mlp| -> f64 {
-            xs.iter().zip(targets).map(|(x, t)| -softmax(&mlp.predict(x))[t].ln()).sum::<f64>()
-        };
+        let ce = |mlp: &Mlp| -> f64 { xs.iter().zip(targets).map(|(x, t)| -softmax(&mlp.predict(x))[t].ln()).sum::<f64>() };
         let before = ce(&mlp);
         for _ in 0..200 {
             let grads: Vec<Vec<f64>> = xs

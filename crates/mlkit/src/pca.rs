@@ -43,14 +43,20 @@ impl Pca {
     /// ragged, or `k` is zero or exceeds the feature width.
     pub fn fit(rows: &[Vec<f64>], k: usize) -> Result<Self, PcaError> {
         if rows.len() < 2 {
-            return Err(PcaError { reason: "need at least two samples".into() });
+            return Err(PcaError {
+                reason: "need at least two samples".into(),
+            });
         }
         let d = rows[0].len();
         if rows.iter().any(|r| r.len() != d) {
-            return Err(PcaError { reason: "ragged sample rows".into() });
+            return Err(PcaError {
+                reason: "ragged sample rows".into(),
+            });
         }
         if k == 0 || k > d {
-            return Err(PcaError { reason: format!("k = {k} out of range 1..={d}") });
+            return Err(PcaError {
+                reason: format!("k = {k} out of range 1..={d}"),
+            });
         }
         let n = rows.len() as f64;
         let mut mean = vec![0.0; d];
@@ -78,7 +84,11 @@ impl Pca {
         for i in 0..k {
             components.row_mut(i).copy_from_slice(vectors.row(i));
         }
-        Ok(Self { mean, components, eigenvalues: eigenvalues.into_iter().take(k).collect() })
+        Ok(Self {
+            mean,
+            components,
+            eigenvalues: eigenvalues.into_iter().take(k).collect(),
+        })
     }
 
     /// Number of components `k`.
@@ -170,7 +180,10 @@ pub fn total_variance(rows: &[Vec<f64>]) -> f64 {
             *m += v / n;
         }
     }
-    rows.iter().map(|r| r.iter().zip(&mean).map(|(v, m)| (v - m).powi(2)).sum::<f64>()).sum::<f64>() / n
+    rows.iter()
+        .map(|r| r.iter().zip(&mean).map(|(v, m)| (v - m).powi(2)).sum::<f64>())
+        .sum::<f64>()
+        / n
 }
 
 #[cfg(test)]

@@ -27,7 +27,13 @@ pub struct SaParams {
 
 impl Default for SaParams {
     fn default() -> Self {
-        Self { chains: 128, max_steps: 500, t_start: 1.0, t_end: 0.02, patience: 0 }
+        Self {
+            chains: 128,
+            max_steps: 500,
+            t_start: 1.0,
+            t_end: 0.02,
+            patience: 0,
+        }
     }
 }
 
@@ -129,7 +135,10 @@ where
         }
         chain_bests.push((best, best_score));
     }
-    SaOutcome { chain_bests, steps_executed }
+    SaOutcome {
+        chain_bests,
+        steps_executed,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +162,17 @@ mod tests {
     fn finds_global_optimum_region() {
         let mut rng = StdRng::seed_from_u64(1);
         let starts: Vec<i64> = (0..8).map(|i| i * 12).collect();
-        let out = anneal(&starts, score, neighbor, SaParams { chains: 8, max_steps: 300, ..SaParams::default() }, &mut rng);
+        let out = anneal(
+            &starts,
+            score,
+            neighbor,
+            SaParams {
+                chains: 8,
+                max_steps: 300,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
         let (best, _) = &out.top_k(1)[0];
         assert!((best - 37).abs() <= 3, "best {best}");
     }
@@ -161,16 +180,49 @@ mod tests {
     #[test]
     fn step_count_is_bounded_by_budget() {
         let mut rng = StdRng::seed_from_u64(2);
-        let out = anneal(&[50i64], score, neighbor, SaParams { chains: 4, max_steps: 100, patience: 0, ..SaParams::default() }, &mut rng);
+        let out = anneal(
+            &[50i64],
+            score,
+            neighbor,
+            SaParams {
+                chains: 4,
+                max_steps: 100,
+                patience: 0,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
         assert_eq!(out.steps_executed, 400);
     }
 
     #[test]
     fn patience_reduces_steps() {
         let mut rng = StdRng::seed_from_u64(3);
-        let full = anneal(&[37i64], score, neighbor, SaParams { chains: 4, max_steps: 500, patience: 0, ..SaParams::default() }, &mut rng);
+        let full = anneal(
+            &[37i64],
+            score,
+            neighbor,
+            SaParams {
+                chains: 4,
+                max_steps: 500,
+                patience: 0,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(3);
-        let early = anneal(&[37i64], score, neighbor, SaParams { chains: 4, max_steps: 500, patience: 25, ..SaParams::default() }, &mut rng);
+        let early = anneal(
+            &[37i64],
+            score,
+            neighbor,
+            SaParams {
+                chains: 4,
+                max_steps: 500,
+                patience: 25,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
         assert!(early.steps_executed < full.steps_executed);
     }
 
@@ -178,7 +230,17 @@ mod tests {
     fn top_k_is_sorted_descending() {
         let mut rng = StdRng::seed_from_u64(4);
         let starts: Vec<i64> = (0..16).map(|i| i * 6).collect();
-        let out = anneal(&starts, score, neighbor, SaParams { chains: 16, max_steps: 50, ..SaParams::default() }, &mut rng);
+        let out = anneal(
+            &starts,
+            score,
+            neighbor,
+            SaParams {
+                chains: 16,
+                max_steps: 50,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
         let top = out.top_k(5);
         for w in top.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -189,7 +251,19 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let run = || {
             let mut rng = StdRng::seed_from_u64(11);
-            anneal(&[0i64], score, neighbor, SaParams { chains: 2, max_steps: 100, ..SaParams::default() }, &mut rng).top_k(1)[0].1
+            anneal(
+                &[0i64],
+                score,
+                neighbor,
+                SaParams {
+                    chains: 2,
+                    max_steps: 100,
+                    ..SaParams::default()
+                },
+                &mut rng,
+            )
+            .top_k(1)[0]
+                .1
         };
         assert_eq!(run(), run());
     }
@@ -198,7 +272,17 @@ mod tests {
     fn chain_bests_never_worse_than_start() {
         let mut rng = StdRng::seed_from_u64(5);
         let starts = vec![0i64, 100];
-        let out = anneal(&starts, score, neighbor, SaParams { chains: 2, max_steps: 100, ..SaParams::default() }, &mut rng);
+        let out = anneal(
+            &starts,
+            score,
+            neighbor,
+            SaParams {
+                chains: 2,
+                max_steps: 100,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
         for (i, (_, s)) in out.chain_bests.iter().enumerate() {
             assert!(*s >= score(&starts[i]) - 1e-12);
         }

@@ -39,11 +39,20 @@ pub fn estimate_noise(measurer: &mut Measurer, space: &SearchSpace, config: &Con
                 sum += latency_s;
             }
             Outcome::Invalid(reason) => panic!("cannot calibrate on an invalid configuration ({reason})"),
+            // Calibration wants clean repeats; skip the lost sample rather
+            // than fold a timeout window into the noise estimate.
+            Outcome::Faulted(_) => continue,
         }
     }
-    let mean_log = logs.iter().sum::<f64>() / n as f64;
-    let var = logs.iter().map(|l| (l - mean_log).powi(2)).sum::<f64>() / (n - 1) as f64;
-    NoiseEstimate { mean_latency_s: sum / n as f64, log_sigma: var.sqrt(), samples: n }
+    let kept = logs.len();
+    assert!(kept >= 2, "faults left fewer than two clean samples");
+    let mean_log = logs.iter().sum::<f64>() / kept as f64;
+    let var = logs.iter().map(|l| (l - mean_log).powi(2)).sum::<f64>() / (kept - 1) as f64;
+    NoiseEstimate {
+        mean_latency_s: sum / kept as f64,
+        log_sigma: var.sqrt(),
+        samples: kept,
+    }
 }
 
 /// Estimates the per-measurement overhead (seconds) by differencing the
@@ -95,7 +104,11 @@ mod tests {
         // Each reported latency averages REPEATS runs, so the observable
         // sigma is NOISE_SIGMA / sqrt(REPEATS).
         let expected = NOISE_SIGMA / f64::from(REPEATS).sqrt();
-        assert!((estimate.log_sigma - expected).abs() < 0.4 * expected, "sigma {} vs expected {expected}", estimate.log_sigma);
+        assert!(
+            (estimate.log_sigma - expected).abs() < 0.4 * expected,
+            "sigma {} vs expected {expected}",
+            estimate.log_sigma
+        );
         assert_eq!(estimate.samples, 400);
     }
 

@@ -1,0 +1,471 @@
+//! Seeded fault injection for the measurement harness.
+//!
+//! Real tuning fleets fail in ways the simulator's clean oracle never does:
+//! kernels hang until the RPC timeout fires, launches fail spuriously,
+//! thermal events inflate latencies, devices drop off the network for a few
+//! requests, and occasionally a board dies for good. A [`FaultPlan`]
+//! describes per-device rates for each of those events; a [`FaultInjector`]
+//! turns the plan into a deterministic per-device event stream, so a tuning
+//! run under faults is exactly reproducible from `(seed, plan)`.
+//!
+//! Fault draws use their own RNG stream, separate from the measurement
+//! noise stream — injecting faults perturbs *which* measurements fail, not
+//! the noise of the ones that succeed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Simulated seconds a hung kernel burns before the harness kills it: the
+/// full RPC timeout window is charged to the GPU clock.
+pub const TIMEOUT_WINDOW_S: f64 = 10.0;
+/// Simulated seconds lost detecting a spurious launch failure.
+pub const LAUNCH_FAILURE_COST_S: f64 = 1.2;
+/// Simulated seconds lost on an RPC round trip to a device that is
+/// (transiently or permanently) unreachable.
+pub const DEVICE_LOSS_COST_S: f64 = 2.0;
+/// Latency multiplier applied by a noise spike (thermal event / co-tenant).
+pub const NOISE_SPIKE_FACTOR: f64 = 3.0;
+/// Consecutive requests a transient device loss swallows.
+pub const TRANSIENT_LOSS_SPAN: u32 = 3;
+
+/// The failure a measurement came back with (instead of a latency).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MeasureFault {
+    /// The kernel hung; the harness killed it after the timeout window.
+    /// The whole window is charged to the simulated clock.
+    Timeout {
+        /// Simulated seconds burned waiting.
+        timeout_s: f64,
+    },
+    /// The launch failed spuriously (driver hiccup, ECC retry, OOM race).
+    LaunchFailure,
+    /// The device did not answer the RPC; it may come back.
+    DeviceLost,
+    /// The device is permanently gone.
+    DeviceDead,
+}
+
+impl MeasureFault {
+    /// Whether retrying the same measurement can possibly succeed.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, MeasureFault::DeviceDead)
+    }
+
+    /// Simulated seconds this fault costs when it fires.
+    #[must_use]
+    pub fn cost_s(&self) -> f64 {
+        match self {
+            MeasureFault::Timeout { timeout_s } => *timeout_s,
+            MeasureFault::LaunchFailure => LAUNCH_FAILURE_COST_S,
+            MeasureFault::DeviceLost | MeasureFault::DeviceDead => DEVICE_LOSS_COST_S,
+        }
+    }
+
+    /// Stable machine-readable label (journals, CLI summaries).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            MeasureFault::Timeout { .. } => "timeout",
+            MeasureFault::LaunchFailure => "launch_failure",
+            MeasureFault::DeviceLost => "device_lost",
+            MeasureFault::DeviceDead => "device_dead",
+        }
+    }
+}
+
+impl std::fmt::Display for MeasureFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureFault::Timeout { timeout_s } => write!(f, "kernel timeout after {timeout_s:.1}s"),
+            MeasureFault::LaunchFailure => write!(f, "spurious launch failure"),
+            MeasureFault::DeviceLost => write!(f, "device unreachable (transient)"),
+            MeasureFault::DeviceDead => write!(f, "device dead"),
+        }
+    }
+}
+
+/// Per-measurement fault probabilities. All rates are independent draws in
+/// `[0, 1]`; `device_dead` is a per-measurement hazard, so even small rates
+/// kill a device quickly over a long run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// P(kernel hangs until the timeout window expires).
+    pub timeout: f64,
+    /// P(spurious launch failure).
+    pub launch_failure: f64,
+    /// P(latency spikes by [`NOISE_SPIKE_FACTOR`] — still a valid sample).
+    pub noise_spike: f64,
+    /// P(device drops off for [`TRANSIENT_LOSS_SPAN`] requests).
+    pub device_lost: f64,
+    /// P(device dies permanently).
+    pub device_dead: f64,
+}
+
+impl FaultRates {
+    /// Rates that never fire.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault can fire under these rates.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.timeout > 0.0 || self.launch_failure > 0.0 || self.noise_spike > 0.0 || self.device_lost > 0.0 || self.device_dead > 0.0
+    }
+
+    /// Checks every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending field name when a rate is outside `[0, 1]`
+    /// or not finite.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("timeout", self.timeout),
+            ("launch", self.launch_failure),
+            ("noise", self.noise_spike),
+            ("lost", self.device_lost),
+            ("dead", self.device_dead),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(format!("fault rate `{name}` must be in [0, 1], got {value}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A reproducible description of which faults a fleet suffers: one seed,
+/// fleet-wide default rates, and optional per-device overrides.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every injector derived from this plan.
+    pub seed: u64,
+    /// Rates for devices without an override.
+    pub default_rates: FaultRates,
+    /// Per-device overrides keyed by device name.
+    pub per_device: HashMap<String, FaultRates>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Uniform rates across the fleet.
+    #[must_use]
+    pub fn uniform(seed: u64, rates: FaultRates) -> Self {
+        Self {
+            seed,
+            default_rates: rates,
+            per_device: HashMap::new(),
+        }
+    }
+
+    /// Marks `device` as dead from the first measurement on.
+    #[must_use]
+    pub fn with_dead_device(mut self, device: &str) -> Self {
+        self.per_device.insert(
+            device.to_string(),
+            FaultRates {
+                device_dead: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        self
+    }
+
+    /// Overrides the rates for one device.
+    #[must_use]
+    pub fn with_device_rates(mut self, device: &str, rates: FaultRates) -> Self {
+        self.per_device.insert(device.to_string(), rates);
+        self
+    }
+
+    /// Rates in effect for `device`.
+    #[must_use]
+    pub fn rates_for(&self, device: &str) -> FaultRates {
+        self.per_device.get(device).copied().unwrap_or(self.default_rates)
+    }
+
+    /// Whether this plan can inject anything anywhere.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.default_rates.any() || self.per_device.values().any(FaultRates::any)
+    }
+
+    /// Parses a CLI rate spec like `timeout=0.1,launch=0.05,noise=0.1,lost=0.02,dead=0.01`
+    /// into a uniform plan with seed 0 (set the seed separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad key, value, or range.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut rates = FaultRates::none();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault spec `{part}`: expected key=rate"))?;
+            let rate: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad fault rate `{value}` for `{key}`: expected a number"))?;
+            match key.trim() {
+                "timeout" => rates.timeout = rate,
+                "launch" | "launch_failure" => rates.launch_failure = rate,
+                "noise" | "noise_spike" => rates.noise_spike = rate,
+                "lost" | "device_lost" => rates.device_lost = rate,
+                "dead" | "device_dead" => rates.device_dead = rate,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind `{other}` (expected timeout, launch, noise, lost, dead)"
+                    ))
+                }
+            }
+        }
+        rates.validate()?;
+        Ok(Self::uniform(0, rates))
+    }
+}
+
+/// What the injector decided for one measurement attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Fail the measurement with this fault.
+    Fail(MeasureFault),
+    /// Let it run, but multiply the true latency by this factor.
+    Inflate(f64),
+}
+
+/// The deterministic per-device fault stream derived from a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rates: FaultRates,
+    rng: StdRng,
+    dead: bool,
+    lost_remaining: u32,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `device` under `plan`. The stream depends
+    /// only on `(plan.seed, device)`, so fleets replay bit-identically.
+    #[must_use]
+    pub fn for_device(plan: &FaultPlan, device: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in device.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rates: plan.rates_for(device),
+            rng: StdRng::seed_from_u64(plan.seed ^ hash),
+            dead: false,
+            lost_remaining: 0,
+            injected: 0,
+        }
+    }
+
+    /// Whether the device has died permanently.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Number of fault events injected so far (noise spikes included).
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Draws the fate of the next measurement attempt. `None` means the
+    /// measurement proceeds untouched.
+    pub fn next_event(&mut self) -> Option<FaultEvent> {
+        if self.dead {
+            self.injected += 1;
+            return Some(FaultEvent::Fail(MeasureFault::DeviceDead));
+        }
+        if self.lost_remaining > 0 {
+            self.lost_remaining -= 1;
+            self.injected += 1;
+            return Some(FaultEvent::Fail(MeasureFault::DeviceLost));
+        }
+        if !self.rates.any() {
+            return None;
+        }
+        // One draw per hazard keeps each rate independently interpretable
+        // and the stream length per attempt fixed (replay stability).
+        let dead = self.rates.device_dead > 0.0 && self.rng.gen_bool(self.rates.device_dead);
+        let lost = self.rates.device_lost > 0.0 && self.rng.gen_bool(self.rates.device_lost);
+        let timeout = self.rates.timeout > 0.0 && self.rng.gen_bool(self.rates.timeout);
+        let launch = self.rates.launch_failure > 0.0 && self.rng.gen_bool(self.rates.launch_failure);
+        let spike = self.rates.noise_spike > 0.0 && self.rng.gen_bool(self.rates.noise_spike);
+        if dead {
+            self.dead = true;
+            self.injected += 1;
+            return Some(FaultEvent::Fail(MeasureFault::DeviceDead));
+        }
+        if lost {
+            self.lost_remaining = TRANSIENT_LOSS_SPAN - 1;
+            self.injected += 1;
+            return Some(FaultEvent::Fail(MeasureFault::DeviceLost));
+        }
+        if timeout {
+            self.injected += 1;
+            return Some(FaultEvent::Fail(MeasureFault::Timeout {
+                timeout_s: TIMEOUT_WINDOW_S,
+            }));
+        }
+        if launch {
+            self.injected += 1;
+            return Some(FaultEvent::Fail(MeasureFault::LaunchFailure));
+        }
+        if spike {
+            self.injected += 1;
+            return Some(FaultEvent::Inflate(NOISE_SPIKE_FACTOR));
+        }
+        None
+    }
+
+    /// Clears the transient-loss window and revives a dead device. Only
+    /// the pool's re-admission probe uses this; faults keep firing per the
+    /// rates afterwards.
+    pub fn revive(&mut self) {
+        self.dead = false;
+        self.lost_remaining = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> FaultRates {
+        FaultRates {
+            timeout: 0.1,
+            launch_failure: 0.1,
+            noise_spike: 0.1,
+            device_lost: 0.05,
+            device_dead: 0.01,
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse("timeout=0.1, launch=0.05,noise=0.2,lost=0.02,dead=0.01").unwrap();
+        assert_eq!(plan.default_rates.timeout, 0.1);
+        assert_eq!(plan.default_rates.launch_failure, 0.05);
+        assert_eq!(plan.default_rates.noise_spike, 0.2);
+        assert_eq!(plan.default_rates.device_lost, 0.02);
+        assert_eq!(plan.default_rates.device_dead, 0.01);
+        assert!(plan.any());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("timeout").is_err());
+        assert!(FaultPlan::parse("warp=0.1").is_err());
+        assert!(FaultPlan::parse("timeout=eleven").is_err());
+        assert!(FaultPlan::parse("timeout=1.5").is_err());
+        assert!(FaultPlan::parse("timeout=-0.1").is_err());
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let mut injector = FaultInjector::for_device(&FaultPlan::none(), "Titan Xp");
+        for _ in 0..10_000 {
+            assert_eq!(injector.next_event(), None);
+        }
+        assert_eq!(injector.injected(), 0);
+    }
+
+    #[test]
+    fn streams_replay_bit_identically() {
+        let plan = FaultPlan::uniform(42, chaotic());
+        let mut a = FaultInjector::for_device(&plan, "Titan Xp");
+        let mut b = FaultInjector::for_device(&plan, "Titan Xp");
+        for _ in 0..5_000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn streams_differ_across_devices_and_seeds() {
+        let plan = FaultPlan::uniform(42, chaotic());
+        let other_seed = FaultPlan::uniform(43, chaotic());
+        let mut a = FaultInjector::for_device(&plan, "Titan Xp");
+        let mut b = FaultInjector::for_device(&plan, "RTX 3090");
+        let mut c = FaultInjector::for_device(&other_seed, "Titan Xp");
+        let events_a: Vec<_> = (0..500).map(|_| a.next_event()).collect();
+        let events_b: Vec<_> = (0..500).map(|_| b.next_event()).collect();
+        let events_c: Vec<_> = (0..500).map(|_| c.next_event()).collect();
+        assert_ne!(events_a, events_b);
+        assert_ne!(events_a, events_c);
+    }
+
+    #[test]
+    fn dead_stays_dead_until_revived() {
+        let plan = FaultPlan::none().with_dead_device("Titan Xp");
+        let mut injector = FaultInjector::for_device(&plan, "Titan Xp");
+        for _ in 0..10 {
+            assert_eq!(injector.next_event(), Some(FaultEvent::Fail(MeasureFault::DeviceDead)));
+        }
+        assert!(injector.is_dead());
+        injector.revive();
+        // dead rate is 1.0, so the next draw kills it again immediately.
+        assert_eq!(injector.next_event(), Some(FaultEvent::Fail(MeasureFault::DeviceDead)));
+    }
+
+    #[test]
+    fn transient_loss_swallows_a_window_then_recovers() {
+        let rates = FaultRates {
+            device_lost: 1.0,
+            ..FaultRates::none()
+        };
+        let mut injector = FaultInjector::for_device(&FaultPlan::uniform(7, rates), "GTX 1080");
+        for _ in 0..TRANSIENT_LOSS_SPAN {
+            assert_eq!(injector.next_event(), Some(FaultEvent::Fail(MeasureFault::DeviceLost)));
+        }
+        assert!(!injector.is_dead(), "transient loss must not kill the device");
+    }
+
+    #[test]
+    fn rates_control_frequency_roughly() {
+        let rates = FaultRates {
+            timeout: 0.2,
+            ..FaultRates::none()
+        };
+        let mut injector = FaultInjector::for_device(&FaultPlan::uniform(3, rates), "RTX 3090");
+        let n = 20_000;
+        let fired = (0..n).filter(|_| injector.next_event().is_some()).count();
+        let rate = fired as f64 / f64::from(n);
+        assert!((rate - 0.2).abs() < 0.02, "timeout rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn fault_costs_and_retryability() {
+        assert!(MeasureFault::Timeout {
+            timeout_s: TIMEOUT_WINDOW_S
+        }
+        .is_retryable());
+        assert!(MeasureFault::LaunchFailure.is_retryable());
+        assert!(MeasureFault::DeviceLost.is_retryable());
+        assert!(!MeasureFault::DeviceDead.is_retryable());
+        assert_eq!(MeasureFault::Timeout { timeout_s: 10.0 }.cost_s(), 10.0);
+        assert!(MeasureFault::LaunchFailure.cost_s() > 0.0);
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let plan = FaultPlan::uniform(9, chaotic()).with_dead_device("GTX 1080");
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -35,12 +35,17 @@
 //! ```
 
 pub mod calibrate;
+pub mod fault;
 pub mod measure;
 pub mod model;
 pub mod pool;
+pub mod retry;
 pub mod trace;
 pub mod validity;
 
+pub use fault::{FaultPlan, FaultRates, MeasureFault};
 pub use measure::{MeasureResult, Measurer, Outcome};
 pub use model::PerfModel;
+pub use pool::{DeviceError, DevicePool, DeviceStatus, PoolSummary};
+pub use retry::{measure_with_retry, RetriedMeasure, RetryPolicy};
 pub use validity::InvalidReason;

@@ -6,6 +6,7 @@
 //! repeated runs, invalid ones pay compilation + the failed launch. The
 //! accumulated clock is what Table 2's "ΣGPU Search (GPU Hours)" reports.
 
+use crate::fault::{FaultEvent, FaultInjector, FaultPlan, MeasureFault};
 use crate::model::PerfModel;
 use crate::validity::{self, InvalidReason};
 use glimpse_gpu_spec::GpuSpec;
@@ -37,6 +38,10 @@ pub enum Outcome {
     },
     /// The launch failed with a resource violation.
     Invalid(InvalidReason),
+    /// The measurement failed for reasons unrelated to the configuration
+    /// (hang, flaky launch, unreachable or dead device). Unlike `Invalid`,
+    /// this says nothing about the config — it must never train a surrogate.
+    Faulted(MeasureFault),
 }
 
 impl Outcome {
@@ -45,7 +50,7 @@ impl Outcome {
     pub fn gflops(&self) -> Option<f64> {
         match self {
             Outcome::Valid { gflops, .. } => Some(*gflops),
-            Outcome::Invalid(_) => None,
+            Outcome::Invalid(_) | Outcome::Faulted(_) => None,
         }
     }
 
@@ -53,6 +58,22 @@ impl Outcome {
     #[must_use]
     pub fn is_valid(&self) -> bool {
         matches!(self, Outcome::Valid { .. })
+    }
+
+    /// Whether the measurement failed due to an injected/infrastructure
+    /// fault rather than the configuration itself.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Outcome::Faulted(_))
+    }
+
+    /// The fault, if this outcome is one.
+    #[must_use]
+    pub fn fault(&self) -> Option<MeasureFault> {
+        match self {
+            Outcome::Faulted(fault) => Some(*fault),
+            _ => None,
+        }
     }
 }
 
@@ -75,13 +96,39 @@ pub struct Measurer {
     clock_s: f64,
     valid_count: u64,
     invalid_count: u64,
+    fault_count: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl Measurer {
     /// Opens a measurement channel to `gpu` with a deterministic noise seed.
     #[must_use]
     pub fn new(gpu: GpuSpec, seed: u64) -> Self {
-        Self { model: PerfModel::new(gpu), rng: StdRng::seed_from_u64(seed), clock_s: 0.0, valid_count: 0, invalid_count: 0 }
+        Self {
+            model: PerfModel::new(gpu),
+            rng: StdRng::seed_from_u64(seed),
+            clock_s: 0.0,
+            valid_count: 0,
+            invalid_count: 0,
+            fault_count: 0,
+            injector: None,
+        }
+    }
+
+    /// Opens a channel that injects faults per `plan` (no-op plan → clean
+    /// channel identical to [`Measurer::new`]).
+    #[must_use]
+    pub fn with_faults(gpu: GpuSpec, seed: u64, plan: &FaultPlan) -> Self {
+        let mut measurer = Self::new(gpu, seed);
+        measurer.set_fault_plan(plan);
+        measurer
+    }
+
+    /// Installs (or, with an empty plan, removes) fault injection. The
+    /// injector stream depends only on `(plan.seed, gpu name)`.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let name = self.gpu().name.clone();
+        self.injector = plan.rates_for(&name).any().then(|| FaultInjector::for_device(plan, &name));
     }
 
     /// The underlying noise-free model.
@@ -114,33 +161,98 @@ impl Measurer {
         self.invalid_count
     }
 
+    /// Number of measurements lost to injected faults.
+    #[must_use]
+    pub fn fault_count(&self) -> u64 {
+        self.fault_count
+    }
+
+    /// Whether the simulated device has died permanently.
+    #[must_use]
+    pub fn is_device_dead(&self) -> bool {
+        self.injector.as_ref().is_some_and(FaultInjector::is_dead)
+    }
+
+    /// Revives a dead device (the pool's re-admission probe on a false
+    /// positive). Faults keep firing per the plan afterwards.
+    pub fn revive_device(&mut self) {
+        if let Some(injector) = &mut self.injector {
+            injector.revive();
+        }
+    }
+
+    /// Debits simulated GPU seconds outside a measurement (retry backoff,
+    /// probe traffic). Saturates at zero for negative amounts.
+    pub fn charge(&mut self, seconds: f64) {
+        self.clock_s += seconds.max(0.0);
+    }
+
     /// Measures one configuration, debiting the simulated clock.
+    ///
+    /// With a fault plan installed, the injector is consulted once per
+    /// call: device-level faults (dead/lost) preempt everything, kernel
+    /// faults (timeout, spurious launch failure) only strike configurations
+    /// that would otherwise run, and a noise spike inflates the latency of
+    /// an otherwise-valid sample. A timeout debits the full timeout window.
     pub fn measure(&mut self, space: &SearchSpace, config: &Config) -> MeasureResult {
+        let event = self.injector.as_mut().and_then(FaultInjector::next_event);
+
+        // Device-level faults fire before the config is even compiled.
+        if let Some(FaultEvent::Fail(fault @ (MeasureFault::DeviceDead | MeasureFault::DeviceLost))) = event {
+            return self.faulted(config, fault);
+        }
+
         let shape = space.kernel_shape(config);
         match validity::check(self.gpu(), &shape) {
             Err(reason) => {
+                // An invalid config fails at the resource check; a drawn
+                // kernel fault has nothing left to strike.
                 self.invalid_count += 1;
                 self.clock_s += INVALID_OVERHEAD_S;
-                MeasureResult { config: config.clone(), outcome: Outcome::Invalid(reason), cost_s: INVALID_OVERHEAD_S }
-            }
-            Ok(()) => {
-                let true_latency = self
-                    .model
-                    .latency_s(space, config)
-                    .expect("validity already checked");
-                // Average of REPEATS noisy runs (log-normal multiplicative noise).
-                let mut sum = 0.0;
-                for _ in 0..REPEATS {
-                    let z = standard_normal(&mut self.rng);
-                    sum += true_latency * (NOISE_SIGMA * z).exp();
+                MeasureResult {
+                    config: config.clone(),
+                    outcome: Outcome::Invalid(reason),
+                    cost_s: INVALID_OVERHEAD_S,
                 }
-                let latency_s = sum / f64::from(REPEATS);
-                let gflops = space.op().flops() / latency_s / 1e9;
-                let cost_s = VALID_OVERHEAD_S + f64::from(REPEATS) * latency_s;
-                self.valid_count += 1;
-                self.clock_s += cost_s;
-                MeasureResult { config: config.clone(), outcome: Outcome::Valid { latency_s, gflops }, cost_s }
             }
+            Ok(()) => match event {
+                Some(FaultEvent::Fail(fault)) => self.faulted(config, fault),
+                Some(FaultEvent::Inflate(factor)) => self.run_kernel(space, config, factor),
+                None => self.run_kernel(space, config, 1.0),
+            },
+        }
+    }
+
+    /// Records a faulted measurement, charging the fault's cost.
+    fn faulted(&mut self, config: &Config, fault: MeasureFault) -> MeasureResult {
+        let cost_s = fault.cost_s();
+        self.fault_count += 1;
+        self.clock_s += cost_s;
+        MeasureResult {
+            config: config.clone(),
+            outcome: Outcome::Faulted(fault),
+            cost_s,
+        }
+    }
+
+    /// The successful-measurement path; `inflation` models a noise spike.
+    fn run_kernel(&mut self, space: &SearchSpace, config: &Config, inflation: f64) -> MeasureResult {
+        let true_latency = self.model.latency_s(space, config).expect("validity already checked") * inflation;
+        // Average of REPEATS noisy runs (log-normal multiplicative noise).
+        let mut sum = 0.0;
+        for _ in 0..REPEATS {
+            let z = standard_normal(&mut self.rng);
+            sum += true_latency * (NOISE_SIGMA * z).exp();
+        }
+        let latency_s = sum / f64::from(REPEATS);
+        let gflops = space.op().flops() / latency_s / 1e9;
+        let cost_s = VALID_OVERHEAD_S + f64::from(REPEATS) * latency_s;
+        self.valid_count += 1;
+        self.clock_s += cost_s;
+        MeasureResult {
+            config: config.clone(),
+            outcome: Outcome::Valid { latency_s, gflops },
+            cost_s,
         }
     }
 
@@ -159,7 +271,7 @@ impl Measurer {
         for _ in 0..n {
             let c = space.sample_uniform(&mut rng);
             if let Some(g) = self.model.throughput_gflops(space, &c) {
-                if best.as_ref().map_or(true, |(_, b)| g > *b) {
+                if best.as_ref().is_none_or(|(_, b)| g > *b) {
                     best = Some((c, g));
                 }
             }
@@ -213,6 +325,7 @@ mod tests {
             match r.outcome {
                 Outcome::Valid { .. } => valid_cost = Some(r.cost_s),
                 Outcome::Invalid(_) => invalid_cost = Some(r.cost_s),
+                Outcome::Faulted(fault) => panic!("clean channel injected {fault}"),
             }
         }
         assert!(invalid_cost.unwrap() < valid_cost.unwrap());

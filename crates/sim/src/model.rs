@@ -104,11 +104,10 @@ impl PerfModel {
     pub fn blocks_per_sm(&self, shape: &KernelShape) -> u64 {
         let gpu = &self.gpu;
         let by_threads = u64::from(gpu.max_threads_per_sm) / shape.threads_per_block.max(1);
-        let by_smem = if shape.shared_bytes == 0 {
-            u64::from(gpu.max_blocks_per_sm)
-        } else {
-            gpu.shared_mem_per_sm_bytes() / shape.shared_bytes
-        };
+        let by_smem = gpu
+            .shared_mem_per_sm_bytes()
+            .checked_div(shape.shared_bytes)
+            .unwrap_or(u64::from(gpu.max_blocks_per_sm));
         let by_regs = if shape.regs_per_block() == 0 {
             u64::from(gpu.max_blocks_per_sm)
         } else {
@@ -187,11 +186,11 @@ impl PerfModel {
         };
         let bank_eff = if stride == 0 {
             1.0
-        } else if stride % 16 == 0 {
+        } else if stride.is_multiple_of(16) {
             1.0 - 0.22 * conflict_scale
-        } else if stride % 8 == 0 {
+        } else if stride.is_multiple_of(8) {
             1.0 - 0.15 * conflict_scale
-        } else if stride % 2 == 0 {
+        } else if stride.is_multiple_of(2) {
             1.0 - 0.08 * conflict_scale
         } else {
             1.0 - 0.03 * conflict_scale
@@ -211,7 +210,7 @@ impl PerfModel {
         // DRAM partition count hammer the same channels in lockstep —
         // another exact-residue effect invisible to log-scale features.
         let partitions = u64::from(gpu.mem_bus_bits / 64).max(1);
-        let camping = if shape.blocks % partitions == 0 { 0.86 } else { 1.0 };
+        let camping = if shape.blocks.is_multiple_of(partitions) { 0.86 } else { 1.0 };
         let mem_eff = 0.78 * coalesce * camping;
         let memory_s = traffic_bytes / (gpu.mem_bandwidth_gb_s * 1e9 * mem_eff);
 
@@ -229,7 +228,6 @@ impl PerfModel {
             traffic_bytes,
         }
     }
-
 
     /// Estimated energy (joules) of one kernel execution: board power
     /// scaled by how compute-saturated the kernel is. Memory-bound or
@@ -284,7 +282,7 @@ mod tests {
         for _ in 0..n {
             let c = space.sample_uniform(&mut rng);
             if let Some(g) = model.throughput_gflops(space, &c) {
-                if best.as_ref().map_or(true, |(_, b)| g > *b) {
+                if best.as_ref().is_none_or(|(_, b)| g > *b) {
                     best = Some((c, g));
                 }
             }
@@ -383,7 +381,12 @@ mod tests {
             }
         };
         let shape = space.kernel_shape(&c);
-        let b = model.breakdown(space.template(), space.op().effective_flops(space.template()), space.op().compulsory_bytes(), &shape);
+        let b = model.breakdown(
+            space.template(),
+            space.op().effective_flops(space.template()),
+            space.op().compulsory_bytes(),
+            &shape,
+        );
         assert!((b.total_s() - (b.compute_s.max(b.memory_s) + b.launch_s)).abs() < 1e-15);
         assert!(b.occupancy > 0.0 && b.occupancy <= 1.0);
         assert!(b.warp_eff > 0.0 && b.warp_eff <= 1.0);
@@ -405,7 +408,12 @@ mod tests {
         let space = conv_space();
         let (cfg, _) = best_of(&model, &space, 1000, 21);
         let shape = space.kernel_shape(&cfg);
-        let b = model.breakdown(space.template(), space.op().effective_flops(space.template()), space.op().compulsory_bytes(), &shape);
+        let b = model.breakdown(
+            space.template(),
+            space.op().effective_flops(space.template()),
+            space.op().compulsory_bytes(),
+            &shape,
+        );
         let e = model.energy_j(&b);
         assert!(e > 0.0 && e.is_finite());
         // Energy is bounded by TDP x latency and above the static floor.

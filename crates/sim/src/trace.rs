@@ -9,32 +9,43 @@
 
 use crate::measure::{MeasureResult, Measurer, Outcome};
 use glimpse_space::{Config, SearchSpace};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 
 /// A memoizing measurement layer for one (GPU, task) pair.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceCache {
-    // Serialized as a pair list: JSON maps require string keys.
-    #[serde(with = "entry_list")]
     entries: HashMap<Vec<usize>, Outcome>,
     hits: u64,
     misses: u64,
 }
 
-mod entry_list {
-    use super::{HashMap, Outcome};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(map: &HashMap<Vec<usize>, Outcome>, s: S) -> Result<S::Ok, S::Error> {
-        let mut pairs: Vec<(&Vec<usize>, &Outcome)> = map.iter().collect();
+// Hand-written serde: the entry map is serialized as a key-sorted pair
+// list because JSON maps require string keys.
+impl Serialize for TraceCache {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(&Vec<usize>, &Outcome)> = self.entries.iter().collect();
         pairs.sort_by(|a, b| a.0.cmp(b.0));
-        pairs.serialize(s)
+        let entries: Vec<Value> = pairs
+            .into_iter()
+            .map(|(key, outcome)| Value::Array(vec![key.to_value(), outcome.to_value()]))
+            .collect();
+        Value::Object(vec![
+            ("entries".to_string(), Value::Array(entries)),
+            ("hits".to_string(), self.hits.to_value()),
+            ("misses".to_string(), self.misses.to_value()),
+        ])
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<HashMap<Vec<usize>, Outcome>, D::Error> {
-        let pairs: Vec<(Vec<usize>, Outcome)> = Vec::deserialize(d)?;
-        Ok(pairs.into_iter().collect())
+impl Deserialize for TraceCache {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let pairs: Vec<(Vec<usize>, Outcome)> = serde::__field(value, "entries", "TraceCache")?;
+        Ok(Self {
+            entries: pairs.into_iter().collect(),
+            hits: serde::__field(value, "hits", "TraceCache")?,
+            misses: serde::__field(value, "misses", "TraceCache")?,
+        })
     }
 }
 
@@ -51,7 +62,11 @@ impl TraceCache {
         let key = config.indices().to_vec();
         if let Some(outcome) = self.entries.get(&key) {
             self.hits += 1;
-            return MeasureResult { config: config.clone(), outcome: *outcome, cost_s: 0.0 };
+            return MeasureResult {
+                config: config.clone(),
+                outcome: *outcome,
+                cost_s: 0.0,
+            };
         }
         self.misses += 1;
         let result = measurer.measure(space, config);

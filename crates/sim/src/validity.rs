@@ -111,7 +111,10 @@ mod tests {
         let gpu = database::find("RTX 2070 Super").unwrap();
         assert_eq!(check(gpu, &shape_with(2048, 1024, 32)), Err(InvalidReason::TooManyThreads));
         assert_eq!(check(gpu, &shape_with(256, 128 * 1024, 32)), Err(InvalidReason::SharedMemExceeded));
-        assert_eq!(check(gpu, &shape_with(256, 1024, 300)), Err(InvalidReason::RegistersPerThreadExceeded));
+        assert_eq!(
+            check(gpu, &shape_with(256, 1024, 300)),
+            Err(InvalidReason::RegistersPerThreadExceeded)
+        );
         assert_eq!(check(gpu, &shape_with(1024, 1024, 200)), Err(InvalidReason::RegisterFileExceeded));
     }
 
@@ -123,7 +126,10 @@ mod tests {
         let shape = shape_with(256, 64 * 1024, 64);
         assert!(check(database::find("RTX 2070 Super").unwrap(), &shape).is_ok());
         assert!(check(database::find("RTX 3090").unwrap(), &shape).is_ok());
-        assert_eq!(check(database::find("Titan Xp").unwrap(), &shape), Err(InvalidReason::SharedMemExceeded));
+        assert_eq!(
+            check(database::find("Titan Xp").unwrap(), &shape),
+            Err(InvalidReason::SharedMemExceeded)
+        );
     }
 
     #[test]

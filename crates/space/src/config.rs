@@ -57,7 +57,13 @@ impl SearchSpace {
     #[must_use]
     pub fn new(name: &str, template: TemplateKind, op: OpSpec, knobs: Vec<Knob>, semantics: Semantics) -> Self {
         assert!(!knobs.is_empty(), "a search space needs at least one knob");
-        Self { name: name.to_owned(), template, op, knobs, semantics }
+        Self {
+            name: name.to_owned(),
+            template,
+            op,
+            knobs,
+            semantics,
+        }
     }
 
     /// Human-readable space name.
@@ -154,7 +160,13 @@ impl SearchSpace {
         let mut indices = config.indices().to_vec();
         // Prefer knobs with more than one choice; fall back to identity if
         // the whole space is a single point.
-        let mutable: Vec<usize> = self.knobs.iter().enumerate().filter(|(_, k)| k.cardinality() > 1).map(|(i, _)| i).collect();
+        let mutable: Vec<usize> = self
+            .knobs
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.cardinality() > 1)
+            .map(|(i, _)| i)
+            .collect();
         if let Some(&knob) = mutable.get(rng.gen_range(0..mutable.len().max(1)).min(mutable.len().saturating_sub(1))) {
             let card = self.knobs[knob].cardinality();
             let mut next = rng.gen_range(0..card - 1);
@@ -187,7 +199,11 @@ impl SearchSpace {
             .find_map(|v| v.as_int())
             .map_or(0, |v| u32::try_from(v.max(0)).unwrap_or(u32::MAX));
         let explicit_unroll = values.iter().find_map(|v| v.as_flag()).unwrap_or(false);
-        self.semantics.kernel_shape(&ResolvedKnobs { splits, unroll_steps, explicit_unroll })
+        self.semantics.kernel_shape(&ResolvedKnobs {
+            splits,
+            unroll_steps,
+            explicit_unroll,
+        })
     }
 
     /// Numeric feature encoding of a config for cost models and the prior
@@ -216,7 +232,6 @@ impl SearchSpace {
     pub fn feature_width(&self) -> usize {
         self.knobs.iter().map(Knob::feature_width).sum::<usize>() + DERIVED_FEATURES
     }
-
 
     /// Iterates every configuration in flat-index order. Only sensible for
     /// small spaces; the iterator is lazy so callers can `.take(n)`.
@@ -265,7 +280,14 @@ pub const DERIVED_FEATURES: usize = 8;
 
 impl fmt::Display for SearchSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {} knobs, {} configs", self.name, self.template, self.knobs.len(), self.size())
+        write!(
+            f,
+            "{} [{}] {} knobs, {} configs",
+            self.name,
+            self.template,
+            self.knobs.len(),
+            self.size()
+        )
     }
 }
 
@@ -361,7 +383,11 @@ mod tests {
         use crate::knob::Knob;
         use glimpse_tensor_prog::{DenseSpec, OpSpec, TemplateKind};
         let spec = DenseSpec::new(1, 4, 4);
-        let knobs = vec![Knob::split("tile_y", 4, 2), Knob::split("tile_k", 4, 2), Knob::flag("unroll_explicit")];
+        let knobs = vec![
+            Knob::split("tile_y", 4, 2),
+            Knob::split("tile_k", 4, 2),
+            Knob::flag("unroll_explicit"),
+        ];
         let tiny = SearchSpace::new("tiny", TemplateKind::Dense, OpSpec::Dense(spec), knobs, Semantics::Dense(spec));
         let all: Vec<Config> = tiny.iter().collect();
         assert_eq!(all.len() as u128, tiny.size());

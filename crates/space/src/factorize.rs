@@ -12,7 +12,7 @@ pub fn divisors(n: u32) -> Vec<u32> {
     let mut large = Vec::new();
     let mut d = 1;
     while (d as u64) * (d as u64) <= n as u64 {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);
@@ -73,9 +73,9 @@ pub fn count_ordered_factorizations(extent: u32, parts: usize) -> u128 {
     let mut count: u128 = 1;
     let mut p = 2u32;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             let mut e = 0u32;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 e += 1;
             }

@@ -272,10 +272,15 @@ mod tests {
     }
 
     fn resolved<'a>(splits: Vec<&'a [u32]>) -> ResolvedKnobs<'a> {
-        ResolvedKnobs { splits, unroll_steps: 512, explicit_unroll: true }
+        ResolvedKnobs {
+            splits,
+            unroll_steps: 512,
+            explicit_unroll: true,
+        }
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // 1-factors spell out the tile structure
     fn conv_direct_threads_and_blocks_cover_output() {
         let spec = conv();
         let f: &[u32] = &[1, 2, 8, 4];

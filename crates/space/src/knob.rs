@@ -88,7 +88,10 @@ impl Knob {
     #[must_use]
     pub fn split(name: &str, extent: u32, parts: usize) -> Self {
         let choices = ordered_factorizations(extent, parts).into_iter().map(KnobValue::Split).collect();
-        Self { name: name.to_owned(), choices }
+        Self {
+            name: name.to_owned(),
+            choices,
+        }
     }
 
     /// A TVM `define_knob` over an explicit integer list.
@@ -99,13 +102,19 @@ impl Knob {
     #[must_use]
     pub fn int_list(name: &str, values: &[i64]) -> Self {
         assert!(!values.is_empty(), "knob {name} needs at least one choice");
-        Self { name: name.to_owned(), choices: values.iter().map(|v| KnobValue::Int(*v)).collect() }
+        Self {
+            name: name.to_owned(),
+            choices: values.iter().map(|v| KnobValue::Int(*v)).collect(),
+        }
     }
 
     /// A boolean knob.
     #[must_use]
     pub fn flag(name: &str) -> Self {
-        Self { name: name.to_owned(), choices: vec![KnobValue::Flag(false), KnobValue::Flag(true)] }
+        Self {
+            name: name.to_owned(),
+            choices: vec![KnobValue::Flag(false), KnobValue::Flag(true)],
+        }
     }
 
     /// The knob's name (e.g. `"tile_x"`).

@@ -52,7 +52,11 @@ pub fn encode(space: &SearchSpace, config: &Config, gflops: Option<f64>) -> LogR
         .zip(config.indices())
         .map(|(k, &i)| (k.name().to_owned(), k.value(i).to_string()))
         .collect();
-    LogRecord { space: space.name().to_owned(), knobs, gflops }
+    LogRecord {
+        space: space.name().to_owned(),
+        knobs,
+        gflops,
+    }
 }
 
 /// Resolves a record back to a config in `space`, matching knob values by
@@ -66,16 +70,22 @@ pub fn decode(space: &SearchSpace, record: &LogRecord) -> Result<Config, Resolve
     let mut indices = vec![usize::MAX; space.knobs().len()];
     for (name, rendered) in &record.knobs {
         let Some(k) = space.knob_index(name) else {
-            return Err(ResolveError { reason: format!("unknown knob {name:?}") });
+            return Err(ResolveError {
+                reason: format!("unknown knob {name:?}"),
+            });
         };
         let knob = &space.knobs()[k];
         let Some(choice) = knob.choices().iter().position(|v: &KnobValue| v.to_string() == *rendered) else {
-            return Err(ResolveError { reason: format!("value {rendered} not a choice of {name:?}") });
+            return Err(ResolveError {
+                reason: format!("value {rendered} not a choice of {name:?}"),
+            });
         };
         indices[k] = choice;
     }
     if let Some(missing) = indices.iter().position(|&i| i == usize::MAX) {
-        return Err(ResolveError { reason: format!("knob {:?} missing from record", space.knobs()[missing].name()) });
+        return Err(ResolveError {
+            reason: format!("knob {:?} missing from record", space.knobs()[missing].name()),
+        });
     }
     Ok(Config::new(indices))
 }

@@ -49,7 +49,10 @@ pub fn conv2d_direct_space(spec: &Conv2dSpec) -> SearchSpace {
 /// [`Conv2dSpec::winograd_eligible`]).
 #[must_use]
 pub fn conv2d_winograd_space(spec: &Conv2dSpec) -> SearchSpace {
-    assert!(spec.winograd_eligible(), "winograd template requires unit-stride small square kernels");
+    assert!(
+        spec.winograd_eligible(),
+        "winograd template requires unit-stride small square kernels"
+    );
     let p = Semantics::winograd_tiles(spec, WINOGRAD_M);
     let knobs = vec![
         Knob::split("tile_p", p, 4),
@@ -63,7 +66,10 @@ pub fn conv2d_winograd_space(spec: &Conv2dSpec) -> SearchSpace {
         TemplateKind::Conv2dWinograd,
         OpSpec::Conv2d(*spec),
         knobs,
-        Semantics::ConvWinograd { spec: *spec, m: WINOGRAD_M },
+        Semantics::ConvWinograd {
+            spec: *spec,
+            m: WINOGRAD_M,
+        },
     )
 }
 

@@ -18,7 +18,11 @@ impl DenseSpec {
     /// Creates a dense spec.
     #[must_use]
     pub fn new(batch: u32, in_features: u32, out_features: u32) -> Self {
-        Self { batch, in_features, out_features }
+        Self {
+            batch,
+            in_features,
+            out_features,
+        }
     }
 
     /// Multiply–accumulate-counted FLOPs (2 × MACs) for one forward pass.

@@ -23,7 +23,10 @@ impl DnnModel {
     /// de-duplicated as TVM does).
     #[must_use]
     pub fn from_layers(name: &str, layers: &[OpSpec]) -> Self {
-        Self { name: name.to_owned(), tasks: extract_tasks(name, layers) }
+        Self {
+            name: name.to_owned(),
+            tasks: extract_tasks(name, layers),
+        }
     }
 
     /// Model name, e.g. `"ResNet-18"`.
@@ -41,7 +44,11 @@ impl DnnModel {
     /// Total direct-algorithm FLOPs of one forward pass (all occurrences).
     #[must_use]
     pub fn total_flops(&self) -> f64 {
-        self.tasks.iter().filter(|t| !matches!(t.template, crate::op::TemplateKind::Conv2dWinograd)).map(Task::weighted_flops).sum()
+        self.tasks
+            .iter()
+            .filter(|t| !matches!(t.template, crate::op::TemplateKind::Conv2dWinograd))
+            .map(Task::weighted_flops)
+            .sum()
     }
 }
 
@@ -84,8 +91,8 @@ pub fn resnet18() -> DnnModel {
 }
 
 /// VGG-16 (Simonyan & Zisserman, 2015): 13 convolutions (9 unique shapes)
-/// + 3 dense layers. Extracts 21 tasks: 9 conv2d, 9 winograd conv2d,
-/// 3 dense (Table 1).
+/// and 3 dense layers. Extracts 21 tasks: 9 conv2d, 9 winograd conv2d,
+/// and 3 dense (Table 1).
 #[must_use]
 pub fn vgg16() -> DnnModel {
     let conv = |in_ch: u32, out_ch: u32, size: u32| OpSpec::Conv2d(Conv2dSpec::square(1, in_ch, out_ch, size, 3, 1, 1));
@@ -141,8 +148,7 @@ pub fn squeezenet11() -> DnnModel {
 #[must_use]
 pub fn resnet34() -> DnnModel {
     let mut layers = vec![OpSpec::Conv2d(Conv2dSpec::square(1, 3, 64, 224, 7, 2, 3))];
-    let stages: [(u32, u32, u32, u32, usize); 4] =
-        [(64, 64, 56, 1, 3), (64, 128, 56, 2, 4), (128, 256, 28, 2, 6), (256, 512, 14, 2, 3)];
+    let stages: [(u32, u32, u32, u32, usize); 4] = [(64, 64, 56, 1, 3), (64, 128, 56, 2, 4), (128, 256, 28, 2, 6), (256, 512, 14, 2, 3)];
     for (in_ch, out_ch, in_size, stride, blocks) in stages {
         let out_size = in_size / stride;
         layers.push(OpSpec::Conv2d(Conv2dSpec::square(1, in_ch, out_ch, in_size, 3, stride, 1)));
@@ -218,7 +224,11 @@ mod tests {
     fn counts(model: &DnnModel) -> (usize, usize, usize) {
         let by = count_by_template(model.tasks());
         let get = |k: TemplateKind| by.iter().find(|(kind, _)| *kind == k).unwrap().1;
-        (get(TemplateKind::Conv2dDirect), get(TemplateKind::Conv2dWinograd), get(TemplateKind::Dense))
+        (
+            get(TemplateKind::Conv2dDirect),
+            get(TemplateKind::Conv2dWinograd),
+            get(TemplateKind::Dense),
+        )
     }
 
     #[test]
@@ -331,7 +341,11 @@ mod tests {
     #[test]
     fn extended_models_lookup_and_validate() {
         for model in extended_models() {
-            assert!(find(model.name()).is_some() || find(&model.name().to_ascii_lowercase().replace('.', "")).is_some() || model.name().contains("SqueezeNet"));
+            assert!(
+                find(model.name()).is_some()
+                    || find(&model.name().to_ascii_lowercase().replace('.', "")).is_some()
+                    || model.name().contains("SqueezeNet")
+            );
             for task in model.tasks() {
                 match &task.op {
                     crate::op::OpSpec::Conv2d(c) => c.validate().unwrap(),

@@ -81,7 +81,15 @@ pub fn extract_tasks(model: &str, layers: &[OpSpec]) -> Vec<Task> {
             existing.occurrences += 1;
         } else {
             let index = tasks.len();
-            tasks.push(Task { id: TaskId { model: model.to_owned(), index }, template, op, occurrences: 1 });
+            tasks.push(Task {
+                id: TaskId {
+                    model: model.to_owned(),
+                    index,
+                },
+                template,
+                op,
+                occurrences: 1,
+            });
         }
     };
     // First pass: direct templates for every layer.
@@ -128,7 +136,10 @@ mod tests {
         let tasks = extract_tasks("toy", &layers());
         // conv1 direct, 3x3 direct (x2), dense, 3x3 winograd (x2)
         assert_eq!(tasks.len(), 4);
-        let three_by_three = tasks.iter().find(|t| t.template == TemplateKind::Conv2dDirect && t.occurrences == 2).unwrap();
+        let three_by_three = tasks
+            .iter()
+            .find(|t| t.template == TemplateKind::Conv2dDirect && t.occurrences == 2)
+            .unwrap();
         assert_eq!(three_by_three.occurrences, 2);
         let wino = tasks.iter().find(|t| t.template == TemplateKind::Conv2dWinograd).unwrap();
         assert_eq!(wino.occurrences, 2);
@@ -154,7 +165,10 @@ mod tests {
     fn latency_conversion_is_dimensionally_correct() {
         // 2 GFLOP of work at 1000 GFLOPS through one occurrence = 2 ms.
         let task = Task {
-            id: TaskId { model: "toy".into(), index: 0 },
+            id: TaskId {
+                model: "toy".into(),
+                index: 0,
+            },
             template: TemplateKind::Dense,
             op: OpSpec::Dense(DenseSpec::new(1, 1_000_000, 1_000)),
             occurrences: 1,

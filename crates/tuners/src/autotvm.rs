@@ -42,7 +42,14 @@ pub struct AutoTvmConfig {
 
 impl Default for AutoTvmConfig {
     fn default() -> Self {
-        Self { n_init: 16, batch_size: 16, sa_chains: 32, sa_steps: 75, epsilon: 0.1, transfer: Vec::new() }
+        Self {
+            n_init: 16,
+            batch_size: 16,
+            sa_chains: 32,
+            sa_steps: 75,
+            epsilon: 0.1,
+            transfer: Vec::new(),
+        }
     }
 }
 
@@ -56,7 +63,9 @@ impl AutoTvmTuner {
     /// Creates the tuner with default hyperparameters.
     #[must_use]
     pub fn new() -> Self {
-        Self { config: AutoTvmConfig::default() }
+        Self {
+            config: AutoTvmConfig::default(),
+        }
     }
 
     /// Creates the tuner with explicit hyperparameters.

@@ -48,14 +48,24 @@ impl Budget {
     /// ```
     #[must_use]
     pub fn measurements(n: usize) -> Self {
-        Self { max_measurements: n, max_gpu_seconds: f64::INFINITY, target_gflops: None, plateau: None }
+        Self {
+            max_measurements: n,
+            max_gpu_seconds: f64::INFINITY,
+            target_gflops: None,
+            plateau: None,
+        }
     }
 
     /// Budget bounded by simulated GPU seconds (with a generous measurement
     /// cap as a backstop).
     #[must_use]
     pub fn gpu_seconds(s: f64) -> Self {
-        Self { max_measurements: 100_000, max_gpu_seconds: s, target_gflops: None, plateau: None }
+        Self {
+            max_measurements: 100_000,
+            max_gpu_seconds: s,
+            target_gflops: None,
+            plateau: None,
+        }
     }
 
     /// Adds an early-exit quality target.

@@ -42,7 +42,14 @@ pub struct ChameleonConfig {
 
 impl Default for ChameleonConfig {
     fn default() -> Self {
-        Self { n_init: 16, batch_size: 16, sa_chains: 32, sa_steps_initial: 60, sa_decay: 0.75, pool_factor: 4 }
+        Self {
+            n_init: 16,
+            batch_size: 16,
+            sa_chains: 32,
+            sa_steps_initial: 60,
+            sa_decay: 0.75,
+            pool_factor: 4,
+        }
     }
 }
 
@@ -56,7 +63,9 @@ impl ChameleonTuner {
     /// Creates the tuner with default hyperparameters.
     #[must_use]
     pub fn new() -> Self {
-        Self { config: ChameleonConfig::default() }
+        Self {
+            config: ChameleonConfig::default(),
+        }
     }
 
     /// Creates the tuner with explicit hyperparameters.
@@ -91,7 +100,9 @@ impl Tuner for ChameleonTuner {
         while !ctx.exhausted() {
             model.fit(ctx.space, ctx.history());
             // Adaptive exploration: shrinking annealing budget, greedy restarts.
-            let steps = ((self.config.sa_steps_initial as f64) * self.config.sa_decay.powi(round as i32)).ceil().max(8.0) as usize;
+            let steps = ((self.config.sa_steps_initial as f64) * self.config.sa_decay.powi(round as i32))
+                .ceil()
+                .max(8.0) as usize;
             round += 1;
             let mut ranked = ctx.history().valid_pairs();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
@@ -104,7 +115,13 @@ impl Tuner for ChameleonTuner {
                 &starts,
                 |c| model.predict(space, c),
                 |c, r| space.neighbor(c, r),
-                SaParams { chains: self.config.sa_chains, max_steps: steps, t_start: 1.0, t_end: 0.05, patience: 0 },
+                SaParams {
+                    chains: self.config.sa_chains,
+                    max_steps: steps,
+                    t_start: 1.0,
+                    t_end: 0.05,
+                    patience: 0,
+                },
                 &mut rng,
             );
             ctx.add_explorer_steps(outcome.steps_executed);
@@ -150,7 +167,10 @@ impl Tuner for ChameleonTuner {
             let best_measured = ctx.history().best_gflops();
             let mut batch: Vec<Config> = Vec::new();
             if let Some(best_pred) = pool.iter().max_by(|a, b| {
-                model.predict(space, a).partial_cmp(&model.predict(space, b)).expect("finite predictions")
+                model
+                    .predict(space, a)
+                    .partial_cmp(&model.predict(space, b))
+                    .expect("finite predictions")
             }) {
                 batch.push(best_pred.clone());
             }
@@ -213,7 +233,12 @@ mod tests {
     fn finds_competitive_configs() {
         let cham = run_tuner(ChameleonTuner::new(), 160, 4);
         let auto = run_tuner(AutoTvmTuner::new(), 160, 4);
-        assert!(cham.best_gflops > 0.5 * auto.best_gflops, "chameleon {} vs autotvm {}", cham.best_gflops, auto.best_gflops);
+        assert!(
+            cham.best_gflops > 0.5 * auto.best_gflops,
+            "chameleon {} vs autotvm {}",
+            cham.best_gflops,
+            auto.best_gflops
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::budget::Budget;
 use crate::history::{Trial, TuningHistory};
-use glimpse_sim::Measurer;
+use glimpse_sim::{measure_with_retry, Measurer, RetryPolicy};
 use glimpse_space::{Config, SearchSpace};
 use glimpse_tensor_prog::Task;
 use serde::{Deserialize, Serialize};
@@ -21,6 +21,8 @@ pub struct TuneContext<'a> {
     pub budget: Budget,
     /// Seed for the tuner's own randomness.
     pub seed: u64,
+    /// Retry policy applied to faulted measurements.
+    pub retry: RetryPolicy,
     history: TuningHistory,
     visited: HashSet<Vec<usize>>,
     gpu_seconds_at_start: f64,
@@ -41,12 +43,20 @@ impl<'a> TuneContext<'a> {
             measurer,
             budget,
             seed,
+            retry: RetryPolicy::default(),
             history,
             visited: HashSet::new(),
             gpu_seconds_at_start,
             explorer_steps: 0,
             best_trajectory: Vec::new(),
         }
+    }
+
+    /// Replaces the retry policy applied to faulted measurements.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The journal so far.
@@ -61,11 +71,15 @@ impl<'a> TuneContext<'a> {
         self.measurer.elapsed_gpu_seconds() - self.gpu_seconds_at_start
     }
 
-    /// Whether the run should stop (budget bounds or plateau convergence).
+    /// Whether the run should stop (budget bounds, plateau convergence, or
+    /// the device having died permanently — there is nothing left to
+    /// measure on a dead channel).
     #[must_use]
     pub fn exhausted(&self) -> bool {
-        self.budget.exhausted(self.history.len(), self.gpu_seconds(), self.history.best_gflops())
+        self.budget
+            .exhausted(self.history.len(), self.gpu_seconds(), self.history.best_gflops())
             || self.budget.plateaued(&self.best_trajectory)
+            || self.measurer.is_device_dead()
     }
 
     /// Measurements still allowed by the budget's count cap.
@@ -95,8 +109,8 @@ impl<'a> TuneContext<'a> {
             return None;
         }
         self.visited.insert(config.indices().to_vec());
-        let result = self.measurer.measure(self.space, config);
-        let trial = Trial::from_measure(&result);
+        let retried = measure_with_retry(self.measurer, self.space, config, &self.retry);
+        let trial = Trial::from_measure(&retried.result);
         let gflops = trial.gflops;
         self.history.push(trial);
         let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(gflops.unwrap_or(0.0));
@@ -129,6 +143,7 @@ impl<'a> TuneContext<'a> {
             best_config: self.history.best_config().cloned(),
             measurements: self.history.len(),
             invalid_measurements: self.history.invalid_count(),
+            faulted_measurements: self.history.fault_count(),
             explorer_steps: self.explorer_steps,
             gpu_seconds,
             history: self.history,
@@ -149,6 +164,9 @@ pub struct TuningOutcome {
     pub measurements: usize,
     /// Invalid (failed) measurements among them — Fig. 7's numerator.
     pub invalid_measurements: usize,
+    /// Measurements lost to injected infrastructure faults (timeouts,
+    /// launch failures, device loss) after retries were exhausted.
+    pub faulted_measurements: usize,
     /// Explorer steps (Markov-chain updates / acquisition evaluations) —
     /// Fig. 6's metric.
     pub explorer_steps: usize,
@@ -159,13 +177,15 @@ pub struct TuningOutcome {
 }
 
 impl TuningOutcome {
-    /// Fraction of measurements that were invalid.
+    /// Fraction of measurements that were invalid, over the fault-free
+    /// population (a faulted measurement reveals nothing about the space).
     #[must_use]
     pub fn invalid_fraction(&self) -> f64 {
-        if self.measurements == 0 {
+        let population = self.measurements.saturating_sub(self.faulted_measurements);
+        if population == 0 {
             0.0
         } else {
-            self.invalid_measurements as f64 / self.measurements as f64
+            self.invalid_measurements as f64 / population as f64
         }
     }
 }

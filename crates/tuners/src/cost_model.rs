@@ -29,7 +29,13 @@ impl GbtCostModel {
     /// Fresh, unfitted model.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { params: GbtParams::default(), seed, model: None, transfer_x: Vec::new(), transfer_y: Vec::new() }
+        Self {
+            params: GbtParams::default(),
+            seed,
+            model: None,
+            transfer_x: Vec::new(),
+            transfer_y: Vec::new(),
+        }
     }
 
     /// Loads transfer pairs from foreign tuning logs. `space` must be the
@@ -67,11 +73,14 @@ impl GbtCostModel {
 
     /// Refits on the history's valid measurements (invalid trials enter as
     /// zero-throughput examples so the surrogate learns to avoid them).
+    /// Faulted trials are *excluded* entirely: a timeout or device loss says
+    /// nothing about the configuration, and feeding it in as a fake zero
+    /// would teach the model to avoid perfectly good regions.
     /// Transfer pairs participate until local data outnumbers them 2:1.
     pub fn fit(&mut self, space: &SearchSpace, history: &TuningHistory) {
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
-        for trial in &history.trials {
+        for trial in history.trials.iter().filter(|t| !t.is_fault()) {
             xs.push(space.features(&trial.config));
             ys.push(trial.gflops.unwrap_or(0.0) / SCORE_SCALE);
         }
@@ -161,11 +170,35 @@ mod tests {
         let (space, history) = measured_history(300, 3);
         let mut model = GbtCostModel::new(0);
         model.fit(&space, &history);
-        let invalid_preds: Vec<f64> =
-            history.trials.iter().filter(|t| !t.is_valid()).take(50).map(|t| model.predict(&space, &t.config)).collect();
+        let invalid_preds: Vec<f64> = history
+            .trials
+            .iter()
+            .filter(|t| !t.is_valid())
+            .take(50)
+            .map(|t| model.predict(&space, &t.config))
+            .collect();
         let valid_best = history.best_gflops();
         let mean_invalid = invalid_preds.iter().sum::<f64>() / invalid_preds.len().max(1) as f64;
         assert!(mean_invalid < valid_best * 0.5, "invalid mean {mean_invalid} vs best {valid_best}");
+    }
+
+    #[test]
+    fn faulted_trials_never_enter_training() {
+        let (space, mut history) = measured_history(0, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let c = space.sample_uniform(&mut rng);
+            history.push(Trial {
+                config: c,
+                gflops: None,
+                cost_s: 10.0,
+                fault: Some(glimpse_sim::MeasureFault::Timeout { timeout_s: 10.0 }),
+            });
+        }
+        let mut model = GbtCostModel::new(0);
+        model.fit(&space, &history);
+        // Every trial was a fault, so there was nothing to train on.
+        assert!(!model.is_fitted(), "faulted trials must not become fake zero-throughput examples");
     }
 
     #[test]

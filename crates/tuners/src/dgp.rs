@@ -32,7 +32,13 @@ pub struct DgpConfig {
 
 impl Default for DgpConfig {
     fn default() -> Self {
-        Self { n_init: 16, batch_size: 16, candidates: 384, gp_cap: 200, transfer: Vec::new() }
+        Self {
+            n_init: 16,
+            batch_size: 16,
+            candidates: 384,
+            gp_cap: 200,
+            transfer: Vec::new(),
+        }
     }
 }
 
@@ -46,7 +52,9 @@ impl DgpTuner {
     /// Creates the tuner with default hyperparameters.
     #[must_use]
     pub fn new() -> Self {
-        Self { config: DgpConfig::default() }
+        Self {
+            config: DgpConfig::default(),
+        }
     }
 
     /// Creates the tuner with explicit hyperparameters.
@@ -115,7 +123,15 @@ impl Tuner for DgpTuner {
                 obs.drain(0..skip);
             }
             let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = obs.into_iter().unzip();
-            let gp = GaussianProcess::fit(RbfKernel { variance: 1.0, length_scale: 4.0 }, 1e-4, xs, &ys);
+            let gp = GaussianProcess::fit(
+                RbfKernel {
+                    variance: 1.0,
+                    length_scale: 4.0,
+                },
+                1e-4,
+                xs,
+                &ys,
+            );
 
             let best_y = ctx.history().best_gflops();
             let mut scored: Vec<(Config, f64)> = Vec::with_capacity(self.config.candidates);

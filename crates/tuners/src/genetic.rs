@@ -27,7 +27,12 @@ pub struct GeneticConfig {
 
 impl Default for GeneticConfig {
     fn default() -> Self {
-        Self { population: 16, elites: 2, tournament: 3, mutation_rate: 0.12 }
+        Self {
+            population: 16,
+            elites: 2,
+            tournament: 3,
+            mutation_rate: 0.12,
+        }
     }
 }
 
@@ -41,7 +46,9 @@ impl GeneticTuner {
     /// Creates the tuner with default hyperparameters.
     #[must_use]
     pub fn new() -> Self {
-        Self { config: GeneticConfig::default() }
+        Self {
+            config: GeneticConfig::default(),
+        }
     }
 
     /// Creates the tuner with explicit hyperparameters.
@@ -63,7 +70,7 @@ impl Tuner for GeneticTuner {
     }
 
     fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
-        let mut rng = child_rng(ctx.seed, 0x6E6E_71C);
+        let mut rng = child_rng(ctx.seed, 0x06E6_E71C);
         let pop_size = self.config.population.max(2);
 
         // Generation 0: uniform random.

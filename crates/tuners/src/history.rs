@@ -5,7 +5,7 @@
 //! of TVM tuning logs / the TenSet corpus [19] that §3.1 gathers to train
 //! the prior generator `H`.
 
-use glimpse_sim::{MeasureResult, Outcome};
+use glimpse_sim::{MeasureFault, MeasureResult, Outcome};
 use glimpse_space::Config;
 use glimpse_tensor_prog::TemplateKind;
 use serde::{Deserialize, Serialize};
@@ -15,10 +15,15 @@ use serde::{Deserialize, Serialize};
 pub struct Trial {
     /// The measured configuration.
     pub config: Config,
-    /// Throughput in GFLOPS; `None` if the launch failed.
+    /// Throughput in GFLOPS; `None` if the launch failed or faulted.
     pub gflops: Option<f64>,
-    /// Simulated GPU seconds this trial cost.
+    /// Simulated GPU seconds this trial cost (retries and backoff
+    /// included when the harness retried).
     pub cost_s: f64,
+    /// The infrastructure fault that ate this trial, if one did. A fault
+    /// says nothing about the configuration — faulted trials must never
+    /// become surrogate training targets, unlike invalid ones.
+    pub fault: Option<MeasureFault>,
 }
 
 impl Trial {
@@ -27,15 +32,33 @@ impl Trial {
     pub fn from_measure(result: &MeasureResult) -> Self {
         let gflops = match result.outcome {
             Outcome::Valid { gflops, .. } => Some(gflops),
-            Outcome::Invalid(_) => None,
+            Outcome::Invalid(_) | Outcome::Faulted(_) => None,
         };
-        Self { config: result.config.clone(), gflops, cost_s: result.cost_s }
+        Self {
+            config: result.config.clone(),
+            gflops,
+            cost_s: result.cost_s,
+            fault: result.outcome.fault(),
+        }
     }
 
     /// Whether the trial was a valid measurement.
     #[must_use]
     pub fn is_valid(&self) -> bool {
         self.gflops.is_some()
+    }
+
+    /// Whether the trial was lost to an infrastructure fault.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Whether the configuration itself was invalid (resource violation):
+    /// a *learnable* failure, unlike a fault.
+    #[must_use]
+    pub fn is_invalid(&self) -> bool {
+        self.gflops.is_none() && self.fault.is_none()
     }
 }
 
@@ -58,7 +81,13 @@ impl TuningHistory {
     /// Empty history for a (GPU, task) pair.
     #[must_use]
     pub fn new(gpu: &str, model: &str, task_index: usize, template: TemplateKind) -> Self {
-        Self { gpu: gpu.to_owned(), model: model.to_owned(), task_index, template, trials: Vec::new() }
+        Self {
+            gpu: gpu.to_owned(),
+            model: model.to_owned(),
+            task_index,
+            template,
+            trials: Vec::new(),
+        }
     }
 
     /// Appends a trial.
@@ -110,19 +139,28 @@ impl TuningHistory {
             .collect()
     }
 
-    /// Fraction of trials that were invalid.
+    /// Fraction of trials whose configuration was invalid (faulted trials
+    /// are excluded from both numerator and population — they say nothing
+    /// about the space).
     #[must_use]
     pub fn invalid_fraction(&self) -> f64 {
-        if self.trials.is_empty() {
+        let population = self.trials.iter().filter(|t| !t.is_fault()).count();
+        if population == 0 {
             return 0.0;
         }
-        self.trials.iter().filter(|t| !t.is_valid()).count() as f64 / self.trials.len() as f64
+        self.invalid_count() as f64 / population as f64
     }
 
-    /// Number of invalid trials.
+    /// Number of invalid trials (configuration violations, not faults).
     #[must_use]
     pub fn invalid_count(&self) -> usize {
-        self.trials.iter().filter(|t| !t.is_valid()).count()
+        self.trials.iter().filter(|t| t.is_invalid()).count()
+    }
+
+    /// Number of trials lost to infrastructure faults.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.is_fault()).count()
     }
 
     /// Total simulated GPU seconds spent.
@@ -218,7 +256,12 @@ mod tests {
     fn history_with(gflops: &[Option<f64>]) -> TuningHistory {
         let mut h = TuningHistory::new("Titan Xp", "toy", 0, TemplateKind::Conv2dDirect);
         for (i, g) in gflops.iter().enumerate() {
-            h.push(Trial { config: Config::new(vec![i]), gflops: *g, cost_s: 1.0 });
+            h.push(Trial {
+                config: Config::new(vec![i]),
+                gflops: *g,
+                cost_s: 1.0,
+                fault: None,
+            });
         }
         h
     }
@@ -236,6 +279,23 @@ mod tests {
         let h = history_with(&[Some(10.0), None, None, Some(20.0)]);
         assert_eq!(h.invalid_count(), 2);
         assert!((h.invalid_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faults_are_journaled_separately_from_invalids() {
+        let mut h = history_with(&[Some(10.0), None]);
+        h.push(Trial {
+            config: Config::new(vec![9]),
+            gflops: None,
+            cost_s: 10.0,
+            fault: Some(MeasureFault::Timeout { timeout_s: 10.0 }),
+        });
+        assert_eq!(h.invalid_count(), 1);
+        assert_eq!(h.fault_count(), 1);
+        // The faulted trial drops out of the invalid-fraction population.
+        assert!((h.invalid_fraction() - 0.5).abs() < 1e-12);
+        // ...but its cost still counts against the GPU-seconds budget.
+        assert!((h.gpu_seconds() - 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -25,9 +25,9 @@ pub mod chameleon;
 pub mod context;
 pub mod cost_model;
 pub mod dgp;
+pub mod diagnostics;
 pub mod genetic;
 pub mod grid;
-pub mod diagnostics;
 pub mod history;
 pub mod portfolio;
 pub mod random;

@@ -28,7 +28,10 @@ impl Member {
     where
         F: Fn() -> Box<dyn Tuner> + Send + Sync + 'static,
     {
-        Self { name, build: Box::new(build) }
+        Self {
+            name,
+            build: Box::new(build),
+        }
     }
 
     /// Member display name.
@@ -63,7 +66,11 @@ impl PortfolioTuner {
     #[must_use]
     pub fn new(members: Vec<Member>) -> Self {
         assert!(!members.is_empty(), "portfolio needs at least one member");
-        Self { members, slice: 32, exploration: 0.4 }
+        Self {
+            members,
+            slice: 32,
+            exploration: 0.4,
+        }
     }
 }
 
@@ -83,9 +90,8 @@ impl Tuner for PortfolioTuner {
                 let total: usize = plays.iter().sum();
                 (0..n)
                     .max_by(|&a, &b| {
-                        let score = |i: usize| {
-                            gains[i] / plays[i] as f64 + self.exploration * ((total as f64).ln() / plays[i] as f64).sqrt()
-                        };
+                        let score =
+                            |i: usize| gains[i] / plays[i] as f64 + self.exploration * ((total as f64).ln() / plays[i] as f64).sqrt();
                         score(a).partial_cmp(&score(b)).expect("finite UCB scores")
                     })
                     .expect("nonempty members")
@@ -95,7 +101,13 @@ impl Tuner for PortfolioTuner {
             // measurer (the clock and noise stream carry across slices).
             let before_best = ctx.history().best_gflops();
             let slice_budget = Budget::measurements(self.slice.min(ctx.remaining().max(1)));
-            let sub = TuneContext::new(ctx.task, ctx.space, ctx.measurer, slice_budget, ctx.seed.wrapping_add(round as u64 * 7919));
+            let sub = TuneContext::new(
+                ctx.task,
+                ctx.space,
+                ctx.measurer,
+                slice_budget,
+                ctx.seed.wrapping_add(round as u64 * 7919),
+            );
             let outcome = (self.members[pick].build)().tune(sub);
             round += 1;
             // Fold the slice's trials into the main journal.
@@ -153,14 +165,22 @@ mod tests {
 
     #[test]
     fn portfolio_is_at_least_as_good_as_pure_random() {
-        let portfolio = run(128, 2);
-        let mut measurer = Measurer::new(database::find("GTX 1080 Ti").unwrap().clone(), 2);
-        let model = models::alexnet();
-        let task = &model.tasks()[2];
-        let space = templates::space_for_task(task);
-        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(128), 2);
-        let random = RandomTuner::new().tune(ctx);
-        assert!(portfolio.best_gflops >= 0.8 * random.best_gflops, "portfolio {} vs random {}", portfolio.best_gflops, random.best_gflops);
+        // Statistical claim, so majority-of-seeds like the other tuner
+        // comparisons: any single seed can hand random a lucky draw.
+        let mut wins = 0;
+        for seed in [1, 2, 3] {
+            let portfolio = run(128, seed);
+            let mut measurer = Measurer::new(database::find("GTX 1080 Ti").unwrap().clone(), seed);
+            let model = models::alexnet();
+            let task = &model.tasks()[2];
+            let space = templates::space_for_task(task);
+            let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(128), seed);
+            let random = RandomTuner::new().tune(ctx);
+            if portfolio.best_gflops >= 0.8 * random.best_gflops {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 2, "portfolio matched random on only {wins}/3 seeds");
     }
 
     #[test]

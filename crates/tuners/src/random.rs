@@ -22,7 +22,7 @@ impl Tuner for RandomTuner {
     }
 
     fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
-        let mut rng = child_rng(ctx.seed, 0xBAD5_EED);
+        let mut rng = child_rng(ctx.seed, 0x0BAD_5EED);
         while !ctx.exhausted() {
             // Resample on collision a few times, then accept the duplicate.
             let mut config = ctx.space.sample_uniform(&mut rng);

@@ -69,9 +69,18 @@ impl TaskScheduler {
         assert!(!weighted_flops.is_empty(), "need at least one task");
         let tasks = weighted_flops
             .iter()
-            .map(|&f| TaskState { weighted_flops: f, best_gflops: 0.0, rounds: 0, converged: false })
+            .map(|&f| TaskState {
+                weighted_flops: f,
+                best_gflops: 0.0,
+                rounds: 0,
+                converged: false,
+            })
             .collect();
-        Self { policy, tasks, gain_per_round: 0.5 }
+        Self {
+            policy,
+            tasks,
+            gain_per_round: 0.5,
+        }
     }
 
     /// Task states, in construction order.

@@ -19,7 +19,12 @@ fn main() {
     println!("Blueprint size vs information loss (Fig. 8):");
     for point in BlueprintCodec::sweep(&population) {
         let bar = "#".repeat((point.rmse * 60.0).round() as usize);
-        println!("  k={:<2} ({:>5.1}% size)  rmse {:.4} {bar}", point.components, point.size_fraction * 100.0, point.rmse);
+        println!(
+            "  k={:<2} ({:>5.1}% size)  rmse {:.4} {bar}",
+            point.components,
+            point.size_fraction * 100.0,
+            point.rmse
+        );
     }
     let k = BlueprintCodec::recommended_components(&population);
     println!("  operating point: k = {k} (<0.5% variance lost)\n");
@@ -45,7 +50,10 @@ fn main() {
             })
             .collect();
         dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        println!("  {:<16} -> {} (d={:.2}), {} (d={:.2})", gpu.name, dists[0].0, dists[0].1, dists[1].0, dists[1].1);
+        println!(
+            "  {:<16} -> {} (d={:.2}), {} (d={:.2})",
+            gpu.name, dists[0].0, dists[0].1, dists[1].0, dists[1].1
+        );
     }
 
     println!("\nsampler thresholds generated from each Blueprint (§3.3):");

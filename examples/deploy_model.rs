@@ -73,5 +73,10 @@ fn main() {
         latency_ms += task.latency_ms(chosen);
     }
     println!("\ncompilation used {:.1} simulated GPU minutes", total_gpu_s / 60.0);
-    println!("end-to-end {} inference latency on {}: {:.3} ms", model.name(), target.name, latency_ms);
+    println!(
+        "end-to-end {} inference latency on {}: {:.3} ms",
+        model.name(),
+        target.name,
+        latency_ms
+    );
 }

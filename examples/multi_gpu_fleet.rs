@@ -62,7 +62,10 @@ fn main() {
         }
     });
 
-    println!("\n{:<16} {:>14} {:>14} {:>10} {:>12}", "GPU", "Glimpse GFLOPS", "AutoTVM GFLOPS", "speed", "GPU-s saved");
+    println!(
+        "\n{:<16} {:>14} {:>14} {:>10} {:>12}",
+        "GPU", "Glimpse GFLOPS", "AutoTVM GFLOPS", "speed", "GPU-s saved"
+    );
     let mut total_saved = 0.0;
     for (gpu, glimpse, autotvm) in &results {
         let saved = autotvm.gpu_seconds - glimpse.gpu_seconds;

@@ -44,7 +44,11 @@ fn main() {
     //    (or a hard measurement cap), and we compare the GPU time burned.
     let oracle = Measurer::new(target.clone(), 7).oracle_best(&space, 20_000, 7).1;
     let budget = Budget::measurements(384).with_target(0.9 * oracle);
-    println!("quality target: {:.0} GFLOPS (90% of the near-exhaustive best {:.0})", 0.9 * oracle, oracle);
+    println!(
+        "quality target: {:.0} GFLOPS (90% of the near-exhaustive best {:.0})",
+        0.9 * oracle,
+        oracle
+    );
 
     let mut measurer = Measurer::new(target.clone(), 7);
     let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
@@ -58,7 +62,12 @@ fn main() {
     for outcome in [&glimpse, &autotvm] {
         println!(
             "{:<12} {:>12.0} {:>13} {:>8} {:>15} {:>12.1}",
-            outcome.tuner, outcome.best_gflops, outcome.measurements, outcome.invalid_measurements, outcome.explorer_steps, outcome.gpu_seconds
+            outcome.tuner,
+            outcome.best_gflops,
+            outcome.measurements,
+            outcome.invalid_measurements,
+            outcome.explorer_steps,
+            outcome.gpu_seconds
         );
     }
     let speedup = autotvm.gpu_seconds / glimpse.gpu_seconds.max(1e-9);

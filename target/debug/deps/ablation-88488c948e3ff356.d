@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-88488c948e3ff356.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-88488c948e3ff356: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

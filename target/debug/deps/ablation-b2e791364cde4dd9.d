@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b2e791364cde4dd9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b2e791364cde4dd9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ded991fa58db6107.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ded991fa58db6107: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-77eb7e351d521664.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-77eb7e351d521664: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

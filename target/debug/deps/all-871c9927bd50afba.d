@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-871c9927bd50afba.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-871c9927bd50afba: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-de0c32ee54fb0a99.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-de0c32ee54fb0a99: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

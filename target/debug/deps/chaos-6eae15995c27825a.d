@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-6eae15995c27825a.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-6eae15995c27825a: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-bf7ad8b2a8a9448e.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-bf7ad8b2a8a9448e: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-08032daa5de06da3.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-08032daa5de06da3: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_glimpse=/root/repo/target/debug/glimpse

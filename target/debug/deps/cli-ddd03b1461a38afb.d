@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-ddd03b1461a38afb.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-ddd03b1461a38afb: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_glimpse=/root/repo/target/debug/glimpse

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-8790a3d904d5d09e.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/components-8790a3d904d5d09e: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

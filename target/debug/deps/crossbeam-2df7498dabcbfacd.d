@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-2df7498dabcbfacd.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-2df7498dabcbfacd: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

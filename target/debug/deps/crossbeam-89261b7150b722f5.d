@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-89261b7150b722f5.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-89261b7150b722f5.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-89261b7150b722f5.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-095da31c44df70e1.d: crates/bench/src/bin/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-095da31c44df70e1: crates/bench/src/bin/diagnostics.rs
+
+crates/bench/src/bin/diagnostics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-0c3598179ad24a30.d: crates/bench/src/bin/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-0c3598179ad24a30: crates/bench/src/bin/diagnostics.rs
+
+crates/bench/src/bin/diagnostics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-19b8e62ae633177b.d: crates/bench/src/bin/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-19b8e62ae633177b: crates/bench/src/bin/diagnostics.rs
+
+crates/bench/src/bin/diagnostics.rs:

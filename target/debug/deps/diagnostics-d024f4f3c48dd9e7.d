@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnostics-d024f4f3c48dd9e7.d: crates/bench/src/bin/diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnostics-d024f4f3c48dd9e7.rmeta: crates/bench/src/bin/diagnostics.rs Cargo.toml
+
+crates/bench/src/bin/diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

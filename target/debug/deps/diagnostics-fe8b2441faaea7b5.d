@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnostics-fe8b2441faaea7b5.d: crates/bench/src/bin/diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnostics-fe8b2441faaea7b5.rmeta: crates/bench/src/bin/diagnostics.rs Cargo.toml
+
+crates/bench/src/bin/diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrapolation-5d428845a31854cc.d: crates/bench/src/bin/extrapolation.rs
+
+/root/repo/target/debug/deps/extrapolation-5d428845a31854cc: crates/bench/src/bin/extrapolation.rs
+
+crates/bench/src/bin/extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrapolation-d0474f5107f738b7.d: crates/bench/src/bin/extrapolation.rs
+
+/root/repo/target/debug/deps/extrapolation-d0474f5107f738b7: crates/bench/src/bin/extrapolation.rs
+
+crates/bench/src/bin/extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrapolation-f19c98973704e798.d: crates/bench/src/bin/extrapolation.rs
+
+/root/repo/target/debug/deps/extrapolation-f19c98973704e798: crates/bench/src/bin/extrapolation.rs
+
+crates/bench/src/bin/extrapolation.rs:

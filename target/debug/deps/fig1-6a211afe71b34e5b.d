@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-6a211afe71b34e5b.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-6a211afe71b34e5b: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

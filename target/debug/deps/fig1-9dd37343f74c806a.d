@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-9dd37343f74c806a.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-9dd37343f74c806a: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

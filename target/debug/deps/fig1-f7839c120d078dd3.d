@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-f7839c120d078dd3.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-f7839c120d078dd3: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

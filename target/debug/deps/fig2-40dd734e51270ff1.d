@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-40dd734e51270ff1.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-40dd734e51270ff1: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

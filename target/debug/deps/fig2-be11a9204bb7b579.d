@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-be11a9204bb7b579.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-be11a9204bb7b579: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

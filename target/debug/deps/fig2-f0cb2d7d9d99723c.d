@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-f0cb2d7d9d99723c.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-f0cb2d7d9d99723c: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-19ac982e54fc765d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-19ac982e54fc765d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

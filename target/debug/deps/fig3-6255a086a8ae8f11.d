@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6255a086a8ae8f11.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6255a086a8ae8f11: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

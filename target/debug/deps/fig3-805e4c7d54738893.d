@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-805e4c7d54738893.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-805e4c7d54738893: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

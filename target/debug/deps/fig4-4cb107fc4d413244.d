@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4cb107fc4d413244.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4cb107fc4d413244: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

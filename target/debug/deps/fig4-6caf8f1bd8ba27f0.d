@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-6caf8f1bd8ba27f0.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-6caf8f1bd8ba27f0: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b8b2b443f1519f9c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-b8b2b443f1519f9c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

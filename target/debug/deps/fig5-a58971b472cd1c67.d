@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a58971b472cd1c67.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a58971b472cd1c67: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

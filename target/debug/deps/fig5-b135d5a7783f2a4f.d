@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b135d5a7783f2a4f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b135d5a7783f2a4f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e9280691cc5d55a6.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e9280691cc5d55a6: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-133f1a5a32035ae5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-133f1a5a32035ae5: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

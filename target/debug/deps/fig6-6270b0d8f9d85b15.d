@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-6270b0d8f9d85b15.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6270b0d8f9d85b15: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a5d992bd68cd83b3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a5d992bd68cd83b3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

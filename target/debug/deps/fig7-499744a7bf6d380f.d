@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-499744a7bf6d380f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-499744a7bf6d380f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

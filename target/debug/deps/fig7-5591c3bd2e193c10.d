@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5591c3bd2e193c10.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5591c3bd2e193c10: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-77ee0e1da4f8cf7a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-77ee0e1da4f8cf7a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

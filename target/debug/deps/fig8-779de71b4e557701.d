@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-779de71b4e557701.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-779de71b4e557701: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a9454a8ae3e698ba.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a9454a8ae3e698ba: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-eb7c0ba924d670cf.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-eb7c0ba924d670cf: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

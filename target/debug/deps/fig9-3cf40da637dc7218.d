@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-3cf40da637dc7218.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-3cf40da637dc7218: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-3ffb350e1f83a444.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-3ffb350e1f83a444: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

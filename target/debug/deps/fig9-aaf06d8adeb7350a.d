@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-aaf06d8adeb7350a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-aaf06d8adeb7350a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/glimpse-07196efc21adab83.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/glimpse-07196efc21adab83: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

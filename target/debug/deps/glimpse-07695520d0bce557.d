@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/glimpse-07695520d0bce557.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/glimpse-07695520d0bce557: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/glimpse-194523da64083fc3.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/glimpse-194523da64083fc3: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

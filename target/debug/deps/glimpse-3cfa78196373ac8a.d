@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/glimpse-3cfa78196373ac8a.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/glimpse-3cfa78196373ac8a: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/glimpse-3fdbd6b210e97fea.d: crates/cli/src/main.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse-3fdbd6b210e97fea.rmeta: crates/cli/src/main.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

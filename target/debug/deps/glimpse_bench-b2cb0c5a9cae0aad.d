@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/glimpse_bench-b2cb0c5a9cae0aad.d: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libglimpse_bench-b2cb0c5a9cae0aad.rlib: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libglimpse_bench-b2cb0c5a9cae0aad.rmeta: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e2e.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/glimpse_bench-ebb3abe8ee5c91b9.d: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/glimpse_bench-ebb3abe8ee5c91b9: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e2e.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/glimpse_gpu_spec-2a1cea869b208196.d: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+/root/repo/target/debug/deps/glimpse_gpu_spec-2a1cea869b208196: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+crates/gpu-spec/src/lib.rs:
+crates/gpu-spec/src/database.rs:
+crates/gpu-spec/src/datasheet.rs:
+crates/gpu-spec/src/features.rs:
+crates/gpu-spec/src/generation.rs:
+crates/gpu-spec/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/glimpse_gpu_spec-5b71eb6b51b11f5d.d: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+/root/repo/target/debug/deps/libglimpse_gpu_spec-5b71eb6b51b11f5d.rlib: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+/root/repo/target/debug/deps/libglimpse_gpu_spec-5b71eb6b51b11f5d.rmeta: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+crates/gpu-spec/src/lib.rs:
+crates/gpu-spec/src/database.rs:
+crates/gpu-spec/src/datasheet.rs:
+crates/gpu-spec/src/features.rs:
+crates/gpu-spec/src/generation.rs:
+crates/gpu-spec/src/spec.rs:

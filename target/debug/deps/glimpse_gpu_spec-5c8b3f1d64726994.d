@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/glimpse_gpu_spec-5c8b3f1d64726994.d: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_gpu_spec-5c8b3f1d64726994.rmeta: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs Cargo.toml
+
+crates/gpu-spec/src/lib.rs:
+crates/gpu-spec/src/database.rs:
+crates/gpu-spec/src/datasheet.rs:
+crates/gpu-spec/src/features.rs:
+crates/gpu-spec/src/generation.rs:
+crates/gpu-spec/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

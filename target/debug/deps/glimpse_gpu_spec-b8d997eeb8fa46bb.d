@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/glimpse_gpu_spec-b8d997eeb8fa46bb.d: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+/root/repo/target/debug/deps/glimpse_gpu_spec-b8d997eeb8fa46bb: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+crates/gpu-spec/src/lib.rs:
+crates/gpu-spec/src/database.rs:
+crates/gpu-spec/src/datasheet.rs:
+crates/gpu-spec/src/features.rs:
+crates/gpu-spec/src/generation.rs:
+crates/gpu-spec/src/spec.rs:

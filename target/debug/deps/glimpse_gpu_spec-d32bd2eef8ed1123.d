@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/glimpse_gpu_spec-d32bd2eef8ed1123.d: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+/root/repo/target/debug/deps/libglimpse_gpu_spec-d32bd2eef8ed1123.rlib: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+/root/repo/target/debug/deps/libglimpse_gpu_spec-d32bd2eef8ed1123.rmeta: crates/gpu-spec/src/lib.rs crates/gpu-spec/src/database.rs crates/gpu-spec/src/datasheet.rs crates/gpu-spec/src/features.rs crates/gpu-spec/src/generation.rs crates/gpu-spec/src/spec.rs
+
+crates/gpu-spec/src/lib.rs:
+crates/gpu-spec/src/database.rs:
+crates/gpu-spec/src/datasheet.rs:
+crates/gpu-spec/src/features.rs:
+crates/gpu-spec/src/generation.rs:
+crates/gpu-spec/src/spec.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/glimpse_mlkit-c044fabf91d748e5.d: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/debug/deps/libglimpse_mlkit-c044fabf91d748e5.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/debug/deps/libglimpse_mlkit-c044fabf91d748e5.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/gbt.rs:
+crates/mlkit/src/gp.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/mlp.rs:
+crates/mlkit/src/pca.rs:
+crates/mlkit/src/rank.rs:
+crates/mlkit/src/sa.rs:
+crates/mlkit/src/stats.rs:

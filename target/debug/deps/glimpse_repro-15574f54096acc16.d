@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/glimpse_repro-15574f54096acc16.d: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-15574f54096acc16.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-15574f54096acc16.rmeta: src/lib.rs
+
+src/lib.rs:

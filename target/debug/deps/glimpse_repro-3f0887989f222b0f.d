@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/glimpse_repro-3f0887989f222b0f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-3f0887989f222b0f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-3f0887989f222b0f.rmeta: src/lib.rs
+
+src/lib.rs:

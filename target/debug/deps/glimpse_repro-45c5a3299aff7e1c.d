@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/glimpse_repro-45c5a3299aff7e1c.d: src/lib.rs
+
+/root/repo/target/debug/deps/glimpse_repro-45c5a3299aff7e1c: src/lib.rs
+
+src/lib.rs:

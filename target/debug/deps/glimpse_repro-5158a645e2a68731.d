@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/glimpse_repro-5158a645e2a68731.d: src/lib.rs
+
+/root/repo/target/debug/deps/glimpse_repro-5158a645e2a68731: src/lib.rs
+
+src/lib.rs:

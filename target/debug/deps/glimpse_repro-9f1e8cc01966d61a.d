@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/glimpse_repro-9f1e8cc01966d61a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-9f1e8cc01966d61a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-9f1e8cc01966d61a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/glimpse_repro-e9f33d6923c03cd9.d: src/lib.rs
+
+/root/repo/target/debug/deps/glimpse_repro-e9f33d6923c03cd9: src/lib.rs
+
+src/lib.rs:

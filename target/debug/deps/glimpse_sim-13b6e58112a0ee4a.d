@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/glimpse_sim-13b6e58112a0ee4a.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_sim-13b6e58112a0ee4a.rmeta: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/model.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/glimpse_sim-52a0d4653c7f2aaa.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/debug/deps/libglimpse_sim-52a0d4653c7f2aaa.rlib: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/debug/deps/libglimpse_sim-52a0d4653c7f2aaa.rmeta: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/model.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/validity.rs:

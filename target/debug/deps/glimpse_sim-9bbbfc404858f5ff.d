@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/glimpse_sim-9bbbfc404858f5ff.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/debug/deps/libglimpse_sim-9bbbfc404858f5ff.rlib: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/debug/deps/libglimpse_sim-9bbbfc404858f5ff.rmeta: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/model.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/validity.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/glimpse_sim-d21bbc74edaadad9.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/debug/deps/glimpse_sim-d21bbc74edaadad9: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/model.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/validity.rs:

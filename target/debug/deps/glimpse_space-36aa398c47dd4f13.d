@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/glimpse_space-36aa398c47dd4f13.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/debug/deps/glimpse_space-36aa398c47dd4f13: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/factorize.rs:
+crates/space/src/kernel.rs:
+crates/space/src/knob.rs:
+crates/space/src/logfmt.rs:
+crates/space/src/templates.rs:

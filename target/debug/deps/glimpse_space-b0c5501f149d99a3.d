@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/glimpse_space-b0c5501f149d99a3.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_space-b0c5501f149d99a3.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs Cargo.toml
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/factorize.rs:
+crates/space/src/kernel.rs:
+crates/space/src/knob.rs:
+crates/space/src/logfmt.rs:
+crates/space/src/templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

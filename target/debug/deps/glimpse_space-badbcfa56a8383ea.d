@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/glimpse_space-badbcfa56a8383ea.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/debug/deps/libglimpse_space-badbcfa56a8383ea.rlib: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/debug/deps/libglimpse_space-badbcfa56a8383ea.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/factorize.rs:
+crates/space/src/kernel.rs:
+crates/space/src/knob.rs:
+crates/space/src/logfmt.rs:
+crates/space/src/templates.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/glimpse_space-df11d98e60d36071.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/debug/deps/libglimpse_space-df11d98e60d36071.rlib: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/debug/deps/libglimpse_space-df11d98e60d36071.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/factorize.rs:
+crates/space/src/kernel.rs:
+crates/space/src/knob.rs:
+crates/space/src/logfmt.rs:
+crates/space/src/templates.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/glimpse_tensor_prog-239fea342566d793.d: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+/root/repo/target/debug/deps/glimpse_tensor_prog-239fea342566d793: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+crates/tensor-prog/src/lib.rs:
+crates/tensor-prog/src/conv.rs:
+crates/tensor-prog/src/dense.rs:
+crates/tensor-prog/src/models.rs:
+crates/tensor-prog/src/op.rs:
+crates/tensor-prog/src/shape.rs:
+crates/tensor-prog/src/task.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/glimpse_tensor_prog-a3a7151caceb0f57.d: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_tensor_prog-a3a7151caceb0f57.rmeta: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs Cargo.toml
+
+crates/tensor-prog/src/lib.rs:
+crates/tensor-prog/src/conv.rs:
+crates/tensor-prog/src/dense.rs:
+crates/tensor-prog/src/models.rs:
+crates/tensor-prog/src/op.rs:
+crates/tensor-prog/src/shape.rs:
+crates/tensor-prog/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

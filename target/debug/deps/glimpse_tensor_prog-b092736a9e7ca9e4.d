@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/glimpse_tensor_prog-b092736a9e7ca9e4.d: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+/root/repo/target/debug/deps/libglimpse_tensor_prog-b092736a9e7ca9e4.rlib: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+/root/repo/target/debug/deps/libglimpse_tensor_prog-b092736a9e7ca9e4.rmeta: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+crates/tensor-prog/src/lib.rs:
+crates/tensor-prog/src/conv.rs:
+crates/tensor-prog/src/dense.rs:
+crates/tensor-prog/src/models.rs:
+crates/tensor-prog/src/op.rs:
+crates/tensor-prog/src/shape.rs:
+crates/tensor-prog/src/task.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-55cb8476a3ffe617.d: crates/space/tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/kernel_properties-55cb8476a3ffe617: crates/space/tests/kernel_properties.rs
+
+crates/space/tests/kernel_properties.rs:

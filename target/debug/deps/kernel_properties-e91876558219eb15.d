@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-e91876558219eb15.d: crates/space/tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/kernel_properties-e91876558219eb15: crates/space/tests/kernel_properties.rs
+
+crates/space/tests/kernel_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_properties-e928445cac1ae6ab.d: crates/space/tests/kernel_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_properties-e928445cac1ae6ab.rmeta: crates/space/tests/kernel_properties.rs Cargo.toml
+
+crates/space/tests/kernel_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-66db62ed8b9b5ff3.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-66db62ed8b9b5ff3: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

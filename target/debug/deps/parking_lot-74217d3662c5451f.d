@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-74217d3662c5451f.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-74217d3662c5451f: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-b2b2c0a46dfb2c1c.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b2b2c0a46dfb2c1c.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b2b2c0a46dfb2c1c.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

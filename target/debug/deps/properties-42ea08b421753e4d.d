@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-42ea08b421753e4d.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-42ea08b421753e4d: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-536b7737d6155580.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-536b7737d6155580: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a30f395f532ab113.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a30f395f532ab113: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

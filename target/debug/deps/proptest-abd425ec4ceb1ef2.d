@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-abd425ec4ceb1ef2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-abd425ec4ceb1ef2.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-abd425ec4ceb1ef2.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/report_md-d43390e5278161e4.d: crates/bench/src/bin/report_md.rs
+
+/root/repo/target/debug/deps/report_md-d43390e5278161e4: crates/bench/src/bin/report_md.rs
+
+crates/bench/src/bin/report_md.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

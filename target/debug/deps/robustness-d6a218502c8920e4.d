@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-d6a218502c8920e4.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-d6a218502c8920e4: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-ec8e208e08770bf7.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-ec8e208e08770bf7: tests/robustness.rs
+
+tests/robustness.rs:

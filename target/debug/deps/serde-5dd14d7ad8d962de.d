@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-5dd14d7ad8d962de.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5dd14d7ad8d962de.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5dd14d7ad8d962de.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

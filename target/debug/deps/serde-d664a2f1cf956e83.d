@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-d664a2f1cf956e83.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d664a2f1cf956e83.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d664a2f1cf956e83.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e0852b068742db2b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-e0852b068742db2b: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f4c34cf437fea9e4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-f4c34cf437fea9e4: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

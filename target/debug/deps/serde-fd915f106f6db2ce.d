@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-fd915f106f6db2ce.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fd915f106f6db2ce.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fd915f106f6db2ce.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-52881718aab7491b.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-52881718aab7491b: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

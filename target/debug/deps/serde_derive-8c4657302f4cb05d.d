@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-8c4657302f4cb05d.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-8c4657302f4cb05d.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

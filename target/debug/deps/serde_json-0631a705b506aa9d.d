@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0631a705b506aa9d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0631a705b506aa9d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0631a705b506aa9d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

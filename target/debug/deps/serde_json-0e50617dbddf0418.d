@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-0e50617dbddf0418.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-0e50617dbddf0418: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

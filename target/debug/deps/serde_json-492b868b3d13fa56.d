@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-492b868b3d13fa56.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-492b868b3d13fa56.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-492b868b3d13fa56.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

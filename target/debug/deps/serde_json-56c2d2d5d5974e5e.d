@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-56c2d2d5d5974e5e.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-56c2d2d5d5974e5e: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

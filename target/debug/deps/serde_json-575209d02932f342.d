@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-575209d02932f342.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-575209d02932f342.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-575209d02932f342.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

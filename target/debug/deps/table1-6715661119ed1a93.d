@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6715661119ed1a93.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6715661119ed1a93: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

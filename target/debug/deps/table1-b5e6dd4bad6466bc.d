@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b5e6dd4bad6466bc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b5e6dd4bad6466bc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

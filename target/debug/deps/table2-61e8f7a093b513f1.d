@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-61e8f7a093b513f1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-61e8f7a093b513f1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8e3a5033076b1a47.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8e3a5033076b1a47: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

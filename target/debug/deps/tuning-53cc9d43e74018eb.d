@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuning-53cc9d43e74018eb.d: crates/bench/benches/tuning.rs
+
+/root/repo/target/debug/deps/tuning-53cc9d43e74018eb: crates/bench/benches/tuning.rs
+
+crates/bench/benches/tuning.rs:

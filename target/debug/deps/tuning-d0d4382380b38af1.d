@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tuning-d0d4382380b38af1.d: crates/bench/benches/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtuning-d0d4382380b38af1.rmeta: crates/bench/benches/tuning.rs Cargo.toml
+
+crates/bench/benches/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

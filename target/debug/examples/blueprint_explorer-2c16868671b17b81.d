@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blueprint_explorer-2c16868671b17b81.d: examples/blueprint_explorer.rs
+
+/root/repo/target/debug/examples/blueprint_explorer-2c16868671b17b81: examples/blueprint_explorer.rs
+
+examples/blueprint_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blueprint_explorer-75e3460346dbe4a7.d: examples/blueprint_explorer.rs
+
+/root/repo/target/debug/examples/blueprint_explorer-75e3460346dbe4a7: examples/blueprint_explorer.rs
+
+examples/blueprint_explorer.rs:

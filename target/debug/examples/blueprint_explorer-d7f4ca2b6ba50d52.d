@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blueprint_explorer-d7f4ca2b6ba50d52.d: examples/blueprint_explorer.rs
+
+/root/repo/target/debug/examples/blueprint_explorer-d7f4ca2b6ba50d52: examples/blueprint_explorer.rs
+
+examples/blueprint_explorer.rs:

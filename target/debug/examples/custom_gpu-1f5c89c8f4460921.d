@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_gpu-1f5c89c8f4460921.d: examples/custom_gpu.rs
+
+/root/repo/target/debug/examples/custom_gpu-1f5c89c8f4460921: examples/custom_gpu.rs
+
+examples/custom_gpu.rs:

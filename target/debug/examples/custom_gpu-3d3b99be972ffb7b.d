@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_gpu-3d3b99be972ffb7b.d: examples/custom_gpu.rs
+
+/root/repo/target/debug/examples/custom_gpu-3d3b99be972ffb7b: examples/custom_gpu.rs
+
+examples/custom_gpu.rs:

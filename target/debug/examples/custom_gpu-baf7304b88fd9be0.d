@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_gpu-baf7304b88fd9be0.d: examples/custom_gpu.rs
+
+/root/repo/target/debug/examples/custom_gpu-baf7304b88fd9be0: examples/custom_gpu.rs
+
+examples/custom_gpu.rs:

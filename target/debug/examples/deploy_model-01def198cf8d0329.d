@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_model-01def198cf8d0329.d: examples/deploy_model.rs
+
+/root/repo/target/debug/examples/deploy_model-01def198cf8d0329: examples/deploy_model.rs
+
+examples/deploy_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_model-7ee452b7e1e827de.d: examples/deploy_model.rs
+
+/root/repo/target/debug/examples/deploy_model-7ee452b7e1e827de: examples/deploy_model.rs
+
+examples/deploy_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_model-87bb44ef71303892.d: examples/deploy_model.rs
+
+/root/repo/target/debug/examples/deploy_model-87bb44ef71303892: examples/deploy_model.rs
+
+examples/deploy_model.rs:

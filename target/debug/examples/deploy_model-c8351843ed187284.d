@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deploy_model-c8351843ed187284.d: examples/deploy_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeploy_model-c8351843ed187284.rmeta: examples/deploy_model.rs Cargo.toml
+
+examples/deploy_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_gpu_fleet-58fabc25f4748fa9.d: examples/multi_gpu_fleet.rs
+
+/root/repo/target/debug/examples/multi_gpu_fleet-58fabc25f4748fa9: examples/multi_gpu_fleet.rs
+
+examples/multi_gpu_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_gpu_fleet-9a2bbcbfaaf30994.d: examples/multi_gpu_fleet.rs
+
+/root/repo/target/debug/examples/multi_gpu_fleet-9a2bbcbfaaf30994: examples/multi_gpu_fleet.rs
+
+examples/multi_gpu_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_gpu_fleet-c4fd472ad4be187f.d: examples/multi_gpu_fleet.rs
+
+/root/repo/target/debug/examples/multi_gpu_fleet-c4fd472ad4be187f: examples/multi_gpu_fleet.rs
+
+examples/multi_gpu_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_gpu_fleet-c7e6777f89bb78b9.d: examples/multi_gpu_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_gpu_fleet-c7e6777f89bb78b9.rmeta: examples/multi_gpu_fleet.rs Cargo.toml
+
+examples/multi_gpu_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-267d9edab5029fca.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-267d9edab5029fca: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6fdadc6c30374169.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6fdadc6c30374169: examples/quickstart.rs
+
+examples/quickstart.rs:

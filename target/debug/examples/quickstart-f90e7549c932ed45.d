@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f90e7549c932ed45.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f90e7549c932ed45: examples/quickstart.rs
+
+examples/quickstart.rs:

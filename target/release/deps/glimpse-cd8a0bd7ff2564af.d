@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/glimpse-cd8a0bd7ff2564af.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/glimpse-cd8a0bd7ff2564af: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

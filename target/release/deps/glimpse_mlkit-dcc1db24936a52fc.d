@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/glimpse_mlkit-dcc1db24936a52fc.d: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/release/deps/libglimpse_mlkit-dcc1db24936a52fc.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/release/deps/libglimpse_mlkit-dcc1db24936a52fc.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/gbt.rs:
+crates/mlkit/src/gp.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/mlp.rs:
+crates/mlkit/src/pca.rs:
+crates/mlkit/src/rank.rs:
+crates/mlkit/src/sa.rs:
+crates/mlkit/src/stats.rs:

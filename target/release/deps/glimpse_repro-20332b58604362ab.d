@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/glimpse_repro-20332b58604362ab.d: src/lib.rs
+
+/root/repo/target/release/deps/libglimpse_repro-20332b58604362ab.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libglimpse_repro-20332b58604362ab.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/glimpse_sim-3082706b3b373dd7.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/release/deps/libglimpse_sim-3082706b3b373dd7.rlib: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+/root/repo/target/release/deps/libglimpse_sim-3082706b3b373dd7.rmeta: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/fault.rs crates/sim/src/measure.rs crates/sim/src/model.rs crates/sim/src/pool.rs crates/sim/src/retry.rs crates/sim/src/trace.rs crates/sim/src/validity.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/model.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/validity.rs:

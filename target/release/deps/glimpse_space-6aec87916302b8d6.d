@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/glimpse_space-6aec87916302b8d6.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/release/deps/libglimpse_space-6aec87916302b8d6.rlib: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+/root/repo/target/release/deps/libglimpse_space-6aec87916302b8d6.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/factorize.rs crates/space/src/kernel.rs crates/space/src/knob.rs crates/space/src/logfmt.rs crates/space/src/templates.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/factorize.rs:
+crates/space/src/kernel.rs:
+crates/space/src/knob.rs:
+crates/space/src/logfmt.rs:
+crates/space/src/templates.rs:

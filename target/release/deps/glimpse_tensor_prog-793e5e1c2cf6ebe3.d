@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/glimpse_tensor_prog-793e5e1c2cf6ebe3.d: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+/root/repo/target/release/deps/libglimpse_tensor_prog-793e5e1c2cf6ebe3.rlib: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+/root/repo/target/release/deps/libglimpse_tensor_prog-793e5e1c2cf6ebe3.rmeta: crates/tensor-prog/src/lib.rs crates/tensor-prog/src/conv.rs crates/tensor-prog/src/dense.rs crates/tensor-prog/src/models.rs crates/tensor-prog/src/op.rs crates/tensor-prog/src/shape.rs crates/tensor-prog/src/task.rs
+
+crates/tensor-prog/src/lib.rs:
+crates/tensor-prog/src/conv.rs:
+crates/tensor-prog/src/dense.rs:
+crates/tensor-prog/src/models.rs:
+crates/tensor-prog/src/op.rs:
+crates/tensor-prog/src/shape.rs:
+crates/tensor-prog/src/task.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-d48effc264805fa2.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d48effc264805fa2.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d48effc264805fa2.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-f48519ed225e0f85.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f48519ed225e0f85.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f48519ed225e0f85.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-08973f65c725ea55.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-08973f65c725ea55.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,180 @@
+//! Fast robustness tests: serde round-trips for the fault-extended
+//! measurement types and budget edge cases where fault charges exhaust the
+//! simulated-time budget mid-batch.
+
+use glimpse_repro::gpu_spec::database;
+use glimpse_repro::sim::fault::{FaultRates, TIMEOUT_WINDOW_S};
+use glimpse_repro::sim::validity::InvalidReason;
+use glimpse_repro::sim::{FaultPlan, MeasureFault, MeasureResult, Measurer, Outcome, RetryPolicy};
+use glimpse_repro::space::{templates, Config, SearchSpace};
+use glimpse_repro::tensor_prog::models;
+use glimpse_repro::tuners::{Budget, TuneContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let text = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&text).expect("deserializes")
+}
+
+#[test]
+fn outcome_faulted_variants_roundtrip() {
+    let outcomes = [
+        Outcome::Valid {
+            latency_s: 1.5e-3,
+            gflops: 812.25,
+        },
+        Outcome::Invalid(InvalidReason::TooManyThreads),
+        Outcome::Faulted(MeasureFault::Timeout {
+            timeout_s: TIMEOUT_WINDOW_S,
+        }),
+        Outcome::Faulted(MeasureFault::LaunchFailure),
+        Outcome::Faulted(MeasureFault::DeviceLost),
+        Outcome::Faulted(MeasureFault::DeviceDead),
+    ];
+    for outcome in &outcomes {
+        assert_eq!(&roundtrip(outcome), outcome, "{outcome:?}");
+    }
+}
+
+#[test]
+fn measure_result_with_fault_roundtrips() {
+    let result = MeasureResult {
+        config: Config::new(vec![3, 1, 4, 1, 5]),
+        outcome: Outcome::Faulted(MeasureFault::Timeout {
+            timeout_s: TIMEOUT_WINDOW_S,
+        }),
+        cost_s: TIMEOUT_WINDOW_S,
+    };
+    assert_eq!(roundtrip(&result), result);
+}
+
+#[test]
+fn fault_plan_roundtrips_with_per_device_overrides() {
+    let plan = FaultPlan::uniform(
+        42,
+        FaultRates {
+            timeout: 0.1,
+            launch_failure: 0.05,
+            noise_spike: 0.2,
+            device_lost: 0.02,
+            device_dead: 0.001,
+        },
+    )
+    .with_dead_device("Titan Xp")
+    .with_device_rates(
+        "RTX 3090",
+        FaultRates {
+            timeout: 0.5,
+            ..FaultRates::none()
+        },
+    );
+    assert_eq!(roundtrip(&plan), plan);
+}
+
+#[test]
+fn journaled_fault_trials_roundtrip_through_history() {
+    use glimpse_repro::tuners::{Trial, TuningHistory};
+    let mut history = TuningHistory::new("Titan Xp", "toy", 0, glimpse_repro::tensor_prog::TemplateKind::Conv2dDirect);
+    history.push(Trial {
+        config: Config::new(vec![1]),
+        gflops: Some(100.0),
+        cost_s: 3.6,
+        fault: None,
+    });
+    history.push(Trial {
+        config: Config::new(vec![2]),
+        gflops: None,
+        cost_s: TIMEOUT_WINDOW_S,
+        fault: Some(MeasureFault::Timeout {
+            timeout_s: TIMEOUT_WINDOW_S,
+        }),
+    });
+    assert_eq!(roundtrip(&history), history);
+}
+
+fn valid_configs(measurer: &Measurer, space: &SearchSpace, n: usize, seed: u64) -> Vec<Config> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut configs = Vec::new();
+    while configs.len() < n {
+        let c = space.sample_uniform(&mut rng);
+        if measurer.model().latency_s(space, &c).is_some() {
+            configs.push(c);
+        }
+    }
+    configs
+}
+
+/// A timeout debits the full 10-second window, so a GPU-seconds budget can
+/// be eaten by faults alone: the batch must stop mid-way, and the skipped
+/// tail must cost nothing.
+#[test]
+fn timeout_charges_exhaust_budget_mid_batch() {
+    let gpu = database::find("Titan Xp").unwrap().clone();
+    let model = models::alexnet();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    // Every measurement times out.
+    let plan = FaultPlan::uniform(
+        5,
+        FaultRates {
+            timeout: 1.0,
+            ..FaultRates::none()
+        },
+    );
+    let mut measurer = Measurer::with_faults(gpu, 5, &plan);
+    let configs = valid_configs(&measurer, &space, 10, 5);
+
+    let budget = Budget::gpu_seconds(2.5 * TIMEOUT_WINDOW_S);
+    let mut ctx = TuneContext::new(task, &space, &mut measurer, budget, 5).with_retry_policy(RetryPolicy::no_retries());
+    let results = ctx.measure_batch(&configs);
+
+    // 10s per timeout against a 25s cap: the third timeout crosses the cap,
+    // so exactly 3 of the 10 configs were attempted.
+    assert_eq!(results.len(), 10);
+    assert_eq!(results.iter().filter(|r| r.is_some()).count(), 0, "every attempt timed out");
+    assert_eq!(ctx.history().len(), 3, "budget must stop the batch mid-way");
+    assert_eq!(ctx.history().fault_count(), 3);
+    assert!(ctx.exhausted());
+    assert!((ctx.gpu_seconds() - 3.0 * TIMEOUT_WINDOW_S).abs() < 1e-9);
+
+    let outcome = ctx.finish("chaos");
+    assert_eq!(outcome.faulted_measurements, 3);
+    assert_eq!(outcome.best_config, None);
+    assert_eq!(outcome.best_gflops, 0.0);
+}
+
+/// With retries enabled the budget drains even faster: each journaled trial
+/// carries the cost of every attempt plus backoff, and the accounting stays
+/// consistent between journal and clock.
+#[test]
+fn retried_timeouts_charge_attempts_and_backoff_to_the_budget() {
+    let gpu = database::find("Titan Xp").unwrap().clone();
+    let model = models::alexnet();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    let plan = FaultPlan::uniform(
+        6,
+        FaultRates {
+            timeout: 1.0,
+            ..FaultRates::none()
+        },
+    );
+    let mut measurer = Measurer::with_faults(gpu, 6, &plan);
+    let configs = valid_configs(&measurer, &space, 4, 6);
+
+    let retry = RetryPolicy::default();
+    let per_trial = 3.0 * TIMEOUT_WINDOW_S + retry.backoff_s(1) + retry.backoff_s(2);
+    let budget = Budget::gpu_seconds(1.5 * per_trial);
+    let mut ctx = TuneContext::new(task, &space, &mut measurer, budget, 6).with_retry_policy(retry);
+    ctx.measure_batch(&configs);
+
+    // Trial 1 leaves the clock below the cap; trial 2 crosses it.
+    assert_eq!(ctx.history().len(), 2);
+    assert!((ctx.gpu_seconds() - 2.0 * per_trial).abs() < 1e-9);
+    let journal: f64 = ctx.history().trials.iter().map(|t| t.cost_s).sum();
+    assert!((journal - ctx.gpu_seconds()).abs() < 1e-9, "journal and clock must agree");
+}

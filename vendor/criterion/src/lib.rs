@@ -1,0 +1,228 @@
+//! Offline vendored stand-in for the `criterion` API surface this workspace
+//! uses: `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, and `BatchSize`.
+//!
+//! Statistics are deliberately simple — each benchmark runs a fixed number
+//! of timed samples after a short warm-up and reports min/median/mean wall
+//! time to stdout. There is no plotting, no saved baselines, and no outlier
+//! analysis; the goal is that `cargo bench` compiles, runs, and produces
+//! comparable-order-of-magnitude numbers without network access.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+///
+/// This implementation times one routine call per setup call regardless of
+/// the hint, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation upstream; one-per-call here.
+    SmallInput,
+    /// Large inputs: one per allocation.
+    LargeInput,
+    /// Inputs sized per iteration count.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            times: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: populate caches and trigger lazy statics outside timing.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.times.is_empty() {
+            println!("{label:<44} (no samples)");
+            return;
+        }
+        self.times.sort_unstable();
+        let min = self.times[0];
+        let median = self.times[self.times.len() / 2];
+        let total: Duration = self.times.iter().sum();
+        let mean = total / self.times.len() as u32;
+        println!(
+            "{label:<44} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.times.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} \u{b5}s", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Mirrors `std::hint::black_box` for call sites using `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runner, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).sum()
+    }
+
+    fn bench_sum(c: &mut Criterion) {
+        c.bench_function("sum_to_1000", |b| b.iter(|| sum_to(1000)));
+        c.bench_function("sum_batched", |b| b.iter_batched(|| 500u64, sum_to, BatchSize::SmallInput));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_function("sum_to_10", |b| b.iter(|| sum_to(10)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(5);
+        targets = bench_sum
+    }
+
+    criterion_group!(plain, bench_sum);
+
+    #[test]
+    fn groups_run_without_panicking() {
+        configured();
+        plain();
+    }
+}

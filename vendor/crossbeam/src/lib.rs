@@ -1,0 +1,93 @@
+//! Offline vendored stand-in for the `crossbeam::thread` scoped-thread API
+//! this workspace uses, built on `std::thread::scope` (Rust ≥ 1.63).
+//!
+//! Matching crossbeam semantics, a panic in a spawned closure is caught and
+//! surfaced through the `Result` returned by [`thread::scope`] instead of
+//! aborting the scope.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Panic payload from a scoped worker.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// Spawns scoped workers; handed to the [`scope`] closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: Arc<Mutex<Vec<Payload>>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker. Crossbeam passes the scope back into the
+        /// closure (`|_| …` at every call site here); panics are collected
+        /// rather than propagated.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let panics = Arc::clone(&self.panics);
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    panics: Arc::clone(&panics),
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    panics.lock().unwrap_or_else(PoisonError::into_inner).push(payload);
+                }
+            });
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all workers before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker panic payload, if any worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics = Arc::new(Mutex::new(Vec::new()));
+        let panics_in = Arc::clone(&panics);
+        let result = std::thread::scope(move |s| {
+            let scope = Scope {
+                inner: s,
+                panics: panics_in,
+            };
+            f(&scope)
+        });
+        let mut collected = panics.lock().unwrap_or_else(PoisonError::into_inner);
+        if collected.is_empty() {
+            Ok(result)
+        } else {
+            Err(collected.swap_remove(0))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn workers_run_and_join() {
+            let mut out = vec![0u32; 4];
+            super::scope(|s| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u32 + 1);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, vec![1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn worker_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

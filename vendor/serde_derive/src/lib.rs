@@ -1,0 +1,356 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored value-based serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the registry has no
+//! `syn`/`quote`). Supports the shapes this workspace uses: non-generic
+//! braced structs and enums whose variants are unit, tuple, or braced.
+//! `#[serde(...)]` attributes are accepted and ignored.
+//!
+//! Encoding (mirrors `serde_json` defaults):
+//! * struct → object of fields
+//! * unit variant → the variant name as a string
+//! * newtype variant → `{ "Name": <inner> }`
+//! * tuple variant → `{ "Name": [ ... ] }`
+//! * braced variant → `{ "Name": { fields } }`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&tokens, pos, &name)),
+        "enum" => Shape::Enum(parse_enum_body(&tokens, pos, &name)),
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    };
+    Input { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: usize, name: &str) -> Fields {
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Fields::Named(parse_named_fields(g.stream(), name)),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Fields::Tuple(count_top_level_fields(g.stream())),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream, name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected field name in {name}, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after {name}.{field}, found {other}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Consumes one type, stopping at a top-level `,` (tracks `<`/`>` depth;
+/// nested delimiters arrive pre-grouped).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], pos: usize, name: &str) -> Vec<Variant> {
+    let group = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected enum body for {name}, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected variant name in {name}, found {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream(), name))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported ({name}::{vname})");
+        }
+        variants.push(Variant { name: vname, fields });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!("impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}")
+}
+
+fn ser_variant_arm(_ty: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        Fields::Unit => format!("Self::{v} => serde::Value::Str(String::from(\"{v}\")),"),
+        Fields::Tuple(1) => {
+            format!("Self::{v}(__f0) => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Serialize::to_value(__f0))]),")
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds.iter().map(|b| format!("serde::Serialize::to_value({b})")).collect();
+            format!(
+                "Self::{v}({}) => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Value::Array(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "Self::{v} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Value::Object(vec![{}]))]),",
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__field(__v, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => "Ok(Self(serde::Deserialize::from_value(__v)?))".to_owned(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n).map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?")).collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| serde::__type_error(\"{name}\", \"array\", __v))?; \
+                 if __items.len() != {n} {{ return Err(serde::Error::msg(format!(\"{name}: expected {n} elements, found {{}}\", __items.len()))); }} \
+                 Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => "Ok(Self)".to_owned(),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!("impl serde::Deserialize for {name} {{ fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} }}")
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| de_variant_arm(name, v))
+        .collect();
+    format!(
+        "match __v {{ \
+           serde::Value::Str(__s) => match __s.as_str() {{ \
+             {unit} \
+             __other => Err(serde::Error::msg(format!(\"{name}: unknown variant {{__other:?}}\"))), \
+           }}, \
+           serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+             let (__tag, __inner) = &__pairs[0]; \
+             match __tag.as_str() {{ \
+               {tagged} \
+               __other => Err(serde::Error::msg(format!(\"{name}: unknown variant {{__other:?}}\"))), \
+             }} \
+           }}, \
+           __other => Err(serde::__type_error(\"{name}\", \"variant string or single-key object\", __other)), \
+        }}",
+        unit = unit_arms.join(" "),
+        tagged = tagged_arms.join(" "),
+    )
+}
+
+fn de_variant_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        Fields::Unit => unreachable!("unit variants handled separately"),
+        Fields::Tuple(1) => format!(
+            "\"{v}\" => Ok(Self::{v}(serde::Deserialize::from_value(__inner).map_err(|e| serde::Error::msg(format!(\"{name}::{v}: {{e}}\")))?)),"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?")).collect();
+            format!(
+                "\"{v}\" => {{ \
+                   let __items = __inner.as_array().ok_or_else(|| serde::__type_error(\"{name}::{v}\", \"array\", __inner))?; \
+                   if __items.len() != {n} {{ return Err(serde::Error::msg(format!(\"{name}::{v}: expected {n} elements, found {{}}\", __items.len()))); }} \
+                   Ok(Self::{v}({})) \
+                 }},",
+                inits.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: serde::__field(__inner, \"{f}\", \"{name}::{v}\")?")).collect();
+            format!("\"{v}\" => Ok(Self::{v} {{ {} }}),", inits.join(", "))
+        }
+    }
+}

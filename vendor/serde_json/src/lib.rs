@@ -1,0 +1,522 @@
+//! Offline vendored stand-in for the `serde_json` API surface this
+//! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`Value`], and the [`json!`] macro, over the vendored value-based
+//! `serde`.
+//!
+//! Output is standard JSON with one extension: non-finite floats serialize
+//! as `1e999` / `-1e999` (which parse back to the infinities through
+//! ordinary float parsing — upstream serde_json would emit `null` and lose
+//! them; tuning budgets here use `f64::INFINITY` meaningfully). Floats use
+//! Rust's shortest-round-trip formatting, so values survive a round trip
+//! bit-exactly.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self(e.0)
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Lowers any [`serde::Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this implementation; the `Result` matches upstream.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails in this implementation; the `Result` matches upstream.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns a positioned message on malformed JSON, or the target type's
+/// shape-mismatch error.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns the target type's shape-mismatch error.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+        }
+        Value::UInt(u) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{u}"));
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("null");
+    } else if f == f64::INFINITY {
+        out.push_str("1e999");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-1e999");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep an explicit fraction so the value re-parses as a float.
+        let _ = fmt::Write::write_fmt(out, format_args!("{f:.1}"));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{f}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------- json!
+
+/// Builds a [`Value`] from JSON-like syntax. Non-literal expressions are
+/// lowered through [`serde::Serialize`].
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`] (tt-muncher).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __pairs: ::std::vec::Vec<(::std::string::String, $crate::Value)> = ::std::vec::Vec::from([]);
+        $crate::json_internal!(@object __pairs () ($($tt)+));
+        $crate::Value::Object(__pairs)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+
+    // ---- array elements ----
+    (@array [$($elems:expr,)*]) => { ::std::vec![$($elems,)*] };
+    (@array [$($elems:expr,)*] null , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] null) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,])
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*}) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*}),])
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*]) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),])
+    };
+    (@array [$($elems:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($value),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $value:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($value),])
+    };
+
+    // ---- object entries: munch "key": value pairs ----
+    (@object $obj:ident () ()) => {};
+    // value is the null keyword (not a Rust expression)
+    (@object $obj:ident ($key:tt) (: null , $($rest:tt)*)) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::Value::Null));
+        $crate::json_internal!(@object $obj () ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt) (: null)) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::Value::Null));
+    };
+    // value is a nested object
+    (@object $obj:ident ($key:tt) (: {$($map:tt)*} , $($rest:tt)*)) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::json_internal!({$($map)*})));
+        $crate::json_internal!(@object $obj () ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt) (: {$($map:tt)*})) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::json_internal!({$($map)*})));
+    };
+    // value is a nested array
+    (@object $obj:ident ($key:tt) (: [$($arr:tt)*] , $($rest:tt)*)) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::json_internal!([$($arr)*])));
+        $crate::json_internal!(@object $obj () ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt) (: [$($arr:tt)*])) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::json_internal!([$($arr)*])));
+    };
+    // value is a general expression
+    (@object $obj:ident ($key:tt) (: $value:expr , $($rest:tt)*)) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::json_internal!($value)));
+        $crate::json_internal!(@object $obj () ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt) (: $value:expr)) => {
+        $obj.push(($crate::json_internal!(@key $key), $crate::json_internal!($value)));
+    };
+    // accumulate the key token
+    (@object $obj:ident () ($key:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $obj ($key) ($($rest)*));
+    };
+    (@key $key:literal) => { ::std::string::String::from($key) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic_shapes() {
+        let v = json!({
+            "name": "glimpse",
+            "nums": [1, 2.5, -3],
+            "nested": { "ok": true, "none": null },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.get("name").and_then(Value::as_str), Some("glimpse"));
+        assert_eq!(back["nums"].get_index(1).and_then(Value::as_f64), Some(2.5));
+        assert_eq!(back["nested"]["ok"].as_bool(), Some(true));
+        assert!(back["nested"]["none"].is_null());
+    }
+
+    #[test]
+    fn expressions_and_index_mut() {
+        fn geomean(xs: &[f64]) -> f64 {
+            xs.iter().map(|x| x.ln()).sum::<f64>().div_euclid(xs.len() as f64).exp()
+        }
+        let xs = [1.0, 4.0];
+        let mut entry = json!({ "g": geomean(&xs) });
+        entry["extra"] = json!({ "a": 1 });
+        assert!(entry["g"].as_f64().is_some());
+        assert_eq!(entry["extra"]["a"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e-300, 123456.789, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_integerness() {
+        let text = to_string(&vec![1u64, u64::MAX]).unwrap();
+        let back: Vec<u64> = from_str(&text).unwrap();
+        assert_eq!(back, vec![1, u64::MAX]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\tπ";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

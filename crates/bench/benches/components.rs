@@ -10,6 +10,10 @@
 //! * The measurement oracle and surrogate machinery every tuner shares:
 //!   `simulator_measure`, `space_features`, `surrogate_predict`,
 //!   `acquisition_score`.
+//! * The parallel search layer's hot paths: `gbt_fit`, `sa_batch`,
+//!   `predict_batch` (each pinned to one worker so criterion tracks the
+//!   per-core cost; thread scaling is the `search_throughput` harness's
+//!   job).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
@@ -84,6 +88,63 @@ fn bench_components(c: &mut Criterion) {
 
     c.bench_function("space_kernel_shape_and_features", |b| {
         b.iter(|| std::hint::black_box(space.features(&configs[0])))
+    });
+
+    c.bench_function("gbt_fit_600x8", |b| {
+        use glimpse_mlkit::gbt::{Gbt, GbtParams};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs: Vec<Vec<f64>> = (0..600).map(|_| (0..8).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + x[1] * x[2] - 2.0 * (x[3] - 0.5).powi(2)).collect();
+        b.iter(|| {
+            let mut fit_rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(Gbt::fit(&xs, &ys, GbtParams::default(), &mut fit_rng))
+        })
+    });
+
+    c.bench_function("sa_batch_16x50", |b| {
+        use glimpse_mlkit::parallel::Threads;
+        use glimpse_mlkit::sa::{anneal_threaded, SaParams};
+        let mut surrogate = GbtCostModel::new(0);
+        let mut measurer = Measurer::new(gpu.clone(), 13);
+        let mut history = TuningHistory::new(&gpu.name, "bench", 0, space.template());
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let cfg = space.sample_uniform(&mut rng);
+            history.push(Trial::from_measure(&measurer.measure(&space, &cfg)));
+        }
+        surrogate.fit(&space, &history);
+        let starts: Vec<_> = (0..16).map(|_| space.sample_uniform(&mut rng)).collect();
+        let params = SaParams {
+            chains: 16,
+            max_steps: 50,
+            t_start: 1.0,
+            t_end: 0.05,
+            patience: 0,
+        };
+        b.iter(|| {
+            std::hint::black_box(anneal_threaded(
+                &starts,
+                |c| surrogate.predict(&space, c),
+                |c, r| space.neighbor(c, r),
+                params,
+                7,
+                Threads::fixed(1),
+            ))
+        })
+    });
+
+    c.bench_function("predict_batch_64", |b| {
+        let mut surrogate = GbtCostModel::new(0);
+        let mut measurer = Measurer::new(gpu.clone(), 15);
+        let mut history = TuningHistory::new(&gpu.name, "bench", 0, space.template());
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..200 {
+            let cfg = space.sample_uniform(&mut rng);
+            history.push(Trial::from_measure(&measurer.measure(&space, &cfg)));
+        }
+        surrogate.fit(&space, &history);
+        b.iter(|| std::hint::black_box(surrogate.predict_batch(&space, &configs)))
     });
 
     c.bench_function("surrogate_fit_predict_300", |b| {

@@ -1,0 +1,239 @@
+//! Search-layer throughput record (not a paper artifact): times the four
+//! hot paths the deterministic parallel layer accelerates — SA chain
+//! batches, GBT surrogate fits, GP fits, and an end-to-end AutoTVM round —
+//! at one worker and at `max(4, available)` workers, and verifies the
+//! outputs are bit-identical at both settings.
+//!
+//! Emits `BENCH_search_throughput.json` so future PRs have a perf
+//! trajectory to regress against. The `split_search` block additionally
+//! records the *algorithmic* speedup of the prefix-sum split search over
+//! the original two-pass scan, which holds even on single-core hosts where
+//! thread scaling cannot show.
+//!
+//! ```text
+//! search_throughput [--quick] [--out <path>]
+//! ```
+
+use glimpse_gpu_spec::database;
+use glimpse_mlkit::gbt::{prefix_sum_best_split, two_pass_best_split, Gbt, GbtParams};
+use glimpse_mlkit::gp::{GaussianProcess, RbfKernel};
+use glimpse_mlkit::parallel::{set_default_threads, Threads};
+use glimpse_mlkit::sa::{anneal_threaded, SaParams};
+use glimpse_sim::Measurer;
+use glimpse_space::templates;
+use glimpse_tensor_prog::models;
+use glimpse_tuners::autotvm::AutoTvmTuner;
+use glimpse_tuners::cost_model::GbtCostModel;
+use glimpse_tuners::history::{Trial, TuningHistory};
+use glimpse_tuners::{Budget, TuneContext, Tuner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::time::Instant;
+
+/// Wall-clock seconds of the fastest of `reps` runs of `f` (best-of to
+/// shave scheduler noise; the first run warms caches).
+fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn multi_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().max(4))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_search_throughput.json".into());
+    let reps = if quick { 2 } else { 5 };
+    let single = Threads::fixed(1);
+    let multi = Threads::fixed(multi_workers());
+
+    // Shared fixture: a measured history on a real template so the SA
+    // energy and surrogate fits exercise production featurization.
+    let gpu = database::find("RTX 2080 Ti").unwrap();
+    let model = models::alexnet();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    let mut measurer = Measurer::new(gpu.clone(), 21);
+    let mut history = TuningHistory::new(&gpu.name, &task.id.model, task.id.index, task.template);
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..if quick { 120 } else { 300 } {
+        let c = space.sample_uniform(&mut rng);
+        history.push(Trial::from_measure(&measurer.measure(&space, &c)));
+    }
+    let mut surrogate = GbtCostModel::new(0);
+    surrogate.fit(&space, &history);
+
+    // --- SA chain batch (surrogate-driven, as in every tuner round) -----
+    let chains = 64;
+    let sa_steps = if quick { 60 } else { 200 };
+    let starts: Vec<_> = (0..chains).map(|_| space.sample_uniform(&mut rng)).collect();
+    let params = SaParams {
+        chains,
+        max_steps: sa_steps,
+        t_start: 1.0,
+        t_end: 0.05,
+        patience: 0,
+    };
+    let run_sa = |threads: Threads| {
+        anneal_threaded(
+            &starts,
+            |c| surrogate.predict(&space, c),
+            |c, r| space.neighbor(c, r),
+            params,
+            77,
+            threads,
+        )
+    };
+    let (sa_s1, sa_out1) = time_best_of(reps, || run_sa(single));
+    let (sa_sn, sa_outn) = time_best_of(reps, || run_sa(multi));
+    let sa_identical = sa_out1.steps_executed == sa_outn.steps_executed
+        && sa_out1
+            .chain_bests
+            .iter()
+            .zip(&sa_outn.chain_bests)
+            .all(|((ca, fa), (cb, fb))| ca == cb && fa.to_bits() == fb.to_bits());
+    assert!(sa_identical, "SA outcome diverged across thread counts");
+    let sa_steps_total = sa_out1.steps_executed;
+
+    // --- GBT fit on a large synthetic design matrix ---------------------
+    let (rows, width) = if quick { (600, 16) } else { (2000, 16) };
+    let mut grng = StdRng::seed_from_u64(5);
+    let gxs: Vec<Vec<f64>> = (0..rows).map(|_| (0..width).map(|_| grng.gen_range(0.0..1.0)).collect()).collect();
+    let gys: Vec<f64> = gxs
+        .iter()
+        .map(|x| 3.0 * x[0] + x[1] * x[2] - 2.0 * (x[3] - 0.5).powi(2) + x[7])
+        .collect();
+    let gbt_params = GbtParams::default();
+    let fit_gbt = |workers: usize| {
+        set_default_threads(workers);
+        let mut r = StdRng::seed_from_u64(9);
+        let m = Gbt::fit(&gxs, &gys, gbt_params, &mut r);
+        set_default_threads(0);
+        m
+    };
+    let (gbt_s1, gbt_m1) = time_best_of(reps, || fit_gbt(1));
+    let (gbt_sn, gbt_mn) = time_best_of(reps, || fit_gbt(multi_workers()));
+    let gbt_identical = gbt_m1
+        .predict_batch(&gxs)
+        .iter()
+        .zip(gbt_mn.predict_batch(&gxs))
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(gbt_identical, "GBT fit diverged across thread counts");
+
+    // Algorithmic record: prefix-sum sweep vs the original two-pass scan
+    // over every feature at the root node (the per-node work `fit` repeats
+    // thousands of times).
+    let indices: Vec<usize> = (0..rows).collect();
+    let (two_pass_s, ref_splits) = time_best_of(reps, || {
+        (0..width).map(|f| two_pass_best_split(&gxs, &gys, &indices, f)).collect::<Vec<_>>()
+    });
+    let (prefix_s, new_splits) = time_best_of(reps, || {
+        (0..width)
+            .map(|f| prefix_sum_best_split(&gxs, &gys, &indices, f))
+            .collect::<Vec<_>>()
+    });
+    let splits_agree = ref_splits.iter().zip(&new_splits).all(|(a, b)| match (a, b) {
+        (Some((ta, _)), Some((tb, _))) => ta.to_bits() == tb.to_bits(),
+        (None, None) => true,
+        _ => false,
+    });
+    assert!(splits_agree, "prefix-sum split disagreed with the two-pass reference");
+
+    // --- GP fit (kernel matrix assembly dominates) ----------------------
+    let gp_rows = if quick { 80 } else { 200 };
+    let gp_xs: Vec<Vec<f64>> = gxs.iter().take(gp_rows).cloned().collect();
+    let gp_ys: Vec<f64> = gys.iter().take(gp_rows).copied().collect();
+    let kernel = RbfKernel {
+        variance: 1.0,
+        length_scale: 2.0,
+    };
+    let fit_gp = |workers: usize| {
+        set_default_threads(workers);
+        let gp = GaussianProcess::fit(kernel, 1e-4, gp_xs.clone(), &gp_ys).expect("PSD kernel matrix");
+        set_default_threads(0);
+        gp
+    };
+    let (gp_s1, gp_m1) = time_best_of(reps, || fit_gp(1));
+    let (gp_sn, gp_mn) = time_best_of(reps, || fit_gp(multi_workers()));
+    let gp_identical = gp_xs.iter().all(|q| gp_m1.predict(q).0.to_bits() == gp_mn.predict(q).0.to_bits());
+    assert!(gp_identical, "GP fit diverged across thread counts");
+
+    // --- End-to-end tuner round (AutoTVM: fit + anneal + batch) ---------
+    let budget = if quick { 48 } else { 96 };
+    let run_round = |workers: usize| {
+        set_default_threads(workers);
+        let mut m = Measurer::new(gpu.clone(), 31);
+        let ctx = TuneContext::new(task, &space, &mut m, Budget::measurements(budget), 31);
+        let outcome = AutoTvmTuner::new().tune(ctx);
+        set_default_threads(0);
+        outcome
+    };
+    let (round_s1, round_o1) = time_best_of(reps.min(3), || run_round(1));
+    let (round_sn, round_on) = time_best_of(reps.min(3), || run_round(multi_workers()));
+    let round_identical =
+        round_o1.best_gflops.to_bits() == round_on.best_gflops.to_bits() && round_o1.explorer_steps == round_on.explorer_steps;
+    assert!(round_identical, "tuning round diverged across thread counts");
+
+    let report = json!({
+        "quick": quick,
+        "threads": { "single": 1, "multi": multi.resolve(), "available": std::thread::available_parallelism().map_or(1, |n| n.get()) },
+        "sa": {
+            "chains": chains,
+            "steps_per_chain": sa_steps,
+            "steps_executed": sa_steps_total,
+            "single_thread_s": sa_s1,
+            "multi_thread_s": sa_sn,
+            "steps_per_sec_single": sa_steps_total as f64 / sa_s1,
+            "steps_per_sec_multi": sa_steps_total as f64 / sa_sn,
+            "speedup": sa_s1 / sa_sn,
+            "identical": sa_identical,
+        },
+        "gbt_fit": {
+            "rows": rows,
+            "features": width,
+            "single_thread_ms": gbt_s1 * 1e3,
+            "multi_thread_ms": gbt_sn * 1e3,
+            "speedup": gbt_s1 / gbt_sn,
+            "identical": gbt_identical,
+            "split_search": {
+                "two_pass_ms": two_pass_s * 1e3,
+                "prefix_sum_ms": prefix_s * 1e3,
+                "algorithmic_speedup": two_pass_s / prefix_s,
+                "identical": splits_agree,
+            },
+        },
+        "gp_fit": {
+            "rows": gp_rows,
+            "single_thread_ms": gp_s1 * 1e3,
+            "multi_thread_ms": gp_sn * 1e3,
+            "speedup": gp_s1 / gp_sn,
+            "identical": gp_identical,
+        },
+        "round": {
+            "tuner": "autotvm",
+            "budget": budget,
+            "single_thread_ms": round_s1 * 1e3,
+            "multi_thread_ms": round_sn * 1e3,
+            "speedup": round_s1 / round_sn,
+            "identical": round_identical,
+        },
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out_path, format!("{text}\n")).expect("writable output path");
+    println!("{text}");
+    eprintln!("wrote {out_path}");
+}

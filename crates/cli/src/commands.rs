@@ -5,6 +5,7 @@ use glimpse_core::blueprint::BlueprintCodec;
 use glimpse_core::explain;
 use glimpse_core::tuner::GlimpseTuner;
 use glimpse_gpu_spec::{database, datasheet, GpuSpec};
+use glimpse_mlkit::parallel;
 use glimpse_sim::{DevicePool, FaultPlan, Measurer};
 use glimpse_space::templates;
 use glimpse_tensor_prog::{models, TemplateKind};
@@ -34,6 +35,8 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --fault-plan <spec>             inject measurement faults, e.g.
                                     timeout=0.1,launch=0.05,lost=0.02,dead=0.01
     --fault-seed <n>                fault stream seed          default: 0
+    --threads <n>                   search worker threads (0 = auto); also
+                                    via GLIMPSE_THREADS       default: auto
   glimpse experiment <model> [opts] tune one task across a device fleet
     --task <i>                      task to tune               default: 0
     --tuner <autotvm|chameleon|dgp|random|genetic>            default: autotvm
@@ -41,6 +44,9 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --gpus <a,b,c>                  fleet (default: the 4 evaluation GPUs)
     --fault-plan <spec>             inject measurement faults (as above)
     --fault-seed <n>                fault stream seed          default: 0
+    --threads <n>                   search worker threads (0 = auto)
+
+Results are bit-identical for a fixed seed at any --threads value.
 ";
 
 /// `glimpse gpus`
@@ -178,6 +184,20 @@ struct TuneOptions {
     artifacts_path: Option<PathBuf>,
     full_training: bool,
     faults: FaultPlan,
+    threads: Option<usize>,
+}
+
+/// Parses a `--threads` value (`0` = auto-detect).
+fn parse_threads_flag(value: &str) -> Result<usize, String> {
+    value.trim().parse().map_err(|_| "--threads must be a non-negative integer".into())
+}
+
+/// Installs the worker-count override for the search hot paths. Results are
+/// bit-identical at any thread count, so this only changes wall-clock time.
+fn apply_threads(threads: Option<usize>) {
+    if let Some(n) = threads {
+        parallel::set_default_threads(n);
+    }
 }
 
 /// Parses `--fault-plan`/`--fault-seed` values into a plan (seed applied
@@ -206,6 +226,7 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
         artifacts_path: None,
         full_training: false,
         faults: FaultPlan::none(),
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -230,6 +251,7 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
             "--full-training" => options.full_training = true,
             "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
             "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
+            "--threads" => options.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
@@ -271,6 +293,7 @@ fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtif
 /// `glimpse tune <model> <gpu> [options]`
 pub fn tune(args: &[String]) -> Result<(), String> {
     let options = parse_tune_options(args)?;
+    apply_threads(options.threads);
     let gpu = find_gpu(&options.gpu)?;
     let model = models::find(&options.model).ok_or_else(|| format!("unknown model {:?}; `glimpse models` lists the zoo", options.model))?;
     let needs_artifacts = options.tuner == "glimpse";
@@ -346,6 +369,7 @@ struct ExperimentOptions {
     task: usize,
     gpus: Vec<String>,
     faults: FaultPlan,
+    threads: Option<usize>,
 }
 
 fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String> {
@@ -359,6 +383,7 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
         task: 0,
         gpus: Vec::new(),
         faults: FaultPlan::none(),
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -390,6 +415,7 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
             }
             "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
             "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
+            "--threads" => options.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
@@ -410,6 +436,7 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
 /// and prints the pool's health summary.
 pub fn experiment(args: &[String]) -> Result<(), String> {
     let options = parse_experiment_options(args)?;
+    apply_threads(options.threads);
     if options.tuner == "glimpse" {
         return Err("the fleet experiment drives baseline tuners; use `glimpse tune` for the glimpse tuner".into());
     }
@@ -520,6 +547,36 @@ mod tests {
         let err = parse_tune_options(&args).unwrap_err();
         assert!(err.contains("[0, 1]"), "got: {err}");
         assert!(!err.contains('\n'));
+    }
+
+    #[test]
+    fn tune_options_parse_threads_flag() {
+        let args: Vec<String> = ["m", "g", "--threads", "4"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(parse_tune_options(&args).unwrap().threads, Some(4));
+        let auto: Vec<String> = ["m", "g", "--threads", "0"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(parse_tune_options(&auto).unwrap().threads, Some(0));
+        let unset: Vec<String> = ["m", "g"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(parse_tune_options(&unset).unwrap().threads, None);
+    }
+
+    #[test]
+    fn threads_flag_rejects_junk() {
+        let args: Vec<String> = ["m", "g", "--threads", "lots"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_tune_options(&args).unwrap_err().contains("--threads"));
+        let exp: Vec<String> = ["m", "--threads", "-2"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_experiment_options(&exp).unwrap_err().contains("--threads"));
+    }
+
+    #[test]
+    fn experiment_options_parse_threads_flag() {
+        let args: Vec<String> = ["m", "--threads", "8"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(parse_experiment_options(&args).unwrap().threads, Some(8));
+    }
+
+    #[test]
+    fn usage_documents_the_threads_flag() {
+        assert!(USAGE.contains("--threads"));
+        assert!(USAGE.contains("GLIMPSE_THREADS"));
     }
 
     #[test]

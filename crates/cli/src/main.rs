@@ -14,6 +14,7 @@
 //!   --full-training                 full-size offline training (slow)
 //!   --fault-plan <spec>             inject measurement faults
 //!   --fault-seed <n>                fault stream seed
+//!   --threads <n>                   search worker threads (0 = auto)
 //! glimpse experiment <model> [opts] tune one task across a device fleet
 //! ```
 

@@ -24,6 +24,7 @@ use crate::blueprint::Blueprint;
 use crate::corpus::CorpusEntry;
 use glimpse_mlkit::gbt::{Gbt, GbtParams};
 use glimpse_mlkit::mlp::{Activation, Mlp};
+use glimpse_mlkit::parallel::{parallel_map, Threads};
 use glimpse_space::{Config, SearchSpace};
 use glimpse_tensor_prog::TemplateKind;
 use rand::rngs::StdRng;
@@ -104,8 +105,11 @@ impl NeuralAcquisition {
                 continue;
             }
             let space = entry.space();
-            // Mid-tuning surrogate on the prefix.
-            let train_x: Vec<Vec<f64>> = entry.samples[..prefix].iter().map(|s| space.features(&s.config)).collect();
+            // Mid-tuning surrogate on the prefix. Featurization of both the
+            // prefix and the held-out tail fans out across workers; the
+            // RNG-consuming row assembly below stays sequential so training
+            // is identical at any thread count.
+            let train_x: Vec<Vec<f64>> = parallel_map(Threads::AUTO, &entry.samples[..prefix], |_, s| space.features(&s.config));
             let train_y: Vec<f64> = entry.samples[..prefix].iter().map(|s| s.gflops / SCALE).collect();
             let surrogate = Gbt::fit(
                 &train_x,
@@ -117,11 +121,13 @@ impl NeuralAcquisition {
                 &mut rng,
             );
             // Remaining samples at random progress points become rows.
-            for sample in &entry.samples[prefix..] {
-                let features = space.features_padded(&sample.config, PADDED_FEATURES);
-                let mu = surrogate.predict(&space.features(&sample.config)) * SCALE;
+            let tail = &entry.samples[prefix..];
+            let padded: Vec<Vec<f64>> = parallel_map(Threads::AUTO, tail, |_, s| space.features_padded(&s.config, PADDED_FEATURES));
+            let tail_x: Vec<Vec<f64>> = parallel_map(Threads::AUTO, tail, |_, s| space.features(&s.config));
+            let mus = surrogate.predict_batch(&tail_x);
+            for ((sample, features), mu) in tail.iter().zip(&padded).zip(mus) {
                 let t_frac: f64 = rng.gen_range(0.0..1.0);
-                xs.push(self.input(&features, mu, t_frac, &blueprint));
+                xs.push(self.input(features, mu * SCALE, t_frac, &blueprint));
                 ys.push(vec![sample.gflops / SCALE]);
             }
         }
@@ -166,7 +172,7 @@ impl NeuralAcquisition {
                 continue;
             }
             let space = entry.space();
-            let train_x: Vec<Vec<f64>> = entry.samples[..prefix].iter().map(|s| space.features(&s.config)).collect();
+            let train_x: Vec<Vec<f64>> = parallel_map(Threads::AUTO, &entry.samples[..prefix], |_, s| space.features(&s.config));
             let train_y: Vec<f64> = entry.samples[..prefix].iter().map(|s| s.gflops / SCALE).collect();
             let surrogate = Gbt::fit(
                 &train_x,
@@ -177,9 +183,11 @@ impl NeuralAcquisition {
                 },
                 &mut rng,
             );
-            for sample in &entry.samples[prefix..] {
-                let mu = surrogate.predict(&space.features(&sample.config)) * SCALE;
-                let pred = self.score(&space, &sample.config, mu, 0.5, &blueprint);
+            let tail = &entry.samples[prefix..];
+            let tail_x: Vec<Vec<f64>> = parallel_map(Threads::AUTO, tail, |_, s| space.features(&s.config));
+            let mus = surrogate.predict_batch(&tail_x);
+            for (sample, mu) in tail.iter().zip(mus) {
+                let pred = self.score(&space, &sample.config, mu * SCALE, 0.5, &blueprint);
                 total += (pred - sample.gflops).abs();
                 count += 1;
             }

@@ -21,6 +21,7 @@ use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use glimpse_tuners::cost_model::GbtCostModel;
 use glimpse_tuners::{TuneContext, Tuner, TuningOutcome};
+use rand::Rng;
 
 /// Glimpse hyperparameters and ablation switches.
 #[derive(Debug, Clone, Copy)]
@@ -182,6 +183,10 @@ impl Tuner for GlimpseTuner<'_> {
                     mu
                 }
             };
+            // One seed per round: chains fan out across worker threads and
+            // split the seed per chain, so results are identical at any
+            // thread count.
+            let sa_seed: u64 = rng.gen();
             let outcome = anneal(
                 &starts,
                 energy,
@@ -193,7 +198,7 @@ impl Tuner for GlimpseTuner<'_> {
                     t_end: 0.05,
                     patience: self.config.sa_patience,
                 },
-                &mut rng,
+                sa_seed,
             );
             ctx.add_explorer_steps(outcome.steps_executed);
 

@@ -5,6 +5,7 @@
 //! prior mean across tasks.
 
 use crate::linalg::{LinalgError, Matrix};
+use crate::parallel::{parallel_map_range, Threads};
 use serde::{Deserialize, Serialize};
 
 /// Radial-basis-function (squared-exponential) kernel parameters.
@@ -72,10 +73,14 @@ impl GaussianProcess {
         assert!(!x.is_empty(), "GP needs at least one observation");
         let n = x.len();
         let mean_offset = y.iter().sum::<f64>() / n as f64;
+        // Kernel rows (upper triangle) build in parallel — each row is a
+        // pure function of `x`, so assembly order cannot change the matrix.
+        let threads = if n >= 64 { Threads::AUTO } else { Threads::fixed(1) };
+        let rows: Vec<Vec<f64>> = parallel_map_range(threads, n, |i| (i..n).map(|j| kernel.eval(&x[i], &x[j])).collect());
         let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let v = kernel.eval(&x[i], &x[j]);
+        for (i, row) in rows.iter().enumerate() {
+            for (offset, &v) in row.iter().enumerate() {
+                let j = i + offset;
                 k[(i, j)] = v;
                 k[(j, i)] = v;
             }
@@ -257,6 +262,22 @@ mod tests {
         assert!((erf(0.0)).abs() < 1e-7);
         assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
         assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fit_identical_across_thread_counts() {
+        // 80 observations crosses the parallel-assembly threshold.
+        let (xs, ys) = sine_data(80);
+        let predict_at = |threads: usize| {
+            crate::parallel::set_default_threads(threads);
+            let gp = GaussianProcess::fit(RbfKernel::default(), 1e-6, xs.clone(), &ys).unwrap();
+            crate::parallel::set_default_threads(0);
+            let (mu, var) = gp.predict(&[1.23]);
+            (mu.to_bits(), var.to_bits())
+        };
+        let one = predict_at(1);
+        assert_eq!(one, predict_at(4));
+        assert_eq!(one, predict_at(9));
     }
 
     #[test]

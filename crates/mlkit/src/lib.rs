@@ -13,6 +13,9 @@
 //! * [`kmeans`] — clustering for Chameleon's adaptive sampling.
 //! * [`sa`] — batched parallel simulated-annealing chains, the Markov-chain
 //!   search engine of AutoTVM/Chameleon (§4.2).
+//! * [`parallel`] — deterministic chunked fan-out over scoped worker
+//!   threads; the work-distribution layer under [`sa`], [`gbt`], and
+//!   [`gp`]'s hot paths (`--threads` / `GLIMPSE_THREADS` control it).
 //! * [`linalg`], [`stats`] — dense matrices, eigen decomposition, and the
 //!   summary statistics (geomean, quantiles, softmax) the harness reports.
 //!
@@ -24,6 +27,7 @@ pub mod gp;
 pub mod kmeans;
 pub mod linalg;
 pub mod mlp;
+pub mod parallel;
 pub mod pca;
 pub mod rank;
 pub mod sa;

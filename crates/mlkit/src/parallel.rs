@@ -1,0 +1,221 @@
+//! Deterministic work distribution for the search hot paths.
+//!
+//! Every compile-time loop the paper counts (SA chain updates, surrogate
+//! fits, kernel-matrix assembly, candidate scoring) is embarrassingly
+//! parallel *per item*, so this module provides exactly one abstraction:
+//! chunked fan-out of an indexed map over scoped worker threads, with
+//! results always returned in input order.
+//!
+//! **Determinism contract:** callers must make each item's computation a
+//! pure function of `(index, item)` — per-item randomness is derived by
+//! seed-splitting (see [`crate::stats::child_rng`]), never by sharing an
+//! RNG across items. Under that discipline the output is bit-identical for
+//! every worker count, so `GLIMPSE_THREADS=1` and `GLIMPSE_THREADS=64`
+//! replay the same tuning trajectory.
+//!
+//! Worker-count resolution order (first set wins):
+//!
+//! 1. an explicit [`Threads::fixed`] at the call site,
+//! 2. the process-wide override installed by [`set_default_threads`]
+//!    (plumbed from the CLI `--threads` flag),
+//! 3. the `GLIMPSE_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override (0 = unset).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable consulted when no explicit count is set.
+pub const THREADS_ENV: &str = "GLIMPSE_THREADS";
+
+/// Installs a process-wide worker-count override (0 restores auto).
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The current process-wide override (0 = unset).
+#[must_use]
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::SeqCst)
+}
+
+/// Parses a `GLIMPSE_THREADS`-style value; `None` for unset/invalid/zero.
+#[must_use]
+pub fn parse_threads(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+/// A worker-count request: either auto-resolved or pinned at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads(usize);
+
+impl Threads {
+    /// Resolve from override, environment, then available parallelism.
+    pub const AUTO: Threads = Threads(0);
+
+    /// Exactly `n` workers (`0` behaves like [`Threads::AUTO`]).
+    #[must_use]
+    pub const fn fixed(n: usize) -> Self {
+        Self(n)
+    }
+
+    /// The concrete worker count (always ≥ 1).
+    #[must_use]
+    pub fn resolve(self) -> usize {
+        if self.0 > 0 {
+            return self.0;
+        }
+        let global = default_threads();
+        if global > 0 {
+            return global;
+        }
+        if let Ok(value) = std::env::var(THREADS_ENV) {
+            if let Some(n) = parse_threads(&value) {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Self::AUTO
+    }
+}
+
+/// Maps `f(index, &item)` over `items` on up to `threads` scoped workers,
+/// returning results in input order.
+///
+/// Items are dealt out as contiguous chunks, one per worker; with one
+/// worker (or ≤ 1 item) the map runs inline with zero thread overhead.
+/// A panic in any worker is resumed on the caller thread.
+///
+/// # Examples
+///
+/// ```
+/// use glimpse_mlkit::parallel::{parallel_map, Threads};
+///
+/// let squares = parallel_map(Threads::fixed(4), &[1i64, 2, 3, 4, 5], |_, x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn parallel_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.resolve().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let result = crossbeam::thread::scope(|s| {
+        for (w, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            s.spawn(move |_| {
+                for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                    let i = start + offset;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+    out.into_iter().map(|r| r.expect("worker filled its slot")).collect()
+}
+
+/// Index-only variant of [`parallel_map`]: maps `f(i)` over `0..n`.
+pub fn parallel_map_range<R, F>(threads: Threads, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    parallel_map(threads, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(Threads::fixed(8), &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, x: &u64| {
+            use rand::Rng;
+            let mut rng = crate::stats::child_rng(*x, i as u64);
+            rng.gen::<u64>()
+        };
+        let one = parallel_map(Threads::fixed(1), &items, f);
+        for workers in [2, 3, 8, 16] {
+            assert_eq!(parallel_map(Threads::fixed(workers), &items, f), one, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(Threads::fixed(4), &empty, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(Threads::fixed(4), &[7], |_, x| *x), vec![7]);
+    }
+
+    #[test]
+    fn range_variant_matches_slice_variant() {
+        let out = parallel_map_range(Threads::fixed(3), 10, |i| i * i);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = parallel_map(Threads::fixed(64), &[1, 2, 3], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(Threads::fixed(2), &[0, 1, 2, 3], |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn parse_threads_rejects_junk() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 12 "), Some(12));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-3"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn fixed_wins_over_global_override() {
+        assert_eq!(Threads::fixed(5).resolve(), 5);
+        assert!(Threads::AUTO.resolve() >= 1);
+    }
+}

@@ -3,10 +3,20 @@
 //! AutoTVM and Chameleon "formulate a cost minimization with a batch of
 //! Markov chains" (§4.2) driven by a surrogate cost model; the number of
 //! chain update steps is the key compile-time factor Fig. 6 counts. This
-//! module runs that batch generically: callers provide the energy (higher =
-//! better here, matching GFLOPS) and the neighbor move.
+//! module runs that batch generically — callers provide the energy (higher =
+//! better here, matching GFLOPS) and the neighbor move — and actually in
+//! parallel: chains fan out across worker threads through
+//! [`crate::parallel`].
+//!
+//! **Determinism:** chain `c` draws from its own RNG, seed-split from the
+//! master seed as `child_rng(seed, c)`. A chain's trajectory is therefore a
+//! pure function of `(seed, c, start state)` — independent of how many
+//! chains ran before it, of the worker count, and of chain execution order.
+//! The same seed replays bit-identically at any `--threads` setting.
 
-use rand::Rng;
+use crate::parallel::{parallel_map, Threads};
+use crate::stats::child_rng;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Annealing schedule and batch parameters.
@@ -47,93 +57,73 @@ pub struct SaOutcome<S> {
 }
 
 impl<S: Clone> SaOutcome<S> {
-    /// The `k` best distinct-scoring states across all chains, best first.
+    /// The `k` best states across all chains, best first. Only the `k`
+    /// returned states are cloned; the full batch is never copied.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<(S, f64)> {
-        let mut sorted = self.chain_bests.clone();
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
-        sorted.truncate(k);
-        sorted
+        let mut order: Vec<usize> = (0..self.chain_bests.len()).collect();
+        order.sort_by(|&a, &b| self.chain_bests[b].1.partial_cmp(&self.chain_bests[a].1).expect("finite scores"));
+        order.truncate(k);
+        order.into_iter().map(|i| self.chain_bests[i].clone()).collect()
     }
 }
 
-/// Runs `params.chains` annealing chains maximizing `score`.
+/// Runs `params.chains` annealing chains maximizing `score`, fanned out
+/// across the worker threads of [`crate::parallel`].
 ///
 /// # Examples
 ///
 /// ```
 /// use glimpse_mlkit::sa::{anneal, SaParams};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let out = anneal(
 ///     &[0i64],
 ///     |x| -((*x - 5) as f64).abs(),
 ///     |x, r| x + if rand::Rng::gen::<bool>(r) { 1 } else { -1 },
 ///     SaParams { chains: 4, max_steps: 200, ..SaParams::default() },
-///     &mut rng,
+///     7,
 /// );
 /// let (best, _) = &out.top_k(1)[0];
 /// assert!((best - 5).abs() <= 1);
 /// ```
 ///
 /// Each chain starts from the corresponding entry of `initial` (recycled if
-/// fewer starts than chains are given). Acceptance follows Metropolis on the
-/// score difference with a geometric temperature schedule.
+/// fewer starts than chains are given) and owns an RNG seed-split from
+/// `seed` by chain index, so the outcome is identical at every thread
+/// count. Acceptance follows Metropolis on the score difference with a
+/// geometric temperature schedule.
 ///
 /// # Panics
 ///
 /// Panics if `initial` is empty or temperatures are non-positive.
-pub fn anneal<S, R, F, N>(initial: &[S], mut score: F, mut neighbor: N, params: SaParams, rng: &mut R) -> SaOutcome<S>
+pub fn anneal<S, F, N>(initial: &[S], score: F, neighbor: N, params: SaParams, seed: u64) -> SaOutcome<S>
 where
-    S: Clone,
-    R: Rng + ?Sized,
-    F: FnMut(&S) -> f64,
-    N: FnMut(&S, &mut R) -> S,
+    S: Clone + Send + Sync,
+    F: Fn(&S) -> f64 + Sync,
+    N: Fn(&S, &mut StdRng) -> S + Sync,
+{
+    anneal_threaded(initial, score, neighbor, params, seed, Threads::AUTO)
+}
+
+/// [`anneal`] with an explicit worker-count request (the public entry point
+/// resolves `--threads` / `GLIMPSE_THREADS` automatically).
+pub fn anneal_threaded<S, F, N>(initial: &[S], score: F, neighbor: N, params: SaParams, seed: u64, threads: Threads) -> SaOutcome<S>
+where
+    S: Clone + Send + Sync,
+    F: Fn(&S) -> f64 + Sync,
+    N: Fn(&S, &mut StdRng) -> S + Sync,
 {
     assert!(!initial.is_empty(), "need at least one starting state");
     assert!(params.t_start > 0.0 && params.t_end > 0.0, "temperatures must be positive");
     let chains = params.chains.max(1);
-    let cooling = if params.max_steps > 1 {
-        (params.t_end / params.t_start).powf(1.0 / (params.max_steps - 1) as f64)
-    } else {
-        1.0
-    };
-
+    let results = parallel_map(threads, &chain_indices(chains), |_, &c| {
+        run_chain(&initial[c % initial.len()], c, &score, &neighbor, &params, seed)
+    });
+    let mut chain_bests = Vec::with_capacity(chains);
     let mut steps_executed = 0usize;
-    let mut chain_bests: Vec<(S, f64)> = Vec::with_capacity(chains);
-    for c in 0..chains {
-        let mut current = initial[c % initial.len()].clone();
-        let mut current_score = score(&current);
-        let mut best = current.clone();
-        let mut best_score = current_score;
-        let mut t = params.t_start;
-        let mut stale = 0usize;
-        for _ in 0..params.max_steps {
-            steps_executed += 1;
-            let candidate = neighbor(&current, rng);
-            let candidate_score = score(&candidate);
-            let accept = candidate_score >= current_score || {
-                let p = ((candidate_score - current_score) / t).exp();
-                rng.gen::<f64>() < p
-            };
-            if accept {
-                current = candidate;
-                current_score = candidate_score;
-            }
-            if current_score > best_score {
-                best = current.clone();
-                best_score = current_score;
-                stale = 0;
-            } else {
-                stale += 1;
-                if params.patience > 0 && stale >= params.patience {
-                    break;
-                }
-            }
-            t *= cooling;
-        }
-        chain_bests.push((best, best_score));
+    for (best, steps) in results {
+        chain_bests.push(best);
+        steps_executed += steps;
     }
     SaOutcome {
         chain_bests,
@@ -141,11 +131,62 @@ where
     }
 }
 
+fn chain_indices(chains: usize) -> Vec<usize> {
+    (0..chains).collect()
+}
+
+/// One chain's trajectory: a pure function of `(start, chain index, seed)`.
+fn run_chain<S, F, N>(start: &S, chain: usize, score: &F, neighbor: &N, params: &SaParams, seed: u64) -> ((S, f64), usize)
+where
+    S: Clone,
+    F: Fn(&S) -> f64,
+    N: Fn(&S, &mut StdRng) -> S,
+{
+    use rand::Rng;
+    let cooling = if params.max_steps > 1 {
+        (params.t_end / params.t_start).powf(1.0 / (params.max_steps - 1) as f64)
+    } else {
+        1.0
+    };
+    let mut rng = child_rng(seed, chain as u64);
+    let mut current = start.clone();
+    let mut current_score = score(&current);
+    let mut best = current.clone();
+    let mut best_score = current_score;
+    let mut t = params.t_start;
+    let mut stale = 0usize;
+    let mut steps = 0usize;
+    for _ in 0..params.max_steps {
+        steps += 1;
+        let candidate = neighbor(&current, &mut rng);
+        let candidate_score = score(&candidate);
+        let accept = candidate_score >= current_score || {
+            let p = ((candidate_score - current_score) / t).exp();
+            rng.gen::<f64>() < p
+        };
+        if accept {
+            current = candidate;
+            current_score = candidate_score;
+        }
+        if current_score > best_score {
+            best = current.clone();
+            best_score = current_score;
+            stale = 0;
+        } else {
+            stale += 1;
+            if params.patience > 0 && stale >= params.patience {
+                break;
+            }
+        }
+        t *= cooling;
+    }
+    ((best, best_score), steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use proptest::prelude::*;
 
     /// 1-D multi-modal score with global max at x = 37 on 0..=100.
     fn score(x: &i64) -> f64 {
@@ -160,7 +201,6 @@ mod tests {
 
     #[test]
     fn finds_global_optimum_region() {
-        let mut rng = StdRng::seed_from_u64(1);
         let starts: Vec<i64> = (0..8).map(|i| i * 12).collect();
         let out = anneal(
             &starts,
@@ -171,7 +211,7 @@ mod tests {
                 max_steps: 300,
                 ..SaParams::default()
             },
-            &mut rng,
+            1,
         );
         let (best, _) = &out.top_k(1)[0];
         assert!((best - 37).abs() <= 3, "best {best}");
@@ -179,7 +219,6 @@ mod tests {
 
     #[test]
     fn step_count_is_bounded_by_budget() {
-        let mut rng = StdRng::seed_from_u64(2);
         let out = anneal(
             &[50i64],
             score,
@@ -190,45 +229,26 @@ mod tests {
                 patience: 0,
                 ..SaParams::default()
             },
-            &mut rng,
+            2,
         );
         assert_eq!(out.steps_executed, 400);
     }
 
     #[test]
     fn patience_reduces_steps() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let full = anneal(
-            &[37i64],
-            score,
-            neighbor,
-            SaParams {
-                chains: 4,
-                max_steps: 500,
-                patience: 0,
-                ..SaParams::default()
-            },
-            &mut rng,
-        );
-        let mut rng = StdRng::seed_from_u64(3);
-        let early = anneal(
-            &[37i64],
-            score,
-            neighbor,
-            SaParams {
-                chains: 4,
-                max_steps: 500,
-                patience: 25,
-                ..SaParams::default()
-            },
-            &mut rng,
-        );
+        let params = SaParams {
+            chains: 4,
+            max_steps: 500,
+            patience: 0,
+            ..SaParams::default()
+        };
+        let full = anneal(&[37i64], score, neighbor, params, 3);
+        let early = anneal(&[37i64], score, neighbor, SaParams { patience: 25, ..params }, 3);
         assert!(early.steps_executed < full.steps_executed);
     }
 
     #[test]
     fn top_k_is_sorted_descending() {
-        let mut rng = StdRng::seed_from_u64(4);
         let starts: Vec<i64> = (0..16).map(|i| i * 6).collect();
         let out = anneal(
             &starts,
@@ -239,7 +259,7 @@ mod tests {
                 max_steps: 50,
                 ..SaParams::default()
             },
-            &mut rng,
+            4,
         );
         let top = out.top_k(5);
         for w in top.windows(2) {
@@ -250,7 +270,6 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let run = || {
-            let mut rng = StdRng::seed_from_u64(11);
             anneal(
                 &[0i64],
                 score,
@@ -260,7 +279,7 @@ mod tests {
                     max_steps: 100,
                     ..SaParams::default()
                 },
-                &mut rng,
+                11,
             )
             .top_k(1)[0]
                 .1
@@ -270,7 +289,6 @@ mod tests {
 
     #[test]
     fn chain_bests_never_worse_than_start() {
-        let mut rng = StdRng::seed_from_u64(5);
         let starts = vec![0i64, 100];
         let out = anneal(
             &starts,
@@ -281,10 +299,78 @@ mod tests {
                 max_steps: 100,
                 ..SaParams::default()
             },
-            &mut rng,
+            5,
         );
         for (i, (_, s)) in out.chain_bests.iter().enumerate() {
             assert!(*s >= score(&starts[i]) - 1e-12);
         }
+    }
+
+    #[test]
+    fn chain_trajectory_is_independent_of_batch_position() {
+        // The PR-2 determinism contract: chain c's result no longer depends
+        // on how many chains ran before it through a shared RNG.
+        let starts: Vec<i64> = (0..6).map(|i| i * 20).collect();
+        let params = SaParams {
+            chains: 6,
+            max_steps: 120,
+            ..SaParams::default()
+        };
+        let batch = anneal(&starts, score, neighbor, params, 9);
+        for (c, expected) in batch.chain_bests.iter().enumerate() {
+            let (solo, _) = run_chain(&starts[c], c, &score, &neighbor, &params, 9);
+            assert_eq!(&solo, expected, "chain {c} diverged from its solo replay");
+        }
+    }
+
+    fn bests_equal(a: &SaOutcome<i64>, b: &SaOutcome<i64>) -> bool {
+        a.steps_executed == b.steps_executed
+            && a.chain_bests.len() == b.chain_bests.len()
+            && a.chain_bests
+                .iter()
+                .zip(&b.chain_bests)
+                .all(|((sa, fa), (sb, fb))| sa == sb && fa.to_bits() == fb.to_bits())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Bit-identical `chain_bests` for threads ∈ {1, 2, 8} and for a
+        /// permuted chain execution order.
+        #[test]
+        fn identical_at_any_thread_count_and_order(seed in 0u64..1_000_000, chains in 1usize..12, max_steps in 1usize..60) {
+            let starts: Vec<i64> = (0..4).map(|i| i * 25).collect();
+            let params = SaParams { chains, max_steps, ..SaParams::default() };
+            let reference = anneal_threaded(&starts, score, neighbor, params, seed, Threads::fixed(1));
+            for threads in [2usize, 8] {
+                let out = anneal_threaded(&starts, score, neighbor, params, seed, Threads::fixed(threads));
+                prop_assert!(bests_equal(&reference, &out), "threads={threads}");
+            }
+            // Execute chains in reverse order, sequentially, and scatter
+            // the results back: must reproduce the batch exactly.
+            let mut permuted: Vec<Option<(i64, f64)>> = vec![None; chains];
+            let mut steps = 0usize;
+            for c in (0..chains).rev() {
+                let (best, s) = run_chain(&starts[c % starts.len()], c, &score, &neighbor, &params, seed);
+                permuted[c] = Some(best);
+                steps += s;
+            }
+            let permuted = SaOutcome {
+                chain_bests: permuted.into_iter().map(|b| b.expect("all chains ran")).collect(),
+                steps_executed: steps,
+            };
+            prop_assert!(bests_equal(&reference, &permuted), "permuted execution order diverged");
+        }
+    }
+
+    #[test]
+    fn top_k_clones_only_k_states() {
+        let out = SaOutcome {
+            chain_bests: vec![(1i64, 1.0), (3, 3.0), (2, 2.0), (4, 4.0)],
+            steps_executed: 0,
+        };
+        assert_eq!(out.top_k(2), vec![(4, 4.0), (3, 3.0)]);
+        assert_eq!(out.top_k(0), Vec::<(i64, f64)>::new());
+        assert_eq!(out.top_k(10).len(), 4);
     }
 }

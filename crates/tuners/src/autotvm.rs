@@ -22,6 +22,7 @@ use crate::history::TuningHistory;
 use glimpse_mlkit::sa::{anneal, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
+use rand::Rng;
 
 /// AutoTVM hyperparameters.
 #[derive(Debug, Clone)]
@@ -130,6 +131,9 @@ impl Tuner for AutoTvmTuner {
                 starts.push(ctx.space.sample_uniform(&mut rng));
             }
             let space = ctx.space;
+            // One seed per round keeps the batch deterministic while the
+            // chains fan out across worker threads (seed-split per chain).
+            let sa_seed: u64 = rng.gen();
             let outcome = anneal(
                 &starts,
                 |c| model.predict(space, c),
@@ -141,7 +145,7 @@ impl Tuner for AutoTvmTuner {
                     t_end: 0.05,
                     patience: 0,
                 },
-                &mut rng,
+                sa_seed,
             );
             ctx.add_explorer_steps(outcome.steps_executed);
 

@@ -18,6 +18,7 @@
 use crate::context::{TuneContext, Tuner, TuningOutcome};
 use crate::cost_model::GbtCostModel;
 use glimpse_mlkit::kmeans::{kmeans, snap_to_points};
+use glimpse_mlkit::parallel::{parallel_map, Threads};
 use glimpse_mlkit::sa::{anneal, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
@@ -111,6 +112,9 @@ impl Tuner for ChameleonTuner {
                 starts.push(ctx.space.sample_uniform(&mut rng));
             }
             let space = ctx.space;
+            // Per-round seed: chains fan out across workers, seed-split per
+            // chain, so the round is deterministic at any thread count.
+            let sa_seed: u64 = rng.gen();
             let outcome = anneal(
                 &starts,
                 |c| model.predict(space, c),
@@ -122,7 +126,7 @@ impl Tuner for ChameleonTuner {
                     t_end: 0.05,
                     patience: 0,
                 },
-                &mut rng,
+                sa_seed,
             );
             ctx.add_explorer_steps(outcome.steps_executed);
 
@@ -139,7 +143,7 @@ impl Tuner for ChameleonTuner {
             // the surrogate considers promising — Chameleon's sample
             // synthesis draws from the learned distribution, not uniformly.
             let seeds = pool.len().max(1);
-            let quality_floor = 0.15 * pool.iter().map(|c| model.predict(space, c)).fold(0.0f64, f64::max);
+            let quality_floor = 0.15 * model.predict_batch(space, &pool).into_iter().fold(0.0f64, f64::max);
             let mut attempts = 0;
             while pool.len() < pool_target && attempts < pool_target * 10 {
                 attempts += 1;
@@ -158,7 +162,10 @@ impl Tuner for ChameleonTuner {
             }
 
             // Adaptive sampling: cluster the pool, measure snapped centroids.
-            let features: Vec<Vec<f64>> = pool.iter().map(|c| space.features(c)).collect();
+            // Featurize and surrogate-score the whole pool once through the
+            // parallel layer; every later filter reads the batch results.
+            let features: Vec<Vec<f64>> = parallel_map(Threads::AUTO, &pool, |_, c| space.features(c));
+            let pool_preds = model.predict_batch(space, &pool);
             let clusters = kmeans(&features, self.config.batch_size, 25, &mut rng);
             let chosen = snap_to_points(&clusters.centroids, &features);
             // Exploit guard: always measure the surrogate's single best
@@ -166,17 +173,13 @@ impl Tuner for ChameleonTuner {
             // surrogate does not consider near-certainly invalid.
             let best_measured = ctx.history().best_gflops();
             let mut batch: Vec<Config> = Vec::new();
-            if let Some(best_pred) = pool.iter().max_by(|a, b| {
-                model
-                    .predict(space, a)
-                    .partial_cmp(&model.predict(space, b))
-                    .expect("finite predictions")
-            }) {
-                batch.push(best_pred.clone());
+            if let Some(best_idx) = (0..pool.len()).max_by(|&a, &b| pool_preds[a].partial_cmp(&pool_preds[b]).expect("finite predictions"))
+            {
+                batch.push(pool[best_idx].clone());
             }
             for idx in chosen {
                 let config = pool[idx].clone();
-                if !batch.contains(&config) && model.predict(space, &config) > 0.05 * best_measured {
+                if !batch.contains(&config) && pool_preds[idx] > 0.05 * best_measured {
                     batch.push(config);
                 }
             }

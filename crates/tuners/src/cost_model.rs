@@ -8,9 +8,21 @@
 
 use crate::history::TuningHistory;
 use glimpse_mlkit::gbt::{Gbt, GbtParams};
+use glimpse_mlkit::parallel::{parallel_map, Threads};
 use glimpse_space::{Config, SearchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Minimum batch size before featurization fans out across workers.
+const PARALLEL_FEATURIZE_ROWS: usize = 64;
+
+fn featurize_threads(rows: usize) -> Threads {
+    if rows >= PARALLEL_FEATURIZE_ROWS {
+        Threads::AUTO
+    } else {
+        Threads::fixed(1)
+    }
+}
 
 /// Throughput scale (GFLOPS) applied before fitting, keeping targets O(1).
 const SCORE_SCALE: f64 = 1000.0;
@@ -78,12 +90,9 @@ impl GbtCostModel {
     /// would teach the model to avoid perfectly good regions.
     /// Transfer pairs participate until local data outnumbers them 2:1.
     pub fn fit(&mut self, space: &SearchSpace, history: &TuningHistory) {
-        let mut xs: Vec<Vec<f64>> = Vec::new();
-        let mut ys: Vec<f64> = Vec::new();
-        for trial in history.trials.iter().filter(|t| !t.is_fault()) {
-            xs.push(space.features(&trial.config));
-            ys.push(trial.gflops.unwrap_or(0.0) / SCORE_SCALE);
-        }
+        let usable: Vec<&crate::history::Trial> = history.trials.iter().filter(|t| !t.is_fault()).collect();
+        let mut xs: Vec<Vec<f64>> = parallel_map(featurize_threads(usable.len()), &usable, |_, t| space.features(&t.config));
+        let mut ys: Vec<f64> = usable.iter().map(|t| t.gflops.unwrap_or(0.0) / SCORE_SCALE).collect();
         if !self.transfer_x.is_empty() && xs.len() < 2 * self.transfer_x.len() {
             xs.extend(self.transfer_x.iter().cloned());
             ys.extend(self.transfer_y.iter().copied());
@@ -107,6 +116,18 @@ impl GbtCostModel {
     #[must_use]
     pub fn predict_features(&self, features: &[f64]) -> f64 {
         self.model.as_ref().map_or(0.0, |m| m.predict(features) * SCORE_SCALE)
+    }
+
+    /// Predicted throughput (GFLOPS) for a whole candidate batch:
+    /// featurization and tree walks fan out across worker threads, with
+    /// values identical to mapping [`GbtCostModel::predict`] in order.
+    #[must_use]
+    pub fn predict_batch(&self, space: &SearchSpace, configs: &[Config]) -> Vec<f64> {
+        let Some(model) = self.model.as_ref() else {
+            return vec![0.0; configs.len()];
+        };
+        let features = parallel_map(featurize_threads(configs.len()), configs, |_, c| space.features(c));
+        model.predict_batch(&features).into_iter().map(|v| v * SCORE_SCALE).collect()
     }
 }
 
@@ -199,6 +220,20 @@ mod tests {
         model.fit(&space, &history);
         // Every trial was a fault, so there was nothing to train on.
         assert!(!model.is_fitted(), "faulted trials must not become fake zero-throughput examples");
+    }
+
+    #[test]
+    fn predict_batch_matches_scalar_predict() {
+        let (space, history) = measured_history(120, 8);
+        let mut model = GbtCostModel::new(0);
+        let configs: Vec<_> = history.trials.iter().map(|t| t.config.clone()).collect();
+        // Unfitted: all zeros.
+        assert!(model.predict_batch(&space, &configs).iter().all(|v| *v == 0.0));
+        model.fit(&space, &history);
+        let batch = model.predict_batch(&space, &configs);
+        for (c, b) in configs.iter().zip(&batch) {
+            assert_eq!(model.predict(&space, c).to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::context::{TuneContext, Tuner, TuningOutcome};
 use crate::cost_model::GbtCostModel;
 use crate::history::TuningHistory;
 use glimpse_mlkit::gp::{GaussianProcess, RbfKernel};
+use glimpse_mlkit::parallel::{parallel_map, Threads};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use rand::Rng;
@@ -106,18 +107,20 @@ impl Tuner for DgpTuner {
                 prior.fit(ctx.space, ctx.history());
             }
             // GP over residuals (or raw values without a prior), on the
-            // most recent + best observations up to the cap.
-            let mut obs: Vec<(Vec<f64>, f64)> = ctx
-                .history()
-                .trials
-                .iter()
-                .map(|t| {
-                    let f = ctx.space.features(&t.config);
-                    let y = t.gflops.unwrap_or(0.0);
-                    let m = if prior.is_fitted() { prior.predict_features(&f) } else { 0.0 };
-                    (f, (y - m) / SCALE)
-                })
-                .collect();
+            // most recent + best observations up to the cap. Featurization
+            // and prior evaluation fan out across workers per trial.
+            let space = ctx.space;
+            let prior_ref = &prior;
+            let mut obs: Vec<(Vec<f64>, f64)> = parallel_map(Threads::AUTO, &ctx.history().trials, |_, t| {
+                let f = space.features(&t.config);
+                let y = t.gflops.unwrap_or(0.0);
+                let m = if prior_ref.is_fitted() {
+                    prior_ref.predict_features(&f)
+                } else {
+                    0.0
+                };
+                (f, (y - m) / SCALE)
+            });
             if obs.len() > self.config.gp_cap {
                 let skip = obs.len() - self.config.gp_cap;
                 obs.drain(0..skip);
@@ -134,9 +137,12 @@ impl Tuner for DgpTuner {
             );
 
             let best_y = ctx.history().best_gflops();
-            let mut scored: Vec<(Config, f64)> = Vec::with_capacity(self.config.candidates);
             let mut ranked = ctx.history().valid_pairs();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            // Candidate generation stays sequential (it consumes the tuner
+            // RNG); the acquisition scoring of the batch is pure and fans
+            // out across workers below.
+            let mut candidates: Vec<Config> = Vec::with_capacity(self.config.candidates);
             for i in 0..self.config.candidates {
                 // Mix of uniform candidates and neighbors of incumbents.
                 let candidate = if i % 3 == 0 && !ranked.is_empty() {
@@ -145,20 +151,27 @@ impl Tuner for DgpTuner {
                 } else {
                     ctx.space.sample_uniform(&mut rng)
                 };
-                if ctx.seen(&candidate) {
-                    continue;
+                if !ctx.seen(&candidate) {
+                    candidates.push(candidate);
                 }
-                let f = ctx.space.features(&candidate);
-                let m = if prior.is_fitted() { prior.predict_features(&f) } else { 0.0 };
-                let acq = match &gp {
-                    Ok(gp) => {
-                        let residual_best = (best_y - m) / SCALE;
-                        gp.expected_improvement(&f, residual_best)
-                    }
-                    Err(_) => rng.gen::<f64>(),
-                };
-                scored.push((candidate, acq));
             }
+            let mut scored: Vec<(Config, f64)> = match &gp {
+                Ok(gp) => {
+                    let scores = parallel_map(Threads::AUTO, &candidates, |_, c| {
+                        let f = space.features(c);
+                        let m = if prior_ref.is_fitted() {
+                            prior_ref.predict_features(&f)
+                        } else {
+                            0.0
+                        };
+                        gp.expected_improvement(&f, (best_y - m) / SCALE)
+                    });
+                    candidates.into_iter().zip(scores).collect()
+                }
+                // Degenerate GP: fall back to a random ordering (sequential,
+                // it consumes the tuner RNG).
+                Err(_) => candidates.into_iter().map(|c| (c, rng.gen::<f64>())).collect(),
+            };
             ctx.add_explorer_steps(scored.len());
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite acquisition"));
             let mut batch: Vec<Config> = Vec::new();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8ad9e7c2589236dc.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8ad9e7c2589236dc: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

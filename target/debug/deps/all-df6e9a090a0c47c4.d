@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-df6e9a090a0c47c4.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-df6e9a090a0c47c4: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-288acd598c8ad6f2.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-288acd598c8ad6f2: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b874eb9334ae6f97.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b874eb9334ae6f97: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_glimpse=/root/repo/target/debug/glimpse

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-18fa7576098bf642.d: crates/bench/src/bin/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-18fa7576098bf642: crates/bench/src/bin/diagnostics.rs
+
+crates/bench/src/bin/diagnostics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnostics-9ca546589529c1ef.d: crates/bench/src/bin/diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnostics-9ca546589529c1ef.rmeta: crates/bench/src/bin/diagnostics.rs Cargo.toml
+
+crates/bench/src/bin/diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrapolation-3d76855ac0eae7e1.d: crates/bench/src/bin/extrapolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrapolation-3d76855ac0eae7e1.rmeta: crates/bench/src/bin/extrapolation.rs Cargo.toml
+
+crates/bench/src/bin/extrapolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrapolation-49fcd10bd88f0592.d: crates/bench/src/bin/extrapolation.rs
+
+/root/repo/target/debug/deps/extrapolation-49fcd10bd88f0592: crates/bench/src/bin/extrapolation.rs
+
+crates/bench/src/bin/extrapolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrapolation-629e25c59b8ed03a.d: crates/bench/src/bin/extrapolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrapolation-629e25c59b8ed03a.rmeta: crates/bench/src/bin/extrapolation.rs Cargo.toml
+
+crates/bench/src/bin/extrapolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-0e701f1f073b0914.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-0e701f1f073b0914: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-5163312d48d8b723.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-5163312d48d8b723: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-ee4411733549272a.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-ee4411733549272a: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-fd6983ef57ec781d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-fd6983ef57ec781d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

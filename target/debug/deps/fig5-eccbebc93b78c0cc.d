@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-eccbebc93b78c0cc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-eccbebc93b78c0cc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

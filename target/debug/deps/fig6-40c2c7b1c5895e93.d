@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-40c2c7b1c5895e93.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-40c2c7b1c5895e93: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

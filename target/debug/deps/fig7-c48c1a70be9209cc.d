@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c48c1a70be9209cc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c48c1a70be9209cc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-74355227252027ef.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-74355227252027ef: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2905d0d1916363cd.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2905d0d1916363cd: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/glimpse-05b008d58968c8d4.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/glimpse-05b008d58968c8d4: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

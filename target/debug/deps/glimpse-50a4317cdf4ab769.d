@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/glimpse-50a4317cdf4ab769.d: crates/cli/src/main.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse-50a4317cdf4ab769.rmeta: crates/cli/src/main.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

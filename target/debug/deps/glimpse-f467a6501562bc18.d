@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/glimpse-f467a6501562bc18.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/glimpse-f467a6501562bc18: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/glimpse_bench-416e9f0cf0897725.d: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libglimpse_bench-416e9f0cf0897725.rlib: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libglimpse_bench-416e9f0cf0897725.rmeta: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e2e.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/glimpse_bench-467f478bf90752a5.d: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/glimpse_bench-467f478bf90752a5: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e2e.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

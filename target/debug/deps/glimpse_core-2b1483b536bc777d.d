@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/glimpse_core-2b1483b536bc777d.d: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libglimpse_core-2b1483b536bc777d.rlib: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libglimpse_core-2b1483b536bc777d.rmeta: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/acquisition.rs:
+crates/core/src/artifacts.rs:
+crates/core/src/blueprint.rs:
+crates/core/src/corpus.rs:
+crates/core/src/explain.rs:
+crates/core/src/multi.rs:
+crates/core/src/prior.rs:
+crates/core/src/sampler.rs:
+crates/core/src/tuner.rs:

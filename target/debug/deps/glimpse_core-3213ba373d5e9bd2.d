@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/glimpse_core-3213ba373d5e9bd2.d: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_core-3213ba373d5e9bd2.rmeta: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/acquisition.rs:
+crates/core/src/artifacts.rs:
+crates/core/src/blueprint.rs:
+crates/core/src/corpus.rs:
+crates/core/src/explain.rs:
+crates/core/src/multi.rs:
+crates/core/src/prior.rs:
+crates/core/src/sampler.rs:
+crates/core/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/glimpse_core-da8e8a2c6db20936.d: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/glimpse_core-da8e8a2c6db20936: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/acquisition.rs:
+crates/core/src/artifacts.rs:
+crates/core/src/blueprint.rs:
+crates/core/src/corpus.rs:
+crates/core/src/explain.rs:
+crates/core/src/multi.rs:
+crates/core/src/prior.rs:
+crates/core/src/sampler.rs:
+crates/core/src/tuner.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/glimpse_mlkit-282d6c8cef1a8365.d: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/debug/deps/glimpse_mlkit-282d6c8cef1a8365: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/gbt.rs:
+crates/mlkit/src/gp.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/mlp.rs:
+crates/mlkit/src/parallel.rs:
+crates/mlkit/src/pca.rs:
+crates/mlkit/src/rank.rs:
+crates/mlkit/src/sa.rs:
+crates/mlkit/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/glimpse_mlkit-629bdcc836399b6b.d: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_mlkit-629bdcc836399b6b.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs Cargo.toml
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/gbt.rs:
+crates/mlkit/src/gp.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/mlp.rs:
+crates/mlkit/src/parallel.rs:
+crates/mlkit/src/pca.rs:
+crates/mlkit/src/rank.rs:
+crates/mlkit/src/sa.rs:
+crates/mlkit/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

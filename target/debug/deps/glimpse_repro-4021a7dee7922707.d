@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/glimpse_repro-4021a7dee7922707.d: src/lib.rs
+
+/root/repo/target/debug/deps/glimpse_repro-4021a7dee7922707: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/glimpse_repro-6ea01137bd4fac45.d: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-6ea01137bd4fac45.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libglimpse_repro-6ea01137bd4fac45.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/glimpse_repro-cc7ab42a4131af6a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_repro-cc7ab42a4131af6a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/glimpse_repro-d54e23fba9cf2412.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_repro-d54e23fba9cf2412.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

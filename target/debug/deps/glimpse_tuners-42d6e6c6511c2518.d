@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/glimpse_tuners-42d6e6c6511c2518.d: crates/tuners/src/lib.rs crates/tuners/src/autotvm.rs crates/tuners/src/budget.rs crates/tuners/src/chameleon.rs crates/tuners/src/context.rs crates/tuners/src/cost_model.rs crates/tuners/src/dgp.rs crates/tuners/src/diagnostics.rs crates/tuners/src/genetic.rs crates/tuners/src/grid.rs crates/tuners/src/history.rs crates/tuners/src/portfolio.rs crates/tuners/src/random.rs crates/tuners/src/replay.rs crates/tuners/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglimpse_tuners-42d6e6c6511c2518.rmeta: crates/tuners/src/lib.rs crates/tuners/src/autotvm.rs crates/tuners/src/budget.rs crates/tuners/src/chameleon.rs crates/tuners/src/context.rs crates/tuners/src/cost_model.rs crates/tuners/src/dgp.rs crates/tuners/src/diagnostics.rs crates/tuners/src/genetic.rs crates/tuners/src/grid.rs crates/tuners/src/history.rs crates/tuners/src/portfolio.rs crates/tuners/src/random.rs crates/tuners/src/replay.rs crates/tuners/src/scheduler.rs Cargo.toml
+
+crates/tuners/src/lib.rs:
+crates/tuners/src/autotvm.rs:
+crates/tuners/src/budget.rs:
+crates/tuners/src/chameleon.rs:
+crates/tuners/src/context.rs:
+crates/tuners/src/cost_model.rs:
+crates/tuners/src/dgp.rs:
+crates/tuners/src/diagnostics.rs:
+crates/tuners/src/genetic.rs:
+crates/tuners/src/grid.rs:
+crates/tuners/src/history.rs:
+crates/tuners/src/portfolio.rs:
+crates/tuners/src/random.rs:
+crates/tuners/src/replay.rs:
+crates/tuners/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

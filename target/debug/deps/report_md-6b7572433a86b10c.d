@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/report_md-6b7572433a86b10c.d: crates/bench/src/bin/report_md.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_md-6b7572433a86b10c.rmeta: crates/bench/src/bin/report_md.rs Cargo.toml
+
+crates/bench/src/bin/report_md.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/report_md-b2d34a06fe16219b.d: crates/bench/src/bin/report_md.rs
+
+/root/repo/target/debug/deps/report_md-b2d34a06fe16219b: crates/bench/src/bin/report_md.rs
+
+crates/bench/src/bin/report_md.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-3e4b0cab6670d68a.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-3e4b0cab6670d68a: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-a53c1121b2d5a264.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-a53c1121b2d5a264.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_throughput-21061100fa8cd064.d: crates/bench/src/bin/search_throughput.rs
+
+/root/repo/target/debug/deps/search_throughput-21061100fa8cd064: crates/bench/src/bin/search_throughput.rs
+
+crates/bench/src/bin/search_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_throughput-5a914a6829a9d542.d: crates/bench/src/bin/search_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_throughput-5a914a6829a9d542.rmeta: crates/bench/src/bin/search_throughput.rs Cargo.toml
+
+crates/bench/src/bin/search_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_throughput-a6ea922d33c02ee7.d: crates/bench/src/bin/search_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_throughput-a6ea922d33c02ee7.rmeta: crates/bench/src/bin/search_throughput.rs Cargo.toml
+
+crates/bench/src/bin/search_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

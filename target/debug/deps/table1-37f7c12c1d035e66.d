@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-37f7c12c1d035e66.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-37f7c12c1d035e66: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2933e7ad2d413b99.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2933e7ad2d413b99: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

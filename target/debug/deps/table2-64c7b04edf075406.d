@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-64c7b04edf075406.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-64c7b04edf075406.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tuning-86a639b15881558c.d: crates/bench/benches/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtuning-86a639b15881558c.rmeta: crates/bench/benches/tuning.rs Cargo.toml
+
+crates/bench/benches/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blueprint_explorer-88562a161d2e00f0.d: examples/blueprint_explorer.rs
+
+/root/repo/target/debug/examples/blueprint_explorer-88562a161d2e00f0: examples/blueprint_explorer.rs
+
+examples/blueprint_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blueprint_explorer-8bbd0c622795fee8.d: examples/blueprint_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblueprint_explorer-8bbd0c622795fee8.rmeta: examples/blueprint_explorer.rs Cargo.toml
+
+examples/blueprint_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_gpu-2efd2e27142d7a8f.d: examples/custom_gpu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_gpu-2efd2e27142d7a8f.rmeta: examples/custom_gpu.rs Cargo.toml
+
+examples/custom_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

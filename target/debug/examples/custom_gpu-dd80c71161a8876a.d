@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_gpu-dd80c71161a8876a.d: examples/custom_gpu.rs
+
+/root/repo/target/debug/examples/custom_gpu-dd80c71161a8876a: examples/custom_gpu.rs
+
+examples/custom_gpu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deploy_model-4c62a76690b0d274.d: examples/deploy_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeploy_model-4c62a76690b0d274.rmeta: examples/deploy_model.rs Cargo.toml
+
+examples/deploy_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

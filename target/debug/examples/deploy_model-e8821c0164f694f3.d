@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_model-e8821c0164f694f3.d: examples/deploy_model.rs
+
+/root/repo/target/debug/examples/deploy_model-e8821c0164f694f3: examples/deploy_model.rs
+
+examples/deploy_model.rs:

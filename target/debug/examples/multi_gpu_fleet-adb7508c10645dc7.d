@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_gpu_fleet-adb7508c10645dc7.d: examples/multi_gpu_fleet.rs
+
+/root/repo/target/debug/examples/multi_gpu_fleet-adb7508c10645dc7: examples/multi_gpu_fleet.rs
+
+examples/multi_gpu_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_gpu_fleet-d67747a4f7b8c7cf.d: examples/multi_gpu_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_gpu_fleet-d67747a4f7b8c7cf.rmeta: examples/multi_gpu_fleet.rs Cargo.toml
+
+examples/multi_gpu_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

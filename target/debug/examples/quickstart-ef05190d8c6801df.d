@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef05190d8c6801df.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef05190d8c6801df: examples/quickstart.rs
+
+examples/quickstart.rs:

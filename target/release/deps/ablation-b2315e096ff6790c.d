@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-b2315e096ff6790c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-b2315e096ff6790c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

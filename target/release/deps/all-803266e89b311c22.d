@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-803266e89b311c22.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-803266e89b311c22: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

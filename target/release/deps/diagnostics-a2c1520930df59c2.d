@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diagnostics-a2c1520930df59c2.d: crates/bench/src/bin/diagnostics.rs
+
+/root/repo/target/release/deps/diagnostics-a2c1520930df59c2: crates/bench/src/bin/diagnostics.rs
+
+crates/bench/src/bin/diagnostics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extrapolation-ea4a4b6ae3aea585.d: crates/bench/src/bin/extrapolation.rs
+
+/root/repo/target/release/deps/extrapolation-ea4a4b6ae3aea585: crates/bench/src/bin/extrapolation.rs
+
+crates/bench/src/bin/extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-46228cf860567aea.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-46228cf860567aea: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

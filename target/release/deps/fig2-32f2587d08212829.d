@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-32f2587d08212829.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-32f2587d08212829: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

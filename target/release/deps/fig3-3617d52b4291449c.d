@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-3617d52b4291449c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-3617d52b4291449c: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

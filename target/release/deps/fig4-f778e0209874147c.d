@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-f778e0209874147c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-f778e0209874147c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-94d56a763aed4558.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-94d56a763aed4558: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

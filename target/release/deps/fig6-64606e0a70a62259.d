@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-64606e0a70a62259.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-64606e0a70a62259: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-a37c2a0601db6635.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-a37c2a0601db6635: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ab0c01552bd16f94.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ab0c01552bd16f94: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-b196ee5c3d838792.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-b196ee5c3d838792: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

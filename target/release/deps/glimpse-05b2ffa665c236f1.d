@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/glimpse-05b2ffa665c236f1.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/glimpse-05b2ffa665c236f1: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

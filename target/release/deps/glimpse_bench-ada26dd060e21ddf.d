@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/glimpse_bench-ada26dd060e21ddf.d: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libglimpse_bench-ada26dd060e21ddf.rlib: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libglimpse_bench-ada26dd060e21ddf.rmeta: crates/bench/src/lib.rs crates/bench/src/e2e.rs crates/bench/src/experiment.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e2e.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/glimpse_core-adb0f5ae0eb6f61d.d: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libglimpse_core-adb0f5ae0eb6f61d.rlib: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libglimpse_core-adb0f5ae0eb6f61d.rmeta: crates/core/src/lib.rs crates/core/src/acquisition.rs crates/core/src/artifacts.rs crates/core/src/blueprint.rs crates/core/src/corpus.rs crates/core/src/explain.rs crates/core/src/multi.rs crates/core/src/prior.rs crates/core/src/sampler.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/acquisition.rs:
+crates/core/src/artifacts.rs:
+crates/core/src/blueprint.rs:
+crates/core/src/corpus.rs:
+crates/core/src/explain.rs:
+crates/core/src/multi.rs:
+crates/core/src/prior.rs:
+crates/core/src/sampler.rs:
+crates/core/src/tuner.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/glimpse_mlkit-d7f3e4534417fdd0.d: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/release/deps/libglimpse_mlkit-d7f3e4534417fdd0.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+/root/repo/target/release/deps/libglimpse_mlkit-d7f3e4534417fdd0.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/gbt.rs crates/mlkit/src/gp.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/linalg.rs crates/mlkit/src/mlp.rs crates/mlkit/src/parallel.rs crates/mlkit/src/pca.rs crates/mlkit/src/rank.rs crates/mlkit/src/sa.rs crates/mlkit/src/stats.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/gbt.rs:
+crates/mlkit/src/gp.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/mlp.rs:
+crates/mlkit/src/parallel.rs:
+crates/mlkit/src/pca.rs:
+crates/mlkit/src/rank.rs:
+crates/mlkit/src/sa.rs:
+crates/mlkit/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/glimpse_repro-1c95d6e6eee4721b.d: src/lib.rs
+
+/root/repo/target/release/deps/libglimpse_repro-1c95d6e6eee4721b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libglimpse_repro-1c95d6e6eee4721b.rmeta: src/lib.rs
+
+src/lib.rs:

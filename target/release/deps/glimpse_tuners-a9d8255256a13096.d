@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/glimpse_tuners-a9d8255256a13096.d: crates/tuners/src/lib.rs crates/tuners/src/autotvm.rs crates/tuners/src/budget.rs crates/tuners/src/chameleon.rs crates/tuners/src/context.rs crates/tuners/src/cost_model.rs crates/tuners/src/dgp.rs crates/tuners/src/diagnostics.rs crates/tuners/src/genetic.rs crates/tuners/src/grid.rs crates/tuners/src/history.rs crates/tuners/src/portfolio.rs crates/tuners/src/random.rs crates/tuners/src/replay.rs crates/tuners/src/scheduler.rs
+
+/root/repo/target/release/deps/libglimpse_tuners-a9d8255256a13096.rlib: crates/tuners/src/lib.rs crates/tuners/src/autotvm.rs crates/tuners/src/budget.rs crates/tuners/src/chameleon.rs crates/tuners/src/context.rs crates/tuners/src/cost_model.rs crates/tuners/src/dgp.rs crates/tuners/src/diagnostics.rs crates/tuners/src/genetic.rs crates/tuners/src/grid.rs crates/tuners/src/history.rs crates/tuners/src/portfolio.rs crates/tuners/src/random.rs crates/tuners/src/replay.rs crates/tuners/src/scheduler.rs
+
+/root/repo/target/release/deps/libglimpse_tuners-a9d8255256a13096.rmeta: crates/tuners/src/lib.rs crates/tuners/src/autotvm.rs crates/tuners/src/budget.rs crates/tuners/src/chameleon.rs crates/tuners/src/context.rs crates/tuners/src/cost_model.rs crates/tuners/src/dgp.rs crates/tuners/src/diagnostics.rs crates/tuners/src/genetic.rs crates/tuners/src/grid.rs crates/tuners/src/history.rs crates/tuners/src/portfolio.rs crates/tuners/src/random.rs crates/tuners/src/replay.rs crates/tuners/src/scheduler.rs
+
+crates/tuners/src/lib.rs:
+crates/tuners/src/autotvm.rs:
+crates/tuners/src/budget.rs:
+crates/tuners/src/chameleon.rs:
+crates/tuners/src/context.rs:
+crates/tuners/src/cost_model.rs:
+crates/tuners/src/dgp.rs:
+crates/tuners/src/diagnostics.rs:
+crates/tuners/src/genetic.rs:
+crates/tuners/src/grid.rs:
+crates/tuners/src/history.rs:
+crates/tuners/src/portfolio.rs:
+crates/tuners/src/random.rs:
+crates/tuners/src/replay.rs:
+crates/tuners/src/scheduler.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/report_md-ba5d7137afa2f2c9.d: crates/bench/src/bin/report_md.rs
+
+/root/repo/target/release/deps/report_md-ba5d7137afa2f2c9: crates/bench/src/bin/report_md.rs
+
+crates/bench/src/bin/report_md.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

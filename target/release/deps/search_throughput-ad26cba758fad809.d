@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_throughput-ad26cba758fad809.d: crates/bench/src/bin/search_throughput.rs
+
+/root/repo/target/release/deps/search_throughput-ad26cba758fad809: crates/bench/src/bin/search_throughput.rs
+
+crates/bench/src/bin/search_throughput.rs:

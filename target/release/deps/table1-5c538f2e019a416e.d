@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-5c538f2e019a416e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-5c538f2e019a416e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

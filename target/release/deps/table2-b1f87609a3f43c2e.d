@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b1f87609a3f43c2e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b1f87609a3f43c2e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -20,7 +20,7 @@ fn artifacts() -> &'static GlimpseArtifacts {
     static CELL: OnceLock<GlimpseArtifacts> = OnceLock::new();
     CELL.get_or_init(|| {
         let gpus = database::training_gpus("RTX 2080 Ti");
-        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42)
+        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42).unwrap()
     })
 }
 

@@ -42,7 +42,7 @@ fn main() {
         .iter()
         .filter(|g| !database::EVALUATION_GPUS.contains(&g.name.as_str()))
         .collect();
-    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::default(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::default(), 42).expect("artifact training");
 
     let a = database::find("RTX 2070").unwrap();
     let b = database::find("RTX 3080").unwrap();
@@ -63,7 +63,7 @@ fn main() {
         let blueprint = artifacts.encode(gpu);
         let prior = artifacts.prior(task.template);
         let mut rng = StdRng::seed_from_u64(5);
-        let prior_batch = prior.sample_initial(&space, &blueprint, 64, &mut rng);
+        let prior_batch = prior.sample_initial(&space, &blueprint, 64, &mut rng).expect("prior matches space");
         let prior_best = prior_batch
             .iter()
             .filter_map(|c| perf.throughput_gflops(&space, c))

@@ -30,7 +30,7 @@ fn main() {
 
     println!("[Blueprint generation]      glimpse_core::BlueprintCodec (PCA, offline)");
     let trainers = database::training_gpus(&target.name);
-    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42).expect("artifact training");
     let blueprint = artifacts.encode(target);
     println!("  -> {blueprint} (leave-one-out: target excluded from fitting)\n");
 

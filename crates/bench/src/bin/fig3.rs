@@ -19,7 +19,7 @@ fn main() {
     println!("(dotted arrows) offline meta-training:");
     println!("  corpus      glimpse_core::corpus::generate  (TenSet stand-in, leave-one-out)");
     println!("  training    GlimpseArtifacts::train_with    (H + acquisition, per template)");
-    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42).expect("artifact training");
     let blueprint = artifacts.encode(target);
     println!("  -> artifacts ready; blueprint {blueprint}\n");
 
@@ -30,7 +30,7 @@ fn main() {
 
     println!("(1) Prior Distribution Generator  glimpse_core::prior::PriorNet");
     let prior = artifacts.prior(space.template());
-    let initial = prior.sample_initial(&space, &blueprint, 8, &mut rng);
+    let initial = prior.sample_initial(&space, &blueprint, 8, &mut rng).expect("prior matches space");
     println!(
         "  H(layer, blueprint) -> {} per-dimension heads; initial batch of {}",
         prior.layout().heads().len(),
@@ -38,7 +38,7 @@ fn main() {
     );
     println!(
         "  entropy of the product prior: {:.3} (1.0 = uniform)\n",
-        prior.prior_entropy(&space, &blueprint)
+        prior.prior_entropy(&space, &blueprint).expect("prior matches space")
     );
 
     println!("(2) Hardware-Aware Exploration    glimpse_core::acquisition::NeuralAcquisition");

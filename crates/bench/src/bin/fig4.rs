@@ -42,7 +42,7 @@ fn main() {
             let (run, outcome) = run_task(kind, gpu, task, Some(&artifacts), &store, BudgetMode::Measurements(PROBES), 77);
             // Sorted-descending GFLOPS of the measured configs (invalid = 0).
             let mut values: Vec<f64> = outcome.history.trials.iter().map(|t| t.gflops.unwrap_or(0.0)).collect();
-            values.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            values.sort_by(|a, b| b.total_cmp(a));
             curves.push((kind, values, run.oracle_gflops));
         }
         let max = curves.iter().flat_map(|(_, v, _)| v.iter().copied()).fold(0.0f64, f64::max);

@@ -33,6 +33,9 @@ use std::time::Instant;
 
 /// Wall-clock seconds of the fastest of `reps` runs of `f` (best-of to
 /// shave scheduler noise; the first run warms caches).
+// Benchmark harness: this binary's whole purpose is timing, so the D1
+// wall-clock ban does not apply (crates/bench is the sanctioned home).
+#[allow(clippy::disallowed_methods)]
 fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;

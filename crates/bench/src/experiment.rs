@@ -169,7 +169,7 @@ pub fn cached_artifacts(target: &GpuSpec, seed: u64) -> GlimpseArtifacts {
         }
     }
     eprintln!("[glimpse-bench] training leave-one-out artifacts for {} ...", target.name);
-    let artifacts = GlimpseArtifacts::train_leave_one_out(target, seed);
+    let artifacts = GlimpseArtifacts::train_leave_one_out(target, seed).expect("leave-one-out artifact training");
     if let Ok(text) = serde_json::to_string(&artifacts) {
         let _ = std::fs::write(&path, text);
     }
@@ -187,7 +187,7 @@ pub fn cached_artifacts_with(target: &GpuSpec, options: TrainingOptions, seed: u
     }
     eprintln!("[glimpse-bench] training artifacts ({tag}) for {} ...", target.name);
     let gpus = database::training_gpus(&target.name);
-    let artifacts = GlimpseArtifacts::train_with(&gpus, options, seed);
+    let artifacts = GlimpseArtifacts::train_with(&gpus, options, seed).expect("artifact training");
     if let Ok(text) = serde_json::to_string(&artifacts) {
         let _ = std::fs::write(&path, text);
     }
@@ -199,7 +199,7 @@ pub fn cached_artifacts_with(target: &GpuSpec, options: TrainingOptions, seed: u
 pub fn oracle_best_gflops(gpu: &GpuSpec, task: &Task, seed: u64) -> f64 {
     let space = templates::space_for_task(task);
     let measurer = Measurer::new(gpu.clone(), seed);
-    measurer.oracle_best(&space, ORACLE_SAMPLES, seed).1
+    measurer.oracle_best(&space, ORACLE_SAMPLES, seed).map_or(0.0, |(_, g)| g)
 }
 
 /// Runs one tuner on one task.
@@ -216,7 +216,7 @@ pub fn run_task(
 ) -> (TaskRun, TuningOutcome) {
     let space = templates::space_for_task(task);
     let mut measurer = Measurer::new(gpu.clone(), seed ^ 0x5EED);
-    let oracle = measurer.oracle_best(&space, ORACLE_SAMPLES, seed ^ 0x0AC1E).1;
+    let oracle = measurer.oracle_best(&space, ORACLE_SAMPLES, seed ^ 0x0AC1E).map_or(0.0, |(_, g)| g);
     let budget = match mode {
         BudgetMode::ToQuality { frac, cap } => Budget::measurements(cap).with_target(frac * oracle),
         BudgetMode::GpuSeconds(s) => Budget::gpu_seconds(s),

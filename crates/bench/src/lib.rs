@@ -11,6 +11,8 @@
 //! Blueprint encode, prior sampling, the simulator itself, and the
 //! surrogate/SA machinery.
 
+#![forbid(unsafe_code)]
+
 pub mod e2e;
 pub mod experiment;
 pub mod report;

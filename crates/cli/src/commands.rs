@@ -117,7 +117,7 @@ pub fn blueprint(args: &[String]) -> Result<(), String> {
     }
     // Prior sensitivity via a quickly trained artifact set.
     println!("\ntraining fast artifacts for sensitivity analysis ...");
-    let artifacts = GlimpseArtifacts::train_with(&population, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&population, TrainingOptions::fast(), 42).map_err(|e| e.to_string())?;
     let space = templates::conv2d_direct_space(&glimpse_tensor_prog::Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
     let report = explain::explain(
         &artifacts.codec,
@@ -282,7 +282,7 @@ fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtif
         if options.full_training { ", full size" } else { ", fast preset" }
     );
     let population = database::training_gpus(&gpu.name);
-    let artifacts = GlimpseArtifacts::train_with(&population, training, 42);
+    let artifacts = GlimpseArtifacts::train_with(&population, training, 42).map_err(|e| e.to_string())?;
     if let Some(path) = &options.artifacts_path {
         artifacts.save(path).map_err(|e| e.to_string())?;
         eprintln!("saved artifacts to {}", path.display());

@@ -18,6 +18,8 @@
 //! glimpse experiment <model> [opts] tune one task across a device fleet
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod commands;
 
 use std::process::ExitCode;

@@ -8,14 +8,55 @@
 //! Exploration module."
 
 use crate::acquisition::NeuralAcquisition;
-use crate::blueprint::{Blueprint, BlueprintCodec};
+use crate::blueprint::{Blueprint, BlueprintCodec, CodecError};
 use crate::corpus::{self, CorpusEntry};
-use crate::prior::PriorNet;
+use crate::prior::{PriorError, PriorNet};
 use glimpse_gpu_spec::{database, GpuSpec};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::templates;
 use glimpse_tensor_prog::{Conv2dSpec, DenseSpec, TemplateKind};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from the offline training pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactsError {
+    /// The GPU population is too small to fit a Blueprint codec.
+    PopulationTooSmall {
+        /// Number of GPUs supplied.
+        got: usize,
+    },
+    /// Fitting the Blueprint codec failed.
+    Codec(CodecError),
+    /// Meta-training a prior generator failed.
+    Prior(PriorError),
+}
+
+impl fmt::Display for ArtifactsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactsError::PopulationTooSmall { got } => {
+                write!(f, "need at least two training GPUs, got {got}")
+            }
+            ArtifactsError::Codec(e) => write!(f, "artifact training: {e}"),
+            ArtifactsError::Prior(e) => write!(f, "artifact training: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactsError {}
+
+impl From<CodecError> for ArtifactsError {
+    fn from(e: CodecError) -> Self {
+        ArtifactsError::Codec(e)
+    }
+}
+
+impl From<PriorError> for ArtifactsError {
+    fn from(e: PriorError) -> Self {
+        ArtifactsError::Prior(e)
+    }
+}
 
 /// Knobs of the offline training pass (sized-down variants keep tests fast).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,24 +116,30 @@ impl GlimpseArtifacts {
     /// Trains artifacts on the whole database **except** `target` — the
     /// leave-one-out protocol of the paper's evaluation — using default
     /// (full-size) options.
-    #[must_use]
-    pub fn train_leave_one_out(target: &GpuSpec, seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactsError`] when the remaining population is too small
+    /// or meta-training fails.
+    pub fn train_leave_one_out(target: &GpuSpec, seed: u64) -> Result<Self, ArtifactsError> {
         let gpus = database::training_gpus(&target.name);
         Self::train_with(&gpus, TrainingOptions::default(), seed)
     }
 
     /// Trains artifacts on an explicit GPU population.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `gpus` has fewer than two entries.
-    #[must_use]
-    pub fn train_with(gpus: &[&GpuSpec], mut options: TrainingOptions, seed: u64) -> Self {
-        assert!(gpus.len() >= 2, "need at least two training GPUs");
+    /// Returns [`ArtifactsError::PopulationTooSmall`] for fewer than two
+    /// GPUs, and propagates codec-fit and prior-training failures.
+    pub fn train_with(gpus: &[&GpuSpec], mut options: TrainingOptions, seed: u64) -> Result<Self, ArtifactsError> {
+        if gpus.len() < 2 {
+            return Err(ArtifactsError::PopulationTooSmall { got: gpus.len() });
+        }
         if options.blueprint_dim == 0 {
             options.blueprint_dim = BlueprintCodec::recommended_components(gpus);
         }
-        let codec = BlueprintCodec::fit(gpus, options.blueprint_dim).expect("codec fit");
+        let codec = BlueprintCodec::fit(gpus, options.blueprint_dim)?;
         let tasks = corpus::training_tasks();
         let entries = corpus::generate(gpus, &tasks, options.samples_per_pair, seed);
         let refs: Vec<&CorpusEntry> = entries.iter().collect();
@@ -106,11 +153,12 @@ impl GlimpseArtifacts {
 
         let kinds = TemplateKind::ALL;
         let mut rng = child_rng(seed, 0x617);
-        let priors = std::array::from_fn::<PriorNet, 3, _>(|i| {
+        let mut make_prior = |i: usize| -> Result<PriorNet, PriorError> {
             let mut net = PriorNet::new(kinds[i], layouts[i], options.blueprint_dim, &mut rng);
-            net.train(&refs, encode, options.quantile, options.prior_epochs, 3e-3);
-            net
-        });
+            net.train(&refs, encode, options.quantile, options.prior_epochs, 3e-3)?;
+            Ok(net)
+        };
+        let priors = [make_prior(0)?, make_prior(1)?, make_prior(2)?];
         let mut rng = child_rng(seed, 0xACC);
         let acquisitions = std::array::from_fn::<NeuralAcquisition, 3, _>(|i| {
             let mut net = NeuralAcquisition::new(kinds[i], options.blueprint_dim, &mut rng);
@@ -118,11 +166,11 @@ impl GlimpseArtifacts {
             net
         });
 
-        Self {
+        Ok(Self {
             codec,
             priors,
             acquisitions,
-        }
+        })
     }
 
     /// Persists the artifacts as JSON.
@@ -172,7 +220,11 @@ impl GlimpseArtifacts {
 }
 
 fn template_index(template: TemplateKind) -> usize {
-    TemplateKind::ALL.iter().position(|k| *k == template).expect("template in ALL")
+    match template {
+        TemplateKind::Conv2dDirect => 0,
+        TemplateKind::Conv2dWinograd => 1,
+        TemplateKind::Dense => 2,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +237,14 @@ mod tests {
             database::find("RTX 2060").unwrap(),
             database::find("RTX 3070").unwrap(),
         ];
-        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 9)
+        GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 9).unwrap()
+    }
+
+    #[test]
+    fn training_rejects_tiny_population() {
+        let gpus = vec![database::find("GTX 1080").unwrap()];
+        let err = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 9).unwrap_err();
+        assert_eq!(err, ArtifactsError::PopulationTooSmall { got: 1 });
     }
 
     #[test]

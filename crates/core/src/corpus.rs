@@ -47,7 +47,7 @@ impl CorpusEntry {
     #[must_use]
     pub fn top_quantile(&self, quantile: f64) -> Vec<&CorpusSample> {
         let mut valid: Vec<&CorpusSample> = self.samples.iter().filter(|s| s.gflops > 0.0).collect();
-        valid.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).expect("finite gflops"));
+        valid.sort_by(|a, b| b.gflops.total_cmp(&a.gflops));
         let keep = ((valid.len() as f64) * quantile).ceil().max(1.0) as usize;
         valid.truncate(keep);
         valid
@@ -59,7 +59,7 @@ impl CorpusEntry {
         self.samples
             .iter()
             .filter(|s| s.gflops > 0.0)
-            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).expect("finite gflops"))
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
     }
 }
 

@@ -41,7 +41,7 @@ impl BlueprintReport {
     #[must_use]
     pub fn ranked(&self) -> Vec<&DimensionReport> {
         let mut v: Vec<&DimensionReport> = self.dimensions.iter().collect();
-        v.sort_by(|a, b| b.prior_sensitivity.partial_cmp(&a.prior_sensitivity).expect("finite sensitivity"));
+        v.sort_by(|a, b| b.prior_sensitivity.total_cmp(&a.prior_sensitivity));
         v
     }
 }
@@ -84,7 +84,7 @@ pub fn explain(codec: &BlueprintCodec, prior: &PriorNet, space: &SearchSpace, bl
                     ((*name).to_owned(), (b - a).abs() / scale)
                 })
                 .collect();
-            loadings.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite loading"));
+            loadings.sort_by(|a, b| b.1.total_cmp(&a.1));
             loadings.truncate(3);
             DimensionReport {
                 dim,
@@ -117,7 +117,7 @@ mod tests {
                 database::find("RTX 3070").unwrap(),
                 database::find("RTX 3080").unwrap(),
             ];
-            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 33)
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 33).unwrap()
         })
     }
 

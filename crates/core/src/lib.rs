@@ -34,7 +34,7 @@
 //! use glimpse_tuners::{Budget, TuneContext, Tuner};
 //!
 //! let target = database::find("RTX 2080 Ti").unwrap();
-//! let artifacts = GlimpseArtifacts::train_leave_one_out(target, 42);
+//! let artifacts = GlimpseArtifacts::train_leave_one_out(target, 42).unwrap();
 //! let model = models::resnet18();
 //! let task = &model.tasks()[1];
 //! let space = templates::space_for_task(task);
@@ -43,6 +43,8 @@
 //! let outcome = GlimpseTuner::new(&artifacts, target).tune(ctx);
 //! println!("best: {:.0} GFLOPS", outcome.best_gflops);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod acquisition;
 pub mod artifacts;

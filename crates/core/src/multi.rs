@@ -204,7 +204,7 @@ mod tests {
                 database::find("RTX 2060").unwrap(),
                 database::find("RTX 3070").unwrap(),
             ];
-            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 17)
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 17).unwrap()
         })
     }
 

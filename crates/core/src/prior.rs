@@ -28,9 +28,42 @@ use glimpse_space::{Config, SearchSpace};
 use glimpse_tensor_prog::{OpSpec, TemplateKind};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Number of log₂-factor classes per split-part head (factor 1 … 2¹⁰).
 pub const LOG2_CLASSES: usize = 11;
+
+/// Error from applying a prior to a space it was not laid out for.
+///
+/// Artifacts are deserialized from disk ([`crate::artifacts::GlimpseArtifacts::load`]),
+/// so a head layout that disagrees with the live search space is a
+/// load-path integrity failure, not a programming bug — rule P1 requires it
+/// to propagate as a typed error instead of panicking mid-search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorError {
+    /// A split-part head points at a knob that is not a split knob.
+    HeadMismatch {
+        /// Knob index the head expected to be a split knob.
+        knob: usize,
+        /// Part index within the expected split.
+        part: usize,
+    },
+}
+
+impl fmt::Display for PriorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorError::HeadMismatch { knob, part } => {
+                write!(
+                    f,
+                    "prior head layout mismatch: knob {knob} part {part} is not a split knob in this space"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PriorError {}
 
 /// One categorical head of `H`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,19 +140,24 @@ impl HeadLayout {
     }
 
     /// Class labels of a configuration, one per head.
-    #[must_use]
-    pub fn labels(&self, space: &SearchSpace, config: &Config) -> Vec<usize> {
-        self.heads
-            .iter()
-            .map(|head| match head {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when this layout does not
+    /// describe `space` (e.g. artifacts loaded for a different template).
+    pub fn labels(&self, space: &SearchSpace, config: &Config) -> Result<Vec<usize>, PriorError> {
+        let mut labels = Vec::with_capacity(self.heads.len());
+        for head in &self.heads {
+            labels.push(match head {
                 Head::SplitPart { knob, part } => {
                     let value = space.knobs()[*knob].value(config.index(*knob));
-                    let factor = value.as_split().expect("split head on split knob")[*part];
-                    log2_class(factor)
+                    let parts = value.as_split().ok_or(PriorError::HeadMismatch { knob: *knob, part: *part })?;
+                    log2_class(parts[*part])
                 }
                 Head::Choice { knob, .. } => config.index(*knob),
-            })
-            .collect()
+            });
+        }
+        Ok(labels)
     }
 
     /// Splits a flat logit vector into per-head softmax distributions.
@@ -138,15 +176,19 @@ impl HeadLayout {
 
     /// Per-knob choice weights for a concrete space: each choice's weight is
     /// the product of its per-head probabilities (Π f_k,* of §3.1).
-    #[must_use]
-    pub fn choice_weights(&self, space: &SearchSpace, probs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when this layout does not
+    /// describe `space`.
+    pub fn choice_weights(&self, space: &SearchSpace, probs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, PriorError> {
         let mut weights: Vec<Vec<f64>> = space.knobs().iter().map(|k| vec![1.0; k.cardinality()]).collect();
         for (head, p) in self.heads.iter().zip(probs) {
             match head {
                 Head::SplitPart { knob, part } => {
                     for (ci, choice) in space.knobs()[*knob].choices().iter().enumerate() {
-                        let factor = choice.as_split().expect("split knob")[*part];
-                        weights[*knob][ci] *= p[log2_class(factor)];
+                        let parts = choice.as_split().ok_or(PriorError::HeadMismatch { knob: *knob, part: *part })?;
+                        weights[*knob][ci] *= p[log2_class(parts[*part])];
                     }
                 }
                 Head::Choice { knob, .. } => {
@@ -156,7 +198,7 @@ impl HeadLayout {
                 }
             }
         }
-        weights
+        Ok(weights)
     }
 }
 
@@ -217,17 +259,31 @@ impl PriorNet {
     }
 
     /// Per-knob choice weights over a concrete space.
-    #[must_use]
-    pub fn prior_weights(&self, space: &SearchSpace, blueprint: &Blueprint) -> Vec<Vec<f64>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when the loaded layout does not
+    /// describe `space`.
+    pub fn prior_weights(&self, space: &SearchSpace, blueprint: &Blueprint) -> Result<Vec<Vec<f64>>, PriorError> {
         let probs = self.head_probs(space.op(), blueprint);
         self.layout.choice_weights(space, &probs)
     }
 
     /// Draws the initial batch of §3.1: the argmax combination first, then
     /// distinct weighted samples from the per-dimension product prior.
-    #[must_use]
-    pub fn sample_initial<R: Rng + ?Sized>(&self, space: &SearchSpace, blueprint: &Blueprint, n: usize, rng: &mut R) -> Vec<Config> {
-        let weights = self.prior_weights(space, blueprint);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when the loaded layout does not
+    /// describe `space`.
+    pub fn sample_initial<R: Rng + ?Sized>(
+        &self,
+        space: &SearchSpace,
+        blueprint: &Blueprint,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Config>, PriorError> {
+        let weights = self.prior_weights(space, blueprint)?;
         let mut out: Vec<Config> = Vec::with_capacity(n);
         let argmax_cfg = Config::new(weights.iter().map(|w| argmax(w)).collect());
         out.push(argmax_cfg);
@@ -242,22 +298,26 @@ impl PriorNet {
         while out.len() < n {
             out.push(space.sample_uniform(rng));
         }
-        out
+        Ok(out)
     }
 
     /// Deterministically enumerates the `k` highest-weight configurations
     /// of the product prior (beam search over knobs in layout order) — the
     /// literal "enumerates combinations of the argmax(f_k,*), weighted by
     /// Π f_k,*" of §3.1.
-    #[must_use]
-    pub fn top_configs(&self, space: &SearchSpace, blueprint: &Blueprint, k: usize) -> Vec<Config> {
-        let weights = self.prior_weights(space, blueprint);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when the loaded layout does not
+    /// describe `space`.
+    pub fn top_configs(&self, space: &SearchSpace, blueprint: &Blueprint, k: usize) -> Result<Vec<Config>, PriorError> {
+        let weights = self.prior_weights(space, blueprint)?;
         // Beam over partial index prefixes, scored by log-weight sums.
         let mut beam: Vec<(Vec<usize>, f64)> = vec![(Vec::new(), 0.0)];
         for knob_weights in &weights {
             // Rank this knob's choices once, keep the best few per prefix.
             let mut ranked: Vec<(usize, f64)> = knob_weights.iter().copied().enumerate().collect();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             ranked.truncate(k.max(1));
             let mut next = Vec::with_capacity(beam.len() * ranked.len());
             for (prefix, score) in &beam {
@@ -267,19 +327,23 @@ impl PriorNet {
                     next.push((indices, score + w.max(1e-300).ln()));
                 }
             }
-            next.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+            next.sort_by(|a, b| b.1.total_cmp(&a.1));
             next.truncate(k.max(1));
             beam = next;
         }
-        beam.into_iter().map(|(indices, _)| Config::new(indices)).collect()
+        Ok(beam.into_iter().map(|(indices, _)| Config::new(indices)).collect())
     }
 
     /// Mean normalized entropy of the prior's per-knob distributions over a
     /// space, in `[0, 1]` (1 = uniform). A trained prior on a familiar
     /// hardware family should be visibly below 1.
-    #[must_use]
-    pub fn prior_entropy(&self, space: &SearchSpace, blueprint: &Blueprint) -> f64 {
-        let weights = self.prior_weights(space, blueprint);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when the loaded layout does not
+    /// describe `space`.
+    pub fn prior_entropy(&self, space: &SearchSpace, blueprint: &Blueprint) -> Result<f64, PriorError> {
+        let weights = self.prior_weights(space, blueprint)?;
         let mut total = 0.0;
         let mut counted = 0usize;
         for w in &weights {
@@ -304,7 +368,7 @@ impl PriorNet {
             total += h / (w.len() as f64).ln();
             counted += 1;
         }
-        total / counted.max(1) as f64
+        Ok(total / counted.max(1) as f64)
     }
 
     /// Meta-trains `H` on corpus entries of this template. For each
@@ -313,7 +377,12 @@ impl PriorNet {
     /// minimizes cross-entropy to those targets.
     ///
     /// Entries whose GPU is missing from `encode` are skipped.
-    pub fn train<F>(&mut self, entries: &[&CorpusEntry], encode: F, quantile: f64, epochs: usize, lr: f64)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when an entry's space disagrees
+    /// with this generator's head layout.
+    pub fn train<F>(&mut self, entries: &[&CorpusEntry], encode: F, quantile: f64, epochs: usize, lr: f64) -> Result<(), PriorError>
     where
         F: Fn(&str) -> Option<Blueprint>,
     {
@@ -332,7 +401,7 @@ impl PriorNet {
             }
             let mut dist: Vec<Vec<f64>> = self.layout.heads().iter().map(|h| vec![0.0; h.classes()]).collect();
             for sample in &top {
-                for (h, label) in self.layout.labels(&space, &sample.config).into_iter().enumerate() {
+                for (h, label) in self.layout.labels(&space, &sample.config)?.into_iter().enumerate() {
                     dist[h][label] += 1.0 / top.len() as f64;
                 }
             }
@@ -340,7 +409,7 @@ impl PriorNet {
             targets.push(dist);
         }
         if xs.is_empty() {
-            return;
+            return Ok(());
         }
         for _ in 0..epochs {
             let grads: Vec<Vec<f64>> = xs
@@ -359,12 +428,17 @@ impl PriorNet {
                 .collect();
             self.mlp.train_with_output_grads(&xs, &grads, lr);
         }
+        Ok(())
     }
 
     /// Mean cross-entropy of the prior against the top-quantile distribution
     /// of held-out entries (diagnostic).
-    #[must_use]
-    pub fn evaluate_ce<F>(&self, entries: &[&CorpusEntry], encode: F, quantile: f64) -> f64
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PriorError::HeadMismatch`] when an entry's space disagrees
+    /// with this generator's head layout.
+    pub fn evaluate_ce<F>(&self, entries: &[&CorpusEntry], encode: F, quantile: f64) -> Result<f64, PriorError>
     where
         F: Fn(&str) -> Option<Blueprint>,
     {
@@ -378,13 +452,13 @@ impl PriorNet {
             let space = entry.space();
             let probs = self.head_probs(&entry.task.op, &blueprint);
             for sample in entry.top_quantile(quantile) {
-                for (h, label) in self.layout.labels(&space, &sample.config).into_iter().enumerate() {
+                for (h, label) in self.layout.labels(&space, &sample.config)?.into_iter().enumerate() {
                     total -= probs[h][label].max(1e-12).ln();
                     count += 1;
                 }
             }
         }
-        total / count.max(1) as f64
+        Ok(total / count.max(1) as f64)
     }
 }
 
@@ -417,7 +491,7 @@ mod tests {
         let layout = HeadLayout::from_space(&space);
         let mut rng = StdRng::seed_from_u64(1);
         let config = space.sample_uniform(&mut rng);
-        let labels = layout.labels(&space, &config);
+        let labels = layout.labels(&space, &config).unwrap();
         assert_eq!(labels.len(), layout.heads().len());
         for (head, label) in layout.heads().iter().zip(&labels) {
             assert!(*label < head.classes());
@@ -440,7 +514,7 @@ mod tests {
         let bp = codec.encode(database::find("Titan Xp").unwrap());
         let mut rng = StdRng::seed_from_u64(2);
         let net = PriorNet::new(TemplateKind::Conv2dDirect, &space, 4, &mut rng);
-        let batch = net.sample_initial(&space, &bp, 16, &mut rng);
+        let batch = net.sample_initial(&space, &bp, 16, &mut rng).unwrap();
         assert_eq!(batch.len(), 16);
         for config in &batch {
             for (i, knob) in space.knobs().iter().enumerate() {
@@ -468,9 +542,9 @@ mod tests {
         let encode = |name: &str| database::find(name).map(|g| codec.encode(g));
         let mut rng = StdRng::seed_from_u64(4);
         let mut net = PriorNet::new(TemplateKind::Conv2dDirect, &refs[0].space(), 4, &mut rng);
-        let before = net.evaluate_ce(&refs, encode, 0.1);
-        net.train(&refs, encode, 0.1, 150, 3e-3);
-        let after = net.evaluate_ce(&refs, encode, 0.1);
+        let before = net.evaluate_ce(&refs, encode, 0.1).unwrap();
+        net.train(&refs, encode, 0.1, 150, 3e-3).unwrap();
+        let after = net.evaluate_ce(&refs, encode, 0.1).unwrap();
         assert!(after < before, "CE {before} -> {after}");
     }
 
@@ -482,8 +556,8 @@ mod tests {
         let bp = codec.encode(database::find("RTX 3090").unwrap());
         let mut rng = StdRng::seed_from_u64(5);
         let net = PriorNet::new(TemplateKind::Conv2dDirect, &space, 4, &mut rng);
-        let weights = net.prior_weights(&space, &bp);
-        let batch = net.sample_initial(&space, &bp, 8, &mut rng);
+        let weights = net.prior_weights(&space, &bp).unwrap();
+        let batch = net.sample_initial(&space, &bp, 8, &mut rng).unwrap();
         for (i, w) in weights.iter().enumerate() {
             assert_eq!(batch[0].index(i), argmax(w));
         }
@@ -497,9 +571,9 @@ mod tests {
         let bp = codec.encode(database::find("GTX 1080").unwrap());
         let mut rng = StdRng::seed_from_u64(8);
         let net = PriorNet::new(TemplateKind::Conv2dDirect, &space, 4, &mut rng);
-        let top = net.top_configs(&space, &bp, 8);
+        let top = net.top_configs(&space, &bp, 8).unwrap();
         assert_eq!(top.len(), 8);
-        let weights = net.prior_weights(&space, &bp);
+        let weights = net.prior_weights(&space, &bp).unwrap();
         for (i, w) in weights.iter().enumerate() {
             assert_eq!(top[0].index(i), argmax(w), "beam head must be the argmax combo");
         }
@@ -531,10 +605,10 @@ mod tests {
         let space = refs[0].space();
         let mut rng = StdRng::seed_from_u64(10);
         let mut net = PriorNet::new(TemplateKind::Conv2dDirect, &space, 4, &mut rng);
-        let before = net.prior_entropy(&space, &bp);
+        let before = net.prior_entropy(&space, &bp).unwrap();
         assert!(before > 0.0 && before <= 1.0);
-        net.train(&refs, encode, 0.1, 150, 3e-3);
-        let after = net.prior_entropy(&space, &bp);
+        net.train(&refs, encode, 0.1, 150, 3e-3).unwrap();
+        let after = net.prior_entropy(&space, &bp).unwrap();
         // Training matches the (soft) empirical top-config distribution, so
         // entropy need not fall monotonically — but the trained prior must
         // stay normalized and visibly non-uniform.

@@ -118,11 +118,17 @@ impl Tuner for GlimpseTuner<'_> {
         let prior = self.artifacts.prior(template);
         let acquisition = self.artifacts.acquisition(template);
         let total_budget = ctx.budget.max_measurements.max(1);
+        // Validate the (disk-loaded) prior against the live space once; a
+        // layout mismatch degrades to uniform sampling instead of panicking
+        // mid-search.
+        let use_prior = self.config.use_prior && prior.prior_weights(ctx.space, &self.blueprint).is_ok();
 
         // Initial batch from the prior distributions (Algorithm 1, line 1),
         // filtered by the hardware-aware sampler.
-        let initial: Vec<Config> = if self.config.use_prior {
-            let raw = prior.sample_initial(ctx.space, &self.blueprint, self.config.n_init * 3, &mut rng);
+        let initial: Vec<Config> = if use_prior {
+            let raw = prior
+                .sample_initial(ctx.space, &self.blueprint, self.config.n_init * 3, &mut rng)
+                .unwrap_or_default();
             let mut filtered = if self.config.use_sampler {
                 self.sampler.filter(ctx.space, raw)
             } else {
@@ -132,7 +138,7 @@ impl Tuner for GlimpseTuner<'_> {
             let mut attempts = 0;
             while filtered.len() < self.config.n_init && attempts < 200 {
                 attempts += 1;
-                let extra = prior.sample_initial(ctx.space, &self.blueprint, 4, &mut rng);
+                let extra = prior.sample_initial(ctx.space, &self.blueprint, 4, &mut rng).unwrap_or_default();
                 for config in extra {
                     if filtered.len() < self.config.n_init
                         && !filtered.contains(&config)
@@ -156,10 +162,14 @@ impl Tuner for GlimpseTuner<'_> {
             // Chain starts: incumbents + fresh prior samples (the prior keeps
             // proposing plausible regions even mid-run).
             let mut ranked = ctx.history().valid_pairs();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut starts: Vec<Config> = ranked.iter().map(|(c, _)| (*c).clone()).take(self.config.sa_chains / 2).collect();
-            if self.config.use_prior {
-                starts.extend(prior.sample_initial(ctx.space, &self.blueprint, self.config.sa_chains - starts.len(), &mut rng));
+            if use_prior {
+                starts.extend(
+                    prior
+                        .sample_initial(ctx.space, &self.blueprint, self.config.sa_chains - starts.len(), &mut rng)
+                        .unwrap_or_default(),
+                );
             }
             while starts.len() < self.config.sa_chains {
                 starts.push(ctx.space.sample_uniform(&mut rng));
@@ -218,8 +228,12 @@ impl Tuner for GlimpseTuner<'_> {
             let mut attempts = 0;
             while batch.len() < self.config.batch_size && attempts < 300 {
                 attempts += 1;
-                let config = if self.config.use_prior {
-                    prior.sample_initial(space, blueprint, 2, &mut rng).pop().expect("nonempty")
+                let config = if use_prior {
+                    prior
+                        .sample_initial(space, blueprint, 2, &mut rng)
+                        .ok()
+                        .and_then(|mut batch| batch.pop())
+                        .unwrap_or_else(|| space.sample_uniform(&mut rng))
                 } else {
                     space.sample_uniform(&mut rng)
                 };
@@ -261,7 +275,7 @@ mod tests {
                 database::find("RTX 3070").unwrap(),
                 database::find("RTX 3080").unwrap(),
             ];
-            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 21)
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 21).unwrap()
         })
     }
 

@@ -25,6 +25,9 @@
 
 use crate::generation::Generation;
 use crate::spec::GpuSpec;
+// String-keyed scratch map inside a parser; never iterated for output, so
+// hash-order randomization cannot leak into results (D2 does not apply).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::fmt;
 
@@ -74,6 +77,7 @@ impl std::error::Error for ParseSheetError {}
 /// Returns [`ParseSheetError`] for malformed lines, missing/duplicate keys,
 /// unknown generations, or a sheet that fails [`GpuSpec::validate`].
 pub fn parse_sheet(text: &str) -> Result<GpuSpec, ParseSheetError> {
+    #[allow(clippy::disallowed_types)]
     let mut fields: HashMap<String, String> = HashMap::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();

@@ -20,6 +20,8 @@
 //! assert_eq!(features.len(), glimpse_gpu_spec::features::FEATURE_COUNT);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod database;
 pub mod datasheet;
 pub mod features;

@@ -1,0 +1,44 @@
+//! The workspace's single allowlisted wall-clock access point (rule D1).
+//!
+//! Search-path code must never read wall time — the simulator owns the only
+//! clock that may influence tuning decisions. Harnesses that *report* how
+//! long an analysis or benchmark took go through this module, which keeps
+//! `Instant::now` greppable in exactly one reviewed place (plus
+//! `crates/bench`, which is exempt wholesale).
+
+use std::time::Instant;
+
+/// A started stopwatch for harness-level wall-time reporting.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    #[must_use]
+    #[allow(clippy::disallowed_methods)] // the one sanctioned wall-clock read
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

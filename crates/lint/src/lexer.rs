@@ -1,0 +1,339 @@
+//! A small self-contained Rust lexer — just enough to classify every byte of
+//! a source file as *code*, *comment*, or *literal*.
+//!
+//! The rule engine never wants to flag a `thread_rng` that only appears in a
+//! doc comment or an error-message string, so rules run over the [`Lexed`]
+//! `masked` text, where comment and string-literal bytes are blanked to
+//! spaces (newlines preserved, so byte offsets and line numbers stay
+//! aligned with the original source). Comments are kept separately because
+//! the `// lint:allow(<rule>) reason` directives live there.
+//!
+//! Handled literal forms: line comments, nested block comments, string
+//! literals with escapes, byte/C strings (`b"…"`, `c"…"`), raw strings with
+//! any hash depth (`r#"…"#`, `br##"…"##`, `cr"…"`), char and byte-char
+//! literals (`'x'`, `'\u{1F600}'`, `b'\n'`), and the char-vs-lifetime
+//! ambiguity (`'a'` is a literal, `'a` in `&'a str` is code). Raw
+//! identifiers (`r#fn`) are correctly left as code.
+
+/// One comment (line `//…` or block `/*…*/`), with its 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first byte.
+    pub line: usize,
+    /// The comment text including its delimiters.
+    pub text: String,
+}
+
+/// The classification result of one source file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Source with comment and literal bytes blanked to spaces.
+    pub masked: String,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes a source file into masked code plus its comments.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut masked = b.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: src[start..i].to_owned(),
+            });
+            mask(&mut masked, start, i);
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: src[start..i].to_owned(),
+            });
+            mask(&mut masked, start, i);
+            continue;
+        }
+        // Raw / prefixed strings: r"…", r#"…"#, b"…", br#"…"#, c"…", cr"…".
+        if matches!(c, b'r' | b'b' | b'c') && !prev_is_ident(b, i) {
+            if let Some(end) = prefixed_string_end(b, i) {
+                line += count_newlines(&b[i..end]);
+                mask(&mut masked, i, end);
+                i = end;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let end = escaped_string_end(b, i);
+            line += count_newlines(&b[i..end]);
+            mask(&mut masked, i, end);
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some(end) = char_literal_end(b, i) {
+                mask(&mut masked, i, end);
+                i = end;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    let masked = String::from_utf8(masked).unwrap_or_else(|_| src.to_owned());
+    Lexed { masked, comments }
+}
+
+/// Blanks `[start, end)` to spaces, preserving newlines.
+fn mask(bytes: &mut [u8], start: usize, end: usize) {
+    let end = end.min(bytes.len());
+    for byte in &mut bytes[start..end] {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+fn count_newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&c| c == b'\n').count()
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(b[i - 1])
+}
+
+/// Whether a byte can be part of an identifier.
+#[must_use]
+pub fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// End (exclusive) of a string starting at `b[i] == b'"'`, honoring escapes.
+fn escaped_string_end(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// End of a raw or prefixed string whose first byte (`r`/`b`/`c`) is at `i`,
+/// or `None` if this is not actually a string (e.g. a plain identifier or a
+/// raw identifier like `r#fn`).
+fn prefixed_string_end(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    match b[j] {
+        b'r' => {
+            raw = true;
+            j += 1;
+        }
+        b'b' | b'c' => {
+            j += 1;
+            if j < n && b[j] == b'r' {
+                raw = true;
+                j += 1;
+            }
+        }
+        _ => return None,
+    }
+    if !raw {
+        // b"…" / c"…": escaped string after the prefix.
+        if j < n && b[j] == b'"' {
+            return Some(escaped_string_end(b, j));
+        }
+        return None;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != b'"' {
+        return None; // raw identifier (r#fn) or plain ident starting with r.
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks; no escapes in raw strings.
+    while j < n {
+        if b[j] == b'"' {
+            let tail = &b[j + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&c| c == b'#') {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(n)
+}
+
+/// End of a char (or byte-char) literal starting at `b[i] == b'\''`, or
+/// `None` when the quote introduces a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if b[i + 1] == b'\\' {
+        // Escape: scan to the closing quote within a bounded window
+        // (longest form is '\u{10FFFF}').
+        let mut j = i + 2;
+        let limit = (i + 12).min(n);
+        while j < limit {
+            if b[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // 'x' — but not '' and not a lifetime ('a followed by non-quote).
+    if b[i + 1] != b'\'' && i + 2 < n && b[i + 2] == b'\'' {
+        return Some(i + 3);
+    }
+    None
+}
+
+/// 1-based line-start byte offsets for `src` (index 0 = line 1).
+#[must_use]
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, c) in src.bytes().enumerate() {
+        if c == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Converts a byte offset to a 1-based `(line, column)` pair.
+#[must_use]
+pub fn line_col(starts: &[usize], offset: usize) -> (usize, usize) {
+    let line = starts.partition_point(|&s| s <= offset);
+    let col = offset - starts[line - 1] + 1;
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        lex(src).masked
+    }
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = masked("let a = 1; // thread_rng\n/* HashMap */ let b = 2;\n");
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let m = masked("/* outer /* inner */ still comment */ code();");
+        assert!(!m.contains("inner"));
+        assert!(!m.contains("still"));
+        assert!(m.contains("code();"));
+    }
+
+    #[test]
+    fn masks_string_contents_with_escapes() {
+        let m = masked(r#"let s = "thread_rng \" HashMap"; go();"#);
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("go();"));
+    }
+
+    #[test]
+    fn masks_raw_and_prefixed_strings() {
+        let m = masked(r###"let s = r#"unsafe " quote"#; let t = br"thread_rng"; f();"###);
+        assert!(!m.contains("unsafe"));
+        assert!(!m.contains("thread_rng"));
+        assert!(m.contains("f();"));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_code() {
+        let m = masked("fn r#unsafe() {}");
+        assert!(m.contains("r#unsafe"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let m = masked("let c = 'x'; let d: &'a str = s; let e = '\\n';");
+        assert!(!m.contains('x'));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("\\n"));
+    }
+
+    #[test]
+    fn newlines_and_offsets_are_preserved() {
+        let src = "a\n/* c1\nc2 */\nb\n";
+        let m = masked(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn comments_carry_their_start_line() {
+        let lexed = lex("code();\n// one\n/* two\nspans */\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[1].line, 3);
+    }
+
+    #[test]
+    fn line_col_roundtrip() {
+        let src = "ab\ncd\nef";
+        let starts = line_starts(src);
+        assert_eq!(line_col(&starts, 0), (1, 1));
+        assert_eq!(line_col(&starts, 3), (2, 1));
+        assert_eq!(line_col(&starts, 7), (3, 2));
+    }
+}

@@ -1,0 +1,123 @@
+//! CLI entry point: `glimpse-lint check [--root PATH] [--format human|json]
+//! [--bench-out PATH]` and `glimpse-lint rules`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use glimpse_lint::clock::Stopwatch;
+use glimpse_lint::{engine, JsonReport, Report, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+glimpse-lint — workspace invariant analyzer
+
+USAGE:
+    glimpse-lint check [--root PATH] [--format human|json] [--bench-out PATH]
+    glimpse-lint rules
+
+Rules are documented in DESIGN.md § Enforced invariants (#enforced-invariants).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in RULES {
+                println!("{:4} {}", rule.id, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_owned();
+    let mut bench_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--format" => format = it.next().cloned().unwrap_or_default(),
+            "--bench-out" => bench_out = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if format != "human" && format != "json" {
+        eprintln!("--format must be `human` or `json`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let Some(root) = root.or_else(|| std::env::current_dir().ok().and_then(|d| engine::find_workspace_root(&d))) else {
+        eprintln!("glimpse-lint: could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let stopwatch = Stopwatch::start();
+    let report = match engine::check_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("glimpse-lint: scanning {} failed: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = stopwatch.elapsed_ms();
+
+    if let Some(path) = bench_out {
+        let json = JsonReport::new(&report, wall_ms);
+        let payload = serde_json::to_string_pretty(&json).unwrap_or_default();
+        if let Err(err) = std::fs::write(&path, payload + "\n") {
+            eprintln!("glimpse-lint: writing {} failed: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if format == "json" {
+        let json = JsonReport::new(&report, wall_ms);
+        println!("{}", serde_json::to_string_pretty(&json).unwrap_or_default());
+    } else {
+        print_human(&report, wall_ms);
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_human(report: &Report, wall_ms: f64) {
+    for v in &report.violations {
+        println!("{}:{}:{}: {} {} [{}]", v.file, v.line, v.col, v.rule, v.message, v.see);
+    }
+    let rules: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    if report.is_clean() {
+        println!(
+            "glimpse-lint: OK — {} files, {} lines, 0 violations (rules {}, {} allow directives, {wall_ms:.1} ms)",
+            report.files_scanned,
+            report.lines_scanned,
+            rules.join(" "),
+            report.allow_directives,
+        );
+    } else {
+        let by_rule = report.by_rule();
+        let summary: Vec<String> = by_rule
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(rule, n)| format!("{rule}={n}"))
+            .collect();
+        println!(
+            "glimpse-lint: FAIL — {} violation(s) in {} files ({}). Each rule is documented in DESIGN.md § Enforced invariants (#enforced-invariants).",
+            report.violations.len(),
+            report.files_scanned,
+            summary.join(", "),
+        );
+    }
+}

@@ -1,0 +1,480 @@
+//! The invariant rules (see DESIGN.md § "Enforced invariants").
+//!
+//! | rule | contract guarded |
+//! |------|------------------|
+//! | `A0` | every `lint:allow` carries known rules and a nonempty reason |
+//! | `D1` | no wall-clock or OS-entropy source in the search path |
+//! | `D2` | no hash-ordered collections in search-hot-path modules |
+//! | `D3` | parallel fan-outs never share an RNG across items |
+//! | `L1` | crate imports respect the workspace DAG |
+//! | `P1` | load/measurement paths propagate errors, never panic |
+//! | `U1` | `unsafe` only inside `mlkit::parallel` |
+//!
+//! Rules run over masked text ([`crate::lexer`]), so tokens inside comments
+//! and string literals are invisible to them. Every violation can be
+//! suppressed for one statement with `// lint:allow(<rule>) reason`.
+
+use crate::source::SourceFile;
+use serde::Serialize;
+
+/// Descriptor of one rule, used by `glimpse-lint rules` and the JSON output.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RuleInfo {
+    /// Short id (`D1`, `L1`, …).
+    pub id: &'static str,
+    /// One-line contract statement.
+    pub summary: &'static str,
+}
+
+/// All rules, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "A0",
+        summary: "lint:allow directives must name known rules and give a reason",
+    },
+    RuleInfo {
+        id: "D1",
+        summary: "no wall-clock/entropy source (Instant::now, SystemTime::now, thread_rng, from_entropy) outside crates/bench and the clock module",
+    },
+    RuleInfo {
+        id: "D2",
+        summary: "no HashMap/HashSet in search-hot-path modules (mlkit, tuners, core::acquisition, core::sampler); use BTreeMap or sorted Vec",
+    },
+    RuleInfo {
+        id: "D3",
+        summary: "parallel fan-out closures must derive per-item RNG via child_rng, never capture a shared rng",
+    },
+    RuleInfo {
+        id: "L1",
+        summary: "crate imports must follow the DAG gpu-spec/tensor-prog/space -> sim/mlkit -> tuners -> core -> bench/cli",
+    },
+    RuleInfo {
+        id: "P1",
+        summary: "no unwrap()/expect() in non-test load/measurement paths; thread typed errors instead",
+    },
+    RuleInfo {
+        id: "U1",
+        summary: "unsafe code is forbidden outside mlkit::parallel and vendor/",
+    },
+];
+
+/// Whether `id` names a rule (used to validate `lint:allow` directives).
+#[must_use]
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Files (relative-path prefixes) exempt from D1: the bench harnesses time
+/// real work by design, and the lint crate's clock module is the single
+/// allowlisted wall-clock access point.
+const D1_EXEMPT_PREFIXES: &[&str] = &["crates/bench/", "crates/lint/src/clock.rs"];
+
+/// Entropy / wall-clock tokens D1 hunts for.
+const D1_NEEDLES: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
+
+/// Files whose whole crate is a search-hot-path module for D2.
+const D2_HOT_CRATES: &[&str] = &["mlkit", "tuners"];
+
+/// Individual hot-path files outside those crates.
+const D2_HOT_FILES: &[&str] = &["crates/core/src/acquisition.rs", "crates/core/src/sampler.rs"];
+
+/// Load / deserialization / measurement-outcome modules covered by P1.
+const P1_SCOPE: &[&str] = &[
+    "crates/core/src/artifacts.rs",
+    "crates/core/src/blueprint.rs",
+    "crates/core/src/corpus.rs",
+    "crates/core/src/prior.rs",
+    "crates/core/src/tuner.rs",
+    "crates/gpu-spec/src/database.rs",
+    "crates/gpu-spec/src/datasheet.rs",
+    "crates/sim/src/fault.rs",
+    "crates/sim/src/measure.rs",
+    "crates/sim/src/pool.rs",
+    "crates/sim/src/retry.rs",
+    "crates/sim/src/trace.rs",
+    "crates/tensor-prog/src/models.rs",
+    "crates/tuners/src/context.rs",
+    "crates/tuners/src/history.rs",
+];
+
+/// The one module allowed to contain `unsafe` (today it contains none).
+const U1_EXEMPT: &str = "crates/mlkit/src/parallel.rs";
+
+/// Allowed `glimpse_*` dependencies per crate — the workspace DAG. A crate
+/// absent from this table must not import any `glimpse_*` crate.
+const LAYERING: &[(&str, &[&str])] = &[
+    ("gpu-spec", &[]),
+    ("tensor-prog", &[]),
+    ("space", &["tensor-prog"]),
+    ("mlkit", &[]),
+    ("sim", &["gpu-spec", "tensor-prog", "space"]),
+    ("tuners", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit"]),
+    ("core", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners"]),
+    ("bench", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"]),
+    ("cli", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"]),
+    ("lint", &[]),
+];
+
+/// One rule violation at a `file:line` span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Rule id.
+    pub rule: &'static str,
+    /// What went wrong and what to do instead.
+    pub message: String,
+    /// Pointer into the rule documentation.
+    pub see: String,
+}
+
+fn violation(file: &SourceFile, offset: usize, rule: &'static str, message: String) -> Violation {
+    let (line, col) = file.line_col(offset);
+    Violation {
+        file: file.rel_path.clone(),
+        line,
+        col,
+        rule,
+        message,
+        see: format!("DESIGN.md#enforced-invariants (rule {rule})"),
+    }
+}
+
+/// Runs every rule over one file and applies its `lint:allow` suppressions.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    rule_a0(file, &mut out);
+    rule_d1(file, &mut out);
+    rule_d2(file, &mut out);
+    rule_d3(file, &mut out);
+    rule_l1(file, &mut out);
+    rule_p1(file, &mut out);
+    rule_u1(file, &mut out);
+    out.retain(|v| v.rule == "A0" || !file.allows.iter().any(|a| a.covers(v.rule, v.line)));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// A0: malformed `lint:allow` directives are themselves violations — a
+/// suppression without a reason (or naming an unknown rule) is a silent
+/// contract hole.
+fn rule_a0(file: &SourceFile, out: &mut Vec<Violation>) {
+    for allow in &file.allows {
+        if !allow.well_formed {
+            out.push(Violation {
+                file: file.rel_path.clone(),
+                line: allow.line,
+                col: 1,
+                rule: "A0",
+                message: "malformed lint:allow — use `// lint:allow(<RULE>[,<RULE>]) <reason>` with known rule ids and a nonempty reason"
+                    .to_owned(),
+                see: "DESIGN.md#enforced-invariants (rule A0)".to_owned(),
+            });
+        }
+    }
+}
+
+/// D1: wall-clock and OS entropy make search trajectories unreplayable.
+fn rule_d1(file: &SourceFile, out: &mut Vec<Violation>) {
+    if D1_EXEMPT_PREFIXES.iter().any(|p| file.rel_path.starts_with(p)) {
+        return;
+    }
+    for needle in D1_NEEDLES {
+        for offset in find_token(&file.masked, needle) {
+            out.push(violation(
+                file,
+                offset,
+                "D1",
+                format!("entropy/wall-clock source `{needle}` breaks replayable search; derive time from the simulated clock and randomness from seed-split child_rng"),
+            ));
+        }
+    }
+}
+
+/// D2: hash iteration order is a hidden function of the seed-free hasher
+/// state; when it feeds float accumulation the result depends on it.
+fn rule_d2(file: &SourceFile, out: &mut Vec<Violation>) {
+    let hot_crate = file.crate_name.as_deref().is_some_and(|c| D2_HOT_CRATES.contains(&c));
+    let hot_file = D2_HOT_FILES.contains(&file.rel_path.as_str());
+    if !hot_crate && !hot_file {
+        return;
+    }
+    for needle in ["HashMap", "HashSet"] {
+        for offset in find_token(&file.masked, needle) {
+            out.push(violation(
+                file,
+                offset,
+                "D2",
+                format!("`{needle}` in a search-hot-path module: iteration order is unspecified and can feed float accumulation; use BTreeMap/BTreeSet or a sorted Vec"),
+            ));
+        }
+    }
+}
+
+/// D3: a `parallel_map`/`parallel_map_range` call site whose argument list
+/// mentions an `rng` identifier without deriving it via `child_rng` is
+/// sharing RNG state across items, which makes results depend on the worker
+/// count. (Heuristic: per-item RNG must be created inside the closure with
+/// `child_rng`.)
+fn rule_d3(file: &SourceFile, out: &mut Vec<Violation>) {
+    for fan_out in ["parallel_map_range", "parallel_map"] {
+        for offset in find_token(&file.masked, fan_out) {
+            let open = offset + fan_out.len();
+            if file.masked.as_bytes().get(open) != Some(&b'(') {
+                continue; // an import or mention, not a call
+            }
+            let span = balanced_paren_span(&file.masked, open);
+            let text = &file.masked[open..span];
+            let has_shared_rng = find_token(text, "rng").iter().any(|&o| {
+                // `child_rng` is a distinct identifier, so a bare `rng` hit is
+                // a shared handle (a local, a field access, or `&mut rng`).
+                !text[..o].ends_with("child_")
+            });
+            if has_shared_rng && !text.contains("child_rng") {
+                out.push(violation(
+                    file,
+                    offset,
+                    "D3",
+                    format!("`{fan_out}` call site captures a shared `rng`: per-item randomness must come from child_rng(seed, index) inside the closure, or the output depends on the worker count"),
+                ));
+            }
+        }
+    }
+}
+
+/// L1: module layering — `use glimpse_*` must follow the crate DAG.
+fn rule_l1(file: &SourceFile, out: &mut Vec<Violation>) {
+    let Some(crate_name) = file.crate_name.as_deref() else {
+        return;
+    };
+    let allowed: &[&str] = LAYERING.iter().find(|(name, _)| *name == crate_name).map_or(&[], |(_, deps)| deps);
+    for offset in find_token_prefix(&file.masked, "glimpse_") {
+        let ident = read_ident(&file.masked, offset);
+        // Only path references count: `use glimpse_x::…` or `glimpse_x::…`
+        // inline. A local identifier that happens to start with `glimpse_`
+        // (a variable, a test name) is not an import.
+        let after = file.masked[offset + ident.len()..].trim_start();
+        if !after.starts_with("::") {
+            continue;
+        }
+        let target = ident["glimpse_".len()..].replace('_', "-");
+        if target == crate_name {
+            continue; // self-reference (only reachable in doc text / fixtures)
+        }
+        if !LAYERING.iter().any(|(name, _)| *name == target) {
+            out.push(violation(
+                file,
+                offset,
+                "L1",
+                format!("`{ident}` does not name a workspace crate in the layering table; add it to the DAG before importing it"),
+            ));
+        } else if !allowed.contains(&target.as_str()) {
+            out.push(violation(
+                file,
+                offset,
+                "L1",
+                format!("layering violation: crate `{crate_name}` must not import `{ident}` — the DAG flows gpu-spec/tensor-prog/space -> sim/mlkit -> tuners -> core -> bench/cli"),
+            ));
+        }
+    }
+}
+
+/// P1: load/measurement paths must thread typed errors; a panic in a
+/// deserialization or outcome-handling path turns a recoverable fault into
+/// a crash and breaks the fault-isolation contract.
+fn rule_p1(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !P1_SCOPE.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    for needle in [".unwrap()", ".expect("] {
+        for offset in find_substr(&file.masked, needle) {
+            let (line, _) = file.line_col(offset);
+            if file.in_test(line) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                offset,
+                "P1",
+                format!("`{}` in a load/measurement path: propagate a typed error (this module handles deserialization or measurement outcomes)", &needle[1..]),
+            ));
+        }
+    }
+}
+
+/// U1: `unsafe` is confined to `mlkit::parallel` (and the vendored deps,
+/// which are outside the scanned tree).
+fn rule_u1(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel_path == U1_EXEMPT {
+        return;
+    }
+    for offset in find_token(&file.masked, "unsafe") {
+        out.push(violation(
+            file,
+            offset,
+            "U1",
+            "`unsafe` is forbidden outside mlkit::parallel; crate roots carry #![forbid(unsafe_code)]".to_owned(),
+        ));
+    }
+}
+
+/// Byte offsets of `needle` in `text` where both ends sit on identifier
+/// boundaries (`Instant::now` matches, `my_thread_rng_helper` does not).
+fn find_token(text: &str, needle: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    find_substr(text, needle)
+        .into_iter()
+        .filter(|&at| {
+            let before_ok = at == 0 || !crate::lexer::is_ident_byte(bytes[at - 1]);
+            let end = at + needle.len();
+            let after_ok = end >= bytes.len() || !crate::lexer::is_ident_byte(bytes[end]);
+            before_ok && after_ok
+        })
+        .collect()
+}
+
+/// Like [`find_token`] but only the *start* must be a boundary (for
+/// identifier prefixes such as `glimpse_`).
+fn find_token_prefix(text: &str, prefix: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    find_substr(text, prefix)
+        .into_iter()
+        .filter(|&at| at == 0 || !crate::lexer::is_ident_byte(bytes[at - 1]))
+        .collect()
+}
+
+fn find_substr(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+/// Reads the identifier starting at `offset`.
+fn read_ident(text: &str, offset: usize) -> String {
+    text[offset..]
+        .bytes()
+        .take_while(|&c| crate::lexer::is_ident_byte(c))
+        .map(char::from)
+        .collect()
+}
+
+/// End (exclusive) of the parenthesized span opening at `text[open] == '('`.
+fn balanced_paren_span(text: &str, open: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in bytes.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(&SourceFile::new(path, src.to_owned()))
+    }
+
+    #[test]
+    fn d1_flags_entropy_sources_outside_bench() {
+        let v = check("crates/mlkit/src/sa.rs", "let r = rand::thread_rng();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D1");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn d1_ignores_bench_and_comments_and_strings() {
+        assert!(check("crates/bench/src/bin/x.rs", "let t = Instant::now();\n").is_empty());
+        assert!(check("crates/mlkit/src/sa.rs", "// thread_rng is banned\nlet s = \"Instant::now\";\n").is_empty());
+    }
+
+    #[test]
+    fn d1_suppressed_by_allow_with_reason() {
+        let src = "// lint:allow(D1) calibration smoke only\nlet t = Instant::now();\n";
+        assert!(check("crates/mlkit/src/sa.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_only_fires_in_hot_modules() {
+        let hot = check("crates/tuners/src/context.rs", "use std::collections::HashSet;\n");
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].rule, "D2");
+        assert!(check("crates/sim/src/fault.rs", "use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn d3_flags_shared_rng_and_accepts_child_rng() {
+        let shared = "let v = parallel_map(threads, &xs, |i, x| step(x, &mut rng));\n";
+        let v = check("crates/mlkit/src/sa.rs", shared);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D3");
+        let derived = "let v = parallel_map(threads, &xs, |i, x| { let mut rng = child_rng(seed, i as u64); step(x, &mut rng) });\n";
+        assert!(check("crates/mlkit/src/sa.rs", derived).is_empty());
+    }
+
+    #[test]
+    fn l1_enforces_the_dag() {
+        let up = check("crates/mlkit/src/gbt.rs", "use glimpse_tuners::context::TuneContext;\n");
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].rule, "L1");
+        assert!(check("crates/tuners/src/gbt.rs", "use glimpse_mlkit::gbt::Gbt;\n").is_empty());
+        let unknown = check("crates/core/src/lib.rs", "use glimpse_quantum::qpu;\n");
+        assert_eq!(unknown.len(), 1);
+    }
+
+    #[test]
+    fn p1_skips_tests_and_unwrap_or() {
+        let src = "fn load() { x.unwrap(); y.unwrap_or(0); z.expect_err(\"no\"); }\n#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); b.expect(\"fine in tests\"); }\n}\n";
+        let v = check("crates/core/src/prior.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].rule, "P1");
+    }
+
+    #[test]
+    fn p1_only_in_scoped_modules() {
+        assert!(check("crates/mlkit/src/mlp.rs", "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn u1_flags_unsafe_outside_parallel() {
+        let v = check("crates/space/src/knob.rs", "let p = unsafe { *ptr };\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "U1");
+        assert!(check("crates/mlkit/src/parallel.rs", "unsafe { fan_out() }\n").is_empty());
+    }
+
+    #[test]
+    fn a0_flags_reasonless_allow() {
+        let v = check("crates/core/src/lib.rs", "// lint:allow(D1)\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "A0");
+    }
+
+    #[test]
+    fn violations_sort_by_position() {
+        let src = "fn f() { b.unwrap(); }\nuse std::time::Instant;\nlet t = Instant::now();\n";
+        let v = check("crates/core/src/prior.rs", src);
+        assert!(v.windows(2).all(|w| w[0].line <= w[1].line));
+    }
+}

@@ -1,0 +1,237 @@
+//! A lexed source file plus the file-level facts rules need: which crate it
+//! belongs to, which lines are `#[cfg(test)]` code, and which
+//! `// lint:allow(<rule>) reason` directives it carries.
+
+use crate::lexer::{self, Comment, Lexed};
+
+/// A parsed `// lint:allow(<rules>) reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive's comment starts on.
+    pub line: usize,
+    /// Rule ids named in the directive (upper-cased).
+    pub rules: Vec<String>,
+    /// Human justification after the closing parenthesis.
+    pub reason: String,
+    /// Whether the directive is well-formed (known shape + nonempty reason).
+    pub well_formed: bool,
+}
+
+impl AllowDirective {
+    /// Whether this directive suppresses `rule` for a violation on `line`.
+    /// A directive covers its own line and the line directly below it (the
+    /// comment-above-the-statement style).
+    #[must_use]
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.well_formed && (line == self.line || line == self.line + 1) && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// One source file, lexed and annotated, ready for rule checks.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Crate directory name when the path is `crates/<name>/src/…`.
+    pub crate_name: Option<String>,
+    /// Raw source text.
+    pub raw: String,
+    /// Code with comments and literals blanked (see [`crate::lexer`]).
+    pub masked: String,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Parsed `lint:allow` directives.
+    pub allows: Vec<AllowDirective>,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Byte offsets of line starts (for offset → line:col mapping).
+    pub line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates one file.
+    #[must_use]
+    pub fn new(rel_path: &str, raw: String) -> Self {
+        let rel_path = rel_path.replace('\\', "/");
+        let Lexed { masked, comments } = lexer::lex(&raw);
+        let line_starts = lexer::line_starts(&raw);
+        let allows = comments.iter().filter_map(parse_allow).collect();
+        let test_ranges = find_test_ranges(&masked, &line_starts);
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split_once('/'))
+            .filter(|(_, rest)| rest.starts_with("src/"))
+            .map(|(name, _)| name.to_owned());
+        Self {
+            rel_path,
+            crate_name,
+            raw,
+            masked,
+            comments,
+            allows,
+            test_ranges,
+            line_starts,
+        }
+    }
+
+    /// Whether a 1-based line falls inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// `(line, col)` of a byte offset, both 1-based.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        lexer::line_col(&self.line_starts, offset)
+    }
+}
+
+/// Parses a comment into an [`AllowDirective`]. A directive must *start*
+/// the comment (after the `//`/`/*` sigils): prose that merely mentions
+/// `lint:allow` — like this sentence — is not a suppression.
+fn parse_allow(comment: &Comment) -> Option<AllowDirective> {
+    let body = comment.text.trim_start_matches(['/', '*', '!']).trim_start();
+    if !body.starts_with("lint:allow") {
+        return None;
+    }
+    let rest = &body["lint:allow".len()..];
+    let Some(open) = rest.find('(') else {
+        return Some(malformed(comment.line));
+    };
+    if rest[..open].trim() != "" {
+        return Some(malformed(comment.line));
+    }
+    let Some(close) = rest.find(')') else {
+        return Some(malformed(comment.line));
+    };
+    let rules: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = rest[close + 1..].trim().trim_start_matches([':', '-']).trim().to_owned();
+    let well_formed = !rules.is_empty() && !reason.is_empty() && rules.iter().all(|r| crate::rules::is_known_rule(r));
+    Some(AllowDirective {
+        line: comment.line,
+        rules,
+        reason,
+        well_formed,
+    })
+}
+
+fn malformed(line: usize) -> AllowDirective {
+    AllowDirective {
+        line,
+        rules: Vec::new(),
+        reason: String::new(),
+        well_formed: false,
+    }
+}
+
+/// Finds the line ranges of `#[cfg(test)]` items by brace-matching the block
+/// that follows each attribute in the masked text.
+fn find_test_ranges(masked: &str, line_starts: &[usize]) -> Vec<(usize, usize)> {
+    const NEEDLE: &str = "#[cfg(test)]";
+    let bytes = masked.as_bytes();
+    let mut ranges = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = masked[from..].find(NEEDLE) {
+        let at = from + pos;
+        from = at + NEEDLE.len();
+        let (start_line, _) = lexer::line_col(line_starts, at);
+        // Find the block the attribute decorates; a `;` first means the
+        // attribute sits on a blockless item (e.g. `#[cfg(test)] use x;`).
+        let mut j = at + NEEDLE.len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open_at) = open else {
+            ranges.push((start_line, start_line));
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = bytes.len().saturating_sub(1);
+        for (k, &c) in bytes.iter().enumerate().skip(open_at) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (end_line, _) = lexer::line_col(line_starts, end);
+        ranges.push((start_line, end_line));
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_crate_name_from_path() {
+        let f = SourceFile::new("crates/mlkit/src/sa.rs", String::new());
+        assert_eq!(f.crate_name.as_deref(), Some("mlkit"));
+        let g = SourceFile::new("crates/lint/tests/fixtures/x.rs", String::new());
+        assert_eq!(g.crate_name, None);
+    }
+
+    #[test]
+    fn cfg_test_block_lines_are_marked() {
+        let src = "pub fn a() {}\n\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\npub fn c() {}\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src.to_owned());
+        assert!(!f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(7));
+    }
+
+    #[test]
+    fn blockless_cfg_test_covers_one_line() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() { let x = vec![1]; }\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src.to_owned());
+        assert!(f.in_test(1));
+        assert!(!f.in_test(3));
+    }
+
+    #[test]
+    fn parses_allow_directive_with_reason() {
+        let src = "// lint:allow(D1) bench timing only\nfoo();\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src.to_owned());
+        assert_eq!(f.allows.len(), 1);
+        let a = &f.allows[0];
+        assert!(a.well_formed);
+        assert_eq!(a.rules, vec!["D1".to_owned()]);
+        assert!(a.covers("D1", 1));
+        assert!(a.covers("D1", 2));
+        assert!(!a.covers("D1", 3));
+        assert!(!a.covers("D2", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let f = SourceFile::new("crates/core/src/x.rs", "// lint:allow(D1)\n".to_owned());
+        assert!(!f.allows[0].well_formed);
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_malformed() {
+        let f = SourceFile::new("crates/core/src/x.rs", "// lint:allow(Z9) because\n".to_owned());
+        assert!(!f.allows[0].well_formed);
+    }
+}

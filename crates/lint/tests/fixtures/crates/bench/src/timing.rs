@@ -1,0 +1,5 @@
+//! Fixture: crates/bench is exempt from D1 — timing is its job.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Fixture: A0 — malformed suppressions are violations themselves.
+
+// lint:allow(D1)
+pub fn missing_reason() {}
+
+// lint:allow(Z9) this rule does not exist
+pub fn unknown_rule() {}

@@ -1,0 +1,17 @@
+//! Fixture: P1 — panics in a load path; test code is exempt.
+
+pub fn load(text: &str) -> f64 {
+    text.parse::<f64>().unwrap()
+}
+
+pub fn head(xs: &[f64]) -> f64 {
+    xs.first().copied().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert!("4".parse::<f64>().unwrap() > super::load("3.5"));
+    }
+}

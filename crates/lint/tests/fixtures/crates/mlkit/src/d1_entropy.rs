@@ -1,0 +1,12 @@
+//! Fixture: D1 — entropy/wall-clock sources; one flagged, one suppressed.
+
+pub fn seeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn stamped() -> f64 {
+    // lint:allow(D1) calibration smoke only, never in the search path
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

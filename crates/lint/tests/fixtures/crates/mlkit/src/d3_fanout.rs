@@ -1,0 +1,13 @@
+//! Fixture: D3 — fan-out RNG discipline: a shared handle is flagged, the
+//! per-item child_rng derivation is not.
+
+pub fn shared(xs: &[f64], rng: &mut StdRng) -> Vec<f64> {
+    parallel_map(Threads::AUTO, xs, |_i, x| step(*x, rng))
+}
+
+pub fn derived(xs: &[f64], seed: u64) -> Vec<f64> {
+    parallel_map(Threads::AUTO, xs, |i, x| {
+        let mut rng = child_rng(seed, i as u64);
+        step(*x, &mut rng)
+    })
+}

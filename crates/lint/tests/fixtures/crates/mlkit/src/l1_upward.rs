@@ -1,0 +1,7 @@
+//! Fixture: L1 — an upward import that violates the crate DAG.
+
+use glimpse_tuners::history::TuningHistory;
+
+pub fn trials(h: &TuningHistory) -> usize {
+    h.len()
+}

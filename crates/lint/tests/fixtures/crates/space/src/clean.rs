@@ -1,0 +1,13 @@
+//! Fixture: decoy tokens in comments and strings stay invisible.
+//!
+//! Prose mentions of thread_rng, Instant::now, HashMap, and unsafe are
+//! not violations, and neither are the string literals below.
+
+pub fn describe() -> &'static str {
+    "thread_rng() Instant::now() HashMap unsafe glimpse_core::tuner"
+}
+
+// Mentioning .unwrap() or lint:allow in prose is also inert.
+pub fn answer() -> u32 {
+    42
+}

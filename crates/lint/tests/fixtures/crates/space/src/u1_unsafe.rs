@@ -1,0 +1,5 @@
+//! Fixture: U1 — `unsafe` outside mlkit::parallel.
+
+pub fn read_raw(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,11 @@
+//! Fixture: D2 — hash-ordered containers in a search-hot-path crate.
+
+use std::collections::HashMap;
+
+pub fn visited(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}

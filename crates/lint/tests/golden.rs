@@ -1,0 +1,116 @@
+//! Golden-fixture tests: the engine's exact `file:line:rule` output over the
+//! miniature workspace checked into `tests/fixtures/`. These pin down rule
+//! spans, suppression semantics, and masking so a lexer or rule refactor
+//! cannot silently shift what the linter reports.
+
+use glimpse_lint::check_sources;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("fixture dir readable")
+        .map(|e| e.expect("fixture entry readable").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("fixture path under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, std::fs::read_to_string(&path).expect("fixture readable")));
+        }
+    }
+}
+
+fn fixture_sources() -> Vec<(String, String)> {
+    let root = fixture_root();
+    let mut out = Vec::new();
+    collect(&root, &root, &mut out);
+    out.sort();
+    assert_eq!(out.len(), 9, "fixture tree changed — update the golden list");
+    out
+}
+
+#[test]
+fn fixture_violations_match_the_golden_list() {
+    let report = check_sources(&fixture_sources());
+    let got: Vec<(String, usize, &str)> = report.violations.iter().map(|v| (v.file.clone(), v.line, v.rule)).collect();
+    let want: Vec<(String, usize, &str)> = [
+        ("crates/core/src/a0_bad_allow.rs", 3, "A0"),
+        ("crates/core/src/a0_bad_allow.rs", 6, "A0"),
+        ("crates/core/src/prior.rs", 4, "P1"),
+        ("crates/core/src/prior.rs", 8, "P1"),
+        ("crates/mlkit/src/d1_entropy.rs", 4, "D1"),
+        ("crates/mlkit/src/d3_fanout.rs", 5, "D3"),
+        ("crates/mlkit/src/l1_upward.rs", 3, "L1"),
+        ("crates/space/src/u1_unsafe.rs", 4, "U1"),
+        ("crates/tuners/src/d2_hash.rs", 3, "D2"),
+        ("crates/tuners/src/d2_hash.rs", 6, "D2"),
+    ]
+    .into_iter()
+    .map(|(f, l, r)| (f.to_owned(), l, r))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn spans_point_at_the_offending_token() {
+    let report = check_sources(&fixture_sources());
+    assert!(report.violations.iter().all(|v| v.line >= 1 && v.col >= 1));
+    // `use std::collections::HashMap;` — the token starts at column 23.
+    let d2 = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "D2" && v.line == 3)
+        .expect("D2 use-statement violation present");
+    assert_eq!(d2.col, 23);
+    assert!(d2.see.contains("#enforced-invariants"), "see pointer: {}", d2.see);
+}
+
+#[test]
+fn clean_and_exempt_fixtures_stay_silent() {
+    let report = check_sources(&fixture_sources());
+    for silent in ["crates/space/src/clean.rs", "crates/bench/src/timing.rs"] {
+        assert!(
+            report.violations.iter().all(|v| v.file != silent),
+            "{silent} should be violation-free"
+        );
+    }
+}
+
+#[test]
+fn allow_directive_suppresses_exactly_one_site() {
+    let report = check_sources(&fixture_sources());
+    // d1_entropy.rs holds two D1 sources; the suppressed Instant::now on
+    // line 10 must not appear while the thread_rng on line 4 must.
+    let d1_lines: Vec<usize> = report
+        .violations
+        .iter()
+        .filter(|v| v.file == "crates/mlkit/src/d1_entropy.rs")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(d1_lines, vec![4]);
+    // The malformed directives in a0_bad_allow.rs do not count as in force.
+    assert_eq!(report.allow_directives, 1);
+}
+
+#[test]
+fn by_rule_counts_cover_every_rule() {
+    let report = check_sources(&fixture_sources());
+    let counts = report.by_rule();
+    assert_eq!(counts["A0"], 2);
+    assert_eq!(counts["D1"], 1);
+    assert_eq!(counts["D2"], 2);
+    assert_eq!(counts["D3"], 1);
+    assert_eq!(counts["L1"], 1);
+    assert_eq!(counts["P1"], 2);
+    assert_eq!(counts["U1"], 1);
+}

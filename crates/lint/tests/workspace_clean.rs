@@ -1,0 +1,49 @@
+//! The in-tree enforcement gate: `cargo test -p glimpse-lint` fails when any
+//! workspace invariant regresses, before CI ever runs the standalone binary.
+
+use glimpse_lint::engine::find_workspace_root;
+use glimpse_lint::{check_sources, check_workspace};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint crate lives inside the workspace")
+}
+
+#[test]
+fn workspace_satisfies_every_invariant() {
+    let report = check_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.files_scanned >= 90,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}:{}: {} {} [{}]", v.file, v.line, v.col, v.rule, v.message, v.see))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "glimpse-lint found {} violation(s):\n{}",
+        report.violations.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn reintroducing_thread_rng_in_sa_is_caught() {
+    // The acceptance scenario, run on a copy so the repo stays clean: the
+    // real sa.rs plus one thread_rng() call must produce a D1 violation.
+    let path = workspace_root().join("crates/mlkit/src/sa.rs");
+    let sa = std::fs::read_to_string(path).expect("sa.rs readable");
+    let poisoned = format!("{sa}\npub fn entropy_seed() -> u64 {{\n    rand::thread_rng().gen()\n}}\n");
+    let clean_lines = sa.lines().count();
+    let report = check_sources(&[("crates/mlkit/src/sa.rs".to_owned(), poisoned)]);
+    let d1: Vec<_> = report.violations.iter().filter(|v| v.rule == "D1").collect();
+    assert_eq!(d1.len(), 1, "exactly the injected call should be flagged");
+    assert_eq!(d1[0].line, clean_lines + 3, "span must point at the injected line");
+
+    // And the checked-in sa.rs itself is clean.
+    let baseline = check_sources(&[("crates/mlkit/src/sa.rs".to_owned(), sa)]);
+    assert!(baseline.is_clean(), "checked-in sa.rs regressed: {:?}", baseline.violations);
+}

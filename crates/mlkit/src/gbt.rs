@@ -235,7 +235,7 @@ fn build_tree<R: Rng + ?Sized>(xs: &[Vec<f64>], targets: &[f64], indices: &[usiz
 fn best_split_for_feature(xs: &[Vec<f64>], targets: &[f64], indices: &[usize], feature: usize) -> Option<(f64, f64)> {
     let n = indices.len();
     let mut pairs: Vec<(f64, f64)> = indices.iter().map(|&i| (xs[i][feature], targets[i])).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Prefix sums of t and t² over the sorted order, plus the boundary
     // position (count of samples ≤ value) of each distinct-value run.
     let mut prefix_sum = vec![0.0f64; n + 1];
@@ -289,7 +289,7 @@ pub fn prefix_sum_best_split(xs: &[Vec<f64>], targets: &[f64], indices: &[usize]
 #[must_use]
 pub fn two_pass_best_split(xs: &[Vec<f64>], targets: &[f64], indices: &[usize], feature: usize) -> Option<(f64, f64)> {
     let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    values.sort_by(|a, b| a.total_cmp(b));
     values.dedup();
     if values.len() < 2 {
         return None;

@@ -22,6 +22,9 @@
 //! Everything is implemented on `f64` slices with seeded [`rand`] RNGs so
 //! that every experiment in the reproduction is deterministic.
 
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod gbt;
 pub mod gp;
 pub mod kmeans;

@@ -247,7 +247,7 @@ impl Matrix {
             }
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| a[(j, j)].total_cmp(&a[(i, i)]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (row, &i) in order.iter().enumerate() {

@@ -57,7 +57,7 @@ pub fn top_k_recall(truth: &[f64], predicted: &[f64], k: usize) -> f64 {
     assert!(k > 0 && k <= truth.len(), "k out of range");
     let top = |v: &[f64]| -> Vec<usize> {
         let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_by(|&i, &j| v[j].partial_cmp(&v[i]).expect("finite values"));
+        idx.sort_by(|&i, &j| v[j].total_cmp(&v[i]));
         idx.truncate(k);
         idx
     };
@@ -71,7 +71,7 @@ pub fn top_k_recall(truth: &[f64], predicted: &[f64], k: usize) -> f64 {
 fn ranks(v: &[f64]) -> Vec<f64> {
     let n = v.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite values"));
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -62,7 +62,7 @@ impl<S: Clone> SaOutcome<S> {
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<(S, f64)> {
         let mut order: Vec<usize> = (0..self.chain_bests.len()).collect();
-        order.sort_by(|&a, &b| self.chain_bests[b].1.partial_cmp(&self.chain_bests[a].1).expect("finite scores"));
+        order.sort_by(|&a, &b| self.chain_bests[b].1.total_cmp(&self.chain_bests[a].1));
         order.truncate(k);
         order.into_iter().map(|i| self.chain_bests[i].clone()).collect()
     }

@@ -88,7 +88,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -210,7 +210,7 @@ mod tests {
         #[test]
         fn quantile_monotone(q1 in 0.0f64..1.0, q2 in 0.0f64..1.0, mut vals in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             prop_assert!(quantile(&vals, lo) <= quantile(&vals, hi) + 1e-12);
         }
 

@@ -15,6 +15,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+// Per-device override table; only point lookups by device name, never
+// iterated, so hash-order randomization is inert here (D2 does not apply).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// Simulated seconds a hung kernel burns before the harness kills it: the
@@ -148,6 +151,7 @@ pub struct FaultPlan {
     /// Rates for devices without an override.
     pub default_rates: FaultRates,
     /// Per-device overrides keyed by device name.
+    #[allow(clippy::disallowed_types)]
     pub per_device: HashMap<String, FaultRates>,
 }
 
@@ -160,6 +164,7 @@ impl FaultPlan {
 
     /// Uniform rates across the fleet.
     #[must_use]
+    #[allow(clippy::disallowed_types)]
     pub fn uniform(seed: u64, rates: FaultRates) -> Self {
         Self {
             seed,

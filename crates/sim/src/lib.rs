@@ -34,6 +34,8 @@
 //! # let _ = result;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod fault;
 pub mod measure;

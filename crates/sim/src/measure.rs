@@ -237,7 +237,19 @@ impl Measurer {
 
     /// The successful-measurement path; `inflation` models a noise spike.
     fn run_kernel(&mut self, space: &SearchSpace, config: &Config, inflation: f64) -> MeasureResult {
-        let true_latency = self.model.latency_s(space, config).expect("validity already checked") * inflation;
+        // The validity rules admitted this launch, so the model should score
+        // it; if the two ever disagree, record an invalid measurement
+        // instead of panicking mid-run.
+        let Some(base_latency) = self.model.latency_s(space, config) else {
+            self.invalid_count += 1;
+            self.clock_s += INVALID_OVERHEAD_S;
+            return MeasureResult {
+                config: config.clone(),
+                outcome: Outcome::Invalid(InvalidReason::ModelRejected),
+                cost_s: INVALID_OVERHEAD_S,
+            };
+        };
+        let true_latency = base_latency * inflation;
         // Average of REPEATS noisy runs (log-normal multiplicative noise).
         let mut sum = 0.0;
         for _ in 0..REPEATS {
@@ -261,11 +273,12 @@ impl Measurer {
         configs.iter().map(|c| self.measure(space, c)).collect()
     }
 
-    /// Noise-free oracle: the best configuration among `n` uniform samples.
-    /// Used by the harness as the "near-exhaustive optimum" for Fig. 1 and
-    /// as the normalizer for output-code quality. Costs no simulated time.
+    /// Noise-free oracle: the best configuration among `n` uniform samples,
+    /// or `None` when every sample was invalid. Used by the harness as the
+    /// "near-exhaustive optimum" for Fig. 1 and as the normalizer for
+    /// output-code quality. Costs no simulated time.
     #[must_use]
-    pub fn oracle_best(&self, space: &SearchSpace, n: usize, seed: u64) -> (Config, f64) {
+    pub fn oracle_best(&self, space: &SearchSpace, n: usize, seed: u64) -> Option<(Config, f64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut best: Option<(Config, f64)> = None;
         for _ in 0..n {
@@ -276,7 +289,7 @@ impl Measurer {
                 }
             }
         }
-        best.expect("oracle found no valid configuration")
+        best
     }
 }
 
@@ -373,7 +386,7 @@ mod tests {
     #[test]
     fn oracle_best_is_at_least_as_good_as_any_sample() {
         let (m, space) = setup();
-        let (_, best) = m.oracle_best(&space, 500, 11);
+        let (_, best) = m.oracle_best(&space, 500, 11).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..500 {
             let c = space.sample_uniform(&mut rng);

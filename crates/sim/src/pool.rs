@@ -436,7 +436,7 @@ mod tests {
         let p = pool();
         let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 128, 128, 28, 3, 1, 1));
         let bests: Vec<f64> = p
-            .run_all(|i, m| m.oracle_best(&space, 2000, 100 + i as u64).1)
+            .run_all(|i, m| m.oracle_best(&space, 2000, 100 + i as u64).unwrap().1)
             .into_iter()
             .map(Result::unwrap)
             .collect();

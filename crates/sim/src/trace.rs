@@ -10,11 +10,16 @@
 use crate::measure::{MeasureResult, Measurer, Outcome};
 use glimpse_space::{Config, SearchSpace};
 use serde::{Deserialize, Serialize, Value};
+// Memo cache keyed by config indices; every read is a point lookup and the
+// serializer sorts entries, so hash order never reaches any output (D2 does
+// not apply).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// A memoizing measurement layer for one (GPU, task) pair.
 #[derive(Debug, Clone, Default)]
 pub struct TraceCache {
+    #[allow(clippy::disallowed_types)]
     entries: HashMap<Vec<usize>, Outcome>,
     hits: u64,
     misses: u64,

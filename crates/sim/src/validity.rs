@@ -26,15 +26,19 @@ pub enum InvalidReason {
     RegistersPerThreadExceeded,
     /// One block's register demand exceeds the SM register file.
     RegisterFileExceeded,
+    /// The performance model vetoed a launch the resource checks admitted
+    /// (model/validity disagreement — surfaced instead of panicking).
+    ModelRejected,
 }
 
 impl InvalidReason {
     /// All reasons, for exhaustive reporting.
-    pub const ALL: [InvalidReason; 4] = [
+    pub const ALL: [InvalidReason; 5] = [
         InvalidReason::TooManyThreads,
         InvalidReason::SharedMemExceeded,
         InvalidReason::RegistersPerThreadExceeded,
         InvalidReason::RegisterFileExceeded,
+        InvalidReason::ModelRejected,
     ];
 }
 
@@ -45,6 +49,7 @@ impl fmt::Display for InvalidReason {
             InvalidReason::SharedMemExceeded => "shared memory exceeds per-block limit",
             InvalidReason::RegistersPerThreadExceeded => "registers per thread exceed 255",
             InvalidReason::RegisterFileExceeded => "block registers exceed SM register file",
+            InvalidReason::ModelRejected => "performance model rejected the launch",
         };
         f.write_str(text)
     }

@@ -31,6 +31,8 @@
 //! assert!(shape.threads_per_block >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod factorize;
 pub mod kernel;

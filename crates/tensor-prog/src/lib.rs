@@ -19,6 +19,8 @@
 //! assert!(total_flops > 1e9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod conv;
 pub mod dense;
 pub mod models;

@@ -332,8 +332,8 @@ mod tests {
     fn vgg19_shares_unique_workloads_with_vgg16() {
         let v16 = vgg16();
         let v19 = vgg19();
-        let shapes16: std::collections::HashSet<String> = v16.tasks().iter().map(|t| format!("{}{}", t.template, t.op)).collect();
-        let shapes19: std::collections::HashSet<String> = v19.tasks().iter().map(|t| format!("{}{}", t.template, t.op)).collect();
+        let shapes16: std::collections::BTreeSet<String> = v16.tasks().iter().map(|t| format!("{}{}", t.template, t.op)).collect();
+        let shapes19: std::collections::BTreeSet<String> = v19.tasks().iter().map(|t| format!("{}{}", t.template, t.op)).collect();
         assert_eq!(shapes16, shapes19);
         assert!(v19.total_flops() > v16.total_flops());
     }

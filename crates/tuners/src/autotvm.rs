@@ -125,7 +125,7 @@ impl Tuner for AutoTvmTuner {
             model.fit(ctx.space, ctx.history());
             // Chain starts: incumbent top configs + random restarts.
             let mut ranked = ctx.history().valid_pairs();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut starts: Vec<Config> = ranked.iter().map(|(c, _)| (*c).clone()).take(self.config.sa_chains / 4).collect();
             while starts.len() < self.config.sa_chains {
                 starts.push(ctx.space.sample_uniform(&mut rng));

@@ -106,7 +106,7 @@ impl Tuner for ChameleonTuner {
                 .max(8.0) as usize;
             round += 1;
             let mut ranked = ctx.history().valid_pairs();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut starts: Vec<Config> = ranked.iter().map(|(c, _)| (*c).clone()).take(self.config.sa_chains / 2).collect();
             while starts.len() < self.config.sa_chains {
                 starts.push(ctx.space.sample_uniform(&mut rng));
@@ -173,8 +173,7 @@ impl Tuner for ChameleonTuner {
             // surrogate does not consider near-certainly invalid.
             let best_measured = ctx.history().best_gflops();
             let mut batch: Vec<Config> = Vec::new();
-            if let Some(best_idx) = (0..pool.len()).max_by(|&a, &b| pool_preds[a].partial_cmp(&pool_preds[b]).expect("finite predictions"))
-            {
+            if let Some(best_idx) = (0..pool.len()).max_by(|&a, &b| pool_preds[a].total_cmp(&pool_preds[b])) {
                 batch.push(pool[best_idx].clone());
             }
             for idx in chosen {
@@ -253,8 +252,8 @@ mod tests {
     #[test]
     fn batch_configs_are_distinct() {
         let outcome = run_tuner(ChameleonTuner::new(), 100, 6);
-        use std::collections::HashSet;
-        let set: HashSet<_> = outcome.history.trials.iter().map(|t| t.config.indices().to_vec()).collect();
+        use std::collections::BTreeSet;
+        let set: BTreeSet<_> = outcome.history.trials.iter().map(|t| t.config.indices().to_vec()).collect();
         // Duplicates are possible only via the resample fallback; they
         // should be rare.
         assert!(set.len() as f64 > 0.9 * outcome.history.len() as f64);

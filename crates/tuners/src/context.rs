@@ -6,7 +6,7 @@ use glimpse_sim::{measure_with_retry, Measurer, RetryPolicy};
 use glimpse_space::{Config, SearchSpace};
 use glimpse_tensor_prog::Task;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Everything a tuner needs for one run on one (GPU, task) pair.
 #[derive(Debug)]
@@ -24,7 +24,7 @@ pub struct TuneContext<'a> {
     /// Retry policy applied to faulted measurements.
     pub retry: RetryPolicy,
     history: TuningHistory,
-    visited: HashSet<Vec<usize>>,
+    visited: BTreeSet<Vec<usize>>,
     gpu_seconds_at_start: f64,
     explorer_steps: usize,
     best_trajectory: Vec<f64>,
@@ -45,7 +45,7 @@ impl<'a> TuneContext<'a> {
             seed,
             retry: RetryPolicy::default(),
             history,
-            visited: HashSet::new(),
+            visited: BTreeSet::new(),
             gpu_seconds_at_start,
             explorer_steps: 0,
             best_trajectory: Vec::new(),

@@ -138,7 +138,7 @@ impl Tuner for DgpTuner {
 
             let best_y = ctx.history().best_gflops();
             let mut ranked = ctx.history().valid_pairs();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             // Candidate generation stays sequential (it consumes the tuner
             // RNG); the acquisition scoring of the batch is pure and fans
             // out across workers below.
@@ -173,7 +173,7 @@ impl Tuner for DgpTuner {
                 Err(_) => candidates.into_iter().map(|c| (c, rng.gen::<f64>())).collect(),
             };
             ctx.add_explorer_steps(scored.len());
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite acquisition"));
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut batch: Vec<Config> = Vec::new();
             for (config, _) in scored {
                 if batch.len() >= self.config.batch_size {

@@ -81,7 +81,7 @@ impl Tuner for GeneticTuner {
         while !ctx.exhausted() {
             // Elitism: carry the best individuals over unchanged.
             let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&i, &j| fitness[j].partial_cmp(&fitness[i]).expect("finite fitness"));
+            order.sort_by(|&i, &j| fitness[j].total_cmp(&fitness[i]));
             let mut next: Vec<Config> = order.iter().take(self.config.elites).map(|&i| population[i].clone()).collect();
             let mut next_fitness: Vec<f64> = order.iter().take(self.config.elites).map(|&i| fitness[i]).collect();
 

@@ -119,7 +119,11 @@ impl TuningHistory {
         self.trials
             .iter()
             .filter(|t| t.is_valid())
-            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).expect("finite gflops"))
+            .max_by(|a, b| {
+                a.gflops
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .total_cmp(&b.gflops.unwrap_or(f64::NEG_INFINITY))
+            })
             .map(|t| &t.config)
     }
 

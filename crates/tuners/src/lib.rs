@@ -19,6 +19,8 @@
 //! [`TuningOutcome`] metrics (best GFLOPS, explorer steps, invalid counts,
 //! simulated GPU seconds), which is what the figure harnesses aggregate.
 
+#![forbid(unsafe_code)]
+
 pub mod autotvm;
 pub mod budget;
 pub mod chameleon;

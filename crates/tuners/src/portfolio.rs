@@ -92,7 +92,7 @@ impl Tuner for PortfolioTuner {
                     .max_by(|&a, &b| {
                         let score =
                             |i: usize| gains[i] / plays[i] as f64 + self.exploration * ((total as f64).ln() / plays[i] as f64).sqrt();
-                        score(a).partial_cmp(&score(b)).expect("finite UCB scores")
+                        score(a).total_cmp(&score(b))
                     })
                     .expect("nonempty members")
             });

@@ -102,7 +102,7 @@ impl TaskScheduler {
             SchedulePolicy::LatencyGain => open.iter().copied().max_by(|&a, &b| {
                 let ga = self.tasks[a].latency_ms() - self.tasks[a].projected_latency_ms(self.gain_per_round);
                 let gb = self.tasks[b].latency_ms() - self.tasks[b].projected_latency_ms(self.gain_per_round);
-                ga.partial_cmp(&gb).expect("finite gains")
+                ga.total_cmp(&gb)
             }),
         }
     }

@@ -54,7 +54,7 @@ fn main() {
     // never been seen by any component.
     println!("meta-training artifacts on the stock 24-GPU database ...");
     let trainers: Vec<&glimpse_repro::gpu_spec::GpuSpec> = database::all().iter().collect();
-    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42).expect("artifact training");
     let blueprint = artifacts.encode(&gpu);
     println!("blueprint for the unseen part: {blueprint}");
 

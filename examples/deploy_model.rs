@@ -35,7 +35,7 @@ fn main() {
     println!("deploying {} on {target}", model.name());
     println!("meta-training artifacts (one-off, leave-one-out) ...");
     let gpus = database::training_gpus(&target.name);
-    let artifacts = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42).expect("artifact training");
 
     let budget_per_task = Budget::measurements(96);
     let mut bests: Vec<(usize, TemplateKind, OpSpec, f64)> = Vec::new();

@@ -35,7 +35,7 @@ fn main() {
         .iter()
         .filter(|g| !database::EVALUATION_GPUS.contains(&g.name.as_str()))
         .collect();
-    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&trainers, TrainingOptions::fast(), 42).expect("artifact training");
 
     let budget = Budget::measurements(128);
     let mut results: Vec<(String, TuningOutcome, TuningOutcome)> = Vec::new();

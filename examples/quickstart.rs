@@ -29,7 +29,7 @@ fn main() {
     //    harnesses use the full-size defaults.)
     println!("meta-training artifacts (leave-one-out) ...");
     let gpus = database::training_gpus(&target.name);
-    let artifacts = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42);
+    let artifacts = GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 42).expect("artifact training");
     println!("blueprint: {}", artifacts.encode(target));
 
     // 3. Pick a task: the 3x3 stride-1 convolution of ResNet-18's stage 1.
@@ -42,7 +42,10 @@ fn main() {
     // 4. Run-to-quality, the paper's comparison mode: each compiler runs
     //    until its output code reaches 90 % of the near-exhaustive optimum
     //    (or a hard measurement cap), and we compare the GPU time burned.
-    let oracle = Measurer::new(target.clone(), 7).oracle_best(&space, 20_000, 7).1;
+    let oracle = Measurer::new(target.clone(), 7)
+        .oracle_best(&space, 20_000, 7)
+        .expect("oracle found a valid configuration")
+        .1;
     let budget = Budget::measurements(384).with_target(0.9 * oracle);
     println!(
         "quality target: {:.0} GFLOPS (90% of the near-exhaustive best {:.0})",

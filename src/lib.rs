@@ -4,6 +4,8 @@
 //! Each module aliases one workspace crate; see the crate-level docs of the
 //! underlying crates for details.
 
+#![forbid(unsafe_code)]
+
 /// GPU specification sheets and the bundled device database.
 pub use glimpse_gpu_spec as gpu_spec;
 

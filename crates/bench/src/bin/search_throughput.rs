@@ -236,7 +236,7 @@ fn main() {
         },
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write(&out_path, format!("{text}\n")).expect("writable output path");
+    glimpse_durable::atomic_write(out_path.as_ref(), format!("{text}\n").as_bytes()).expect("writable output path");
     println!("{text}");
     eprintln!("wrote {out_path}");
 }

@@ -171,7 +171,7 @@ pub fn cached_artifacts(target: &GpuSpec, seed: u64) -> GlimpseArtifacts {
     eprintln!("[glimpse-bench] training leave-one-out artifacts for {} ...", target.name);
     let artifacts = GlimpseArtifacts::train_leave_one_out(target, seed).expect("leave-one-out artifact training");
     if let Ok(text) = serde_json::to_string(&artifacts) {
-        let _ = std::fs::write(&path, text);
+        let _ = glimpse_durable::atomic_write(&path, text.as_bytes());
     }
     artifacts
 }
@@ -189,7 +189,7 @@ pub fn cached_artifacts_with(target: &GpuSpec, options: TrainingOptions, seed: u
     let gpus = database::training_gpus(&target.name);
     let artifacts = GlimpseArtifacts::train_with(&gpus, options, seed).expect("artifact training");
     if let Ok(text) = serde_json::to_string(&artifacts) {
-        let _ = std::fs::write(&path, text);
+        let _ = glimpse_durable::atomic_write(&path, text.as_bytes());
     }
     artifacts
 }

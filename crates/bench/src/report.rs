@@ -76,7 +76,7 @@ pub fn save_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(text) => {
-            if let Err(e) = std::fs::write(&path, text) {
+            if let Err(e) = glimpse_durable::atomic_write(&path, text.as_bytes()) {
                 eprintln!("[glimpse-bench] could not write {}: {e}", path.display());
             } else {
                 eprintln!("[glimpse-bench] wrote {}", path.display());

@@ -14,7 +14,7 @@ use glimpse_tuners::chameleon::ChameleonTuner;
 use glimpse_tuners::dgp::DgpTuner;
 use glimpse_tuners::genetic::GeneticTuner;
 use glimpse_tuners::random::RandomTuner;
-use glimpse_tuners::{Budget, TuneContext, Tuner, TuningOutcome};
+use glimpse_tuners::{run_checkpointed, Budget, CheckpointSpec, TuneContext, Tuner, TuningOutcome};
 use std::path::PathBuf;
 
 /// Usage text for `glimpse help`.
@@ -37,6 +37,9 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --fault-seed <n>                fault stream seed          default: 0
     --threads <n>                   search worker threads (0 = auto); also
                                     via GLIMPSE_THREADS       default: auto
+    --checkpoint-dir <dir>          journal every trial for crash-safe resume
+    --resume                        continue an interrupted run from <dir>
+                                    (completed tasks are not re-measured)
   glimpse experiment <model> [opts] tune one task across a device fleet
     --task <i>                      task to tune               default: 0
     --tuner <autotvm|chameleon|dgp|random|genetic>            default: autotvm
@@ -45,8 +48,12 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --fault-plan <spec>             inject measurement faults (as above)
     --fault-seed <n>                fault stream seed          default: 0
     --threads <n>                   search worker threads (0 = auto)
+    --checkpoint-dir <dir>          journal every trial for crash-safe resume
+    --resume                        continue an interrupted run from <dir>
+                                    (completed devices are not re-measured)
 
-Results are bit-identical for a fixed seed at any --threads value.
+Results are bit-identical for a fixed seed at any --threads value, and a
+checkpointed run resumed after a crash replays to the same result.
 ";
 
 /// `glimpse gpus`
@@ -185,6 +192,8 @@ struct TuneOptions {
     full_training: bool,
     faults: FaultPlan,
     threads: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 /// Parses a `--threads` value (`0` = auto-detect).
@@ -227,6 +236,8 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
         full_training: false,
         faults: FaultPlan::none(),
         threads: None,
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -252,12 +263,19 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
             "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
             "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
             "--threads" => options.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
+            "--checkpoint-dir" => {
+                options.checkpoint_dir = Some(PathBuf::from(it.next().ok_or("--checkpoint-dir needs a value")?));
+            }
+            "--resume" => options.resume = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
     }
     if positional.len() != 2 {
         return Err("usage: glimpse tune <model> <gpu> [options]".into());
+    }
+    if options.resume && options.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
     }
     options.model = positional[0].clone();
     options.gpu = positional[1].clone();
@@ -325,8 +343,19 @@ pub fn tune(args: &[String]) -> Result<(), String> {
         let task = &model.tasks()[i];
         let space = templates::space_for_task(task);
         let mut measurer = Measurer::with_faults(gpu.clone(), 7, &options.faults);
-        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(options.budget), 7);
-        let outcome = run_tuner(&options.tuner, artifacts.as_ref(), gpu, ctx)?;
+        let budget = Budget::measurements(options.budget);
+        let outcome = if let Some(root) = &options.checkpoint_dir {
+            let cell = root.join(format!("task{i}"));
+            let spec = CheckpointSpec::new(&cell)
+                .resuming(options.resume)
+                .with_storage(options.faults.storage_faults())
+                .with_faults(options.faults.seed, options.faults.rates_for(&gpu.name));
+            let mut tuner = build_tuner(&options.tuner, artifacts.as_ref(), gpu)?;
+            run_checkpointed(&mut *tuner, &spec, task, &space, &mut measurer, budget, 7).map_err(|e| e.to_string())?
+        } else {
+            let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
+            run_tuner(&options.tuner, artifacts.as_ref(), gpu, ctx)?
+        };
         total_s += outcome.gpu_seconds;
         println!(
             "L{:<4} {:<16} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}",
@@ -349,16 +378,20 @@ pub fn tune(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_tuner(tuner: &str, artifacts: Option<&GlimpseArtifacts>, gpu: &GpuSpec, ctx: TuneContext<'_>) -> Result<TuningOutcome, String> {
+fn build_tuner<'a>(tuner: &str, artifacts: Option<&'a GlimpseArtifacts>, gpu: &'a GpuSpec) -> Result<Box<dyn Tuner + 'a>, String> {
     Ok(match tuner {
-        "glimpse" => GlimpseTuner::new(artifacts.expect("artifacts built"), gpu).tune(ctx),
-        "autotvm" => AutoTvmTuner::new().tune(ctx),
-        "chameleon" => ChameleonTuner::new().tune(ctx),
-        "dgp" => DgpTuner::new().tune(ctx),
-        "random" => RandomTuner::new().tune(ctx),
-        "genetic" => GeneticTuner::new().tune(ctx),
+        "glimpse" => Box::new(GlimpseTuner::new(artifacts.expect("artifacts built"), gpu)),
+        "autotvm" => Box::new(AutoTvmTuner::new()),
+        "chameleon" => Box::new(ChameleonTuner::new()),
+        "dgp" => Box::new(DgpTuner::new()),
+        "random" => Box::new(RandomTuner::new()),
+        "genetic" => Box::new(GeneticTuner::new()),
         other => return Err(format!("unknown tuner {other:?}")),
     })
+}
+
+fn run_tuner(tuner: &str, artifacts: Option<&GlimpseArtifacts>, gpu: &GpuSpec, ctx: TuneContext<'_>) -> Result<TuningOutcome, String> {
+    Ok(build_tuner(tuner, artifacts, gpu)?.tune(ctx))
 }
 
 #[derive(Debug)]
@@ -370,6 +403,8 @@ struct ExperimentOptions {
     gpus: Vec<String>,
     faults: FaultPlan,
     threads: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String> {
@@ -384,6 +419,8 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
         gpus: Vec::new(),
         faults: FaultPlan::none(),
         threads: None,
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -416,12 +453,19 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
             "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
             "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
             "--threads" => options.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
+            "--checkpoint-dir" => {
+                options.checkpoint_dir = Some(PathBuf::from(it.next().ok_or("--checkpoint-dir needs a value")?));
+            }
+            "--resume" => options.resume = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
     }
     if positional.len() != 1 {
         return Err("usage: glimpse experiment <model> [options]".into());
+    }
+    if options.resume && options.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
     }
     options.model = positional[0].clone();
     if options.gpus.is_empty() {
@@ -453,8 +497,20 @@ pub fn experiment(args: &[String]) -> Result<(), String> {
 
     let pool = DevicePool::with_faults(&fleet, 7, &options.faults);
     let results = pool.run_all(|index, measurer| {
-        let ctx = TuneContext::new(task, &space, measurer, Budget::measurements(options.budget), 7 + index as u64);
-        run_tuner(&options.tuner, None, &fleet[index], ctx)
+        let budget = Budget::measurements(options.budget);
+        let seed = 7 + index as u64;
+        if let Some(root) = &options.checkpoint_dir {
+            let cell = root.join(fleet[index].name.replace(' ', "_"));
+            let spec = CheckpointSpec::new(&cell)
+                .resuming(options.resume)
+                .with_storage(options.faults.storage_faults())
+                .with_faults(options.faults.seed, options.faults.rates_for(&fleet[index].name));
+            let mut tuner = build_tuner(&options.tuner, None, &fleet[index])?;
+            run_checkpointed(&mut *tuner, &spec, task, &space, measurer, budget, seed).map_err(|e| e.to_string())
+        } else {
+            let ctx = TuneContext::new(task, &space, measurer, budget, seed);
+            run_tuner(&options.tuner, None, &fleet[index], ctx)
+        }
     });
 
     println!(
@@ -586,6 +642,62 @@ mod tests {
         assert_eq!(options.gpus.len(), 4);
         assert_eq!(options.tuner, "autotvm");
         assert!(!options.faults.any());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_on_both_subcommands() {
+        let args: Vec<String> = ["m", "g", "--checkpoint-dir", "/tmp/run1", "--resume"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = parse_tune_options(&args).unwrap();
+        assert_eq!(options.checkpoint_dir, Some(PathBuf::from("/tmp/run1")));
+        assert!(options.resume);
+        let exp: Vec<String> = ["m", "--checkpoint-dir", "/tmp/run2"].iter().map(|s| (*s).to_owned()).collect();
+        let options = parse_experiment_options(&exp).unwrap();
+        assert_eq!(options.checkpoint_dir, Some(PathBuf::from("/tmp/run2")));
+        assert!(!options.resume);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_refused() {
+        let args: Vec<String> = ["m", "g", "--resume"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_tune_options(&args).unwrap_err().contains("--checkpoint-dir"));
+        let exp: Vec<String> = ["m", "--resume"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_experiment_options(&exp).unwrap_err().contains("--checkpoint-dir"));
+    }
+
+    #[test]
+    fn usage_documents_the_checkpoint_flags() {
+        assert!(USAGE.contains("--checkpoint-dir"));
+        assert!(USAGE.contains("--resume"));
+    }
+
+    #[test]
+    fn tune_refuses_to_clobber_then_resumes_a_complete_run() {
+        let dir = std::env::temp_dir().join("glimpse-cli-checkpoint-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = [
+            "alexnet",
+            "Titan Xp",
+            "--tuner",
+            "random",
+            "--budget",
+            "6",
+            "--task",
+            "2",
+            "--checkpoint-dir",
+        ];
+        let args: Vec<String> = base.iter().map(|s| (*s).to_owned()).chain([dir.display().to_string()]).collect();
+        tune(&args).unwrap();
+        assert!(dir.join("task2").join("complete.json").exists());
+        // A second run without --resume must not clobber the journal.
+        let err = tune(&args).unwrap_err();
+        assert!(err.contains("journal"), "got: {err}");
+        // With --resume the completed cell is served from complete.json.
+        let resume_args: Vec<String> = args.iter().cloned().chain(["--resume".to_owned()]).collect();
+        tune(&resume_args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! End-to-end tests of the `glimpse` binary (spawned as a subprocess).
 
+// Tests write throwaway fixture files; the IO1 atomic-write contract covers
+// product code, not test scaffolding.
+#![allow(clippy::disallowed_methods)]
+
 use std::process::Command;
 
 fn glimpse() -> Command {

@@ -173,14 +173,16 @@ impl GlimpseArtifacts {
         })
     }
 
-    /// Persists the artifacts as JSON.
+    /// Persists the artifacts as JSON. The write is atomic (temp file +
+    /// fsync + rename): a crash mid-save leaves either the previous bundle
+    /// or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing `path`.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let text = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, text)
+        glimpse_durable::atomic_write(path, text.as_bytes())
     }
 
     /// Loads artifacts persisted by [`GlimpseArtifacts::save`].
@@ -284,6 +286,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // hand-writes a corrupt fixture
     fn load_rejects_garbage() {
         let path = std::env::temp_dir().join("glimpse-artifacts-garbage.json");
         std::fs::write(&path, "not json").unwrap();

@@ -71,9 +71,11 @@ fn check(args: &[String]) -> ExitCode {
     };
     let wall_ms = stopwatch.elapsed_ms();
 
+    #[allow(clippy::disallowed_methods)] // diagnostic artifact; lint stays dependency-free
     if let Some(path) = bench_out {
         let json = JsonReport::new(&report, wall_ms);
         let payload = serde_json::to_string_pretty(&json).unwrap_or_default();
+        // lint:allow(IO1) diagnostic artifact; the lint crate stays dependency-free by design
         if let Err(err) = std::fs::write(&path, payload + "\n") {
             eprintln!("glimpse-lint: writing {} failed: {err}", path.display());
             return ExitCode::from(2);

@@ -6,6 +6,7 @@
 //! | `D1` | no wall-clock or OS-entropy source in the search path |
 //! | `D2` | no hash-ordered collections in search-hot-path modules |
 //! | `D3` | parallel fan-outs never share an RNG across items |
+//! | `IO1` | file writes go through the durable-IO layer, never bare `fs::write` |
 //! | `L1` | crate imports respect the workspace DAG |
 //! | `P1` | load/measurement paths propagate errors, never panic |
 //! | `U1` | `unsafe` only inside `mlkit::parallel` |
@@ -43,6 +44,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "D3",
         summary: "parallel fan-out closures must derive per-item RNG via child_rng, never capture a shared rng",
+    },
+    RuleInfo {
+        id: "IO1",
+        summary: "no direct write API (fs::write, File::create, File::options, OpenOptions) outside crates/durable; route writes through atomic_write or the WAL",
     },
     RuleInfo {
         id: "L1",
@@ -85,6 +90,8 @@ const P1_SCOPE: &[&str] = &[
     "crates/core/src/corpus.rs",
     "crates/core/src/prior.rs",
     "crates/core/src/tuner.rs",
+    "crates/durable/src/lib.rs",
+    "crates/durable/src/wal.rs",
     "crates/gpu-spec/src/database.rs",
     "crates/gpu-spec/src/datasheet.rs",
     "crates/sim/src/fault.rs",
@@ -95,23 +102,37 @@ const P1_SCOPE: &[&str] = &[
     "crates/tensor-prog/src/models.rs",
     "crates/tuners/src/context.rs",
     "crates/tuners/src/history.rs",
+    "crates/tuners/src/journal.rs",
 ];
 
 /// The one module allowed to contain `unsafe` (today it contains none).
 const U1_EXEMPT: &str = "crates/mlkit/src/parallel.rs";
 
+/// The durable-IO layer — the only place allowed to open write handles.
+const IO1_SANCTIONED_PREFIX: &str = "crates/durable/src/";
+
+/// Direct write APIs IO1 hunts for.
+const IO1_NEEDLES: &[&str] = &["fs::write", "File::create", "File::options", "OpenOptions"];
+
 /// Allowed `glimpse_*` dependencies per crate — the workspace DAG. A crate
 /// absent from this table must not import any `glimpse_*` crate.
 const LAYERING: &[(&str, &[&str])] = &[
+    ("durable", &[]),
     ("gpu-spec", &[]),
     ("tensor-prog", &[]),
-    ("space", &["tensor-prog"]),
+    ("space", &["durable", "tensor-prog"]),
     ("mlkit", &[]),
-    ("sim", &["gpu-spec", "tensor-prog", "space"]),
-    ("tuners", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit"]),
-    ("core", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners"]),
-    ("bench", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"]),
-    ("cli", &["gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"]),
+    ("sim", &["durable", "gpu-spec", "tensor-prog", "space"]),
+    ("tuners", &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit"]),
+    ("core", &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners"]),
+    (
+        "bench",
+        &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"],
+    ),
+    (
+        "cli",
+        &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"],
+    ),
     ("lint", &[]),
 ];
 
@@ -152,6 +173,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     rule_d1(file, &mut out);
     rule_d2(file, &mut out);
     rule_d3(file, &mut out);
+    rule_io1(file, &mut out);
     rule_l1(file, &mut out);
     rule_p1(file, &mut out);
     rule_u1(file, &mut out);
@@ -243,6 +265,29 @@ fn rule_d3(file: &SourceFile, out: &mut Vec<Violation>) {
                     format!("`{fan_out}` call site captures a shared `rng`: per-item randomness must come from child_rng(seed, index) inside the closure, or the output depends on the worker count"),
                 ));
             }
+        }
+    }
+}
+
+/// IO1: every file write goes through `glimpse_durable` (atomic_write or
+/// the WAL). A bare `fs::write` can leave a torn file on crash, which
+/// breaks the crash-consistency contract the resume machinery relies on.
+fn rule_io1(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel_path.starts_with(IO1_SANCTIONED_PREFIX) {
+        return;
+    }
+    for needle in IO1_NEEDLES {
+        for offset in find_token(&file.masked, needle) {
+            let (line, _) = file.line_col(offset);
+            if file.in_test(line) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                offset,
+                "IO1",
+                format!("direct write API `{needle}` outside the durable-IO layer: route writes through glimpse_durable::atomic_write (or the WAL) so a crash can never leave a torn file"),
+            ));
         }
     }
 }
@@ -462,6 +507,30 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "U1");
         assert!(check("crates/mlkit/src/parallel.rs", "unsafe { fan_out() }\n").is_empty());
+    }
+
+    #[test]
+    fn io1_flags_direct_writes_outside_durable() {
+        let v = check("crates/bench/src/report.rs", "std::fs::write(&path, text)?;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "IO1");
+        let v = check("crates/core/src/artifacts.rs", "let f = std::fs::File::create(&path)?;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "IO1");
+    }
+
+    #[test]
+    fn io1_spares_durable_tests_and_reads() {
+        assert!(check(
+            "crates/durable/src/wal.rs",
+            "let f = std::fs::File::options().write(true).open(p)?;\n"
+        )
+        .is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(&p, b\"x\").unwrap(); }\n}\n";
+        assert!(check("crates/space/src/logfmt.rs", in_test).is_empty());
+        assert!(check("crates/core/src/artifacts.rs", "let text = std::fs::read_to_string(path)?;\n").is_empty());
+        // `create_new` and `create_dir_all` are different identifiers.
+        assert!(check("crates/core/src/artifacts.rs", "std::fs::create_dir_all(&dir)?;\n").is_empty());
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! IO1 fixture: a bare write API outside the durable layer.
+
+pub fn dump(path: &std::path::Path, text: &str) {
+    let _ = std::fs::write(path, text);
+}

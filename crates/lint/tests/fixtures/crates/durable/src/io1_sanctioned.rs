@@ -1,0 +1,5 @@
+//! IO1 fixture: the durable layer itself is allowed to open write handles.
+
+pub fn open_for_write(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::options().write(true).create(true).open(path)
+}

@@ -142,6 +142,38 @@ impl FaultRates {
     }
 }
 
+/// Storage-layer fault injection for the crash-safety chaos tier: crash the
+/// process (fail-stop) or tear a write at a chosen journal sequence number.
+/// Unlike [`FaultRates`] these are deterministic trigger points, not
+/// probabilities — chaos tests sweep the sequence number to kill a run at
+/// every trial boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StorageFaults {
+    /// Simulate a process crash immediately *before* appending the journal
+    /// record with this sequence number.
+    pub crash_at_seq: Option<u64>,
+    /// Tear the append of the record with this sequence number (write only
+    /// a prefix of the frame), then behave as a crash.
+    pub torn_at_seq: Option<u64>,
+    /// How many bytes of the torn frame reach the file (clamped to the
+    /// frame length).
+    pub torn_keep_bytes: Option<u64>,
+}
+
+impl StorageFaults {
+    /// No storage faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any storage fault is armed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.crash_at_seq.is_some() || self.torn_at_seq.is_some()
+    }
+}
+
 /// A reproducible description of which faults a fleet suffers: one seed,
 /// fleet-wide default rates, and optional per-device overrides.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -153,6 +185,10 @@ pub struct FaultPlan {
     /// Per-device overrides keyed by device name.
     #[allow(clippy::disallowed_types)]
     pub per_device: HashMap<String, FaultRates>,
+    /// Storage-layer (journal) fault triggers; `None` means none armed.
+    /// Kept optional so journals written before this field existed still
+    /// deserialize.
+    pub storage: Option<StorageFaults>,
 }
 
 impl FaultPlan {
@@ -170,7 +206,21 @@ impl FaultPlan {
             seed,
             default_rates: rates,
             per_device: HashMap::new(),
+            storage: None,
         }
+    }
+
+    /// Arms the storage-fault triggers (chaos tests; see [`StorageFaults`]).
+    #[must_use]
+    pub fn with_storage_faults(mut self, storage: StorageFaults) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Storage-fault triggers in effect (defaults to none armed).
+    #[must_use]
+    pub fn storage_faults(&self) -> StorageFaults {
+        self.storage.unwrap_or_default()
     }
 
     /// Marks `device` as dead from the first measurement on.
@@ -206,22 +256,37 @@ impl FaultPlan {
     }
 
     /// Parses a CLI rate spec like `timeout=0.1,launch=0.05,noise=0.1,lost=0.02,dead=0.01`
-    /// into a uniform plan with seed 0 (set the seed separately).
+    /// into a uniform plan with seed 0 (set the seed separately). Storage
+    /// triggers use integer sequence numbers: `crash_at=12`, `torn_at=12`,
+    /// `torn_keep=7`.
     ///
     /// # Errors
     ///
     /// Returns a message naming the bad key, value, or range.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut rates = FaultRates::none();
+        let mut storage = StorageFaults::none();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("bad fault spec `{part}`: expected key=rate"))?;
+            let key = key.trim();
+            let value = value.trim();
+            if let "crash_at" | "torn_at" | "torn_keep" = key {
+                let seq: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value `{value}` for `{key}`: expected a sequence number"))?;
+                match key {
+                    "crash_at" => storage.crash_at_seq = Some(seq),
+                    "torn_at" => storage.torn_at_seq = Some(seq),
+                    _ => storage.torn_keep_bytes = Some(seq),
+                }
+                continue;
+            }
             let rate: f64 = value
-                .trim()
                 .parse()
                 .map_err(|_| format!("bad fault rate `{value}` for `{key}`: expected a number"))?;
-            match key.trim() {
+            match key {
                 "timeout" => rates.timeout = rate,
                 "launch" | "launch_failure" => rates.launch_failure = rate,
                 "noise" | "noise_spike" => rates.noise_spike = rate,
@@ -229,13 +294,17 @@ impl FaultPlan {
                 "dead" | "device_dead" => rates.device_dead = rate,
                 other => {
                     return Err(format!(
-                        "unknown fault kind `{other}` (expected timeout, launch, noise, lost, dead)"
+                        "unknown fault kind `{other}` (expected timeout, launch, noise, lost, dead, crash_at, torn_at, torn_keep)"
                     ))
                 }
             }
         }
         rates.validate()?;
-        Ok(Self::uniform(0, rates))
+        let mut plan = Self::uniform(0, rates);
+        if storage.any() || storage.torn_keep_bytes.is_some() {
+            plan.storage = Some(storage);
+        }
+        Ok(plan)
     }
 }
 
@@ -246,6 +315,21 @@ pub enum FaultEvent {
     Fail(MeasureFault),
     /// Let it run, but multiply the true latency by this factor.
     Inflate(f64),
+}
+
+/// Checkpointable snapshot of a [`FaultInjector`] mid-stream. The rates are
+/// *not* part of the snapshot — they come from the plan the injector is
+/// rebuilt from, so a resumed run must use the same plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectorState {
+    /// Raw RNG state of the fault stream.
+    pub rng: [u64; 4],
+    /// Whether the device had died permanently.
+    pub dead: bool,
+    /// Requests left in the current transient-loss window.
+    pub lost_remaining: u32,
+    /// Fault events injected so far.
+    pub injected: u64,
 }
 
 /// The deterministic per-device fault stream derived from a [`FaultPlan`].
@@ -344,6 +428,26 @@ impl FaultInjector {
     pub fn revive(&mut self) {
         self.dead = false;
         self.lost_remaining = 0;
+    }
+
+    /// Snapshots the injector for a checkpoint (see [`InjectorState`]).
+    #[must_use]
+    pub fn state(&self) -> InjectorState {
+        InjectorState {
+            rng: self.rng.state(),
+            dead: self.dead,
+            lost_remaining: self.lost_remaining,
+            injected: self.injected,
+        }
+    }
+
+    /// Restores a snapshot taken by [`FaultInjector::state`], resuming the
+    /// fault stream bit-identically. The rates stay as constructed.
+    pub fn restore_state(&mut self, state: &InjectorState) {
+        self.rng = StdRng::from_state(state.rng);
+        self.dead = state.dead;
+        self.lost_remaining = state.lost_remaining;
+        self.injected = state.injected;
     }
 }
 
@@ -472,5 +576,44 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+        let armed = plan.with_storage_faults(StorageFaults {
+            crash_at_seq: Some(12),
+            torn_at_seq: None,
+            torn_keep_bytes: Some(7),
+        });
+        let json = serde_json::to_string(&armed).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, armed);
+    }
+
+    #[test]
+    fn parse_accepts_storage_trigger_keys() {
+        let plan = FaultPlan::parse("timeout=0.1,crash_at=12").unwrap();
+        assert_eq!(plan.storage_faults().crash_at_seq, Some(12));
+        assert_eq!(plan.storage_faults().torn_at_seq, None);
+        let plan = FaultPlan::parse("torn_at=5,torn_keep=9").unwrap();
+        assert_eq!(plan.storage_faults().torn_at_seq, Some(5));
+        assert_eq!(plan.storage_faults().torn_keep_bytes, Some(9));
+        assert!(FaultPlan::parse("crash_at=soon").is_err());
+        assert!(FaultPlan::parse("").unwrap().storage.is_none());
+    }
+
+    #[test]
+    fn injector_state_resumes_the_fault_stream_bit_identically() {
+        let plan = FaultPlan::uniform(42, chaotic());
+        let mut live = FaultInjector::for_device(&plan, "Titan Xp");
+        for _ in 0..137 {
+            let _ = live.next_event();
+        }
+        let state = live.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: InjectorState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut resumed = FaultInjector::for_device(&plan, "Titan Xp");
+        resumed.restore_state(&back);
+        for _ in 0..500 {
+            assert_eq!(resumed.next_event(), live.next_event());
+        }
+        assert_eq!(resumed.injected(), live.injected());
     }
 }

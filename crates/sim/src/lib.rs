@@ -45,8 +45,8 @@ pub mod retry;
 pub mod trace;
 pub mod validity;
 
-pub use fault::{FaultPlan, FaultRates, MeasureFault};
-pub use measure::{MeasureResult, Measurer, Outcome};
+pub use fault::{FaultPlan, FaultRates, InjectorState, MeasureFault, StorageFaults};
+pub use measure::{MeasureResult, Measurer, MeasurerState, Outcome};
 pub use model::PerfModel;
 pub use pool::{DeviceError, DevicePool, DeviceStatus, PoolSummary};
 pub use retry::{measure_with_retry, RetriedMeasure, RetryPolicy};

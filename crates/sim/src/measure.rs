@@ -6,7 +6,7 @@
 //! repeated runs, invalid ones pay compilation + the failed launch. The
 //! accumulated clock is what Table 2's "ΣGPU Search (GPU Hours)" reports.
 
-use crate::fault::{FaultEvent, FaultInjector, FaultPlan, MeasureFault};
+use crate::fault::{FaultEvent, FaultInjector, FaultPlan, InjectorState, MeasureFault};
 use crate::model::PerfModel;
 use crate::validity::{self, InvalidReason};
 use glimpse_gpu_spec::GpuSpec;
@@ -86,6 +86,27 @@ pub struct MeasureResult {
     pub outcome: Outcome,
     /// Simulated GPU seconds this measurement cost.
     pub cost_s: f64,
+}
+
+/// Checkpointable snapshot of a [`Measurer`] between measurements. Journals
+/// embed one per trial record so a crashed run resumes with the clock,
+/// counters, noise stream, and fault stream exactly where they stopped.
+/// The perf model and fault rates are *not* in the snapshot — they are
+/// rebuilt from `(gpu, fault plan)`, which must match the original run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurerState {
+    /// Simulated GPU seconds consumed so far.
+    pub clock_s: f64,
+    /// Valid measurements performed.
+    pub valid_count: u64,
+    /// Invalid measurements performed.
+    pub invalid_count: u64,
+    /// Measurements lost to injected faults.
+    pub fault_count: u64,
+    /// Raw state of the measurement-noise RNG.
+    pub rng: [u64; 4],
+    /// Fault-injector snapshot, when a plan is installed.
+    pub injector: Option<InjectorState>,
 }
 
 /// A measurement channel to one (simulated) GPU.
@@ -185,6 +206,33 @@ impl Measurer {
     /// probe traffic). Saturates at zero for negative amounts.
     pub fn charge(&mut self, seconds: f64) {
         self.clock_s += seconds.max(0.0);
+    }
+
+    /// Snapshots the channel for a checkpoint (see [`MeasurerState`]).
+    #[must_use]
+    pub fn state(&self) -> MeasurerState {
+        MeasurerState {
+            clock_s: self.clock_s,
+            valid_count: self.valid_count,
+            invalid_count: self.invalid_count,
+            fault_count: self.fault_count,
+            rng: self.rng.state(),
+            injector: self.injector.as_ref().map(FaultInjector::state),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Measurer::state`] onto a channel
+    /// built with the same `(gpu, seed, plan)`; measurement and fault
+    /// streams then continue bit-identically from the snapshot point.
+    pub fn restore_state(&mut self, state: &MeasurerState) {
+        self.clock_s = state.clock_s;
+        self.valid_count = state.valid_count;
+        self.invalid_count = state.invalid_count;
+        self.fault_count = state.fault_count;
+        self.rng = StdRng::from_state(state.rng);
+        if let (Some(injector), Some(snapshot)) = (self.injector.as_mut(), state.injector.as_ref()) {
+            injector.restore_state(snapshot);
+        }
     }
 
     /// Measures one configuration, debiting the simulated clock.
@@ -394,6 +442,38 @@ mod tests {
                 assert!(g <= best + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn state_snapshot_resumes_measurements_bit_identically() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let gpu = database::find("Titan Xp").unwrap().clone();
+        let space = templates::conv2d_direct_space(&Conv2dSpec::square(1, 64, 64, 56, 3, 1, 1));
+        let plan = FaultPlan::uniform(
+            21,
+            FaultRates {
+                timeout: 0.1,
+                noise_spike: 0.2,
+                ..FaultRates::none()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let configs: Vec<_> = (0..60).map(|_| space.sample_uniform(&mut rng)).collect();
+        let mut live = Measurer::with_faults(gpu.clone(), 99, &plan);
+        for c in &configs[..30] {
+            live.measure(&space, c);
+        }
+        let state = live.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: MeasurerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut resumed = Measurer::with_faults(gpu, 99, &plan);
+        resumed.restore_state(&back);
+        assert_eq!(resumed.elapsed_gpu_seconds(), live.elapsed_gpu_seconds());
+        for c in &configs[30..] {
+            assert_eq!(resumed.measure(&space, c), live.measure(&space, c));
+        }
+        assert_eq!(resumed.state(), live.state());
     }
 
     #[test]

@@ -90,6 +90,47 @@ pub fn decode(space: &SearchSpace, record: &LogRecord) -> Result<Config, Resolve
     Ok(Config::new(indices))
 }
 
+/// Saves records as a JSONL log file (one record per line).
+///
+/// The write is atomic — temp file + fsync + rename — so a crash mid-save
+/// leaves either the previous log or the new one, never a torn file.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing `path`.
+pub fn save_log(path: &std::path::Path, records: &[LogRecord]) -> std::io::Result<()> {
+    let mut text = String::new();
+    for record in records {
+        let line = serde_json::to_string(record).map_err(std::io::Error::other)?;
+        text.push_str(&line);
+        text.push('\n');
+    }
+    glimpse_durable::atomic_write(path, text.as_bytes())
+}
+
+/// Loads a JSONL log file written by [`save_log`].
+///
+/// Blank lines are skipped, so hand-edited logs with trailing newlines or
+/// spacer lines still parse.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading `path`, or an `InvalidData` error
+/// naming the offending line if a line is not a valid record.
+pub fn load_log(path: &std::path::Path) -> std::io::Result<Vec<LogRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str(line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("log line {}: {e}", i + 1)))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +164,42 @@ mod tests {
         let line = serde_json::to_string(&record).unwrap();
         let parsed: LogRecord = serde_json::from_str(&line).unwrap();
         assert_eq!(decode(&s, &parsed).unwrap(), config);
+    }
+
+    #[test]
+    fn log_file_roundtrips() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(6);
+        let records: Vec<LogRecord> = (0..8)
+            .map(|i| {
+                encode(
+                    &s,
+                    &s.sample_uniform(&mut rng),
+                    if i % 2 == 0 { Some(f64::from(i) * 10.0) } else { None },
+                )
+            })
+            .collect();
+        let path = std::env::temp_dir().join("glimpse-logfmt-roundtrip.jsonl");
+        save_log(&path, &records).unwrap();
+        let loaded = load_log(&path).unwrap();
+        assert_eq!(loaded, records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_log_skips_blank_lines_and_names_bad_ones() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(7);
+        let record = encode(&s, &s.sample_uniform(&mut rng), Some(1.0));
+        let line = serde_json::to_string(&record).unwrap();
+        let path = std::env::temp_dir().join("glimpse-logfmt-lenient.jsonl");
+        glimpse_durable::atomic_write(&path, format!("{line}\n\n{line}\n").as_bytes()).unwrap();
+        assert_eq!(load_log(&path).unwrap().len(), 2);
+        glimpse_durable::atomic_write(&path, format!("{line}\nnot json\n").as_bytes()).unwrap();
+        let err = load_log(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use crate::budget::Budget;
 use crate::history::{Trial, TuningHistory};
+use crate::journal::{RunJournal, TrialRecord};
 use glimpse_sim::{measure_with_retry, Measurer, RetryPolicy};
 use glimpse_space::{Config, SearchSpace};
 use glimpse_tensor_prog::Task;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Everything a tuner needs for one run on one (GPU, task) pair.
 #[derive(Debug)]
@@ -28,6 +29,12 @@ pub struct TuneContext<'a> {
     gpu_seconds_at_start: f64,
     explorer_steps: usize,
     best_trajectory: Vec<f64>,
+    journal: Option<&'a mut RunJournal>,
+    replay: VecDeque<TrialRecord>,
+    // While replaying a recorded prefix, the measurer sits at the run's
+    // *starting* state so the resumed timeline matches the original; this
+    // carries the clock value as of the last replayed trial.
+    replay_clock: Option<f64>,
 }
 
 impl<'a> TuneContext<'a> {
@@ -49,6 +56,9 @@ impl<'a> TuneContext<'a> {
             gpu_seconds_at_start,
             explorer_steps: 0,
             best_trajectory: Vec::new(),
+            journal: None,
+            replay: VecDeque::new(),
+            replay_clock: None,
         }
     }
 
@@ -56,6 +66,27 @@ impl<'a> TuneContext<'a> {
     #[must_use]
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches a crash-safe journal: every trial is appended to the WAL
+    /// before the tuner consumes it, and a journal failure (injected crash,
+    /// torn write, IO error) poisons the run into fail-stop exhaustion.
+    #[must_use]
+    pub fn with_journal(mut self, journal: &'a mut RunJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Queues a recovered journal prefix to be served instead of live
+    /// measurements. The measurer must be restored to the run's *starting*
+    /// state; it is fast-forwarded to the last record's post-state when the
+    /// queue drains. Each served record is verified against the tuner's
+    /// requested configuration — a mismatch poisons the journal
+    /// (determinism contract violation).
+    #[must_use]
+    pub fn with_replay(mut self, records: Vec<TrialRecord>) -> Self {
+        self.replay = records.into();
         self
     }
 
@@ -68,18 +99,21 @@ impl<'a> TuneContext<'a> {
     /// Simulated GPU seconds consumed by this run.
     #[must_use]
     pub fn gpu_seconds(&self) -> f64 {
-        self.measurer.elapsed_gpu_seconds() - self.gpu_seconds_at_start
+        let now = self.replay_clock.unwrap_or_else(|| self.measurer.elapsed_gpu_seconds());
+        now - self.gpu_seconds_at_start
     }
 
-    /// Whether the run should stop (budget bounds, plateau convergence, or
+    /// Whether the run should stop (budget bounds, plateau convergence,
     /// the device having died permanently — there is nothing left to
-    /// measure on a dead channel).
+    /// measure on a dead channel — or the journal having been poisoned by
+    /// a write failure: fail-stop rather than run unjournaled).
     #[must_use]
     pub fn exhausted(&self) -> bool {
         self.budget
             .exhausted(self.history.len(), self.gpu_seconds(), self.history.best_gflops())
             || self.budget.plateaued(&self.best_trajectory)
             || self.measurer.is_device_dead()
+            || self.journal.as_ref().is_some_and(|j| j.poisoned())
     }
 
     /// Measurements still allowed by the budget's count cap.
@@ -109,13 +143,19 @@ impl<'a> TuneContext<'a> {
             return None;
         }
         self.visited.insert(config.indices().to_vec());
+        if let Some(record) = self.next_replayed(config) {
+            return self.consume(record.trial);
+        }
+        if !self.replay.is_empty() {
+            // Replay divergence: the journal is poisoned; fail-stop.
+            return None;
+        }
         let retried = measure_with_retry(self.measurer, self.space, config, &self.retry);
         let trial = Trial::from_measure(&retried.result);
-        let gflops = trial.gflops;
-        self.history.push(trial);
-        let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(gflops.unwrap_or(0.0));
-        self.best_trajectory.push(best);
-        gflops
+        if !self.journal_live(&trial) {
+            return None;
+        }
+        self.consume(trial)
     }
 
     /// Folds an externally measured trial into this run's journal without
@@ -123,9 +163,59 @@ impl<'a> TuneContext<'a> {
     /// was taken — e.g. by a portfolio member sharing this measurer).
     pub fn absorb(&mut self, trial: Trial) {
         self.visited.insert(trial.config.indices().to_vec());
-        let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(trial.gflops.unwrap_or(0.0));
-        self.best_trajectory.push(best);
+        if let Some(record) = self.next_replayed(&trial.config) {
+            let _ = self.consume(record.trial);
+            return;
+        }
+        if !self.replay.is_empty() || !self.journal_live(&trial) {
+            return;
+        }
+        let _ = self.consume(trial);
+    }
+
+    /// Serves the next replayed record, verifying the tuner asked for the
+    /// configuration the journal recorded. On divergence, poisons the
+    /// journal and drops the rest of the queue.
+    fn next_replayed(&mut self, config: &Config) -> Option<TrialRecord> {
+        let record = self.replay.pop_front()?;
+        if record.trial.config != *config {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.poison_divergence(self.history.len() as u64 + 1);
+            }
+            self.replay.clear();
+            self.replay_clock = None;
+            return None;
+        }
+        self.replay_clock = Some(record.post.clock_s);
+        if self.replay.is_empty() {
+            // End of the recorded prefix: fast-forward the measurer to the
+            // last recorded post-state and go live.
+            self.measurer.restore_state(&record.post);
+            self.replay_clock = None;
+        }
+        Some(record)
+    }
+
+    /// Appends a live trial to the journal (no-op without one). Returns
+    /// `false` when the append failed — the trial must not be consumed.
+    fn journal_live(&mut self, trial: &Trial) -> bool {
+        let Some(journal) = self.journal.as_mut() else {
+            return true;
+        };
+        let record = TrialRecord {
+            trial: trial.clone(),
+            post: self.measurer.state(),
+        };
+        journal.append_trial(&record)
+    }
+
+    /// Pushes a trial into the run's history and trajectory bookkeeping.
+    fn consume(&mut self, trial: Trial) -> Option<f64> {
+        let gflops = trial.gflops;
         self.history.push(trial);
+        let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(gflops.unwrap_or(0.0));
+        self.best_trajectory.push(best);
+        gflops
     }
 
     /// Measures a batch, stopping early if the budget runs out mid-batch.

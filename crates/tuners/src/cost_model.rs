@@ -214,6 +214,7 @@ mod tests {
                 gflops: None,
                 cost_s: 10.0,
                 fault: Some(glimpse_sim::MeasureFault::Timeout { timeout_s: 10.0 }),
+                invalid: None,
             });
         }
         let mut model = GbtCostModel::new(0);

@@ -5,7 +5,7 @@
 //! of TVM tuning logs / the TenSet corpus [19] that §3.1 gathers to train
 //! the prior generator `H`.
 
-use glimpse_sim::{MeasureFault, MeasureResult, Outcome};
+use glimpse_sim::{InvalidReason, MeasureFault, MeasureResult, Outcome};
 use glimpse_space::Config;
 use glimpse_tensor_prog::TemplateKind;
 use serde::{Deserialize, Serialize};
@@ -24,21 +24,27 @@ pub struct Trial {
     /// says nothing about the configuration — faulted trials must never
     /// become surrogate training targets, unlike invalid ones.
     pub fault: Option<MeasureFault>,
+    /// Why the configuration was rejected, when the trial was invalid.
+    /// Absent in logs written before this field existed (those records
+    /// still classify as invalid via `gflops`/`fault`).
+    pub invalid: Option<InvalidReason>,
 }
 
 impl Trial {
     /// Converts a measurement result into a trial record.
     #[must_use]
     pub fn from_measure(result: &MeasureResult) -> Self {
-        let gflops = match result.outcome {
-            Outcome::Valid { gflops, .. } => Some(gflops),
-            Outcome::Invalid(_) | Outcome::Faulted(_) => None,
+        let (gflops, invalid) = match result.outcome {
+            Outcome::Valid { gflops, .. } => (Some(gflops), None),
+            Outcome::Invalid(reason) => (None, Some(reason)),
+            Outcome::Faulted(_) => (None, None),
         };
         Self {
             config: result.config.clone(),
             gflops,
             cost_s: result.cost_s,
             fault: result.outcome.fault(),
+            invalid,
         }
     }
 
@@ -265,6 +271,7 @@ mod tests {
                 gflops: *g,
                 cost_s: 1.0,
                 fault: None,
+                invalid: None,
             });
         }
         h
@@ -293,6 +300,7 @@ mod tests {
             gflops: None,
             cost_s: 10.0,
             fault: Some(MeasureFault::Timeout { timeout_s: 10.0 }),
+            invalid: None,
         });
         assert_eq!(h.invalid_count(), 1);
         assert_eq!(h.fault_count(), 1);

@@ -1,0 +1,797 @@
+//! Crash-safe tuning runs: durable trial journal, atomic snapshots, and
+//! kill-anywhere resume.
+//!
+//! A checkpointed run directory holds three files:
+//!
+//! * `journal.wal` — an append-only write-ahead log (see
+//!   [`glimpse_durable::wal`]). Frame 0 is the [`RunHeader`] (run identity
+//!   plus the measurer's starting state); every following frame is one
+//!   [`TrialRecord`] — the [`Trial`] plus the [`MeasurerState`] *after* it —
+//!   appended before the tuner consumes the trial, so a crash never loses a
+//!   debited measurement.
+//! * `snapshot.json` — a periodic [`Snapshot`] written atomically
+//!   (temp file + fsync + rename) every [`CheckpointSpec::snapshot_every`]
+//!   trials; each snapshot also fsyncs the WAL, making everything up to it
+//!   power-loss durable.
+//! * `complete.json` — the final [`TuningOutcome`], written atomically by
+//!   [`RunJournal::mark_complete`]. Its presence marks the cell finished;
+//!   fleet resume loads it instead of re-running.
+//!
+//! **Resume is replay, not state surgery.** Tuners are deterministic
+//! functions of `(seed, history)` (PR 2's contract), so
+//! [`run_checkpointed`] does not try to serialize GBT/GP internals.
+//! It restores the measurer to the header's starting state and re-drives
+//! the tuner; [`TuneContext`] serves the recorded prefix from a replay
+//! queue (verifying the tuner requests the same configurations — any
+//! divergence poisons the journal and fail-stops) and switches to live
+//! measurement exactly where the crash hit, restoring the measurer to the
+//! last recorded post-trial state. The resumed journal is byte-identical
+//! to an uninterrupted run's.
+//!
+//! **Recovery rules.** On open, the WAL scan tolerates a truncated tail and
+//! a corrupted trailing record (frame-level via CRC/sequence checks,
+//! payload-level via JSON decoding): the corrupt tail is truncated away and
+//! appending continues at the next sequence number. A journal whose header
+//! frame never became durable is restarted from zero (nothing measured was
+//! recorded); a header that decodes but does not match the requested run is
+//! a hard [`JournalError::HeaderMismatch`] — resuming under different
+//! parameters would silently corrupt results.
+
+use crate::budget::Budget;
+use crate::context::{TuneContext, Tuner, TuningOutcome};
+use crate::history::Trial;
+use glimpse_sim::{FaultRates, Measurer, MeasurerState, RetryPolicy, StorageFaults};
+use glimpse_space::SearchSpace;
+use glimpse_tensor_prog::{Task, TemplateKind};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a checkpoint cell directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+/// Periodic atomic snapshot file name.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+/// Terminal outcome file name; presence marks the cell complete.
+pub const COMPLETE_FILE: &str = "complete.json";
+/// Default snapshot cadence (trials per snapshot + WAL fsync).
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 16;
+/// Default bytes of a torn frame that reach the file when `torn_at_seq`
+/// fires without an explicit `torn_keep_bytes` (cuts mid-header).
+pub const DEFAULT_TORN_KEEP: u64 = 7;
+
+/// Why a journal operation failed. Corruption of the *tail* is not an
+/// error (lossy-tail recovery handles it); these are the unrecoverable or
+/// injected cases.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A frame that passed its CRC holds an undecodable or impossible
+    /// payload (format drift, version skew).
+    Corrupt {
+        /// WAL sequence number of the offending frame.
+        seq: u64,
+        /// What failed to decode.
+        detail: String,
+    },
+    /// The journal's header does not match the run being resumed.
+    HeaderMismatch {
+        /// First mismatching field, `name: journal=.. run=..`.
+        detail: String,
+    },
+    /// A journal already exists and `--resume` was not requested.
+    AlreadyExists(PathBuf),
+    /// Injected fail-stop: the sim fault plan's `crash_at_seq` fired.
+    SimulatedCrash {
+        /// Sequence number whose append was suppressed.
+        seq: u64,
+    },
+    /// Injected fail-stop: the sim fault plan's `torn_at_seq` fired and a
+    /// partial frame was written.
+    TornWrite {
+        /// Sequence number whose append was torn.
+        seq: u64,
+    },
+    /// During resume, the tuner requested a different configuration than
+    /// the journal recorded — the determinism contract is broken.
+    ReplayDivergence {
+        /// Sequence number of the record that disagreed.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(err) => write!(f, "journal IO error: {err}"),
+            JournalError::Corrupt { seq, detail } => write!(f, "journal record {seq} is corrupt: {detail}"),
+            JournalError::HeaderMismatch { detail } => {
+                write!(f, "journal belongs to a different run ({detail}); refuse to resume")
+            }
+            JournalError::AlreadyExists(path) => {
+                write!(f, "journal {} already exists; pass --resume to continue it", path.display())
+            }
+            JournalError::SimulatedCrash { seq } => write!(f, "injected crash before appending record {seq}"),
+            JournalError::TornWrite { seq } => write!(f, "injected torn write while appending record {seq}"),
+            JournalError::ReplayDivergence { seq } => {
+                write!(
+                    f,
+                    "resume diverged from the journal at record {seq}: tuner requested a different config"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(err: std::io::Error) -> Self {
+        JournalError::Io(err)
+    }
+}
+
+/// Frame 0 of every journal: the run's identity and starting state. A
+/// resumed run must present identical parameters — the header is the
+/// contract that makes byte-identical resume meaningful.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunHeader {
+    /// Tuner name ([`Tuner::name`]).
+    pub tuner: String,
+    /// GPU marketing name.
+    pub gpu: String,
+    /// Model the task came from.
+    pub model: String,
+    /// Task index within the model.
+    pub task_index: usize,
+    /// Code template tuned.
+    pub template: TemplateKind,
+    /// Stopping criteria.
+    pub budget: Budget,
+    /// Tuner seed.
+    pub seed: u64,
+    /// Retry policy applied to faulted measurements.
+    pub retry: RetryPolicy,
+    /// Fault-plan seed the measurer was built with.
+    pub fault_seed: u64,
+    /// Fault rates in effect for this device.
+    pub fault_rates: FaultRates,
+    /// Measurer state when the run started.
+    pub start: MeasurerState,
+}
+
+/// One WAL trial record: the trial plus the measurer state after it, so
+/// resume can continue the measurement and fault streams bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The journaled trial.
+    pub trial: Trial,
+    /// Measurer state immediately after this trial.
+    pub post: MeasurerState,
+}
+
+/// Periodic atomic checkpoint of run progress (written alongside a WAL
+/// fsync, so everything up to `trials` is power-loss durable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Trials journaled when this snapshot was taken.
+    pub trials: u64,
+    /// Best valid throughput so far (GFLOPS).
+    pub best_gflops: f64,
+    /// Measurer state after the last journaled trial.
+    pub post: MeasurerState,
+}
+
+/// A live journal: the appending end of a checkpointed run.
+#[derive(Debug)]
+pub struct RunJournal {
+    writer: glimpse_durable::WalWriter,
+    dir: PathBuf,
+    snapshot_every: u64,
+    storage: StorageFaults,
+    trials: u64,
+    best_gflops: f64,
+    poison: Option<JournalError>,
+}
+
+/// What [`RunJournal::resume`] recovered from an interrupted run.
+#[derive(Debug)]
+pub struct ResumedRun {
+    /// The journal, positioned to append the next trial.
+    pub journal: RunJournal,
+    /// The run's header (frame 0).
+    pub header: RunHeader,
+    /// Every intact trial record, in sequence order.
+    pub records: Vec<TrialRecord>,
+}
+
+impl RunJournal {
+    /// Starts a fresh journal in `dir`, writing and fsyncing the header
+    /// frame before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::AlreadyExists`] if `dir` already holds a journal
+    /// (use [`RunJournal::resume`]); otherwise IO/encoding errors.
+    pub fn create(dir: &Path, header: &RunHeader, storage: StorageFaults, snapshot_every: u64) -> Result<Self, JournalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        if path.exists() {
+            return Err(JournalError::AlreadyExists(path));
+        }
+        let mut writer = glimpse_durable::WalWriter::create(&path)?;
+        let payload = encode(header, 0)?;
+        writer.append(payload.as_bytes())?;
+        writer.sync()?;
+        Ok(Self {
+            writer,
+            dir: dir.to_path_buf(),
+            snapshot_every,
+            storage,
+            trials: 0,
+            best_gflops: 0.0,
+            poison: None,
+        })
+    }
+
+    /// Recovers the journal in `dir`: scans the WAL, drops a corrupt tail
+    /// (truncated frame, bad CRC, bad sequence number, or an undecodable
+    /// trailing payload), truncates the file back to the intact prefix,
+    /// and returns the header plus every recovered trial record.
+    ///
+    /// Returns `Ok(None)` when no header frame survived — nothing was
+    /// durably recorded, so the caller should start the run from scratch.
+    ///
+    /// # Errors
+    ///
+    /// IO errors, or [`JournalError::Corrupt`] when the header frame is
+    /// intact at the WAL layer but undecodable (format drift).
+    pub fn resume(dir: &Path, storage: StorageFaults, snapshot_every: u64) -> Result<Option<ResumedRun>, JournalError> {
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = std::fs::read(&path)?;
+        let recovery = glimpse_durable::scan(&bytes, 0);
+        let Some(first) = recovery.frames.first() else {
+            return Ok(None);
+        };
+        let header: RunHeader = decode(&first.payload, 0)?;
+        let mut valid_len = frame_len(first) as u64;
+        let mut records = Vec::with_capacity(recovery.frames.len().saturating_sub(1));
+        let mut best_gflops = 0.0f64;
+        for frame in &recovery.frames[1..] {
+            // A record that passed its CRC but fails to decode is treated
+            // exactly like a torn tail: it and everything after it are
+            // discarded. (In practice only the last record can be affected;
+            // anything earlier would indicate format drift, caught by the
+            // header check above.)
+            let Ok(record) = decode::<TrialRecord>(&frame.payload, frame.seq) else {
+                break;
+            };
+            valid_len += frame_len(frame) as u64;
+            if let Some(g) = record.trial.gflops {
+                best_gflops = best_gflops.max(g);
+            }
+            records.push(record);
+        }
+        let next_seq = records.len() as u64 + 1;
+        let writer = glimpse_durable::open_for_append_at(&path, valid_len, next_seq)?;
+        let trials = records.len() as u64;
+        Ok(Some(ResumedRun {
+            journal: Self {
+                writer,
+                dir: dir.to_path_buf(),
+                snapshot_every,
+                storage,
+                trials,
+                best_gflops,
+                poison: None,
+            },
+            header,
+            records,
+        }))
+    }
+
+    /// Appends one trial record. Returns `false` — and poisons the journal,
+    /// making the owning [`TuneContext`] report exhaustion — when the
+    /// append failed or an injected storage fault fired; the trial must
+    /// then not be consumed by the tuner (fail-stop semantics).
+    pub fn append_trial(&mut self, record: &TrialRecord) -> bool {
+        if self.poison.is_some() {
+            return false;
+        }
+        match self.try_append(record) {
+            Ok(()) => true,
+            Err(err) => {
+                self.poison = Some(err);
+                false
+            }
+        }
+    }
+
+    fn try_append(&mut self, record: &TrialRecord) -> Result<(), JournalError> {
+        let seq = self.writer.next_seq();
+        if self.storage.crash_at_seq == Some(seq) {
+            return Err(JournalError::SimulatedCrash { seq });
+        }
+        let payload = encode(record, seq)?;
+        if self.storage.torn_at_seq == Some(seq) {
+            let keep = self.storage.torn_keep_bytes.unwrap_or(DEFAULT_TORN_KEEP);
+            self.writer
+                .append_torn(payload.as_bytes(), usize::try_from(keep).unwrap_or(usize::MAX))?;
+            return Err(JournalError::TornWrite { seq });
+        }
+        self.writer.append(payload.as_bytes())?;
+        self.trials += 1;
+        if let Some(g) = record.trial.gflops {
+            self.best_gflops = self.best_gflops.max(g);
+        }
+        if self.snapshot_every > 0 && self.trials.is_multiple_of(self.snapshot_every) {
+            self.write_snapshot(&record.post)?;
+        }
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, post: &MeasurerState) -> Result<(), JournalError> {
+        let snapshot = Snapshot {
+            trials: self.trials,
+            best_gflops: self.best_gflops,
+            post: *post,
+        };
+        let text = encode(&snapshot, self.trials)?;
+        glimpse_durable::atomic_write(&self.dir.join(SNAPSHOT_FILE), text.as_bytes())?;
+        // Snapshot cadence doubles as the power-loss durability barrier.
+        self.writer.sync()?;
+        Ok(())
+    }
+
+    /// Finishes the run: fsyncs the WAL and atomically writes
+    /// `complete.json` with the outcome, marking the cell done for fleet
+    /// resume.
+    ///
+    /// # Errors
+    ///
+    /// IO or encoding errors; the journal itself stays valid.
+    pub fn mark_complete(&mut self, outcome: &TuningOutcome) -> Result<(), JournalError> {
+        self.writer.sync()?;
+        let text = encode(outcome, self.trials)?;
+        glimpse_durable::atomic_write(&self.dir.join(COMPLETE_FILE), text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Poisons the journal with a replay divergence (called by the context
+    /// when a resumed tuner requests a configuration the journal did not
+    /// record).
+    pub fn poison_divergence(&mut self, seq: u64) {
+        if self.poison.is_none() {
+            self.poison = Some(JournalError::ReplayDivergence { seq });
+        }
+    }
+
+    /// Whether a fatal journal event occurred; the run must fail-stop.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
+    /// Takes the poisoning error, if any.
+    pub fn take_poison(&mut self) -> Option<JournalError> {
+        self.poison.take()
+    }
+
+    /// Number of trial records appended (replayed prefix included).
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+/// Loads a cell's terminal outcome, if the run completed.
+///
+/// # Errors
+///
+/// IO errors other than the file being absent, or a corrupt outcome file
+/// (which `atomic_write` should make impossible short of media failure).
+pub fn load_complete(dir: &Path) -> Result<Option<TuningOutcome>, JournalError> {
+    let path = dir.join(COMPLETE_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(JournalError::Io(err)),
+    };
+    serde_json::from_str(&text).map(Some).map_err(|err| JournalError::Corrupt {
+        seq: 0,
+        detail: format!("{}: {err:?}", path.display()),
+    })
+}
+
+/// Loads the latest periodic snapshot, if one was written.
+///
+/// # Errors
+///
+/// IO errors other than the file being absent, or a corrupt snapshot.
+pub fn load_snapshot(dir: &Path) -> Result<Option<Snapshot>, JournalError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(JournalError::Io(err)),
+    };
+    serde_json::from_str(&text).map(Some).map_err(|err| JournalError::Corrupt {
+        seq: 0,
+        detail: format!("{}: {err:?}", path.display()),
+    })
+}
+
+fn encode<T: Serialize>(value: &T, seq: u64) -> Result<String, JournalError> {
+    serde_json::to_string(value).map_err(|err| JournalError::Corrupt {
+        seq,
+        detail: format!("encode: {err:?}"),
+    })
+}
+
+fn decode<T: serde::Deserialize>(payload: &[u8], seq: u64) -> Result<T, JournalError> {
+    let text = std::str::from_utf8(payload).map_err(|err| JournalError::Corrupt {
+        seq,
+        detail: format!("payload is not UTF-8: {err}"),
+    })?;
+    serde_json::from_str(text).map_err(|err| JournalError::Corrupt {
+        seq,
+        detail: format!("decode: {err:?}"),
+    })
+}
+
+fn frame_len(frame: &glimpse_durable::WalFrame) -> usize {
+    glimpse_durable::wal::FRAME_HEADER_LEN + frame.payload.len()
+}
+
+/// Where and how a run checkpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointSpec<'p> {
+    /// Cell directory holding `journal.wal` / `snapshot.json` /
+    /// `complete.json`.
+    pub dir: &'p Path,
+    /// Whether an existing journal may be continued (otherwise an existing
+    /// journal is an error — no silent clobbering).
+    pub resume: bool,
+    /// Injected storage faults (chaos tests).
+    pub storage: StorageFaults,
+    /// Trials per snapshot + WAL fsync.
+    pub snapshot_every: u64,
+    /// Fault-plan seed recorded in (and checked against) the header.
+    pub fault_seed: u64,
+    /// Device fault rates recorded in (and checked against) the header.
+    pub fault_rates: FaultRates,
+}
+
+impl<'p> CheckpointSpec<'p> {
+    /// A spec with defaults: fresh run, no injected faults, default
+    /// snapshot cadence.
+    #[must_use]
+    pub fn new(dir: &'p Path) -> Self {
+        Self {
+            dir,
+            resume: false,
+            storage: StorageFaults::none(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            fault_seed: 0,
+            fault_rates: FaultRates::none(),
+        }
+    }
+
+    /// Allows continuing an existing journal.
+    #[must_use]
+    pub fn resuming(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Arms injected storage faults.
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageFaults) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Records the measurement fault plan's seed and per-device rates.
+    #[must_use]
+    pub fn with_faults(mut self, seed: u64, rates: FaultRates) -> Self {
+        self.fault_seed = seed;
+        self.fault_rates = rates;
+        self
+    }
+}
+
+/// Runs `tuner` on one (task, device) cell with crash-safe journaling.
+///
+/// Fresh run: writes the header, journals every trial before the tuner
+/// consumes it, snapshots periodically, and writes `complete.json` at the
+/// end. Resume (`spec.resume`): a completed cell returns its stored
+/// outcome without touching the measurer; an interrupted cell is recovered
+/// (lossy-tail truncation), the measurer is restored to the header's
+/// starting state, and the tuner is re-driven with the recorded prefix
+/// served from a replay queue — continuing live, bit-identically, where
+/// the crash hit.
+///
+/// # Errors
+///
+/// Journal IO/recovery errors, [`JournalError::HeaderMismatch`] when the
+/// journal belongs to different run parameters, injected
+/// [`JournalError::SimulatedCrash`]/[`JournalError::TornWrite`] events,
+/// and [`JournalError::ReplayDivergence`] if determinism is broken.
+pub fn run_checkpointed<T: Tuner + ?Sized>(
+    tuner: &mut T,
+    spec: &CheckpointSpec<'_>,
+    task: &Task,
+    space: &SearchSpace,
+    measurer: &mut Measurer,
+    budget: Budget,
+    seed: u64,
+) -> Result<TuningOutcome, JournalError> {
+    let journal_path = spec.dir.join(JOURNAL_FILE);
+    let retry = RetryPolicy::default();
+    let mut resumed = None;
+    if journal_path.exists() {
+        if !spec.resume {
+            return Err(JournalError::AlreadyExists(journal_path));
+        }
+        if let Some(outcome) = load_complete(spec.dir)? {
+            return Ok(outcome);
+        }
+        resumed = RunJournal::resume(spec.dir, spec.storage, spec.snapshot_every)?;
+        if resumed.is_none() {
+            // The header frame never became durable: nothing was recorded,
+            // so the only honest recovery is a fresh start.
+            std::fs::remove_file(&journal_path)?;
+        }
+    }
+    let (mut journal, records) = match resumed {
+        Some(run) => {
+            verify_header(&run.header, tuner.name(), task, measurer, budget, seed, retry, spec)?;
+            measurer.restore_state(&run.header.start);
+            (run.journal, run.records)
+        }
+        None => {
+            let header = RunHeader {
+                tuner: tuner.name().to_owned(),
+                gpu: measurer.gpu().name.clone(),
+                model: task.id.model.clone(),
+                task_index: task.id.index,
+                template: task.template,
+                budget,
+                seed,
+                retry,
+                fault_seed: spec.fault_seed,
+                fault_rates: spec.fault_rates,
+                start: measurer.state(),
+            };
+            (
+                RunJournal::create(spec.dir, &header, spec.storage, spec.snapshot_every)?,
+                Vec::new(),
+            )
+        }
+    };
+    let ctx = TuneContext::new(task, space, measurer, budget, seed)
+        .with_retry_policy(retry)
+        .with_journal(&mut journal)
+        .with_replay(records);
+    let outcome = tuner.tune(ctx);
+    if let Some(err) = journal.take_poison() {
+        return Err(err);
+    }
+    journal.mark_complete(&outcome)?;
+    Ok(outcome)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_header(
+    header: &RunHeader,
+    tuner: &str,
+    task: &Task,
+    measurer: &Measurer,
+    budget: Budget,
+    seed: u64,
+    retry: RetryPolicy,
+    spec: &CheckpointSpec<'_>,
+) -> Result<(), JournalError> {
+    let mismatch = |field: &str, journal: String, run: String| JournalError::HeaderMismatch {
+        detail: format!("{field}: journal={journal} run={run}"),
+    };
+    if header.tuner != tuner {
+        return Err(mismatch("tuner", header.tuner.clone(), tuner.to_owned()));
+    }
+    let gpu = &measurer.gpu().name;
+    if &header.gpu != gpu {
+        return Err(mismatch("gpu", header.gpu.clone(), gpu.clone()));
+    }
+    if header.model != task.id.model || header.task_index != task.id.index || header.template != task.template {
+        return Err(mismatch(
+            "task",
+            format!("{}#{} ({})", header.model, header.task_index, header.template),
+            format!("{}#{} ({})", task.id.model, task.id.index, task.template),
+        ));
+    }
+    if header.budget != budget {
+        return Err(mismatch("budget", format!("{:?}", header.budget), format!("{budget:?}")));
+    }
+    if header.seed != seed {
+        return Err(mismatch("seed", header.seed.to_string(), seed.to_string()));
+    }
+    if header.retry != retry {
+        return Err(mismatch("retry", format!("{:?}", header.retry), format!("{retry:?}")));
+    }
+    if header.fault_seed != spec.fault_seed || header.fault_rates != spec.fault_rates {
+        return Err(mismatch(
+            "fault plan",
+            format!("seed {} {:?}", header.fault_seed, header.fault_rates),
+            format!("seed {} {:?}", spec.fault_seed, spec.fault_rates),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomTuner;
+    use glimpse_gpu_spec::database;
+    use glimpse_sim::FaultPlan;
+    use glimpse_space::templates;
+    use glimpse_tensor_prog::models;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("glimpse_journal_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture() -> (Task, SearchSpace, FaultPlan) {
+        let model = models::alexnet();
+        let task = model.tasks()[2].clone();
+        let space = templates::space_for_task(&task);
+        let plan = FaultPlan::uniform(
+            5,
+            FaultRates {
+                timeout: 0.05,
+                noise_spike: 0.1,
+                ..FaultRates::none()
+            },
+        );
+        (task, space, plan)
+    }
+
+    fn measurer(plan: &FaultPlan) -> Measurer {
+        Measurer::with_faults(database::find("Titan Xp").unwrap().clone(), 7, plan)
+    }
+
+    #[test]
+    fn uninterrupted_checkpointed_run_completes_and_reloads() {
+        let dir = temp_dir("clean_run");
+        let (task, space, plan) = fixture();
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates);
+        let mut m = measurer(&plan);
+        let outcome = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(20), 3).unwrap();
+        assert_eq!(outcome.measurements, 20);
+        let stored = load_complete(&dir).unwrap().expect("complete.json written");
+        assert_eq!(stored, outcome);
+        // A periodic snapshot landed (cadence 16 <= 20 trials).
+        let snapshot = load_snapshot(&dir).unwrap().expect("snapshot written");
+        assert_eq!(snapshot.trials, 16);
+        // Resuming a completed cell returns the stored outcome untouched.
+        let spec = spec.resuming(true);
+        let mut m2 = measurer(&plan);
+        let again = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m2, Budget::measurements(20), 3).unwrap();
+        assert_eq!(again, outcome);
+        assert_eq!(m2.elapsed_gpu_seconds(), 0.0, "completed cell must not re-measure");
+    }
+
+    #[test]
+    fn existing_journal_without_resume_is_refused() {
+        let dir = temp_dir("no_clobber");
+        let (task, space, plan) = fixture();
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates);
+        let mut m = measurer(&plan);
+        run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(5), 3).unwrap();
+        let mut m2 = measurer(&plan);
+        let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m2, Budget::measurements(5), 3).unwrap_err();
+        assert!(matches!(err, JournalError::AlreadyExists(_)), "{err}");
+    }
+
+    #[test]
+    fn crash_at_every_trial_boundary_resumes_byte_identically() {
+        let (task, space, plan) = fixture();
+        let budget = Budget::measurements(12);
+
+        let baseline_dir = temp_dir("kill_baseline");
+        let spec = CheckpointSpec::new(&baseline_dir).with_faults(plan.seed, plan.default_rates);
+        let mut m = measurer(&plan);
+        let baseline = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 3).unwrap();
+        let baseline_wal = std::fs::read(baseline_dir.join(JOURNAL_FILE)).unwrap();
+
+        for kill_seq in 1..=12u64 {
+            let dir = temp_dir(&format!("kill_at_{kill_seq}"));
+            let crash = StorageFaults {
+                crash_at_seq: Some(kill_seq),
+                ..StorageFaults::none()
+            };
+            let spec = CheckpointSpec::new(&dir)
+                .with_faults(plan.seed, plan.default_rates)
+                .with_storage(crash);
+            let mut m = measurer(&plan);
+            let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 3).unwrap_err();
+            assert!(matches!(err, JournalError::SimulatedCrash { seq } if seq == kill_seq), "{err}");
+
+            let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates).resuming(true);
+            let mut m = measurer(&plan);
+            let resumed = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 3).unwrap();
+            assert_eq!(resumed, baseline, "kill at seq {kill_seq}");
+            let wal = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+            assert_eq!(wal, baseline_wal, "journal bytes differ after kill at seq {kill_seq}");
+        }
+    }
+
+    #[test]
+    fn torn_write_is_truncated_and_resumed_byte_identically() {
+        let (task, space, plan) = fixture();
+        let budget = Budget::measurements(10);
+
+        let baseline_dir = temp_dir("torn_baseline");
+        let spec = CheckpointSpec::new(&baseline_dir).with_faults(plan.seed, plan.default_rates);
+        let mut m = measurer(&plan);
+        run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 9).unwrap();
+        let baseline_wal = std::fs::read(baseline_dir.join(JOURNAL_FILE)).unwrap();
+
+        let dir = temp_dir("torn_run");
+        let torn = StorageFaults {
+            torn_at_seq: Some(4),
+            torn_keep_bytes: Some(21),
+            ..StorageFaults::none()
+        };
+        let spec = CheckpointSpec::new(&dir)
+            .with_faults(plan.seed, plan.default_rates)
+            .with_storage(torn);
+        let mut m = measurer(&plan);
+        let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 9).unwrap_err();
+        assert!(matches!(err, JournalError::TornWrite { seq: 4 }), "{err}");
+
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates).resuming(true);
+        let mut m = measurer(&plan);
+        run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 9).unwrap();
+        assert_eq!(std::fs::read(dir.join(JOURNAL_FILE)).unwrap(), baseline_wal);
+    }
+
+    #[test]
+    fn resume_under_different_parameters_is_refused() {
+        let dir = temp_dir("mismatch");
+        let (task, space, plan) = fixture();
+        let crash = StorageFaults {
+            crash_at_seq: Some(3),
+            ..StorageFaults::none()
+        };
+        let spec = CheckpointSpec::new(&dir)
+            .with_faults(plan.seed, plan.default_rates)
+            .with_storage(crash);
+        let mut m = measurer(&plan);
+        let _ = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(10), 3);
+        // Different seed.
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates).resuming(true);
+        let mut m = measurer(&plan);
+        let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(10), 4).unwrap_err();
+        assert!(matches!(err, JournalError::HeaderMismatch { .. }), "{err}");
+        // Different budget.
+        let mut m = measurer(&plan);
+        let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(11), 3).unwrap_err();
+        assert!(matches!(err, JournalError::HeaderMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    #[allow(clippy::disallowed_methods)] // hand-writes a corrupt fixture
+    fn headerless_journal_restarts_from_zero() {
+        let dir = temp_dir("headerless");
+        let (task, space, plan) = fixture();
+        // Simulate a crash mid-header append: a few junk bytes, no frame.
+        std::fs::write(dir.join(JOURNAL_FILE), b"\x05\x00").unwrap();
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates).resuming(true);
+        let mut m = measurer(&plan);
+        let outcome = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(5), 3).unwrap();
+        assert_eq!(outcome.measurements, 5);
+    }
+}

@@ -31,6 +31,7 @@ pub mod diagnostics;
 pub mod genetic;
 pub mod grid;
 pub mod history;
+pub mod journal;
 pub mod portfolio;
 pub mod random;
 pub mod replay;
@@ -39,3 +40,4 @@ pub mod scheduler;
 pub use budget::Budget;
 pub use context::{TuneContext, Tuner, TuningOutcome};
 pub use history::{LogStore, Trial, TuningHistory};
+pub use journal::{run_checkpointed, CheckpointSpec, JournalError, RunHeader, RunJournal, TrialRecord};

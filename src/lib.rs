@@ -6,6 +6,10 @@
 
 #![forbid(unsafe_code)]
 
+/// Crash-consistent file IO: atomic writes, CRC32, and the write-ahead
+/// trial log underlying checkpoint/resume.
+pub use glimpse_durable as durable;
+
 /// GPU specification sheets and the bundled device database.
 pub use glimpse_gpu_spec as gpu_spec;
 

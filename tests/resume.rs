@@ -1,0 +1,191 @@
+//! Kill-anywhere resume: the crash-recovery acceptance tests.
+//!
+//! A checkpointed run killed at a trial boundary (simulated crash or torn
+//! write injected by [`StorageFaults`]) and resumed must finish with a
+//! `journal.wal` byte-identical to an uninterrupted run's, and the same
+//! tuning outcome — at any kill point and any worker count (PR 2's
+//! determinism contract is what makes the byte-level claim testable).
+//!
+//! Tier-1 covers a handful of kill points; the exhaustive
+//! every-boundary sweep is chaos-tier:
+//!
+//! ```text
+//! cargo test --test resume -- --ignored
+//! ```
+
+use glimpse_repro::mlkit::parallel::set_default_threads;
+use glimpse_repro::sim::{FaultPlan, FaultRates, Measurer, StorageFaults};
+use glimpse_repro::space::templates;
+use glimpse_repro::tensor_prog::models;
+use glimpse_repro::tuners::autotvm::AutoTvmTuner;
+use glimpse_repro::tuners::journal::JOURNAL_FILE;
+use glimpse_repro::tuners::{run_checkpointed, Budget, CheckpointSpec, JournalError, TuningOutcome};
+use std::path::{Path, PathBuf};
+
+const BUDGET: usize = 18;
+const SEED: u64 = 11;
+
+fn plan() -> FaultPlan {
+    FaultPlan::uniform(
+        5,
+        FaultRates {
+            timeout: 0.05,
+            noise_spike: 0.1,
+            ..FaultRates::none()
+        },
+    )
+}
+
+fn measurer() -> Measurer {
+    Measurer::with_faults(glimpse_repro::gpu_spec::database::find("Titan Xp").unwrap().clone(), 7, &plan())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glimpse-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(dir: &Path) -> CheckpointSpec<'_> {
+    let p = plan();
+    CheckpointSpec::new(dir).resuming(true).with_faults(p.seed, p.default_rates)
+}
+
+/// Runs to completion in `dir`, crashing (and resuming) at each sequence
+/// number in `kills` along the way.
+fn run_with_kills(dir: &Path, kills: &[u64]) -> TuningOutcome {
+    let model = models::alexnet();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    for &kill in kills {
+        let storage = StorageFaults {
+            crash_at_seq: Some(kill),
+            ..StorageFaults::none()
+        };
+        let mut m = measurer();
+        let err = run_checkpointed(
+            &mut AutoTvmTuner::new(),
+            &spec(dir).with_storage(storage),
+            task,
+            &space,
+            &mut m,
+            Budget::measurements(BUDGET),
+            SEED,
+        )
+        .expect_err("injected crash must surface");
+        assert!(
+            matches!(err, JournalError::SimulatedCrash { .. }),
+            "unexpected failure at seq {kill}: {err}"
+        );
+    }
+    let mut m = measurer();
+    run_checkpointed(
+        &mut AutoTvmTuner::new(),
+        &spec(dir),
+        task,
+        &space,
+        &mut m,
+        Budget::measurements(BUDGET),
+        SEED,
+    )
+    .expect("final resumed run completes")
+}
+
+fn assert_matches_baseline(dir: &Path, baseline_dir: &Path, outcome: &TuningOutcome, baseline: &TuningOutcome) {
+    assert_eq!(
+        outcome.best_gflops.to_bits(),
+        baseline.best_gflops.to_bits(),
+        "resumed outcome diverged from the uninterrupted run"
+    );
+    assert_eq!(outcome.measurements, baseline.measurements);
+    let wal = std::fs::read(dir.join(JOURNAL_FILE)).expect("resumed journal readable");
+    let baseline_wal = std::fs::read(baseline_dir.join(JOURNAL_FILE)).expect("baseline journal readable");
+    assert_eq!(wal, baseline_wal, "resumed journal is not byte-identical to the baseline");
+}
+
+fn kill_resume_sweep(threads: usize, kills_per_run: &[&[u64]], tag: &str) {
+    set_default_threads(threads);
+    let baseline_dir = temp_dir(&format!("{tag}-baseline"));
+    let baseline = run_with_kills(&baseline_dir, &[]);
+    for (i, kills) in kills_per_run.iter().enumerate() {
+        let dir = temp_dir(&format!("{tag}-kill{i}"));
+        let outcome = run_with_kills(&dir, kills);
+        assert_matches_baseline(&dir, &baseline_dir, &outcome, &baseline);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    set_default_threads(0);
+}
+
+#[test]
+fn killed_runs_resume_byte_identically_single_thread() {
+    // Kill early (header just durable), mid-run, at a snapshot boundary
+    // (16), and one run killed repeatedly.
+    kill_resume_sweep(1, &[&[1], &[9], &[16], &[3, 9, 15]], "t1");
+}
+
+#[test]
+fn killed_runs_resume_byte_identically_multi_thread() {
+    kill_resume_sweep(8, &[&[1], &[9], &[16], &[3, 9, 15]], "t8");
+}
+
+#[test]
+fn torn_write_resumes_byte_identically() {
+    set_default_threads(1);
+    let baseline_dir = temp_dir("torn-baseline");
+    let baseline = run_with_kills(&baseline_dir, &[]);
+
+    let model = models::alexnet();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    let dir = temp_dir("torn");
+    let storage = StorageFaults {
+        torn_at_seq: Some(7),
+        ..StorageFaults::none()
+    };
+    let mut m = measurer();
+    let err = run_checkpointed(
+        &mut AutoTvmTuner::new(),
+        &spec(&dir).with_storage(storage),
+        task,
+        &space,
+        &mut m,
+        Budget::measurements(BUDGET),
+        SEED,
+    )
+    .expect_err("torn write must surface");
+    assert!(matches!(err, JournalError::TornWrite { .. }), "{err}");
+
+    let outcome = run_with_kills(&dir, &[]);
+    assert_matches_baseline(&dir, &baseline_dir, &outcome, &baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    set_default_threads(0);
+}
+
+#[test]
+#[ignore = "chaos tier: run with --ignored"]
+fn every_trial_boundary_kill_resumes_byte_identically() {
+    for threads in [1usize, 8] {
+        set_default_threads(threads);
+        let baseline_dir = temp_dir(&format!("sweep-baseline-{threads}"));
+        let baseline = run_with_kills(&baseline_dir, &[]);
+        // Seq 0 is the header; every journaled trial (valid, invalid, or
+        // faulted) occupies one frame after it. Sweep every boundary the
+        // baseline actually wrote.
+        let recovered = glimpse_repro::durable::recover(&baseline_dir.join(JOURNAL_FILE)).expect("baseline journal scans");
+        let last_seq = recovered.next_seq().saturating_sub(1);
+        assert!(
+            last_seq >= 2,
+            "baseline journal suspiciously short ({last_seq} frames after the header)"
+        );
+        for kill in 1..=last_seq {
+            let dir = temp_dir(&format!("sweep-{threads}-{kill}"));
+            let outcome = run_with_kills(&dir, &[kill]);
+            assert_matches_baseline(&dir, &baseline_dir, &outcome, &baseline);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&baseline_dir);
+    }
+    set_default_threads(0);
+}

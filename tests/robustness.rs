@@ -84,6 +84,7 @@ fn journaled_fault_trials_roundtrip_through_history() {
         gflops: Some(100.0),
         cost_s: 3.6,
         fault: None,
+        invalid: None,
     });
     history.push(Trial {
         config: Config::new(vec![2]),
@@ -92,8 +93,18 @@ fn journaled_fault_trials_roundtrip_through_history() {
         fault: Some(MeasureFault::Timeout {
             timeout_s: TIMEOUT_WINDOW_S,
         }),
+        invalid: None,
+    });
+    history.push(Trial {
+        config: Config::new(vec![3]),
+        gflops: None,
+        cost_s: 1.2,
+        fault: None,
+        invalid: Some(glimpse_repro::sim::InvalidReason::ModelRejected),
     });
     assert_eq!(roundtrip(&history), history);
+    assert_eq!(history.invalid_count(), 1);
+    assert_eq!(history.fault_count(), 1);
 }
 
 fn valid_configs(measurer: &Measurer, space: &SearchSpace, n: usize, seed: u64) -> Vec<Config> {
@@ -177,4 +188,98 @@ fn retried_timeouts_charge_attempts_and_backoff_to_the_budget() {
     assert!((ctx.gpu_seconds() - 2.0 * per_trial).abs() < 1e-9);
     let journal: f64 = ctx.history().trials.iter().map(|t| t.cost_s).sum();
     assert!((journal - ctx.gpu_seconds()).abs() < 1e-9, "journal and clock must agree");
+}
+
+/// Hand-corrupted WAL fixtures: recovery must keep the intact prefix and
+/// name the failure, never panic — whatever bytes a crash left behind.
+mod wal_recovery {
+    use glimpse_repro::durable::wal::{encode_frame, FRAME_HEADER_LEN};
+    use glimpse_repro::durable::{scan, Tail};
+
+    /// Three frames of realistic journal-sized JSON payloads.
+    fn fixture() -> (Vec<u8>, Vec<Vec<u8>>) {
+        let payloads: Vec<Vec<u8>> = [
+            r#"{"schema":1,"tuner":"autotvm","task":"conv2d_3","budget":18}"#,
+            r#"{"trial":{"config":7,"gflops":812.25,"cost_s":0.0015},"post":{"seed":11}}"#,
+            r#"{"trial":{"config":9,"gflops":0.0,"cost_s":0.3},"post":{"seed":11}}"#,
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect();
+        let mut log = Vec::new();
+        for (seq, payload) in payloads.iter().enumerate() {
+            log.extend_from_slice(&encode_frame(seq as u64, payload));
+        }
+        (log, payloads)
+    }
+
+    #[test]
+    fn truncation_at_every_byte_keeps_the_intact_prefix() {
+        let (log, payloads) = fixture();
+        let mut boundaries = vec![0usize];
+        for p in &payloads {
+            boundaries.push(boundaries.last().unwrap() + FRAME_HEADER_LEN + p.len());
+        }
+        for cut in 0..=log.len() {
+            let r = scan(&log[..cut], 0);
+            let full_frames = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(r.frames.len(), full_frames, "cut at byte {cut}");
+            assert_eq!(r.valid_len as usize, boundaries[full_frames], "cut at byte {cut}");
+            if boundaries.contains(&cut) {
+                assert_eq!(r.tail, Tail::Clean, "cut at byte {cut} is a frame boundary");
+            } else {
+                assert_eq!(
+                    r.tail,
+                    Tail::Truncated { seq: full_frames as u64 },
+                    "cut at byte {cut} tears frame {full_frames}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_crc_byte_stops_the_scan_at_that_frame() {
+        let (log, payloads) = fixture();
+        let last_start = log.len() - FRAME_HEADER_LEN - payloads[2].len();
+        // Flip a payload byte (checksum no longer matches) ...
+        let mut bitrot = log.clone();
+        bitrot[last_start + FRAME_HEADER_LEN + 4] ^= 0x40;
+        let r = scan(&bitrot, 0);
+        assert_eq!(r.frames.len(), 2);
+        assert_eq!(r.valid_len as usize, last_start);
+        assert_eq!(r.tail, Tail::CrcMismatch { seq: 2 });
+        // ... and flip a byte of the stored CRC field itself.
+        let mut bad_crc = log;
+        bad_crc[last_start + 12] ^= 0x01;
+        let r = scan(&bad_crc, 0);
+        assert_eq!(r.frames.len(), 2);
+        assert_eq!(r.tail, Tail::CrcMismatch { seq: 2 });
+    }
+
+    #[test]
+    fn duplicate_sequence_number_is_rejected_not_replayed() {
+        let (_, payloads) = fixture();
+        let mut log = Vec::new();
+        log.extend_from_slice(&encode_frame(0, &payloads[0]));
+        log.extend_from_slice(&encode_frame(1, &payloads[1]));
+        log.extend_from_slice(&encode_frame(1, &payloads[2])); // double-applied append
+        let r = scan(&log, 0);
+        assert_eq!(r.frames.len(), 2, "the duplicate must not be replayed");
+        assert_eq!(r.tail, Tail::BadSequence { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn garbage_and_oversized_headers_never_panic() {
+        // Pure garbage, every prefix length of it.
+        let garbage: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(97).wrapping_add(13)).collect();
+        for cut in 0..=garbage.len() {
+            let _ = scan(&garbage[..cut], 0);
+        }
+        // A header claiming an implausible payload length.
+        let mut huge = encode_frame(0, b"{}");
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let r = scan(&huge, 0);
+        assert!(r.frames.is_empty());
+        assert!(matches!(r.tail, Tail::Oversized { seq: 0, .. }));
+    }
 }

@@ -8,6 +8,10 @@
 //! analysis; the goal is that `cargo bench` compiles, runs, and produces
 //! comparable-order-of-magnitude numbers without network access.
 
+// The stand-in is exempt from the workspace invariants clippy.toml mirrors
+// (D1 bans wall-clock reads in first-party search code only).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// How per-iteration inputs are batched in [`Bencher::iter_batched`].

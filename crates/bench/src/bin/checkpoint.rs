@@ -16,11 +16,12 @@
 use glimpse_gpu_spec::database;
 use glimpse_sim::Measurer;
 use glimpse_space::templates;
+use glimpse_supervise::{CancelToken, CellStatus, Heartbeat};
 use glimpse_tensor_prog::models;
 use glimpse_tuners::autotvm::AutoTvmTuner;
 use glimpse_tuners::history::Trial;
 use glimpse_tuners::journal::{self, Snapshot};
-use glimpse_tuners::{run_checkpointed, Budget, CheckpointSpec, TrialRecord, TuneContext, Tuner};
+use glimpse_tuners::{run_checkpointed, run_supervised, Budget, CheckpointSpec, RunControl, TrialRecord, TuneContext, Tuner};
 use serde_json::json;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -160,9 +161,41 @@ fn main() {
         )
         .expect("journaled round")
     };
+    // Fully supervised round: armed (never-tripped) interrupt token,
+    // deadlines far in the future, and a live heartbeat — the per-trial
+    // cancel/deadline checks at their production shape. The cost must be
+    // indistinguishable from the plain journaled round.
+    let run_supervised_round = || {
+        let scratch = Scratch::new("supervised");
+        let mut m = Measurer::new(gpu.clone(), 31);
+        let spec = CheckpointSpec::new(&scratch.0);
+        let control = RunControl::none()
+            .interrupted_by(CancelToken::new())
+            .heartbeat(Heartbeat::new())
+            .deadline_s(Some(1e12))
+            .wall_deadline_s(Some(1e12));
+        run_supervised(
+            &mut AutoTvmTuner::new(),
+            &spec,
+            task,
+            &space,
+            &mut m,
+            Budget::measurements(budget),
+            31,
+            &control,
+        )
+        .expect("supervised round")
+    };
     let e2e_reps = reps.min(3);
     let (bare_s, bare_outcome) = time_best_of(e2e_reps, run_bare);
     let (journaled_s, journaled_outcome) = time_best_of(e2e_reps, run_journaled);
+    let (supervised_s, supervised) = time_best_of(e2e_reps, run_supervised_round);
+    assert_eq!(supervised.status, CellStatus::Complete, "armed-but-idle supervision must not trip");
+    assert!(
+        supervised.outcome.best_gflops.to_bits() == journaled_outcome.best_gflops.to_bits()
+            && supervised.outcome.measurements == journaled_outcome.measurements,
+        "supervision changed the tuning outcome"
+    );
     let identical = bare_outcome.best_gflops.to_bits() == journaled_outcome.best_gflops.to_bits()
         && bare_outcome.measurements == journaled_outcome.measurements;
     assert!(identical, "journaling changed the tuning outcome");
@@ -175,6 +208,7 @@ fn main() {
     // vanish below measurement noise.
     let wal_append_overhead_pct = (append_us * 1e-6 * budget as f64) / bare_s * 100.0;
     let full_durability_overhead_pct = (journaled_s - bare_s) / bare_s * 100.0;
+    let supervision_overhead_pct = (supervised_s - journaled_s) / journaled_s * 100.0;
 
     let report = json!({
         "quick": quick,
@@ -194,8 +228,10 @@ fn main() {
             "budget": budget,
             "bare_ms": bare_s * 1e3,
             "journaled_ms": journaled_s * 1e3,
+            "supervised_ms": supervised_s * 1e3,
             "wal_append_overhead_pct": wal_append_overhead_pct,
             "full_durability_overhead_pct": full_durability_overhead_pct,
+            "supervision_overhead_pct": supervision_overhead_pct,
             "identical": identical,
             "criterion": "wal_append_overhead_pct < 5",
             "pass": wal_append_overhead_pct < 5.0,

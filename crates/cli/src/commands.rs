@@ -4,17 +4,19 @@ use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
 use glimpse_core::blueprint::BlueprintCodec;
 use glimpse_core::explain;
 use glimpse_core::tuner::GlimpseTuner;
+use glimpse_durable::atomic_write;
 use glimpse_gpu_spec::{database, datasheet, GpuSpec};
 use glimpse_mlkit::parallel;
-use glimpse_sim::{DevicePool, FaultPlan, Measurer};
-use glimpse_space::templates;
-use glimpse_tensor_prog::{models, TemplateKind};
+use glimpse_sim::{DeviceError, DevicePool, DeviceStatus, FaultPlan, Measurer, PoolPolicy};
+use glimpse_space::{templates, SearchSpace};
+use glimpse_supervise::{signal, Abandonment, CancelToken, CellReport, CellStatus, DegradationReport, Heartbeat, Watchdog};
+use glimpse_tensor_prog::{models, Task, TemplateKind};
 use glimpse_tuners::autotvm::AutoTvmTuner;
 use glimpse_tuners::chameleon::ChameleonTuner;
 use glimpse_tuners::dgp::DgpTuner;
 use glimpse_tuners::genetic::GeneticTuner;
 use glimpse_tuners::random::RandomTuner;
-use glimpse_tuners::{run_checkpointed, Budget, CheckpointSpec, TuneContext, Tuner, TuningOutcome};
+use glimpse_tuners::{run_supervised, Budget, CheckpointSpec, RunControl, SupervisedOutcome, TuneContext, Tuner, TuningOutcome};
 use std::path::PathBuf;
 
 /// Usage text for `glimpse help`.
@@ -32,28 +34,40 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --task <i>                      tune only task i
     --artifacts <path>              load/store meta-trained artifacts
     --full-training                 full-size offline training (slow)
-    --fault-plan <spec>             inject measurement faults, e.g.
-                                    timeout=0.1,launch=0.05,lost=0.02,dead=0.01
-    --fault-seed <n>                fault stream seed          default: 0
-    --threads <n>                   search worker threads (0 = auto); also
-                                    via GLIMPSE_THREADS       default: auto
-    --checkpoint-dir <dir>          journal every trial for crash-safe resume
-    --resume                        continue an interrupted run from <dir>
-                                    (completed tasks are not re-measured)
-  glimpse experiment <model> [opts] tune one task across a device fleet
+  glimpse experiment <model> [opts] tune one task across a device fleet,
+                                    reassigning cells off dead devices
     --task <i>                      task to tune               default: 0
     --tuner <autotvm|chameleon|dgp|random|genetic>            default: autotvm
     --budget <n>                    measurements per device    default: 64
     --gpus <a,b,c>                  fleet (default: the 4 evaluation GPUs)
-    --fault-plan <spec>             inject measurement faults (as above)
+
+  options shared by tune and experiment:
+    --fault-plan <spec>             inject measurement faults, e.g.
+                                    timeout=0.1,launch=0.05,lost=0.02,dead=0.01;
+                                    kind@device=rate overrides one device,
+                                    e.g. 'dead@RTX 2080 Ti=1.0'
     --fault-seed <n>                fault stream seed          default: 0
-    --threads <n>                   search worker threads (0 = auto)
+    --pool-policy <spec>            fleet health thresholds, e.g.
+                                    quarantine=3,probes=5,probe_cost=0.5
+    --threads <n>                   search worker threads (0 = auto); also
+                                    via GLIMPSE_THREADS       default: auto
     --checkpoint-dir <dir>          journal every trial for crash-safe resume
     --resume                        continue an interrupted run from <dir>
-                                    (completed devices are not re-measured)
+                                    (completed cells are not re-measured)
+    --deadline-s <s>                per-cell cap on simulated GPU seconds;
+                                    over-deadline cells degrade, not fail
+    --max-wall-s <s>                campaign-wide simulated-second budget
+    --stall-timeout-s <s>           real-wall-clock watchdog: cancel the
+                                    campaign when no trial completes for <s>
+                                    seconds (0 = off)          default: off
+    --report <path>                 where to write degradation.json
+                                    default: <checkpoint-dir>/degradation.json
 
 Results are bit-identical for a fixed seed at any --threads value, and a
-checkpointed run resumed after a crash replays to the same result.
+checkpointed run resumed after a crash replays to the same result. SIGINT or
+SIGTERM stops at the next trial boundary, flushes the journal and snapshot,
+writes the degradation report, and exits 0 with a resume command; a second
+signal hard-exits immediately.
 ";
 
 /// `glimpse gpus`
@@ -190,15 +204,229 @@ struct TuneOptions {
     task: Option<usize>,
     artifacts_path: Option<PathBuf>,
     full_training: bool,
-    faults: FaultPlan,
-    threads: Option<usize>,
-    checkpoint_dir: Option<PathBuf>,
-    resume: bool,
+    run: RunSettings,
 }
 
 /// Parses a `--threads` value (`0` = auto-detect).
 fn parse_threads_flag(value: &str) -> Result<usize, String> {
     value.trim().parse().map_err(|_| "--threads must be a non-negative integer".into())
+}
+
+/// Parses a seconds-valued flag: a finite, non-negative number.
+fn parse_seconds_flag(flag: &str, value: &str) -> Result<f64, String> {
+    let seconds: f64 = value.trim().parse().map_err(|_| format!("{flag} must be a number of seconds"))?;
+    if !seconds.is_finite() || seconds < 0.0 {
+        return Err(format!("{flag} must be finite and >= 0, got {seconds}"));
+    }
+    Ok(seconds)
+}
+
+/// The supervision and fault-injection flags `tune` and `experiment` share,
+/// collected during parsing. [`SharedRunFlags::finish`] validates the
+/// combination — including the "--resume requires --checkpoint-dir" rule —
+/// exactly once for both subcommands.
+#[derive(Debug, Default)]
+struct SharedRunFlags {
+    fault_spec: Option<String>,
+    fault_seed: Option<String>,
+    pool_policy: Option<String>,
+    threads: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    deadline_s: Option<f64>,
+    max_wall_s: Option<f64>,
+    stall_timeout_s: Option<f64>,
+    report: Option<PathBuf>,
+}
+
+impl SharedRunFlags {
+    /// Consumes `arg` (pulling its value from `it`) when it is one of the
+    /// shared flags. `Ok(false)` means the flag belongs to the subcommand.
+    fn try_parse(&mut self, arg: &str, it: &mut std::slice::Iter<'_, String>) -> Result<bool, String> {
+        match arg {
+            "--fault-plan" => self.fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
+            "--fault-seed" => self.fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
+            "--pool-policy" => self.pool_policy = Some(it.next().ok_or("--pool-policy needs a value")?.clone()),
+            "--threads" => self.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
+            "--checkpoint-dir" => {
+                self.checkpoint_dir = Some(PathBuf::from(it.next().ok_or("--checkpoint-dir needs a value")?));
+            }
+            "--resume" => self.resume = true,
+            "--deadline-s" => {
+                self.deadline_s = Some(parse_seconds_flag("--deadline-s", it.next().ok_or("--deadline-s needs a value")?)?);
+            }
+            "--max-wall-s" => {
+                self.max_wall_s = Some(parse_seconds_flag("--max-wall-s", it.next().ok_or("--max-wall-s needs a value")?)?);
+            }
+            "--stall-timeout-s" => {
+                self.stall_timeout_s = Some(parse_seconds_flag(
+                    "--stall-timeout-s",
+                    it.next().ok_or("--stall-timeout-s needs a value")?,
+                )?);
+            }
+            "--report" => self.report = Some(PathBuf::from(it.next().ok_or("--report needs a value")?)),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Validates the flag combination and folds the fault and pool specs
+    /// into one [`FaultPlan`].
+    fn finish(self) -> Result<RunSettings, String> {
+        if self.resume && self.checkpoint_dir.is_none() {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        let mut faults = parse_fault_flags(self.fault_spec.as_deref(), self.fault_seed.as_deref())?;
+        if let Some(spec) = &self.pool_policy {
+            faults = faults.with_pool_policy(PoolPolicy::parse(spec)?);
+        }
+        Ok(RunSettings {
+            faults,
+            threads: self.threads,
+            checkpoint_dir: self.checkpoint_dir,
+            resume: self.resume,
+            deadline_s: self.deadline_s,
+            max_wall_s: self.max_wall_s,
+            stall_timeout_s: self.stall_timeout_s,
+            report: self.report,
+        })
+    }
+}
+
+/// Validated shared settings for one supervised campaign.
+#[derive(Debug)]
+struct RunSettings {
+    faults: FaultPlan,
+    threads: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    deadline_s: Option<f64>,
+    max_wall_s: Option<f64>,
+    stall_timeout_s: Option<f64>,
+    report: Option<PathBuf>,
+}
+
+/// Campaign-level supervision: the process-wide signal token, the shared
+/// heartbeat the cells beat on every consumed trial, and (when
+/// `--stall-timeout-s` is set) the real-wall-clock watchdog that trips the
+/// token when the heartbeat goes flat.
+struct Supervisor {
+    interrupt: CancelToken,
+    heartbeat: Heartbeat,
+    _watchdog: Option<Watchdog>,
+}
+
+impl Supervisor {
+    /// Installs the signal handlers and arms the watchdog.
+    fn start(settings: &RunSettings) -> Self {
+        let interrupt = signal::install();
+        let heartbeat = Heartbeat::new();
+        let watchdog = settings
+            .stall_timeout_s
+            .filter(|s| *s > 0.0)
+            .map(|s| Watchdog::spawn(heartbeat.clone(), interrupt.clone(), std::time::Duration::from_secs_f64(s)));
+        Self {
+            interrupt,
+            heartbeat,
+            _watchdog: watchdog,
+        }
+    }
+
+    /// Builds one cell's [`RunControl`]: fresh per-cell token, campaign
+    /// interrupt forwarded in, deadlines from the settings with the wall
+    /// budget reduced by what earlier cells already spent.
+    fn control(&self, settings: &RunSettings, wall_spent_s: f64) -> RunControl {
+        RunControl::none()
+            .interrupted_by(self.interrupt.clone())
+            .heartbeat(self.heartbeat.clone())
+            .deadline_s(settings.deadline_s)
+            .wall_deadline_s(settings.max_wall_s.map(|w| (w - wall_spent_s).max(0.0)))
+    }
+}
+
+/// Settles a cell that ran without a journal into the same typed
+/// [`SupervisedOutcome`] the checkpointed path reports.
+fn settle_unjournaled(control: &RunControl, outcome: TuningOutcome, device_dead: bool) -> SupervisedOutcome {
+    let deadline_slack_s = [control.deadline_s, control.wall_deadline_s]
+        .into_iter()
+        .flatten()
+        .reduce(f64::min)
+        .map(|tightest| tightest - outcome.gpu_seconds);
+    SupervisedOutcome {
+        status: CellStatus::settle(control.cancel.reason(), device_dead),
+        deadline_slack_s,
+        outcome,
+    }
+}
+
+/// One degradation-report row for a finished cell.
+fn cell_report(cell: String, device: &str, supervised: &SupervisedOutcome, quarantines: u64) -> CellReport {
+    CellReport {
+        cell,
+        device: device.to_owned(),
+        status: supervised.status.clone(),
+        measurements: supervised.outcome.measurements,
+        faults_absorbed: supervised.outcome.faulted_measurements,
+        retries: supervised.outcome.retried_attempts,
+        quarantines,
+        gpu_seconds: supervised.outcome.gpu_seconds,
+        best_gflops: supervised.outcome.best_gflops,
+        deadline_slack_s: supervised.deadline_slack_s,
+    }
+}
+
+/// A row for a cell that never ran (shutdown before its turn, or a device
+/// that refused every job).
+fn empty_cell_report(cell: String, device: &str, status: CellStatus) -> CellReport {
+    CellReport {
+        cell,
+        device: device.to_owned(),
+        status,
+        measurements: 0,
+        faults_absorbed: 0,
+        retries: 0,
+        quarantines: 0,
+        gpu_seconds: 0.0,
+        best_gflops: 0.0,
+        deadline_slack_s: None,
+    }
+}
+
+/// Short human-readable status label for the result tables.
+fn status_label(status: &CellStatus) -> String {
+    match status {
+        CellStatus::Complete => "complete".into(),
+        CellStatus::Degraded(d) => format!("degraded: {d:?}"),
+        CellStatus::Abandoned(a) => format!("abandoned: {a:?}"),
+        CellStatus::Reassigned { to } => format!("reassigned to {to}"),
+        CellStatus::NotStarted => "not started".into(),
+    }
+}
+
+/// Writes `degradation.json`, prints the campaign verdict, and prints the
+/// resume command when a degraded campaign left resumable journals behind.
+fn finish_campaign(report: &DegradationReport, settings: &RunSettings, resume_hint: &str) -> Result<(), String> {
+    let dest = settings
+        .report
+        .clone()
+        .or_else(|| settings.checkpoint_dir.as_ref().map(|d| d.join("degradation.json")));
+    if let Some(path) = &dest {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        atomic_write(path, report.to_json().as_bytes()).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("degradation report: {}", path.display());
+    }
+    if !report.all_complete() {
+        let incomplete = report.cells.iter().filter(|c| !c.status.is_complete()).count();
+        eprintln!("campaign degraded: {incomplete} of {} cells did not complete", report.cells.len());
+        if settings.checkpoint_dir.is_some() {
+            eprintln!("resume with: {resume_hint}");
+        }
+    }
+    Ok(())
 }
 
 /// Installs the worker-count override for the search hot paths. Results are
@@ -224,49 +452,36 @@ fn parse_fault_flags(spec: Option<&str>, seed: Option<&str>) -> Result<FaultPlan
 
 fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
     let mut positional = Vec::new();
-    let mut fault_spec: Option<String> = None;
-    let mut fault_seed: Option<String> = None;
-    let mut options = TuneOptions {
-        model: String::new(),
-        gpu: String::new(),
-        tuner: "glimpse".into(),
-        budget: 128,
-        task: None,
-        artifacts_path: None,
-        full_training: false,
-        faults: FaultPlan::none(),
-        threads: None,
-        checkpoint_dir: None,
-        resume: false,
-    };
+    let mut shared = SharedRunFlags::default();
+    let mut tuner = "glimpse".to_owned();
+    let mut budget = 128usize;
+    let mut task = None;
+    let mut artifacts_path = None;
+    let mut full_training = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if shared.try_parse(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--tuner" => options.tuner = it.next().ok_or("--tuner needs a value")?.clone(),
+            "--tuner" => tuner = it.next().ok_or("--tuner needs a value")?.clone(),
             "--budget" => {
-                options.budget = it
+                budget = it
                     .next()
                     .ok_or("--budget needs a value")?
                     .parse()
                     .map_err(|_| "--budget must be an integer")?;
             }
             "--task" => {
-                options.task = Some(
+                task = Some(
                     it.next()
                         .ok_or("--task needs a value")?
                         .parse()
                         .map_err(|_| "--task must be an integer")?,
                 );
             }
-            "--artifacts" => options.artifacts_path = Some(PathBuf::from(it.next().ok_or("--artifacts needs a value")?)),
-            "--full-training" => options.full_training = true,
-            "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
-            "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
-            "--threads" => options.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
-            "--checkpoint-dir" => {
-                options.checkpoint_dir = Some(PathBuf::from(it.next().ok_or("--checkpoint-dir needs a value")?));
-            }
-            "--resume" => options.resume = true,
+            "--artifacts" => artifacts_path = Some(PathBuf::from(it.next().ok_or("--artifacts needs a value")?)),
+            "--full-training" => full_training = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
@@ -274,13 +489,16 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
     if positional.len() != 2 {
         return Err("usage: glimpse tune <model> <gpu> [options]".into());
     }
-    if options.resume && options.checkpoint_dir.is_none() {
-        return Err("--resume requires --checkpoint-dir".into());
-    }
-    options.model = positional[0].clone();
-    options.gpu = positional[1].clone();
-    options.faults = parse_fault_flags(fault_spec.as_deref(), fault_seed.as_deref())?;
-    Ok(options)
+    Ok(TuneOptions {
+        model: positional[0].clone(),
+        gpu: positional[1].clone(),
+        tuner,
+        budget,
+        task,
+        artifacts_path,
+        full_training,
+        run: shared.finish()?,
+    })
 }
 
 fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtifacts, String> {
@@ -311,7 +529,7 @@ fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtif
 /// `glimpse tune <model> <gpu> [options]`
 pub fn tune(args: &[String]) -> Result<(), String> {
     let options = parse_tune_options(args)?;
-    apply_threads(options.threads);
+    apply_threads(options.run.threads);
     let gpu = find_gpu(&options.gpu)?;
     let model = models::find(&options.model).ok_or_else(|| format!("unknown model {:?}; `glimpse models` lists the zoo", options.model))?;
     let needs_artifacts = options.tuner == "glimpse";
@@ -327,55 +545,85 @@ pub fn tune(args: &[String]) -> Result<(), String> {
         None => (0..model.tasks().len()).collect(),
     };
 
-    if options.faults.any() {
+    if options.run.faults.any() {
         eprintln!(
             "injecting faults (seed {}): {:?}",
-            options.faults.seed,
-            options.faults.rates_for(&gpu.name)
+            options.run.faults.seed,
+            options.run.faults.rates_for(&gpu.name)
         );
     }
+    let supervisor = Supervisor::start(&options.run);
+    let mut report = DegradationReport::new(format!("tune {} on {}", options.model, options.gpu));
     println!(
-        "{:<5} {:<16} {:>10} {:>8} {:>9} {:>8} {:>11}",
+        "{:<5} {:<16} {:>10} {:>8} {:>9} {:>8} {:>11}  status",
         "task", "template", "GFLOPS", "meas.", "invalid", "faulted", "GPU seconds"
     );
     let mut total_s = 0.0;
     for i in tasks {
         let task = &model.tasks()[i];
+        let cell_name = format!("task{i}");
+        if supervisor.interrupt.is_cancelled() {
+            // Shutdown landed before this cell's turn: record it untouched
+            // so the resume command knows what is left.
+            report.push(empty_cell_report(cell_name, &gpu.name, CellStatus::NotStarted));
+            continue;
+        }
         let space = templates::space_for_task(task);
-        let mut measurer = Measurer::with_faults(gpu.clone(), 7, &options.faults);
+        let mut measurer = Measurer::with_faults(gpu.clone(), 7, &options.run.faults);
         let budget = Budget::measurements(options.budget);
-        let outcome = if let Some(root) = &options.checkpoint_dir {
-            let cell = root.join(format!("task{i}"));
+        let control = supervisor.control(&options.run, total_s);
+        let supervised = if let Some(root) = &options.run.checkpoint_dir {
+            let cell = root.join(&cell_name);
             let spec = CheckpointSpec::new(&cell)
-                .resuming(options.resume)
-                .with_storage(options.faults.storage_faults())
-                .with_faults(options.faults.seed, options.faults.rates_for(&gpu.name));
+                .resuming(options.run.resume)
+                .with_storage(options.run.faults.storage_faults())
+                .with_faults(options.run.faults.seed, options.run.faults.rates_for(&gpu.name));
             let mut tuner = build_tuner(&options.tuner, artifacts.as_ref(), gpu)?;
-            run_checkpointed(&mut *tuner, &spec, task, &space, &mut measurer, budget, 7).map_err(|e| e.to_string())?
+            run_supervised(&mut *tuner, &spec, task, &space, &mut measurer, budget, 7, &control).map_err(|e| e.to_string())?
         } else {
-            let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7);
-            run_tuner(&options.tuner, artifacts.as_ref(), gpu, ctx)?
+            let ctx = TuneContext::new(task, &space, &mut measurer, budget, 7).with_control(control.clone());
+            let outcome = run_tuner(&options.tuner, artifacts.as_ref(), gpu, ctx)?;
+            settle_unjournaled(&control, outcome, measurer.is_device_dead())
         };
-        total_s += outcome.gpu_seconds;
+        total_s += supervised.outcome.gpu_seconds;
         println!(
-            "L{:<4} {:<16} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}",
+            "L{:<4} {:<16} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}  {}",
             i,
             task.template.to_string(),
-            outcome.best_gflops,
-            outcome.measurements,
-            outcome.invalid_measurements,
-            outcome.faulted_measurements,
-            outcome.gpu_seconds
+            supervised.outcome.best_gflops,
+            supervised.outcome.measurements,
+            supervised.outcome.invalid_measurements,
+            supervised.outcome.faulted_measurements,
+            supervised.outcome.gpu_seconds,
+            status_label(&supervised.status)
         );
-        if let Some(best) = &outcome.best_config {
+        if let Some(best) = &supervised.outcome.best_config {
             println!("      {}", space.describe(best));
         }
         if measurer.is_device_dead() {
             eprintln!("device {} died during task {i}; remaining tasks will report no kernels", gpu.name);
         }
+        report.push(cell_report(cell_name, &gpu.name, &supervised, 0));
     }
     println!("\ntotal simulated GPU time: {:.1} s ({:.2} h)", total_s, total_s / 3600.0);
-    Ok(())
+    let resume_hint = match &options.run.checkpoint_dir {
+        Some(dir) => {
+            let mut hint = format!(
+                "glimpse tune {} {:?} --tuner {} --budget {} --checkpoint-dir {:?} --resume",
+                options.model,
+                options.gpu,
+                options.tuner,
+                options.budget,
+                dir.display().to_string()
+            );
+            if let Some(i) = options.task {
+                hint.push_str(&format!(" --task {i}"));
+            }
+            hint
+        }
+        None => String::new(),
+    };
+    finish_campaign(&report, &options.run, &resume_hint)
 }
 
 fn build_tuner<'a>(tuner: &str, artifacts: Option<&'a GlimpseArtifacts>, gpu: &'a GpuSpec) -> Result<Box<dyn Tuner + 'a>, String> {
@@ -401,47 +649,39 @@ struct ExperimentOptions {
     budget: usize,
     task: usize,
     gpus: Vec<String>,
-    faults: FaultPlan,
-    threads: Option<usize>,
-    checkpoint_dir: Option<PathBuf>,
-    resume: bool,
+    run: RunSettings,
 }
 
 fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String> {
     let mut positional = Vec::new();
-    let mut fault_spec: Option<String> = None;
-    let mut fault_seed: Option<String> = None;
-    let mut options = ExperimentOptions {
-        model: String::new(),
-        tuner: "autotvm".into(),
-        budget: 64,
-        task: 0,
-        gpus: Vec::new(),
-        faults: FaultPlan::none(),
-        threads: None,
-        checkpoint_dir: None,
-        resume: false,
-    };
+    let mut shared = SharedRunFlags::default();
+    let mut tuner = "autotvm".to_owned();
+    let mut budget = 64usize;
+    let mut task = 0usize;
+    let mut gpus: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if shared.try_parse(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--tuner" => options.tuner = it.next().ok_or("--tuner needs a value")?.clone(),
+            "--tuner" => tuner = it.next().ok_or("--tuner needs a value")?.clone(),
             "--budget" => {
-                options.budget = it
+                budget = it
                     .next()
                     .ok_or("--budget needs a value")?
                     .parse()
                     .map_err(|_| "--budget must be an integer")?;
             }
             "--task" => {
-                options.task = it
+                task = it
                     .next()
                     .ok_or("--task needs a value")?
                     .parse()
                     .map_err(|_| "--task must be an integer")?;
             }
             "--gpus" => {
-                options.gpus = it
+                gpus = it
                     .next()
                     .ok_or("--gpus needs a value")?
                     .split(',')
@@ -450,13 +690,6 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
                     .map(str::to_owned)
                     .collect();
             }
-            "--fault-plan" => fault_spec = Some(it.next().ok_or("--fault-plan needs a value")?.clone()),
-            "--fault-seed" => fault_seed = Some(it.next().ok_or("--fault-seed needs a value")?.clone()),
-            "--threads" => options.threads = Some(parse_threads_flag(it.next().ok_or("--threads needs a value")?)?),
-            "--checkpoint-dir" => {
-                options.checkpoint_dir = Some(PathBuf::from(it.next().ok_or("--checkpoint-dir needs a value")?));
-            }
-            "--resume" => options.resume = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
@@ -464,23 +697,70 @@ fn parse_experiment_options(args: &[String]) -> Result<ExperimentOptions, String
     if positional.len() != 1 {
         return Err("usage: glimpse experiment <model> [options]".into());
     }
-    if options.resume && options.checkpoint_dir.is_none() {
-        return Err("--resume requires --checkpoint-dir".into());
+    if gpus.is_empty() {
+        gpus = database::EVALUATION_GPUS.iter().map(|s| (*s).to_owned()).collect();
     }
-    options.model = positional[0].clone();
-    if options.gpus.is_empty() {
-        options.gpus = database::EVALUATION_GPUS.iter().map(|s| (*s).to_owned()).collect();
+    Ok(ExperimentOptions {
+        model: positional[0].clone(),
+        tuner,
+        budget,
+        task,
+        gpus,
+        run: shared.finish()?,
+    })
+}
+
+/// Runs one fleet cell — the pass-1 assignment or a reassigned retry — on
+/// the device whose [`Measurer`] is handed in by the pool.
+#[allow(clippy::too_many_arguments)]
+fn run_experiment_cell(
+    options: &ExperimentOptions,
+    supervisor: &Supervisor,
+    task: &Task,
+    space: &SearchSpace,
+    measurer: &mut Measurer,
+    gpu: &GpuSpec,
+    cell_name: &str,
+    seed: u64,
+) -> Result<SupervisedOutcome, String> {
+    let budget = Budget::measurements(options.budget);
+    let control = supervisor.control(&options.run, 0.0);
+    if let Some(root) = &options.run.checkpoint_dir {
+        let cell = root.join(cell_name);
+        let spec = CheckpointSpec::new(&cell)
+            .resuming(options.run.resume)
+            .with_storage(options.run.faults.storage_faults())
+            .with_faults(options.run.faults.seed, options.run.faults.rates_for(&gpu.name));
+        let mut tuner = build_tuner(&options.tuner, None, gpu)?;
+        run_supervised(&mut *tuner, &spec, task, space, measurer, budget, seed, &control).map_err(|e| e.to_string())
+    } else {
+        let ctx = TuneContext::new(task, space, measurer, budget, seed).with_control(control.clone());
+        let outcome = run_tuner(&options.tuner, None, gpu, ctx)?;
+        Ok(settle_unjournaled(&control, outcome, measurer.is_device_dead()))
     }
-    options.faults = parse_fault_flags(fault_spec.as_deref(), fault_seed.as_deref())?;
-    Ok(options)
+}
+
+/// One result-table row for a fleet cell.
+fn print_experiment_row(device: &str, supervised: &SupervisedOutcome) {
+    println!(
+        "{:<18} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}  {}",
+        device,
+        supervised.outcome.best_gflops,
+        supervised.outcome.measurements,
+        supervised.outcome.invalid_measurements,
+        supervised.outcome.faulted_measurements,
+        supervised.outcome.gpu_seconds,
+        status_label(&supervised.status)
+    );
 }
 
 /// `glimpse experiment <model> [options]` — tunes one task on every device
-/// of a fleet through a [`DevicePool`], surviving faulted or dead devices,
-/// and prints the pool's health summary.
+/// of a fleet through a [`DevicePool`], surviving faulted or dead devices.
+/// Cells orphaned by a dead device are reassigned to the first healthy
+/// survivor; every run settles into a typed status in `degradation.json`.
 pub fn experiment(args: &[String]) -> Result<(), String> {
     let options = parse_experiment_options(args)?;
-    apply_threads(options.threads);
+    apply_threads(options.run.threads);
     if options.tuner == "glimpse" {
         return Err("the fleet experiment drives baseline tuners; use `glimpse tune` for the glimpse tuner".into());
     }
@@ -491,54 +771,151 @@ pub fn experiment(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("task {} out of range (model has {} tasks)", options.task, model.tasks().len()))?;
     let fleet: Vec<GpuSpec> = options.gpus.iter().map(|name| find_gpu(name).cloned()).collect::<Result<_, _>>()?;
     let space = templates::space_for_task(task);
-    if options.faults.any() {
-        eprintln!("injecting faults (seed {})", options.faults.seed);
+    if options.run.faults.any() {
+        eprintln!("injecting faults (seed {})", options.run.faults.seed);
     }
 
-    let pool = DevicePool::with_faults(&fleet, 7, &options.faults);
+    let supervisor = Supervisor::start(&options.run);
+    let pool = DevicePool::with_faults(&fleet, 7, &options.run.faults);
+    let cell_names: Vec<String> = fleet.iter().map(|g| g.name.replace(' ', "_")).collect();
+    // Pass 1: every device tunes its own cell, in parallel.
     let results = pool.run_all(|index, measurer| {
-        let budget = Budget::measurements(options.budget);
-        let seed = 7 + index as u64;
-        if let Some(root) = &options.checkpoint_dir {
-            let cell = root.join(fleet[index].name.replace(' ', "_"));
-            let spec = CheckpointSpec::new(&cell)
-                .resuming(options.resume)
-                .with_storage(options.faults.storage_faults())
-                .with_faults(options.faults.seed, options.faults.rates_for(&fleet[index].name));
-            let mut tuner = build_tuner(&options.tuner, None, &fleet[index])?;
-            run_checkpointed(&mut *tuner, &spec, task, &space, measurer, budget, seed).map_err(|e| e.to_string())
-        } else {
-            let ctx = TuneContext::new(task, &space, measurer, budget, seed);
-            run_tuner(&options.tuner, None, &fleet[index], ctx)
-        }
+        run_experiment_cell(
+            &options,
+            &supervisor,
+            task,
+            &space,
+            measurer,
+            &fleet[index],
+            &cell_names[index],
+            7 + index as u64,
+        )
     });
+
+    // Pass 2: cells orphaned by a dead device move to the first healthy
+    // survivor. The reassigned cell keeps its original seed (it is the
+    // same work item) and journals under `<cell>__on_<survivor>` so the
+    // dead device's journal stays intact for a post-mortem or revival.
+    let mut moved: Vec<Option<usize>> = vec![None; fleet.len()];
+    let mut reassignments: Vec<(usize, usize, Result<SupervisedOutcome, String>)> = Vec::new();
+    for index in 0..fleet.len() {
+        if supervisor.interrupt.is_cancelled() {
+            break;
+        }
+        let orphaned = matches!(&results[index], Err(DeviceError::Dead | DeviceError::Panicked(_)))
+            || matches!(&results[index], Ok(Ok(s)) if s.status == CellStatus::Abandoned(Abandonment::DeviceDead));
+        if !orphaned {
+            continue;
+        }
+        let Some(survivor) = (0..fleet.len()).find(|j| *j != index && pool.status(*j) == DeviceStatus::Healthy) else {
+            continue;
+        };
+        let new_cell = format!("{}__on_{}", cell_names[index], cell_names[survivor]);
+        eprintln!(
+            "reassigning cell {} from dead device {} to {}",
+            cell_names[index], fleet[index].name, fleet[survivor].name
+        );
+        let outcome = pool.run_on(survivor, |_, measurer| {
+            run_experiment_cell(
+                &options,
+                &supervisor,
+                task,
+                &space,
+                measurer,
+                &fleet[survivor],
+                &new_cell,
+                7 + index as u64,
+            )
+        });
+        let flat = match outcome {
+            Ok(r) => r,
+            Err(e) => Err(e.to_string()),
+        };
+        moved[index] = Some(survivor);
+        reassignments.push((index, survivor, flat));
+    }
 
     println!(
         "task L{} [{}] {} under tuner {:?}",
         task.id.index, task.template, task.op, options.tuner
     );
     println!(
-        "{:<18} {:>10} {:>8} {:>9} {:>8} {:>11}",
+        "{:<18} {:>10} {:>8} {:>9} {:>8} {:>11}  status",
         "device", "GFLOPS", "meas.", "invalid", "faulted", "GPU seconds"
     );
-    for (name, result) in pool.names().iter().zip(&results) {
+    let summary = pool.summary();
+    let mut report = DegradationReport::new(format!("experiment {} task {}", options.model, options.task));
+    for (index, result) in results.iter().enumerate() {
+        let name = &fleet[index].name;
+        let reassigned_status = moved[index].map(|s| CellStatus::Reassigned { to: fleet[s].name.clone() });
         match result {
-            Ok(Ok(outcome)) => println!(
-                "{:<18} {:>10.0} {:>8} {:>9} {:>8} {:>11.1}",
-                name,
-                outcome.best_gflops,
-                outcome.measurements,
-                outcome.invalid_measurements,
-                outcome.faulted_measurements,
-                outcome.gpu_seconds
-            ),
-            Ok(Err(message)) => println!("{name:<18} tuner error: {message}"),
-            Err(error) => println!("{name:<18} {error}"),
+            Ok(Ok(supervised)) => {
+                let mut row = cell_report(cell_names[index].clone(), name, supervised, summary.devices[index].quarantines);
+                if let Some(status) = reassigned_status {
+                    row.status = status;
+                }
+                print_experiment_row(name, supervised);
+                report.push(row);
+            }
+            Ok(Err(message)) => {
+                println!("{name:<18} tuner error: {message}");
+                report.push(empty_cell_report(
+                    cell_names[index].clone(),
+                    name,
+                    reassigned_status.unwrap_or(CellStatus::Abandoned(Abandonment::DeviceUnavailable)),
+                ));
+            }
+            Err(error) => {
+                println!("{name:<18} {error}");
+                let fallback = match error {
+                    DeviceError::Dead | DeviceError::Panicked(_) => CellStatus::Abandoned(Abandonment::DeviceDead),
+                    DeviceError::Quarantined => CellStatus::Abandoned(Abandonment::DeviceUnavailable),
+                };
+                report.push(empty_cell_report(
+                    cell_names[index].clone(),
+                    name,
+                    reassigned_status.unwrap_or(fallback),
+                ));
+            }
+        }
+    }
+    for (index, survivor, outcome) in &reassignments {
+        let new_cell = format!("{}__on_{}", cell_names[*index], cell_names[*survivor]);
+        let survivor_name = &fleet[*survivor].name;
+        match outcome {
+            Ok(supervised) => {
+                print_experiment_row(survivor_name, supervised);
+                report.push(cell_report(
+                    new_cell,
+                    survivor_name,
+                    supervised,
+                    summary.devices[*survivor].quarantines,
+                ));
+            }
+            Err(message) => {
+                println!("{survivor_name:<18} reassigned cell failed: {message}");
+                report.push(empty_cell_report(
+                    new_cell,
+                    survivor_name,
+                    CellStatus::Abandoned(Abandonment::DeviceUnavailable),
+                ));
+            }
         }
     }
     println!("\nfleet health:");
     print!("{}", pool.summary());
-    Ok(())
+    let resume_hint = match &options.run.checkpoint_dir {
+        Some(dir) => format!(
+            "glimpse experiment {} --tuner {} --budget {} --task {} --checkpoint-dir {:?} --resume",
+            options.model,
+            options.tuner,
+            options.budget,
+            options.task,
+            dir.display().to_string()
+        ),
+        None => String::new(),
+    };
+    finish_campaign(&report, &options.run, &resume_hint)
 }
 
 #[cfg(test)]
@@ -592,9 +969,9 @@ mod tests {
             .map(|s| (*s).to_owned())
             .collect();
         let options = parse_tune_options(&args).unwrap();
-        assert_eq!(options.faults.seed, 9);
-        assert!((options.faults.default_rates.timeout - 0.2).abs() < 1e-12);
-        assert!((options.faults.default_rates.device_dead - 0.01).abs() < 1e-12);
+        assert_eq!(options.run.faults.seed, 9);
+        assert!((options.run.faults.default_rates.timeout - 0.2).abs() < 1e-12);
+        assert!((options.run.faults.default_rates.device_dead - 0.01).abs() < 1e-12);
     }
 
     #[test]
@@ -608,11 +985,11 @@ mod tests {
     #[test]
     fn tune_options_parse_threads_flag() {
         let args: Vec<String> = ["m", "g", "--threads", "4"].iter().map(|s| (*s).to_owned()).collect();
-        assert_eq!(parse_tune_options(&args).unwrap().threads, Some(4));
+        assert_eq!(parse_tune_options(&args).unwrap().run.threads, Some(4));
         let auto: Vec<String> = ["m", "g", "--threads", "0"].iter().map(|s| (*s).to_owned()).collect();
-        assert_eq!(parse_tune_options(&auto).unwrap().threads, Some(0));
+        assert_eq!(parse_tune_options(&auto).unwrap().run.threads, Some(0));
         let unset: Vec<String> = ["m", "g"].iter().map(|s| (*s).to_owned()).collect();
-        assert_eq!(parse_tune_options(&unset).unwrap().threads, None);
+        assert_eq!(parse_tune_options(&unset).unwrap().run.threads, None);
     }
 
     #[test]
@@ -626,7 +1003,7 @@ mod tests {
     #[test]
     fn experiment_options_parse_threads_flag() {
         let args: Vec<String> = ["m", "--threads", "8"].iter().map(|s| (*s).to_owned()).collect();
-        assert_eq!(parse_experiment_options(&args).unwrap().threads, Some(8));
+        assert_eq!(parse_experiment_options(&args).unwrap().run.threads, Some(8));
     }
 
     #[test]
@@ -641,7 +1018,7 @@ mod tests {
         let options = parse_experiment_options(&args).unwrap();
         assert_eq!(options.gpus.len(), 4);
         assert_eq!(options.tuner, "autotvm");
-        assert!(!options.faults.any());
+        assert!(!options.run.faults.any());
     }
 
     #[test]
@@ -651,12 +1028,12 @@ mod tests {
             .map(|s| (*s).to_owned())
             .collect();
         let options = parse_tune_options(&args).unwrap();
-        assert_eq!(options.checkpoint_dir, Some(PathBuf::from("/tmp/run1")));
-        assert!(options.resume);
+        assert_eq!(options.run.checkpoint_dir, Some(PathBuf::from("/tmp/run1")));
+        assert!(options.run.resume);
         let exp: Vec<String> = ["m", "--checkpoint-dir", "/tmp/run2"].iter().map(|s| (*s).to_owned()).collect();
         let options = parse_experiment_options(&exp).unwrap();
-        assert_eq!(options.checkpoint_dir, Some(PathBuf::from("/tmp/run2")));
-        assert!(!options.resume);
+        assert_eq!(options.run.checkpoint_dir, Some(PathBuf::from("/tmp/run2")));
+        assert!(!options.run.resume);
     }
 
     #[test]
@@ -709,6 +1086,134 @@ mod tests {
         let options = parse_experiment_options(&args).unwrap();
         assert_eq!(options.gpus, vec!["Titan Xp".to_string(), "RTX 3090".to_string()]);
         assert_eq!(options.task, 2);
-        assert_eq!(options.faults.seed, 5);
+        assert_eq!(options.run.faults.seed, 5);
+    }
+
+    #[test]
+    fn supervision_flags_parse_on_both_subcommands() {
+        let args: Vec<String> = [
+            "m",
+            "g",
+            "--deadline-s",
+            "1.5",
+            "--max-wall-s",
+            "30",
+            "--stall-timeout-s",
+            "0",
+            "--pool-policy",
+            "quarantine=2,probes=4",
+            "--report",
+            "/tmp/deg.json",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let options = parse_tune_options(&args).unwrap();
+        assert_eq!(options.run.deadline_s, Some(1.5));
+        assert_eq!(options.run.max_wall_s, Some(30.0));
+        assert_eq!(options.run.stall_timeout_s, Some(0.0));
+        assert_eq!(options.run.faults.pool_policy().quarantine_threshold, 2);
+        assert_eq!(options.run.faults.pool_policy().probe_limit, 4);
+        assert_eq!(options.run.report, Some(PathBuf::from("/tmp/deg.json")));
+        let exp: Vec<String> = ["m", "--deadline-s", "2", "--pool-policy", "probe_cost=0.25"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = parse_experiment_options(&exp).unwrap();
+        assert_eq!(options.run.deadline_s, Some(2.0));
+        assert!((options.run.faults.pool_policy().probe_cost_s - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supervision_flags_reject_junk() {
+        let bad_deadline: Vec<String> = ["m", "g", "--deadline-s", "soon"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_tune_options(&bad_deadline).unwrap_err().contains("--deadline-s"));
+        let negative: Vec<String> = ["m", "g", "--max-wall-s", "-3"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_tune_options(&negative).unwrap_err().contains("--max-wall-s"));
+        let bad_policy: Vec<String> = ["m", "--pool-policy", "quarantine=0"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(parse_experiment_options(&bad_policy).unwrap_err().contains("quarantine"));
+    }
+
+    #[test]
+    fn usage_documents_the_supervision_flags() {
+        for flag in ["--deadline-s", "--max-wall-s", "--stall-timeout-s", "--pool-policy", "--report"] {
+            assert!(USAGE.contains(flag), "usage missing {flag}");
+        }
+        assert!(USAGE.contains("SIGINT"));
+    }
+
+    #[test]
+    fn tune_past_deadline_degrades_and_writes_the_report() {
+        let dir = std::env::temp_dir().join("glimpse-cli-deadline-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args: Vec<String> = [
+            "alexnet",
+            "Titan Xp",
+            "--tuner",
+            "random",
+            "--budget",
+            "6",
+            "--task",
+            "2",
+            "--deadline-s",
+            "0",
+            "--checkpoint-dir",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .chain([dir.display().to_string()])
+        .collect();
+        tune(&args).unwrap();
+        // A zero deadline stops the cell before its first trial completes:
+        // the journal stays resumable (snapshot, no completion marker)...
+        assert!(!dir.join("task2").join("complete.json").exists());
+        assert!(dir.join("task2").join("snapshot.json").exists());
+        // ...and the degradation report records the typed status.
+        let report = std::fs::read_to_string(dir.join("degradation.json")).unwrap();
+        assert!(report.contains("DeadlineExceeded"), "got: {report}");
+        // Resuming with a generous deadline finishes the cell.
+        let resume: Vec<String> = args
+            .iter()
+            .map(|a| if a == "0" { "1000000".to_owned() } else { a.clone() })
+            .chain(["--resume".to_owned()])
+            .collect();
+        tune(&resume).unwrap();
+        assert!(dir.join("task2").join("complete.json").exists());
+        let report = std::fs::read_to_string(dir.join("degradation.json")).unwrap();
+        assert!(report.contains("Complete"), "got: {report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn experiment_reassigns_the_cell_of_a_dead_device() {
+        let dir = std::env::temp_dir().join("glimpse-cli-reassign-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args: Vec<String> = [
+            "alexnet",
+            "--gpus",
+            "Titan Xp, RTX 3090",
+            "--tuner",
+            "random",
+            "--budget",
+            "4",
+            "--task",
+            "2",
+            "--fault-plan",
+            "dead@Titan Xp=1.0",
+            "--pool-policy",
+            "quarantine=1,probes=1",
+            "--checkpoint-dir",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .chain([dir.display().to_string()])
+        .collect();
+        experiment(&args).unwrap();
+        let report = std::fs::read_to_string(dir.join("degradation.json")).unwrap();
+        assert!(report.contains("Reassigned"), "got: {report}");
+        // The orphaned cell reran on the survivor under its own journal dir.
+        assert!(dir.join("Titan_Xp__on_RTX_3090").join("complete.json").exists());
+        assert!(dir.join("RTX_3090").join("complete.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

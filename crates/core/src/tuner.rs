@@ -16,7 +16,7 @@ use crate::artifacts::GlimpseArtifacts;
 use crate::blueprint::Blueprint;
 use crate::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
 use glimpse_gpu_spec::GpuSpec;
-use glimpse_mlkit::sa::{anneal, SaParams};
+use glimpse_mlkit::sa::{anneal_cancellable, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use glimpse_tuners::cost_model::GbtCostModel;
@@ -155,6 +155,9 @@ impl Tuner for GlimpseTuner<'_> {
         ctx.measure_batch(&initial);
 
         let mut model = GbtCostModel::new(ctx.seed ^ 0x91);
+        // A cancelled SA round is discarded whole, so supervision never
+        // perturbs the journal.
+        let cancel = ctx.cancel_token();
         while !ctx.exhausted() {
             model.fit(ctx.space, ctx.history());
             let t_frac = ctx.history().len() as f64 / total_budget as f64;
@@ -197,7 +200,7 @@ impl Tuner for GlimpseTuner<'_> {
             // split the seed per chain, so results are identical at any
             // thread count.
             let sa_seed: u64 = rng.gen();
-            let outcome = anneal(
+            let Some(outcome) = anneal_cancellable(
                 &starts,
                 energy,
                 |c, r| space.neighbor(c, r),
@@ -209,7 +212,10 @@ impl Tuner for GlimpseTuner<'_> {
                     patience: self.config.sa_patience,
                 },
                 sa_seed,
-            );
+                &cancel,
+            ) else {
+                break;
+            };
             ctx.add_explorer_steps(outcome.steps_executed);
 
             // Hardware-aware sampling: reject proposals the ensemble vetoes.

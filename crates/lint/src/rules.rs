@@ -9,7 +9,8 @@
 //! | `IO1` | file writes go through the durable-IO layer, never bare `fs::write` |
 //! | `L1` | crate imports respect the workspace DAG |
 //! | `P1` | load/measurement paths propagate errors, never panic |
-//! | `U1` | `unsafe` only inside `mlkit::parallel` |
+//! | `S1` | `std::process::exit` only in `cli::main` — termination routes through the shutdown path |
+//! | `U1` | `unsafe` only inside `mlkit::parallel` and `supervise::signal` |
 //!
 //! Rules run over masked text ([`crate::lexer`]), so tokens inside comments
 //! and string literals are invisible to them. Every violation can be
@@ -58,8 +59,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no unwrap()/expect() in non-test load/measurement paths; thread typed errors instead",
     },
     RuleInfo {
+        id: "S1",
+        summary: "std::process::exit is forbidden outside crates/cli/src/main.rs; all termination routes through the graceful-shutdown path",
+    },
+    RuleInfo {
         id: "U1",
-        summary: "unsafe code is forbidden outside mlkit::parallel and vendor/",
+        summary: "unsafe code is forbidden outside mlkit::parallel, supervise::signal, and vendor/",
     },
 ];
 
@@ -70,9 +75,10 @@ pub fn is_known_rule(id: &str) -> bool {
 }
 
 /// Files (relative-path prefixes) exempt from D1: the bench harnesses time
-/// real work by design, and the lint crate's clock module is the single
-/// allowlisted wall-clock access point.
-const D1_EXEMPT_PREFIXES: &[&str] = &["crates/bench/", "crates/lint/src/clock.rs"];
+/// real work by design, the lint crate's clock module is the single
+/// allowlisted wall-clock access point, and the supervision watchdog must
+/// consult real time to detect a stalled simulated clock.
+const D1_EXEMPT_PREFIXES: &[&str] = &["crates/bench/", "crates/lint/src/clock.rs", "crates/supervise/src/watchdog.rs"];
 
 /// Entropy / wall-clock tokens D1 hunts for.
 const D1_NEEDLES: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
@@ -105,8 +111,14 @@ const P1_SCOPE: &[&str] = &[
     "crates/tuners/src/journal.rs",
 ];
 
-/// The one module allowed to contain `unsafe` (today it contains none).
-const U1_EXEMPT: &str = "crates/mlkit/src/parallel.rs";
+/// The only modules allowed to contain `unsafe`: the parallel fan-out
+/// (today it contains none) and the raw signal bindings.
+const U1_EXEMPT: &[&str] = &["crates/mlkit/src/parallel.rs", "crates/supervise/src/signal.rs"];
+
+/// The one file allowed to call `std::process::exit` (S1): the CLI entry
+/// point. Everything else requests shutdown through a `CancelToken` so
+/// WAL + snapshot flushing always runs.
+const S1_SANCTIONED_FILE: &str = "crates/cli/src/main.rs";
 
 /// The durable-IO layer — the only place allowed to open write handles.
 const IO1_SANCTIONED_PREFIX: &str = "crates/durable/src/";
@@ -117,21 +129,48 @@ const IO1_NEEDLES: &[&str] = &["fs::write", "File::create", "File::options", "Op
 /// Allowed `glimpse_*` dependencies per crate — the workspace DAG. A crate
 /// absent from this table must not import any `glimpse_*` crate.
 const LAYERING: &[(&str, &[&str])] = &[
+    ("supervise", &[]),
     ("durable", &[]),
     ("gpu-spec", &[]),
     ("tensor-prog", &[]),
     ("space", &["durable", "tensor-prog"]),
-    ("mlkit", &[]),
+    ("mlkit", &["supervise"]),
     ("sim", &["durable", "gpu-spec", "tensor-prog", "space"]),
-    ("tuners", &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit"]),
-    ("core", &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners"]),
+    (
+        "tuners",
+        &["supervise", "durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit"],
+    ),
+    (
+        "core",
+        &["supervise", "durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners"],
+    ),
     (
         "bench",
-        &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"],
+        &[
+            "supervise",
+            "durable",
+            "gpu-spec",
+            "tensor-prog",
+            "space",
+            "sim",
+            "mlkit",
+            "tuners",
+            "core",
+        ],
     ),
     (
         "cli",
-        &["durable", "gpu-spec", "tensor-prog", "space", "sim", "mlkit", "tuners", "core"],
+        &[
+            "supervise",
+            "durable",
+            "gpu-spec",
+            "tensor-prog",
+            "space",
+            "sim",
+            "mlkit",
+            "tuners",
+            "core",
+        ],
     ),
     ("lint", &[]),
 ];
@@ -176,6 +215,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     rule_io1(file, &mut out);
     rule_l1(file, &mut out);
     rule_p1(file, &mut out);
+    rule_s1(file, &mut out);
     rule_u1(file, &mut out);
     out.retain(|v| v.rule == "A0" || !file.allows.iter().any(|a| a.covers(v.rule, v.line)));
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -244,7 +284,7 @@ fn rule_d2(file: &SourceFile, out: &mut Vec<Violation>) {
 /// count. (Heuristic: per-item RNG must be created inside the closure with
 /// `child_rng`.)
 fn rule_d3(file: &SourceFile, out: &mut Vec<Violation>) {
-    for fan_out in ["parallel_map_range", "parallel_map"] {
+    for fan_out in ["parallel_map_range", "parallel_map_cancellable", "parallel_map"] {
         for offset in find_token(&file.masked, fan_out) {
             let open = offset + fan_out.len();
             if file.masked.as_bytes().get(open) != Some(&b'(') {
@@ -352,10 +392,33 @@ fn rule_p1(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// U1: `unsafe` is confined to `mlkit::parallel` (and the vendored deps,
-/// which are outside the scanned tree).
+/// S1: `std::process::exit` skips destructors, WAL flushes, and snapshot
+/// writes. The only sanctioned call site is the CLI entry point; every
+/// other component requests termination by tripping a `CancelToken` so the
+/// run drains at a trial boundary. (The raw `_exit` in `supervise::signal`
+/// is the second-signal hard-exit and is a different identifier.)
+fn rule_s1(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel_path == S1_SANCTIONED_FILE {
+        return;
+    }
+    for offset in find_token(&file.masked, "process::exit") {
+        let (line, _) = file.line_col(offset);
+        if file.in_test(line) {
+            continue;
+        }
+        out.push(violation(
+            file,
+            offset,
+            "S1",
+            "`process::exit` outside crates/cli/src/main.rs: trip a CancelToken and drain at a trial boundary so WAL + snapshot flushing always runs".to_owned(),
+        ));
+    }
+}
+
+/// U1: `unsafe` is confined to `mlkit::parallel` and `supervise::signal`
+/// (and the vendored deps, which are outside the scanned tree).
 fn rule_u1(file: &SourceFile, out: &mut Vec<Violation>) {
-    if file.rel_path == U1_EXEMPT {
+    if U1_EXEMPT.contains(&file.rel_path.as_str()) {
         return;
     }
     for offset in find_token(&file.masked, "unsafe") {
@@ -363,7 +426,7 @@ fn rule_u1(file: &SourceFile, out: &mut Vec<Violation>) {
             file,
             offset,
             "U1",
-            "`unsafe` is forbidden outside mlkit::parallel; crate roots carry #![forbid(unsafe_code)]".to_owned(),
+            "`unsafe` is forbidden outside mlkit::parallel and supervise::signal; crate roots carry #![forbid(unsafe_code)]".to_owned(),
         ));
     }
 }
@@ -507,6 +570,26 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "U1");
         assert!(check("crates/mlkit/src/parallel.rs", "unsafe { fan_out() }\n").is_empty());
+        assert!(check("crates/supervise/src/signal.rs", "unsafe { signal(2, h as usize); }\n").is_empty());
+    }
+
+    #[test]
+    fn s1_flags_process_exit_outside_cli_main() {
+        let v = check("crates/tuners/src/journal.rs", "std::process::exit(1);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "S1");
+        assert!(check("crates/cli/src/main.rs", "std::process::exit(2);\n").is_empty());
+    }
+
+    #[test]
+    fn s1_spares_tests_strings_and_other_exits() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { std::process::exit(0); }\n}\n";
+        assert!(check("crates/core/src/lib.rs", in_test).is_empty());
+        assert!(check("crates/core/src/lib.rs", "// process::exit is banned\nlet s = \"process::exit\";\n").is_empty());
+        // The raw `_exit` libc binding is a different identifier.
+        assert!(check("crates/core/src/lib.rs", "unsafe { _exit(130) };\n")
+            .iter()
+            .all(|v| v.rule != "S1"));
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! S1 fixture: the CLI entry point is the one sanctioned exit site.
+
+fn main() {
+    std::process::exit(0);
+}

@@ -1,0 +1,5 @@
+//! S1 fixture: a direct process exit outside the CLI entry point.
+
+pub fn bail(code: i32) {
+    std::process::exit(code);
+}

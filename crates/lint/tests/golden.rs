@@ -35,7 +35,7 @@ fn fixture_sources() -> Vec<(String, String)> {
     let mut out = Vec::new();
     collect(&root, &root, &mut out);
     out.sort();
-    assert_eq!(out.len(), 11, "fixture tree changed — update the golden list");
+    assert_eq!(out.len(), 13, "fixture tree changed — update the golden list");
     out
 }
 
@@ -55,6 +55,7 @@ fn fixture_violations_match_the_golden_list() {
         ("crates/space/src/u1_unsafe.rs", 4, "U1"),
         ("crates/tuners/src/d2_hash.rs", 3, "D2"),
         ("crates/tuners/src/d2_hash.rs", 6, "D2"),
+        ("crates/tuners/src/s1_exit.rs", 4, "S1"),
     ]
     .into_iter()
     .map(|(f, l, r)| (f.to_owned(), l, r))
@@ -83,6 +84,7 @@ fn clean_and_exempt_fixtures_stay_silent() {
         "crates/space/src/clean.rs",
         "crates/bench/src/timing.rs",
         "crates/durable/src/io1_sanctioned.rs",
+        "crates/cli/src/main.rs",
     ] {
         assert!(
             report.violations.iter().all(|v| v.file != silent),
@@ -118,5 +120,6 @@ fn by_rule_counts_cover_every_rule() {
     assert_eq!(counts["IO1"], 1);
     assert_eq!(counts["L1"], 1);
     assert_eq!(counts["P1"], 2);
+    assert_eq!(counts["S1"], 1);
     assert_eq!(counts["U1"], 1);
 }

@@ -135,6 +135,77 @@ where
     out.into_iter().map(|r| r.expect("worker filled its slot")).collect()
 }
 
+/// Cancellable variant of [`parallel_map`]: `None` if `cancel` trips
+/// before the map completes, `Some(results)` otherwise — never a partial
+/// result set.
+///
+/// Workers poll the token between items and stop early once it trips; the
+/// whole batch is then discarded. All-or-nothing is what keeps the
+/// determinism contract intact under cancellation: a consumer either sees
+/// the exact `Vec` the uninterrupted run would produce, or nothing — so a
+/// cancelled search replays as a clean prefix of the uninterrupted one.
+/// (Cancellation is monotonic, so the final check subsumes any empty slot
+/// a worker left behind.)
+///
+/// # Examples
+///
+/// ```
+/// use glimpse_mlkit::parallel::{parallel_map_cancellable, Threads};
+/// use glimpse_supervise::{CancelReason, CancelToken};
+///
+/// let token = CancelToken::new();
+/// let done = parallel_map_cancellable(Threads::fixed(2), &token, &[1i64, 2, 3], |_, x| x * x);
+/// assert_eq!(done, Some(vec![1, 4, 9]));
+///
+/// token.cancel(CancelReason::Interrupted);
+/// let cut = parallel_map_cancellable(Threads::fixed(2), &token, &[1i64, 2, 3], |_, x| x * x);
+/// assert_eq!(cut, None);
+/// ```
+pub fn parallel_map_cancellable<T, R, F>(threads: Threads, cancel: &glimpse_supervise::CancelToken, items: &[T], f: F) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.resolve().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, t) in items.iter().enumerate() {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            out.push(f(i, t));
+        }
+        return (!cancel.is_cancelled()).then_some(out);
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let result = crossbeam::thread::scope(|s| {
+        for (w, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            s.spawn(move |_| {
+                for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let i = start + offset;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+    if cancel.is_cancelled() {
+        return None;
+    }
+    Some(out.into_iter().map(|r| r.expect("worker filled its slot")).collect())
+}
+
 /// Index-only variant of [`parallel_map`]: maps `f(i)` over `0..n`.
 pub fn parallel_map_range<R, F>(threads: Threads, n: usize, f: F) -> Vec<R>
 where
@@ -201,6 +272,46 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn cancellable_map_matches_plain_map_when_untripped() {
+        use glimpse_supervise::CancelToken;
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, x: &u64| {
+            use rand::Rng;
+            let mut rng = crate::stats::child_rng(*x, i as u64);
+            rng.gen::<u64>()
+        };
+        let plain = parallel_map(Threads::fixed(4), &items, f);
+        let token = CancelToken::new();
+        for workers in [1usize, 8] {
+            assert_eq!(
+                parallel_map_cancellable(Threads::fixed(workers), &token, &items, f),
+                Some(plain.clone()),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn tripped_token_yields_none_not_partial_results() {
+        use glimpse_supervise::{CancelReason, CancelToken};
+        let pre = CancelToken::new();
+        pre.cancel(CancelReason::DeadlineExceeded);
+        let items: Vec<usize> = (0..64).collect();
+        assert_eq!(parallel_map_cancellable(Threads::fixed(4), &pre, &items, |_, &x| x), None);
+        // Trip mid-flight from inside the map: still all-or-nothing.
+        for workers in [1usize, 8] {
+            let mid = CancelToken::new();
+            let out = parallel_map_cancellable(Threads::fixed(workers), &mid, &items, |i, &x| {
+                if i == 9 {
+                    mid.cancel(CancelReason::Interrupted);
+                }
+                x
+            });
+            assert_eq!(out, None, "workers={workers}");
+        }
     }
 
     #[test]

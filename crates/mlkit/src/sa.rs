@@ -14,8 +14,9 @@
 //! chains ran before it, of the worker count, and of chain execution order.
 //! The same seed replays bit-identically at any `--threads` setting.
 
-use crate::parallel::{parallel_map, Threads};
+use crate::parallel::{parallel_map, parallel_map_cancellable, Threads};
 use crate::stats::child_rng;
+use glimpse_supervise::CancelToken;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -117,8 +118,44 @@ where
     assert!(params.t_start > 0.0 && params.t_end > 0.0, "temperatures must be positive");
     let chains = params.chains.max(1);
     let results = parallel_map(threads, &chain_indices(chains), |_, &c| {
-        run_chain(&initial[c % initial.len()], c, &score, &neighbor, &params, seed)
+        run_chain(&initial[c % initial.len()], c, &score, &neighbor, &params, seed, None)
     });
+    collect_outcome(results, chains)
+}
+
+/// Cancellable [`anneal`]: `None` if `cancel` trips before the batch
+/// completes, `Some(outcome)` otherwise — the outcome is then bit-identical
+/// to the uninterrupted [`anneal`] call.
+///
+/// The SA round is the cancellation unit: chains poll the token between
+/// update steps and bail early once it trips, but a cut-short batch is
+/// discarded whole, never partially consumed. Callers treat `None` as "stop
+/// searching now" — the enclosing tuning loop drains at its own trial
+/// boundary, so a cancelled run's journal stays a byte-identical prefix of
+/// the uninterrupted run's.
+pub fn anneal_cancellable<S, F, N>(
+    initial: &[S],
+    score: F,
+    neighbor: N,
+    params: SaParams,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Option<SaOutcome<S>>
+where
+    S: Clone + Send + Sync,
+    F: Fn(&S) -> f64 + Sync,
+    N: Fn(&S, &mut StdRng) -> S + Sync,
+{
+    assert!(!initial.is_empty(), "need at least one starting state");
+    assert!(params.t_start > 0.0 && params.t_end > 0.0, "temperatures must be positive");
+    let chains = params.chains.max(1);
+    let results = parallel_map_cancellable(Threads::AUTO, cancel, &chain_indices(chains), |_, &c| {
+        run_chain(&initial[c % initial.len()], c, &score, &neighbor, &params, seed, Some(cancel))
+    })?;
+    Some(collect_outcome(results, chains))
+}
+
+fn collect_outcome<S>(results: Vec<((S, f64), usize)>, chains: usize) -> SaOutcome<S> {
     let mut chain_bests = Vec::with_capacity(chains);
     let mut steps_executed = 0usize;
     for (best, steps) in results {
@@ -135,8 +172,23 @@ fn chain_indices(chains: usize) -> Vec<usize> {
     (0..chains).collect()
 }
 
+/// How many chain-update steps run between cancellation polls: cheap
+/// enough to bound post-cancel latency, coarse enough to stay invisible in
+/// the step profile.
+const CANCEL_POLL_STEPS: usize = 16;
+
 /// One chain's trajectory: a pure function of `(start, chain index, seed)`.
-fn run_chain<S, F, N>(start: &S, chain: usize, score: &F, neighbor: &N, params: &SaParams, seed: u64) -> ((S, f64), usize)
+/// A tripped `cancel` only cuts the chain short — the caller discards the
+/// whole batch in that case, so the bail never leaks into results.
+fn run_chain<S, F, N>(
+    start: &S,
+    chain: usize,
+    score: &F,
+    neighbor: &N,
+    params: &SaParams,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> ((S, f64), usize)
 where
     S: Clone,
     F: Fn(&S) -> f64,
@@ -156,7 +208,10 @@ where
     let mut t = params.t_start;
     let mut stale = 0usize;
     let mut steps = 0usize;
-    for _ in 0..params.max_steps {
+    for step in 0..params.max_steps {
+        if step % CANCEL_POLL_STEPS == 0 && cancel.is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         steps += 1;
         let candidate = neighbor(&current, &mut rng);
         let candidate_score = score(&candidate);
@@ -318,7 +373,7 @@ mod tests {
         };
         let batch = anneal(&starts, score, neighbor, params, 9);
         for (c, expected) in batch.chain_bests.iter().enumerate() {
-            let (solo, _) = run_chain(&starts[c], c, &score, &neighbor, &params, 9);
+            let (solo, _) = run_chain(&starts[c], c, &score, &neighbor, &params, 9, None);
             assert_eq!(&solo, expected, "chain {c} diverged from its solo replay");
         }
     }
@@ -351,7 +406,7 @@ mod tests {
             let mut permuted: Vec<Option<(i64, f64)>> = vec![None; chains];
             let mut steps = 0usize;
             for c in (0..chains).rev() {
-                let (best, s) = run_chain(&starts[c % starts.len()], c, &score, &neighbor, &params, seed);
+                let (best, s) = run_chain(&starts[c % starts.len()], c, &score, &neighbor, &params, seed, None);
                 permuted[c] = Some(best);
                 steps += s;
             }
@@ -361,6 +416,45 @@ mod tests {
             };
             prop_assert!(bests_equal(&reference, &permuted), "permuted execution order diverged");
         }
+    }
+
+    #[test]
+    fn cancellable_anneal_matches_plain_anneal_when_untripped() {
+        use glimpse_supervise::CancelToken;
+        let starts: Vec<i64> = (0..4).map(|i| i * 25).collect();
+        let params = SaParams {
+            chains: 6,
+            max_steps: 80,
+            ..SaParams::default()
+        };
+        let plain = anneal(&starts, score, neighbor, params, 13);
+        let cancellable = anneal_cancellable(&starts, score, neighbor, params, 13, &CancelToken::new())
+            .expect("untripped token must not cancel the batch");
+        assert!(bests_equal(&plain, &cancellable));
+    }
+
+    #[test]
+    fn tripped_token_discards_the_whole_batch() {
+        use glimpse_supervise::{CancelReason, CancelToken};
+        let pre = CancelToken::new();
+        pre.cancel(CancelReason::Interrupted);
+        assert!(anneal_cancellable(&[0i64], score, neighbor, SaParams::default(), 1, &pre).is_none());
+        // Trip from inside the score function: chains bail early and the
+        // cut-short batch is never returned.
+        let mid = CancelToken::new();
+        let evals = std::sync::atomic::AtomicUsize::new(0);
+        let tripping_score = |x: &i64| {
+            if evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 40 {
+                mid.cancel(CancelReason::DeadlineExceeded);
+            }
+            score(x)
+        };
+        let params = SaParams {
+            chains: 8,
+            max_steps: 400,
+            ..SaParams::default()
+        };
+        assert!(anneal_cancellable(&[0i64], tripping_score, neighbor, params, 2, &mid).is_none());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! noise stream — injecting faults perturbs *which* measurements fail, not
 //! the noise of the ones that succeed.
 
+use crate::pool::PoolPolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -189,6 +190,10 @@ pub struct FaultPlan {
     /// Kept optional so journals written before this field existed still
     /// deserialize.
     pub storage: Option<StorageFaults>,
+    /// Pool health-management thresholds; `None` means
+    /// [`PoolPolicy::default`]. Optional for the same backward-compatibility
+    /// reason as `storage`.
+    pub pool: Option<PoolPolicy>,
 }
 
 impl FaultPlan {
@@ -207,6 +212,7 @@ impl FaultPlan {
             default_rates: rates,
             per_device: HashMap::new(),
             storage: None,
+            pool: None,
         }
     }
 
@@ -221,6 +227,19 @@ impl FaultPlan {
     #[must_use]
     pub fn storage_faults(&self) -> StorageFaults {
         self.storage.unwrap_or_default()
+    }
+
+    /// Sets the pool health-management thresholds (see [`PoolPolicy`]).
+    #[must_use]
+    pub fn with_pool_policy(mut self, policy: PoolPolicy) -> Self {
+        self.pool = Some(policy);
+        self
+    }
+
+    /// Pool thresholds in effect (defaults to [`PoolPolicy::default`]).
+    #[must_use]
+    pub fn pool_policy(&self) -> PoolPolicy {
+        self.pool.unwrap_or_default()
     }
 
     /// Marks `device` as dead from the first measurement on.
@@ -258,7 +277,12 @@ impl FaultPlan {
     /// Parses a CLI rate spec like `timeout=0.1,launch=0.05,noise=0.1,lost=0.02,dead=0.01`
     /// into a uniform plan with seed 0 (set the seed separately). Storage
     /// triggers use integer sequence numbers: `crash_at=12`, `torn_at=12`,
-    /// `torn_keep=7`.
+    /// `torn_keep=7`. A key of the form `kind@device` overrides one rate
+    /// for one device — `dead@RTX 2080 Ti=1.0` kills that board while the
+    /// rest of the fleet keeps the fleet-wide rates. Per-device overrides
+    /// start from the fleet-wide rates regardless of where they appear in
+    /// the spec, so `dead@X=1.0,timeout=0.1` and `timeout=0.1,dead@X=1.0`
+    /// mean the same plan.
     ///
     /// # Errors
     ///
@@ -266,6 +290,9 @@ impl FaultPlan {
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut rates = FaultRates::none();
         let mut storage = StorageFaults::none();
+        // (device, kind, rate), applied after the fleet-wide pass so the
+        // override base never depends on key order within the spec.
+        let mut overrides: Vec<(String, String, f64)> = Vec::new();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part
                 .split_once('=')
@@ -286,25 +313,44 @@ impl FaultPlan {
             let rate: f64 = value
                 .parse()
                 .map_err(|_| format!("bad fault rate `{value}` for `{key}`: expected a number"))?;
-            match key {
-                "timeout" => rates.timeout = rate,
-                "launch" | "launch_failure" => rates.launch_failure = rate,
-                "noise" | "noise_spike" => rates.noise_spike = rate,
-                "lost" | "device_lost" => rates.device_lost = rate,
-                "dead" | "device_dead" => rates.device_dead = rate,
-                other => {
-                    return Err(format!(
-                        "unknown fault kind `{other}` (expected timeout, launch, noise, lost, dead, crash_at, torn_at, torn_keep)"
-                    ))
+            if let Some((kind, device)) = key.split_once('@') {
+                let device = device.trim();
+                if device.is_empty() {
+                    return Err(format!("bad fault key `{key}`: expected kind@device"));
                 }
+                overrides.push((device.to_string(), kind.trim().to_string(), rate));
+            } else {
+                Self::set_rate(&mut rates, key, rate)?;
             }
         }
         rates.validate()?;
         let mut plan = Self::uniform(0, rates);
+        for (device, kind, rate) in overrides {
+            let mut device_rates = plan.rates_for(&device);
+            Self::set_rate(&mut device_rates, &kind, rate)?;
+            device_rates.validate()?;
+            plan.per_device.insert(device, device_rates);
+        }
         if storage.any() || storage.torn_keep_bytes.is_some() {
             plan.storage = Some(storage);
         }
         Ok(plan)
+    }
+
+    fn set_rate(rates: &mut FaultRates, kind: &str, rate: f64) -> Result<(), String> {
+        match kind {
+            "timeout" => rates.timeout = rate,
+            "launch" | "launch_failure" => rates.launch_failure = rate,
+            "noise" | "noise_spike" => rates.noise_spike = rate,
+            "lost" | "device_lost" => rates.device_lost = rate,
+            "dead" | "device_dead" => rates.device_dead = rate,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (expected timeout, launch, noise, lost, dead, crash_at, torn_at, torn_keep)"
+                ))
+            }
+        }
+        Ok(())
     }
 }
 
@@ -584,6 +630,53 @@ mod tests {
         let json = serde_json::to_string(&armed).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, armed);
+    }
+
+    #[test]
+    fn parse_accepts_per_device_overrides() {
+        let plan = FaultPlan::parse("timeout=0.1, dead@RTX 2080 Ti=1.0, noise@Titan Xp=0.3").unwrap();
+        // Fleet-wide rates stay on unlisted devices.
+        assert_eq!(plan.rates_for("GTX 1080").timeout, 0.1);
+        assert_eq!(plan.rates_for("GTX 1080").device_dead, 0.0);
+        // Overrides start from the fleet-wide rates, not from zero.
+        let dead = plan.rates_for("RTX 2080 Ti");
+        assert_eq!(dead.device_dead, 1.0);
+        assert_eq!(dead.timeout, 0.1);
+        let noisy = plan.rates_for("Titan Xp");
+        assert_eq!(noisy.noise_spike, 0.3);
+        assert_eq!(noisy.timeout, 0.1);
+    }
+
+    #[test]
+    fn per_device_overrides_are_order_independent() {
+        let a = FaultPlan::parse("dead@RTX 2080 Ti=1.0,timeout=0.1").unwrap();
+        let b = FaultPlan::parse("timeout=0.1,dead@RTX 2080 Ti=1.0").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.rates_for("RTX 2080 Ti").timeout, 0.1);
+    }
+
+    #[test]
+    fn parse_rejects_bad_per_device_overrides() {
+        assert!(FaultPlan::parse("warp@Titan Xp=0.1").is_err());
+        assert!(FaultPlan::parse("dead@=1.0").is_err());
+        assert!(FaultPlan::parse("dead@Titan Xp=1.5").is_err());
+    }
+
+    #[test]
+    fn pool_policy_rides_the_plan() {
+        let plan = FaultPlan::none();
+        assert!(plan.pool.is_none());
+        assert_eq!(plan.pool_policy(), crate::pool::PoolPolicy::default());
+        let custom = crate::pool::PoolPolicy {
+            quarantine_threshold: 1,
+            probe_limit: 2,
+            probe_cost_s: 0.25,
+        };
+        let plan = plan.with_pool_policy(custom);
+        assert_eq!(plan.pool_policy(), custom);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
     }
 
     #[test]

@@ -9,23 +9,107 @@
 //!
 //! Fleets fail, so the pool also tracks health: a device whose jobs keep
 //! coming back all-faulted is **quarantined** after
-//! [`QUARANTINE_THRESHOLD`] consecutive bad rounds, quarantined devices
-//! are **probed** before each round and re-admitted when the probe
+//! [`PoolPolicy::quarantine_threshold`] consecutive bad rounds, quarantined
+//! devices are **probed** before each round and re-admitted when the probe
 //! answers, and a device whose worker panics or whose injector declares it
 //! dead is retired permanently. A degraded fleet keeps running on the
-//! survivors; [`DevicePool::summary`] reports who is in what state.
+//! survivors; [`DevicePool::summary`] reports who is in what state. The
+//! thresholds are a [`PoolPolicy`] carried on the [`FaultPlan`], so chaos
+//! experiments can tighten or loosen them per campaign.
 
 use crate::fault::FaultPlan;
 use crate::measure::Measurer;
 use glimpse_gpu_spec::GpuSpec;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
-/// Consecutive all-faulted rounds before a device is quarantined.
-pub const QUARANTINE_THRESHOLD: u32 = 3;
-/// Failed re-admission probes before a quarantined device is retired.
-pub const PROBE_LIMIT: u32 = 5;
-/// Simulated seconds one re-admission probe costs.
-pub const PROBE_COST_S: f64 = 0.5;
+/// Health-management knobs of a [`DevicePool`]. Carried on the
+/// [`FaultPlan`] (`--pool-policy` on the CLI); [`PoolPolicy::default`]
+/// reproduces the historical hard-coded behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolPolicy {
+    /// Consecutive all-faulted rounds before a device is quarantined.
+    pub quarantine_threshold: u32,
+    /// Failed re-admission probes before a quarantined device is retired.
+    pub probe_limit: u32,
+    /// Simulated seconds one re-admission probe costs.
+    pub probe_cost_s: f64,
+}
+
+impl Default for PoolPolicy {
+    fn default() -> Self {
+        Self {
+            quarantine_threshold: 3,
+            probe_limit: 5,
+            probe_cost_s: 0.5,
+        }
+    }
+}
+
+impl PoolPolicy {
+    /// Parses a CLI spec like `quarantine=3,probes=5,probe_cost=0.5`.
+    /// Omitted keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad key, value, or range.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut policy = Self::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad pool policy `{part}`: expected key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "quarantine" | "quarantine_threshold" => {
+                    policy.quarantine_threshold = value
+                        .parse()
+                        .map_err(|_| format!("bad value `{value}` for `{key}`: expected a count"))?;
+                }
+                "probes" | "probe_limit" => {
+                    policy.probe_limit = value
+                        .parse()
+                        .map_err(|_| format!("bad value `{value}` for `{key}`: expected a count"))?;
+                }
+                "probe_cost" | "probe_cost_s" => {
+                    policy.probe_cost_s = value
+                        .parse()
+                        .map_err(|_| format!("bad value `{value}` for `{key}`: expected seconds"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown pool policy key `{other}` (expected quarantine, probes, probe_cost)"
+                    ))
+                }
+            }
+        }
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Checks the thresholds are usable: counts at least 1, probe cost a
+    /// finite non-negative number of seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.quarantine_threshold == 0 {
+            return Err("pool policy `quarantine` must be at least 1".to_string());
+        }
+        if self.probe_limit == 0 {
+            return Err("pool policy `probes` must be at least 1".to_string());
+        }
+        if !self.probe_cost_s.is_finite() || self.probe_cost_s < 0.0 {
+            return Err(format!(
+                "pool policy `probe_cost` must be finite and >= 0, got {}",
+                self.probe_cost_s
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Lifecycle state of one pooled device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +250,7 @@ pub struct DevicePool {
     devices: Vec<Mutex<Measurer>>,
     health: Vec<Mutex<HealthRecord>>,
     names: Vec<String>,
+    policy: PoolPolicy,
 }
 
 impl DevicePool {
@@ -186,7 +271,18 @@ impl DevicePool {
             .collect();
         let health = gpus.iter().map(|_| Mutex::new(HealthRecord::new())).collect();
         let names = gpus.iter().map(|g| g.name.clone()).collect();
-        Self { devices, health, names }
+        Self {
+            devices,
+            health,
+            names,
+            policy: plan.pool_policy(),
+        }
+    }
+
+    /// Health-management thresholds in effect for this pool.
+    #[must_use]
+    pub fn policy(&self) -> PoolPolicy {
+        self.policy
     }
 
     /// Number of devices.
@@ -222,12 +318,13 @@ impl DevicePool {
         F: Fn(usize, &mut Measurer) -> T + Sync,
     {
         let mut out: Vec<Option<Result<T, DeviceError>>> = (0..self.devices.len()).map(|_| None).collect();
+        let policy = self.policy;
         let result = crossbeam::thread::scope(|scope| {
             for (slot, (index, device)) in out.iter_mut().zip(self.devices.iter().enumerate()) {
                 let job = &job;
                 let health = &self.health[index];
                 scope.spawn(move |_| {
-                    *slot = Some(Self::run_one(job, index, device, health));
+                    *slot = Some(Self::run_one(job, index, device, health, policy));
                 });
             }
         });
@@ -237,7 +334,28 @@ impl DevicePool {
             .collect()
     }
 
-    fn run_one<T, F>(job: &F, index: usize, device: &Mutex<Measurer>, health: &Mutex<HealthRecord>) -> Result<T, DeviceError>
+    /// Runs `job` on the single device at `index`, with the same admission
+    /// control, probing, and health accounting as [`DevicePool::run_all`].
+    /// This is the reassignment path: a supervisor moving an orphaned cell
+    /// onto a surviving device addresses that device directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn run_on<T, F>(&self, index: usize, job: F) -> Result<T, DeviceError>
+    where
+        F: Fn(usize, &mut Measurer) -> T + Sync,
+    {
+        Self::run_one(&job, index, &self.devices[index], &self.health[index], self.policy)
+    }
+
+    fn run_one<T, F>(
+        job: &F,
+        index: usize,
+        device: &Mutex<Measurer>,
+        health: &Mutex<HealthRecord>,
+        policy: PoolPolicy,
+    ) -> Result<T, DeviceError>
     where
         F: Fn(usize, &mut Measurer) -> T + Sync,
     {
@@ -248,13 +366,13 @@ impl DevicePool {
                 DeviceStatus::Dead => return Err(DeviceError::Dead),
                 DeviceStatus::Quarantined => {
                     let mut measurer = device.lock();
-                    if Self::probe(&mut measurer) {
+                    if Self::probe(&mut measurer, policy) {
                         record.status = DeviceStatus::Healthy;
                         record.consecutive_failures = 0;
                         record.failed_probes = 0;
                     } else {
                         record.failed_probes += 1;
-                        if record.failed_probes >= PROBE_LIMIT {
+                        if record.failed_probes >= policy.probe_limit {
                             record.status = DeviceStatus::Dead;
                             record.last_error = Some("probe limit exhausted".to_string());
                             return Err(DeviceError::Dead);
@@ -288,7 +406,7 @@ impl DevicePool {
                 } else if faulted && !served {
                     record.consecutive_failures += 1;
                     record.last_error = Some("all measurements faulted".to_string());
-                    if record.consecutive_failures >= QUARANTINE_THRESHOLD {
+                    if record.consecutive_failures >= policy.quarantine_threshold {
                         record.status = DeviceStatus::Quarantined;
                         record.quarantines += 1;
                         record.consecutive_failures = 0;
@@ -309,10 +427,10 @@ impl DevicePool {
         }
     }
 
-    /// One re-admission probe: charges [`PROBE_COST_S`] and asks the
-    /// device for a sign of life.
-    fn probe(measurer: &mut Measurer) -> bool {
-        measurer.charge(PROBE_COST_S);
+    /// One re-admission probe: charges [`PoolPolicy::probe_cost_s`] and
+    /// asks the device for a sign of life.
+    fn probe(measurer: &mut Measurer, policy: PoolPolicy) -> bool {
+        measurer.charge(policy.probe_cost_s);
         if measurer.is_device_dead() {
             return false;
         }
@@ -525,7 +643,7 @@ mod tests {
         let space = space();
         let config = valid_config_for(&gpus[0], &space);
 
-        for _ in 0..QUARANTINE_THRESHOLD {
+        for _ in 0..p.policy().quarantine_threshold {
             let results = p.run_all(|_, m| {
                 m.measure(&space, &config);
             });
@@ -556,7 +674,7 @@ mod tests {
         let p = DevicePool::with_faults(&gpus, 5, &plan);
         let space = space();
         let config = valid_config_for(&gpus[0], &space);
-        for _ in 0..QUARANTINE_THRESHOLD {
+        for _ in 0..p.policy().quarantine_threshold {
             p.run_all(|_, m| {
                 m.measure(&space, &config);
             });
@@ -564,6 +682,90 @@ mod tests {
         let before = p.summary().devices[0].gpu_seconds;
         p.run_all(|_, _m| {});
         let after = p.summary().devices[0].gpu_seconds;
-        assert!(after >= before + PROBE_COST_S - 1e-9, "probe must debit the clock");
+        assert!(after >= before + p.policy().probe_cost_s - 1e-9, "probe must debit the clock");
+    }
+
+    #[test]
+    fn policy_parse_accepts_the_documented_grammar() {
+        let policy = PoolPolicy::parse("quarantine=2, probes=7,probe_cost=1.25").unwrap();
+        assert_eq!(policy.quarantine_threshold, 2);
+        assert_eq!(policy.probe_limit, 7);
+        assert_eq!(policy.probe_cost_s, 1.25);
+        // Omitted keys keep their defaults; an empty spec is the default.
+        assert_eq!(PoolPolicy::parse("probes=9").unwrap().quarantine_threshold, 3);
+        assert_eq!(PoolPolicy::parse("").unwrap(), PoolPolicy::default());
+    }
+
+    #[test]
+    fn policy_parse_rejects_bad_specs() {
+        assert!(PoolPolicy::parse("quarantine").is_err());
+        assert!(PoolPolicy::parse("patience=3").is_err());
+        assert!(PoolPolicy::parse("quarantine=0").is_err());
+        assert!(PoolPolicy::parse("probes=0").is_err());
+        assert!(PoolPolicy::parse("probes=many").is_err());
+        assert!(PoolPolicy::parse("probe_cost=-1").is_err());
+        assert!(PoolPolicy::parse("probe_cost=inf").is_err());
+    }
+
+    #[test]
+    fn custom_quarantine_threshold_changes_admission() {
+        let gpus: Vec<_> = database::evaluation_gpus().into_iter().cloned().collect();
+        let flaky = gpus[0].name.clone();
+        let plan = FaultPlan::none()
+            .with_device_rates(
+                &flaky,
+                FaultRates {
+                    launch_failure: 1.0,
+                    ..FaultRates::none()
+                },
+            )
+            .with_pool_policy(PoolPolicy {
+                quarantine_threshold: 1,
+                ..PoolPolicy::default()
+            });
+        let p = DevicePool::with_faults(&gpus, 5, &plan);
+        assert_eq!(p.policy().quarantine_threshold, 1);
+        let space = space();
+        let config = valid_config_for(&gpus[0], &space);
+        // One all-faulted round suffices under threshold 1 (default is 3).
+        p.run_all(|_, m| {
+            m.measure(&space, &config);
+        });
+        assert_eq!(p.status(0), DeviceStatus::Quarantined);
+    }
+
+    #[test]
+    fn run_on_serves_one_device_with_admission_control() {
+        let gpus: Vec<_> = database::evaluation_gpus().into_iter().cloned().collect();
+        let plan = FaultPlan::none().with_dead_device(&gpus[1].name);
+        let p = DevicePool::with_faults(&gpus, 5, &plan);
+        let space = space();
+
+        // A healthy device serves the job and keeps its accounting.
+        let name = p.run_on(0, |_, m| m.gpu().name.clone()).unwrap();
+        assert_eq!(name, gpus[0].name);
+        let served = p
+            .run_on(0, |_, m| {
+                let config = valid_config_for(m.gpu(), &space);
+                m.measure(&space, &config);
+                m.valid_count() + m.invalid_count()
+            })
+            .unwrap();
+        assert_eq!(served, 1);
+
+        // A retired device refuses jobs through the same admission gate.
+        let results = p.run_all(|_, m| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let c = space.sample_uniform(&mut rng);
+            m.measure(&space, &c);
+        });
+        assert!(results[1].is_ok(), "first round quarantines, not refuses");
+        assert_eq!(p.status(1), DeviceStatus::Quarantined);
+        // Probes keep failing (dead rate 1.0) until the device retires.
+        for _ in 0..p.policy().probe_limit {
+            let _ = p.run_on(1, |_, _m| {});
+        }
+        assert_eq!(p.status(1), DeviceStatus::Dead);
+        assert!(matches!(p.run_on(1, |_, _m| {}), Err(DeviceError::Dead)));
     }
 }

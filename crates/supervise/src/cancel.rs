@@ -1,0 +1,137 @@
+//! Cooperative cancellation: a shared flag checked at deterministic points.
+//!
+//! A [`CancelToken`] is a clonable handle to one atomic cell. Anything may
+//! trip it — a signal handler, a deadline check, the watchdog — but nothing
+//! is interrupted: workers *poll* the token at trial and SA-round
+//! boundaries and drain cleanly. Because the checks sit at points that are
+//! identical across thread counts, a cancelled run's journal is a
+//! byte-identical prefix of the uninterrupted run's.
+//!
+//! The first cancel wins: once a reason is recorded it is never
+//! overwritten, so a run that hits its deadline and *then* receives SIGINT
+//! still reports `DeadlineExceeded`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a run was asked to stop. Ordered by how the supervisor reports it;
+/// the first reason recorded on a token sticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancelReason {
+    /// Operator signal (SIGINT/SIGTERM) or an explicit cancel request.
+    Interrupted,
+    /// The per-cell `--deadline-s` budget on the simulated clock ran out.
+    DeadlineExceeded,
+    /// The whole-campaign `--max-wall-s` budget on the simulated clock ran out.
+    WallClockExceeded,
+    /// The real-wall-clock watchdog saw no heartbeat for too long.
+    Stalled,
+}
+
+const LIVE: u8 = 0;
+
+impl CancelReason {
+    fn code(self) -> u8 {
+        match self {
+            CancelReason::Interrupted => 1,
+            CancelReason::DeadlineExceeded => 2,
+            CancelReason::WallClockExceeded => 3,
+            CancelReason::Stalled => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(CancelReason::Interrupted),
+            2 => Some(CancelReason::DeadlineExceeded),
+            3 => Some(CancelReason::WallClockExceeded),
+            4 => Some(CancelReason::Stalled),
+            _ => None,
+        }
+    }
+}
+
+/// A clonable, lock-free cancellation flag. All clones observe the same
+/// state; cancellation is monotonic (never un-cancelled) and first-wins.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token with `reason`. Returns `true` if this call was the
+    /// first to cancel; a later reason never overwrites an earlier one.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.state
+            .compare_exchange(LIVE, reason.code(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Whether any clone has tripped the token.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// The reason the token was tripped, if it was.
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_code(self.state.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+    }
+
+    #[test]
+    fn first_cancel_wins() {
+        let t = CancelToken::new();
+        assert!(t.cancel(CancelReason::DeadlineExceeded));
+        assert!(!t.cancel(CancelReason::Interrupted));
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(c.cancel(CancelReason::Stalled));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Stalled));
+    }
+
+    #[test]
+    fn concurrent_cancels_record_exactly_one_reason() {
+        let t = CancelToken::new();
+        let winners: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let t = t.clone();
+                    scope.spawn(move || {
+                        let reason = if i % 2 == 0 {
+                            CancelReason::Interrupted
+                        } else {
+                            CancelReason::Stalled
+                        };
+                        usize::from(t.cancel(reason))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1, "exactly one cancel call may win");
+        assert!(t.reason().is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! Fleet supervision primitives: cooperative cancellation, deadlines,
+//! watchdogs, signal-driven graceful shutdown, and the typed degradation
+//! report every campaign emits.
+//!
+//! Long tuning campaigns fail partially: a device dies mid-cell, a worker
+//! hangs, an operator hits Ctrl-C, a per-cell deadline expires. This crate
+//! holds the *mechanisms* that let the rest of the workspace absorb those
+//! events without giving up determinism:
+//!
+//! * [`cancel::CancelToken`] — a shared, lock-free flag checked at
+//!   deterministic points only (trial and SA-round boundaries), so a
+//!   cancelled run's journal is a byte-identical prefix of the
+//!   uninterrupted run's.
+//! * [`watchdog`] — the one sanctioned real-wall-clock consumer (lint rule
+//!   D1 exemption): a [`watchdog::Heartbeat`] beaten at trial boundaries
+//!   plus a background [`watchdog::Watchdog`] that trips the token with
+//!   [`cancel::CancelReason::Stalled`] when the beat stops.
+//! * [`signal`] — SIGINT/SIGTERM installation (the one sanctioned `unsafe`
+//!   besides `mlkit::parallel`, lint rule U1): the first signal trips the
+//!   process-wide token for a graceful drain, the second hard-exits.
+//! * [`report`] — the degradation taxonomy ([`report::CellStatus`]) and the
+//!   `degradation.json` schema ([`report::DegradationReport`]).
+//!
+//! The crate is a DAG leaf (it imports no `glimpse_*` crate), so every
+//! layer — `mlkit`'s fan-outs included — may depend on it.
+
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cancel;
+pub mod report;
+pub mod signal;
+pub mod watchdog;
+
+pub use cancel::{CancelReason, CancelToken};
+pub use report::{Abandonment, CellReport, CellStatus, Degradation, DegradationReport};
+pub use watchdog::{Heartbeat, Watchdog};

@@ -1,0 +1,194 @@
+//! The typed degradation report: what every campaign says about itself.
+//!
+//! A fleet run never "just fails". Each cell lands in exactly one
+//! [`CellStatus`], and the campaign emits a [`DegradationReport`]
+//! (`degradation.json`, written through `glimpse-durable`'s atomic rename)
+//! listing per-cell status, faults absorbed, retries, quarantines, and
+//! deadline slack. Exit code stays 0 for degraded campaigns — the report,
+//! not the exit status, is the machine-readable verdict.
+
+use crate::cancel::CancelReason;
+use serde::{Deserialize, Serialize};
+
+/// Why a cell finished early but cleanly (snapshot flushed, resumable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// The per-cell `--deadline-s` budget ran out (simulated clock).
+    DeadlineExceeded,
+    /// The campaign-wide `--max-wall-s` budget ran out (simulated clock).
+    WallClockExceeded,
+    /// The real-wall-clock watchdog saw no heartbeat and cancelled the run.
+    Stalled,
+    /// An operator signal (SIGINT/SIGTERM) requested a graceful drain.
+    Interrupted,
+}
+
+impl From<CancelReason> for Degradation {
+    fn from(reason: CancelReason) -> Self {
+        match reason {
+            CancelReason::Interrupted => Degradation::Interrupted,
+            CancelReason::DeadlineExceeded => Degradation::DeadlineExceeded,
+            CancelReason::WallClockExceeded => Degradation::WallClockExceeded,
+            CancelReason::Stalled => Degradation::Stalled,
+        }
+    }
+}
+
+/// Why a cell's work was given up rather than merely cut short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Abandonment {
+    /// The device retired (dead) and no survivor could absorb the cell.
+    DeviceDead,
+    /// The device refused admission (quarantined/dead before any trial ran).
+    DeviceUnavailable,
+}
+
+/// Terminal status of one tuning cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// Ran its full budget; `complete.json` written.
+    Complete,
+    /// Stopped early at a trial boundary; snapshot flushed, resumable.
+    Degraded(Degradation),
+    /// Work given up; journal closed out, not resumable on this device.
+    Abandoned(Abandonment),
+    /// The cell's remaining work was re-run on a surviving device.
+    Reassigned {
+        /// Name of the device that absorbed the cell.
+        to: String,
+    },
+    /// Never started (the campaign was cancelled before reaching it).
+    NotStarted,
+}
+
+impl CellStatus {
+    /// Collapses the two ways a cell can end early — a tripped token or a
+    /// dead device — into one status. Cancellation wins because a tripped
+    /// token means the stop was *requested*, not suffered.
+    pub fn settle(reason: Option<CancelReason>, device_dead: bool) -> Self {
+        match (reason, device_dead) {
+            (Some(r), _) => CellStatus::Degraded(r.into()),
+            (None, true) => CellStatus::Abandoned(Abandonment::DeviceDead),
+            (None, false) => CellStatus::Complete,
+        }
+    }
+
+    /// Whether the cell produced its full budget of measurements.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, CellStatus::Complete)
+    }
+}
+
+/// One row of the degradation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Cell identifier (task or device label; doubles as the checkpoint
+    /// subdirectory name).
+    pub cell: String,
+    /// Device the cell ran on.
+    pub device: String,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Measurements journaled (valid + invalid + faulted).
+    pub measurements: usize,
+    /// Faulted measurements absorbed without failing the cell.
+    pub faults_absorbed: usize,
+    /// Extra measurement attempts spent on retries.
+    pub retries: usize,
+    /// Quarantine episodes the device went through during the cell.
+    pub quarantines: u64,
+    /// Simulated GPU-seconds charged to the cell.
+    pub gpu_seconds: f64,
+    /// Best throughput found before the cell ended.
+    pub best_gflops: f64,
+    /// Simulated seconds left under the tightest deadline when the cell
+    /// ended (negative: overshoot; `null`: no deadline was set).
+    pub deadline_slack_s: Option<f64>,
+}
+
+/// The whole campaign's verdict, serialized as `degradation.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Campaign label (subcommand plus model or fleet description).
+    pub campaign: String,
+    /// One row per cell, in campaign order.
+    pub cells: Vec<CellReport>,
+}
+
+impl DegradationReport {
+    /// A report with no cells yet.
+    pub fn new(campaign: impl Into<String>) -> Self {
+        Self {
+            campaign: campaign.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds one cell row.
+    pub fn push(&mut self, cell: CellReport) {
+        self.cells.push(cell);
+    }
+
+    /// Whether every cell completed its full budget.
+    pub fn all_complete(&self) -> bool {
+        self.cells.iter().all(|c| c.status.is_complete())
+    }
+
+    /// Pretty-printed JSON, trailing newline included.
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("degradation report serializes");
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(status: CellStatus) -> CellReport {
+        CellReport {
+            cell: "task0".into(),
+            device: "Titan Xp".into(),
+            status,
+            measurements: 12,
+            faults_absorbed: 1,
+            retries: 2,
+            quarantines: 0,
+            gpu_seconds: 3.5,
+            best_gflops: 4200.0,
+            deadline_slack_s: Some(1.25),
+        }
+    }
+
+    #[test]
+    fn settle_prefers_cancellation_over_device_death() {
+        assert_eq!(
+            CellStatus::settle(Some(CancelReason::DeadlineExceeded), true),
+            CellStatus::Degraded(Degradation::DeadlineExceeded)
+        );
+        assert_eq!(CellStatus::settle(None, true), CellStatus::Abandoned(Abandonment::DeviceDead));
+        assert_eq!(CellStatus::settle(None, false), CellStatus::Complete);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = DegradationReport::new("experiment resnet-18");
+        report.push(cell(CellStatus::Complete));
+        report.push(cell(CellStatus::Reassigned { to: "GTX 1080 Ti".into() }));
+        report.push(cell(CellStatus::Degraded(Degradation::Interrupted)));
+        let json = report.to_json();
+        let back: DegradationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(!report.all_complete());
+    }
+
+    #[test]
+    fn absent_slack_round_trips_as_null() {
+        let mut c = cell(CellStatus::Complete);
+        c.deadline_slack_s = None;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CellReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.deadline_slack_s, None);
+    }
+}

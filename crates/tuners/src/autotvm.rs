@@ -19,7 +19,7 @@
 use crate::context::{TuneContext, Tuner, TuningOutcome};
 use crate::cost_model::GbtCostModel;
 use crate::history::TuningHistory;
-use glimpse_mlkit::sa::{anneal, SaParams};
+use glimpse_mlkit::sa::{anneal_cancellable, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use rand::Rng;
@@ -120,7 +120,9 @@ impl Tuner for AutoTvmTuner {
             ctx.add_explorer_steps(1);
         }
 
-        // Phase 2: surrogate-guided annealing rounds.
+        // Phase 2: surrogate-guided annealing rounds. A cancelled SA round
+        // is discarded whole, so supervision never perturbs the journal.
+        let cancel = ctx.cancel_token();
         while !ctx.exhausted() {
             model.fit(ctx.space, ctx.history());
             // Chain starts: incumbent top configs + random restarts.
@@ -134,7 +136,7 @@ impl Tuner for AutoTvmTuner {
             // One seed per round keeps the batch deterministic while the
             // chains fan out across worker threads (seed-split per chain).
             let sa_seed: u64 = rng.gen();
-            let outcome = anneal(
+            let Some(outcome) = anneal_cancellable(
                 &starts,
                 |c| model.predict(space, c),
                 |c, r| space.neighbor(c, r),
@@ -146,7 +148,10 @@ impl Tuner for AutoTvmTuner {
                     patience: 0,
                 },
                 sa_seed,
-            );
+                &cancel,
+            ) else {
+                break;
+            };
             ctx.add_explorer_steps(outcome.steps_executed);
 
             // Top distinct, unseen proposals.

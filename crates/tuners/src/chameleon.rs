@@ -19,7 +19,7 @@ use crate::context::{TuneContext, Tuner, TuningOutcome};
 use crate::cost_model::GbtCostModel;
 use glimpse_mlkit::kmeans::{kmeans, snap_to_points};
 use glimpse_mlkit::parallel::{parallel_map, Threads};
-use glimpse_mlkit::sa::{anneal, SaParams};
+use glimpse_mlkit::sa::{anneal_cancellable, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use rand::Rng;
@@ -98,6 +98,9 @@ impl Tuner for ChameleonTuner {
         }
 
         let mut round = 0usize;
+        // A cancelled SA round is discarded whole, so supervision never
+        // perturbs the journal.
+        let cancel = ctx.cancel_token();
         while !ctx.exhausted() {
             model.fit(ctx.space, ctx.history());
             // Adaptive exploration: shrinking annealing budget, greedy restarts.
@@ -115,7 +118,7 @@ impl Tuner for ChameleonTuner {
             // Per-round seed: chains fan out across workers, seed-split per
             // chain, so the round is deterministic at any thread count.
             let sa_seed: u64 = rng.gen();
-            let outcome = anneal(
+            let Some(outcome) = anneal_cancellable(
                 &starts,
                 |c| model.predict(space, c),
                 |c, r| space.neighbor(c, r),
@@ -127,7 +130,10 @@ impl Tuner for ChameleonTuner {
                     patience: 0,
                 },
                 sa_seed,
-            );
+                &cancel,
+            ) else {
+                break;
+            };
             ctx.add_explorer_steps(outcome.steps_executed);
 
             // Candidate pool for adaptive sampling.

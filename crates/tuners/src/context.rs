@@ -5,9 +5,91 @@ use crate::history::{Trial, TuningHistory};
 use crate::journal::{RunJournal, TrialRecord};
 use glimpse_sim::{measure_with_retry, Measurer, RetryPolicy};
 use glimpse_space::{Config, SearchSpace};
+use glimpse_supervise::{CancelReason, CancelToken, Heartbeat};
 use glimpse_tensor_prog::Task;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
+
+/// Supervision inputs for one tuning run: the cancellation token the run
+/// polls at trial boundaries, optional deadlines on the simulated clock,
+/// an optional heartbeat for the real-wall-clock watchdog, and a
+/// deterministic cancel trigger for chaos tests.
+///
+/// Deadlines deliberately live *outside* [`Budget`] (and therefore outside
+/// the journal header): a resumed run may carry a different deadline than
+/// the original without failing header verification — the deadline bounds
+/// *this invocation*, the budget bounds *the run*.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Token polled at trial boundaries; trips on signals, deadlines, the
+    /// watchdog, or [`RunControl::cancel_at_trial`].
+    pub cancel: CancelToken,
+    /// Per-cell limit on simulated GPU seconds for this invocation.
+    pub deadline_s: Option<f64>,
+    /// Campaign-wide wall budget remaining when this cell started
+    /// (simulated seconds); trips `WallClockExceeded` instead of
+    /// `DeadlineExceeded`.
+    pub wall_deadline_s: Option<f64>,
+    /// Campaign-level token (signal handler, watchdog) forwarded into
+    /// `cancel` at trial boundaries, so one SIGINT stops every cell while
+    /// each cell still owns its own per-cell token for deadlines.
+    pub interrupt: Option<CancelToken>,
+    /// Beaten once per consumed trial so the watchdog sees progress.
+    pub heartbeat: Option<Heartbeat>,
+    /// Chaos trigger: trip the token with `Interrupted` just before trial
+    /// `n` would be measured, leaving exactly `n - 1` journaled trials —
+    /// the same boundary `StorageFaults::crash_at_seq(n)` kills at.
+    pub cancel_at_trial: Option<u64>,
+}
+
+impl RunControl {
+    /// No supervision: a fresh token nothing trips, no deadlines.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Supervision under `cancel` with no deadlines.
+    #[must_use]
+    pub fn with_cancel(cancel: CancelToken) -> Self {
+        Self { cancel, ..Self::default() }
+    }
+
+    /// Sets the per-cell deadline (simulated seconds).
+    #[must_use]
+    pub fn deadline_s(mut self, deadline: Option<f64>) -> Self {
+        self.deadline_s = deadline;
+        self
+    }
+
+    /// Sets the remaining campaign wall budget (simulated seconds).
+    #[must_use]
+    pub fn wall_deadline_s(mut self, deadline: Option<f64>) -> Self {
+        self.wall_deadline_s = deadline;
+        self
+    }
+
+    /// Forwards a campaign-level token (signals, watchdog) into the cell.
+    #[must_use]
+    pub fn interrupted_by(mut self, interrupt: CancelToken) -> Self {
+        self.interrupt = Some(interrupt);
+        self
+    }
+
+    /// Attaches a watchdog heartbeat.
+    #[must_use]
+    pub fn heartbeat(mut self, heartbeat: Heartbeat) -> Self {
+        self.heartbeat = Some(heartbeat);
+        self
+    }
+
+    /// Arms the deterministic cancel trigger at trial boundary `n`.
+    #[must_use]
+    pub fn cancel_at_trial(mut self, n: u64) -> Self {
+        self.cancel_at_trial = Some(n);
+        self
+    }
+}
 
 /// Everything a tuner needs for one run on one (GPU, task) pair.
 #[derive(Debug)]
@@ -28,7 +110,9 @@ pub struct TuneContext<'a> {
     visited: BTreeSet<Vec<usize>>,
     gpu_seconds_at_start: f64,
     explorer_steps: usize,
+    retried_attempts: usize,
     best_trajectory: Vec<f64>,
+    control: RunControl,
     journal: Option<&'a mut RunJournal>,
     replay: VecDeque<TrialRecord>,
     // While replaying a recorded prefix, the measurer sits at the run's
@@ -55,7 +139,9 @@ impl<'a> TuneContext<'a> {
             visited: BTreeSet::new(),
             gpu_seconds_at_start,
             explorer_steps: 0,
+            retried_attempts: 0,
             best_trajectory: Vec::new(),
+            control: RunControl::none(),
             journal: None,
             replay: VecDeque::new(),
             replay_clock: None,
@@ -67,6 +153,22 @@ impl<'a> TuneContext<'a> {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Attaches supervision: the run polls `control.cancel` at every trial
+    /// boundary and trips it itself when a deadline expires.
+    #[must_use]
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// A handle to the run's cancellation token (shared state; cloning is
+    /// cheap). Tuners hand this to cancellable explorer fan-outs such as
+    /// `anneal_cancellable` so an SA round in flight stops promptly.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.control.cancel.clone()
     }
 
     /// Attaches a crash-safe journal: every trial is appended to the WAL
@@ -103,17 +205,39 @@ impl<'a> TuneContext<'a> {
         now - self.gpu_seconds_at_start
     }
 
-    /// Whether the run should stop (budget bounds, plateau convergence,
-    /// the device having died permanently — there is nothing left to
-    /// measure on a dead channel — or the journal having been poisoned by
-    /// a write failure: fail-stop rather than run unjournaled).
+    /// Whether the run should stop (cancellation or an expired deadline,
+    /// budget bounds, plateau convergence, the device having died
+    /// permanently — there is nothing left to measure on a dead channel —
+    /// or the journal having been poisoned by a write failure: fail-stop
+    /// rather than run unjournaled).
     #[must_use]
     pub fn exhausted(&self) -> bool {
-        self.budget
-            .exhausted(self.history.len(), self.gpu_seconds(), self.history.best_gflops())
+        self.check_deadlines();
+        self.control.cancel.is_cancelled()
+            || self
+                .budget
+                .exhausted(self.history.len(), self.gpu_seconds(), self.history.best_gflops())
             || self.budget.plateaued(&self.best_trajectory)
             || self.measurer.is_device_dead()
             || self.journal.as_ref().is_some_and(|j| j.poisoned())
+    }
+
+    /// Trips the token when the campaign interrupt fired or a
+    /// simulated-clock deadline has expired. The interrupt is forwarded
+    /// first (a signal beats a deadline), then the per-cell deadline, so
+    /// when both deadlines are blown the cell reports `DeadlineExceeded`
+    /// (first cancel wins).
+    fn check_deadlines(&self) {
+        if let Some(reason) = self.control.interrupt.as_ref().and_then(CancelToken::reason) {
+            self.control.cancel.cancel(reason);
+        }
+        let elapsed = self.gpu_seconds();
+        if self.control.deadline_s.is_some_and(|d| elapsed >= d) {
+            self.control.cancel.cancel(CancelReason::DeadlineExceeded);
+        }
+        if self.control.wall_deadline_s.is_some_and(|d| elapsed >= d) {
+            self.control.cancel.cancel(CancelReason::WallClockExceeded);
+        }
     }
 
     /// Measurements still allowed by the budget's count cap.
@@ -139,6 +263,11 @@ impl<'a> TuneContext<'a> {
     /// again only if `config` was never seen (callers should pre-filter
     /// with [`TuneContext::seen`] to save budget).
     pub fn measure(&mut self, config: &Config) -> Option<f64> {
+        // The chaos trigger fires *before* trial n is journaled, leaving
+        // exactly n-1 records — the same boundary crash_at_seq(n) kills at.
+        if self.control.cancel_at_trial.is_some_and(|n| self.history.len() as u64 + 1 >= n) {
+            self.control.cancel.cancel(CancelReason::Interrupted);
+        }
         if self.exhausted() {
             return None;
         }
@@ -151,6 +280,7 @@ impl<'a> TuneContext<'a> {
             return None;
         }
         let retried = measure_with_retry(self.measurer, self.space, config, &self.retry);
+        self.retried_attempts += retried.attempts.saturating_sub(1) as usize;
         let trial = Trial::from_measure(&retried.result);
         if !self.journal_live(&trial) {
             return None;
@@ -211,6 +341,9 @@ impl<'a> TuneContext<'a> {
 
     /// Pushes a trial into the run's history and trajectory bookkeeping.
     fn consume(&mut self, trial: Trial) -> Option<f64> {
+        if let Some(heartbeat) = &self.control.heartbeat {
+            heartbeat.beat();
+        }
         let gflops = trial.gflops;
         self.history.push(trial);
         let best = self.best_trajectory.last().copied().unwrap_or(0.0).max(gflops.unwrap_or(0.0));
@@ -235,6 +368,7 @@ impl<'a> TuneContext<'a> {
             invalid_measurements: self.history.invalid_count(),
             faulted_measurements: self.history.fault_count(),
             explorer_steps: self.explorer_steps,
+            retried_attempts: self.retried_attempts,
             gpu_seconds,
             history: self.history,
         }
@@ -260,6 +394,11 @@ pub struct TuningOutcome {
     /// Explorer steps (Markov-chain updates / acquisition evaluations) —
     /// Fig. 6's metric.
     pub explorer_steps: usize,
+    /// Extra measurement attempts spent on fault retries (total attempts
+    /// minus one per measurement). Counted per invocation: a replayed
+    /// journal prefix contributes zero, since retries are folded into the
+    /// recorded trial.
+    pub retried_attempts: usize,
     /// Simulated GPU seconds — Table 2's "GPU hours" contribution.
     pub gpu_seconds: f64,
     /// The full measurement journal.
@@ -346,6 +485,47 @@ mod tests {
         assert!(!ctx.seen(&c));
         ctx.measure(&c);
         assert!(ctx.seen(&c));
+    }
+
+    #[test]
+    fn deadline_trips_the_cell_token_at_a_trial_boundary() {
+        let (task, space, mut measurer) = fixture();
+        let control = RunControl::none().deadline_s(Some(0.0));
+        let cancel = control.cancel.clone();
+        let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(100), 1).with_control(control);
+        assert!(ctx.exhausted(), "a zero deadline exhausts the run immediately");
+        assert_eq!(cancel.reason(), Some(CancelReason::DeadlineExceeded));
+        let outcome = ctx.finish("test");
+        assert_eq!(outcome.measurements, 0);
+    }
+
+    #[test]
+    fn campaign_interrupt_forwards_into_the_cell_token() {
+        let (task, space, mut measurer) = fixture();
+        let interrupt = CancelToken::new();
+        let control = RunControl::none().interrupted_by(interrupt.clone());
+        let cell = control.cancel.clone();
+        let mut ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(10), 1).with_control(control);
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = space.sample_uniform(&mut rng);
+        ctx.measure(&c);
+        assert!(!ctx.exhausted());
+        interrupt.cancel(CancelReason::Interrupted);
+        assert!(ctx.exhausted(), "the forwarded interrupt must stop the cell");
+        assert_eq!(cell.reason(), Some(CancelReason::Interrupted));
+        assert_eq!(ctx.history().len(), 1, "cancellation lands on the trial boundary");
+    }
+
+    #[test]
+    fn interrupt_beats_a_blown_deadline() {
+        let (task, space, mut measurer) = fixture();
+        let interrupt = CancelToken::new();
+        interrupt.cancel(CancelReason::Stalled);
+        let control = RunControl::none().deadline_s(Some(0.0)).interrupted_by(interrupt);
+        let cell = control.cancel.clone();
+        let ctx = TuneContext::new(&task, &space, &mut measurer, Budget::measurements(10), 1).with_control(control);
+        assert!(ctx.exhausted());
+        assert_eq!(cell.reason(), Some(CancelReason::Stalled));
     }
 
     #[test]

@@ -38,10 +38,11 @@
 //! parameters would silently corrupt results.
 
 use crate::budget::Budget;
-use crate::context::{TuneContext, Tuner, TuningOutcome};
+use crate::context::{RunControl, TuneContext, Tuner, TuningOutcome};
 use crate::history::Trial;
 use glimpse_sim::{FaultRates, Measurer, MeasurerState, RetryPolicy, StorageFaults};
 use glimpse_space::SearchSpace;
+use glimpse_supervise::{Abandonment, CellStatus};
 use glimpse_tensor_prog::{Task, TemplateKind};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -329,6 +330,20 @@ impl RunJournal {
         Ok(())
     }
 
+    /// Forces a snapshot + WAL fsync *now* — the graceful-shutdown flush.
+    /// Everything journaled so far becomes power-loss durable before the
+    /// process exits. The snapshot is advisory (resume replays the WAL, not
+    /// the snapshot): if the run was cancelled while still replaying a
+    /// recorded prefix, `post` is the measurer's restored starting state,
+    /// which is fine because nothing new was measured.
+    ///
+    /// # Errors
+    ///
+    /// IO or encoding errors.
+    pub fn flush_snapshot(&mut self, post: &MeasurerState) -> Result<(), JournalError> {
+        self.write_snapshot(post)
+    }
+
     fn write_snapshot(&mut self, post: &MeasurerState) -> Result<(), JournalError> {
         let snapshot = Snapshot {
             trials: self.trials,
@@ -499,6 +514,20 @@ impl<'p> CheckpointSpec<'p> {
     }
 }
 
+/// A supervised run's result: the outcome plus the terminal
+/// [`CellStatus`] the degradation report records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedOutcome {
+    /// The tuning outcome as of when the run ended (full budget for
+    /// `Complete`, the journaled prefix otherwise).
+    pub outcome: TuningOutcome,
+    /// How the cell ended.
+    pub status: CellStatus,
+    /// Simulated seconds left under the tightest configured deadline when
+    /// the run ended (`None` when no deadline was set).
+    pub deadline_slack_s: Option<f64>,
+}
+
 /// Runs `tuner` on one (task, device) cell with crash-safe journaling.
 ///
 /// Fresh run: writes the header, journals every trial before the tuner
@@ -509,6 +538,11 @@ impl<'p> CheckpointSpec<'p> {
 /// starting state, and the tuner is re-driven with the recorded prefix
 /// served from a replay queue — continuing live, bit-identically, where
 /// the crash hit.
+///
+/// Unsupervised convenience wrapper over [`run_supervised`]: no token, no
+/// deadlines. Note a run whose device died mid-cell returns its partial
+/// outcome but does **not** write `complete.json` — the cell stays
+/// resumable (on a revived device) or reassignable by the fleet supervisor.
 ///
 /// # Errors
 ///
@@ -525,6 +559,41 @@ pub fn run_checkpointed<T: Tuner + ?Sized>(
     budget: Budget,
     seed: u64,
 ) -> Result<TuningOutcome, JournalError> {
+    run_supervised(tuner, spec, task, space, measurer, budget, seed, &RunControl::none()).map(|s| s.outcome)
+}
+
+/// [`run_checkpointed`] under supervision: the run polls
+/// `control.cancel` at every trial boundary, enforces the control's
+/// simulated-clock deadlines, and settles into a typed [`CellStatus`].
+///
+/// Termination paths, in precedence order:
+///
+/// 1. journal poison (injected crash/torn write, replay divergence) — a
+///    hard `Err`, exactly as in [`run_checkpointed`];
+/// 2. a tripped token — snapshot + WAL fsync are flushed and the cell is
+///    `Degraded(reason)`; the journal is a byte-identical prefix of the
+///    uninterrupted run's and `--resume` will finish it;
+/// 3. a dead device — snapshot flushed, `Abandoned(DeviceDead)`; the
+///    fleet supervisor may reassign the cell;
+/// 4. otherwise `complete.json` is written and the cell is `Complete`.
+///
+/// A cell resumed after completion reports `Complete` with its stored
+/// outcome, untouched by the current control's deadlines.
+///
+/// # Errors
+///
+/// As [`run_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised<T: Tuner + ?Sized>(
+    tuner: &mut T,
+    spec: &CheckpointSpec<'_>,
+    task: &Task,
+    space: &SearchSpace,
+    measurer: &mut Measurer,
+    budget: Budget,
+    seed: u64,
+    control: &RunControl,
+) -> Result<SupervisedOutcome, JournalError> {
     let journal_path = spec.dir.join(JOURNAL_FILE);
     let retry = RetryPolicy::default();
     let mut resumed = None;
@@ -533,7 +602,11 @@ pub fn run_checkpointed<T: Tuner + ?Sized>(
             return Err(JournalError::AlreadyExists(journal_path));
         }
         if let Some(outcome) = load_complete(spec.dir)? {
-            return Ok(outcome);
+            return Ok(SupervisedOutcome {
+                deadline_slack_s: deadline_slack(control, outcome.gpu_seconds),
+                status: CellStatus::Complete,
+                outcome,
+            });
         }
         resumed = RunJournal::resume(spec.dir, spec.storage, spec.snapshot_every)?;
         if resumed.is_none() {
@@ -570,14 +643,41 @@ pub fn run_checkpointed<T: Tuner + ?Sized>(
     };
     let ctx = TuneContext::new(task, space, measurer, budget, seed)
         .with_retry_policy(retry)
+        .with_control(control.clone())
         .with_journal(&mut journal)
         .with_replay(records);
     let outcome = tuner.tune(ctx);
     if let Some(err) = journal.take_poison() {
         return Err(err);
     }
-    journal.mark_complete(&outcome)?;
-    Ok(outcome)
+    let status = match (control.cancel.reason(), measurer.is_device_dead()) {
+        (Some(reason), _) => {
+            journal.flush_snapshot(&measurer.state())?;
+            CellStatus::Degraded(reason.into())
+        }
+        (None, true) => {
+            journal.flush_snapshot(&measurer.state())?;
+            CellStatus::Abandoned(Abandonment::DeviceDead)
+        }
+        (None, false) => {
+            journal.mark_complete(&outcome)?;
+            CellStatus::Complete
+        }
+    };
+    Ok(SupervisedOutcome {
+        deadline_slack_s: deadline_slack(control, outcome.gpu_seconds),
+        status,
+        outcome,
+    })
+}
+
+/// Simulated seconds left under the tightest configured deadline.
+fn deadline_slack(control: &RunControl, gpu_seconds: f64) -> Option<f64> {
+    [control.deadline_s, control.wall_deadline_s]
+        .into_iter()
+        .flatten()
+        .fold(None, |tightest: Option<f64>, d| Some(tightest.map_or(d, |t| t.min(d))))
+        .map(|tightest| tightest - gpu_seconds)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -634,6 +734,7 @@ mod tests {
     use glimpse_gpu_spec::database;
     use glimpse_sim::FaultPlan;
     use glimpse_space::templates;
+    use glimpse_supervise::Degradation;
     use glimpse_tensor_prog::models;
 
     fn temp_dir(name: &str) -> PathBuf {
@@ -780,6 +881,106 @@ mod tests {
         let mut m = measurer(&plan);
         let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(11), 3).unwrap_err();
         assert!(matches!(err, JournalError::HeaderMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn blown_deadline_degrades_the_cell_but_leaves_it_resumable() {
+        let dir = temp_dir("deadline");
+        let (task, space, plan) = fixture();
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates);
+        let control = RunControl::none().deadline_s(Some(0.0));
+        let mut m = measurer(&plan);
+        let supervised = run_supervised(
+            &mut RandomTuner::new(),
+            &spec,
+            &task,
+            &space,
+            &mut m,
+            Budget::measurements(8),
+            3,
+            &control,
+        )
+        .unwrap();
+        assert_eq!(supervised.status, CellStatus::Degraded(Degradation::DeadlineExceeded));
+        assert_eq!(supervised.outcome.measurements, 0, "a zero deadline stops before the first trial");
+        assert!(supervised.deadline_slack_s.is_some_and(|s| s <= 0.0));
+        assert!(load_complete(&dir).unwrap().is_none(), "degraded cell must not be marked complete");
+        assert!(load_snapshot(&dir).unwrap().is_some(), "degraded cell must flush a snapshot");
+        // Resuming with a generous deadline finishes the cell.
+        let spec = spec.resuming(true);
+        let control = RunControl::none().deadline_s(Some(1e9));
+        let mut m = measurer(&plan);
+        let resumed = run_supervised(
+            &mut RandomTuner::new(),
+            &spec,
+            &task,
+            &space,
+            &mut m,
+            Budget::measurements(8),
+            3,
+            &control,
+        )
+        .unwrap();
+        assert_eq!(resumed.status, CellStatus::Complete);
+        assert_eq!(resumed.outcome.measurements, 8);
+        // A completed cell resumed under an already-blown deadline still
+        // reports Complete with the stored outcome.
+        let mut m = measurer(&plan);
+        let again = run_supervised(
+            &mut RandomTuner::new(),
+            &spec,
+            &task,
+            &space,
+            &mut m,
+            Budget::measurements(8),
+            3,
+            &RunControl::none().deadline_s(Some(0.0)),
+        )
+        .unwrap();
+        assert_eq!(again.status, CellStatus::Complete);
+        assert_eq!(again.outcome, resumed.outcome);
+    }
+
+    #[test]
+    fn cancelled_cell_is_a_byte_prefix_and_resumes_identically() {
+        let (task, space, plan) = fixture();
+        let budget = Budget::measurements(10);
+
+        let baseline_dir = temp_dir("cancel_baseline");
+        let spec = CheckpointSpec::new(&baseline_dir).with_faults(plan.seed, plan.default_rates);
+        let mut m = measurer(&plan);
+        let baseline = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 3).unwrap();
+        let baseline_wal = std::fs::read(baseline_dir.join(JOURNAL_FILE)).unwrap();
+
+        let dir = temp_dir("cancel_run");
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates);
+        let control = RunControl::none().cancel_at_trial(5);
+        let mut m = measurer(&plan);
+        let supervised = run_supervised(&mut RandomTuner::new(), &spec, &task, &space, &mut m, budget, 3, &control).unwrap();
+        assert_eq!(supervised.status, CellStatus::Degraded(Degradation::Interrupted));
+        assert_eq!(supervised.outcome.measurements, 4, "cancel fires before trial 5 is journaled");
+        let wal = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(
+            wal.len() < baseline_wal.len() && baseline_wal.starts_with(&wal),
+            "cancelled journal is not a proper byte prefix of the baseline"
+        );
+
+        let spec = spec.resuming(true);
+        let mut m = measurer(&plan);
+        let resumed = run_supervised(
+            &mut RandomTuner::new(),
+            &spec,
+            &task,
+            &space,
+            &mut m,
+            budget,
+            3,
+            &RunControl::none(),
+        )
+        .unwrap();
+        assert_eq!(resumed.status, CellStatus::Complete);
+        assert_eq!(resumed.outcome, baseline);
+        assert_eq!(std::fs::read(dir.join(JOURNAL_FILE)).unwrap(), baseline_wal);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod replay;
 pub mod scheduler;
 
 pub use budget::Budget;
-pub use context::{TuneContext, Tuner, TuningOutcome};
+pub use context::{RunControl, TuneContext, Tuner, TuningOutcome};
 pub use history::{LogStore, Trial, TuningHistory};
-pub use journal::{run_checkpointed, CheckpointSpec, JournalError, RunHeader, RunJournal, TrialRecord};
+pub use journal::{run_checkpointed, run_supervised, CheckpointSpec, JournalError, RunHeader, RunJournal, SupervisedOutcome, TrialRecord};

@@ -36,18 +36,12 @@ l2_cache_kib: 8192
 tdp_w: 200
 ";
 
-fn main() {
+fn main() -> Result<(), String> {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("could not read {path}: {e}");
-            std::process::exit(1);
-        }),
+        Some(path) => std::fs::read_to_string(&path).map_err(|e| format!("could not read {path}: {e}"))?,
         None => BUILTIN_SHEET.to_owned(),
     };
-    let gpu = datasheet::parse_sheet(&text).unwrap_or_else(|e| {
-        eprintln!("bad data sheet: {e}");
-        std::process::exit(1);
-    });
+    let gpu = datasheet::parse_sheet(&text).map_err(|e| format!("bad data sheet: {e}"))?;
     println!("parsed sheet: {gpu}");
 
     // Artifacts trained on the stock database only — the custom GPU has
@@ -83,4 +77,5 @@ fn main() {
         "\nOn a GPU no component ever saw, the Blueprint still bought {:.1}x better\ninitial+guided search than blind sampling at the same budget.",
         glimpse.best_gflops / random.best_gflops.max(1e-9)
     );
+    Ok(())
 }

@@ -18,19 +18,13 @@ use glimpse_repro::space::templates;
 use glimpse_repro::tensor_prog::{models, OpSpec, TemplateKind};
 use glimpse_repro::tuners::{Budget, TuneContext, Tuner};
 
-fn main() {
+fn main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     let model_name = args.get(1).map_or("resnet18", String::as_str);
     let gpu_name = args.get(2).map_or("RTX 2070 Super", String::as_str);
 
-    let model = models::find(model_name).unwrap_or_else(|| {
-        eprintln!("unknown model {model_name}; use alexnet | resnet18 | vgg16");
-        std::process::exit(1);
-    });
-    let target = database::find(gpu_name).unwrap_or_else(|| {
-        eprintln!("unknown GPU {gpu_name}; see glimpse_gpu_spec::database");
-        std::process::exit(1);
-    });
+    let model = models::find(model_name).ok_or_else(|| format!("unknown model {model_name}; use alexnet | resnet18 | vgg16"))?;
+    let target = database::find(gpu_name).ok_or_else(|| format!("unknown GPU {gpu_name}; see glimpse_gpu_spec::database"))?;
 
     println!("deploying {} on {target}", model.name());
     println!("meta-training artifacts (one-off, leave-one-out) ...");
@@ -79,4 +73,5 @@ fn main() {
         target.name,
         latency_ms
     );
+    Ok(())
 }

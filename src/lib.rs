@@ -6,6 +6,10 @@
 
 #![forbid(unsafe_code)]
 
+/// Fleet supervision: cancellation tokens, deadlines, watchdogs,
+/// signal-driven shutdown, and the degradation report.
+pub use glimpse_supervise as supervise;
+
 /// Crash-consistent file IO: atomic writes, CRC32, and the write-ahead
 /// trial log underlying checkpoint/resume.
 pub use glimpse_durable as durable;

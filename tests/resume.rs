@@ -6,8 +6,13 @@
 //! tuning outcome — at any kill point and any worker count (PR 2's
 //! determinism contract is what makes the byte-level claim testable).
 //!
-//! Tier-1 covers a handful of kill points; the exhaustive
-//! every-boundary sweep is chaos-tier:
+//! Cooperative cancellation gets the same treatment: a run whose token
+//! trips at a trial boundary must leave a journal that is a byte-identical
+//! *prefix* of the uninterrupted run's, and `--resume` must converge to
+//! the identical outcome.
+//!
+//! Tier-1 covers a handful of kill/cancel points; the exhaustive
+//! every-boundary sweeps are chaos-tier:
 //!
 //! ```text
 //! cargo test --test resume -- --ignored
@@ -16,10 +21,11 @@
 use glimpse_repro::mlkit::parallel::set_default_threads;
 use glimpse_repro::sim::{FaultPlan, FaultRates, Measurer, StorageFaults};
 use glimpse_repro::space::templates;
+use glimpse_repro::supervise::{CellStatus, Degradation};
 use glimpse_repro::tensor_prog::models;
 use glimpse_repro::tuners::autotvm::AutoTvmTuner;
 use glimpse_repro::tuners::journal::JOURNAL_FILE;
-use glimpse_repro::tuners::{run_checkpointed, Budget, CheckpointSpec, JournalError, TuningOutcome};
+use glimpse_repro::tuners::{run_checkpointed, run_supervised, Budget, CheckpointSpec, JournalError, RunControl, TuningOutcome};
 use std::path::{Path, PathBuf};
 
 const BUDGET: usize = 18;
@@ -161,6 +167,78 @@ fn torn_write_resumes_byte_identically() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&baseline_dir);
     set_default_threads(0);
+}
+
+/// Cancels a supervised run at trial boundary `boundary`, asserts the cell
+/// degrades to `Interrupted` with a journal that is a proper byte prefix of
+/// the baseline's, then resumes uncancelled and must match the baseline.
+fn cancel_resume_at(dir: &Path, boundary: u64, baseline_dir: &Path, baseline: &TuningOutcome) {
+    let model = models::alexnet();
+    let task = &model.tasks()[2];
+    let space = templates::space_for_task(task);
+    let control = RunControl::none().cancel_at_trial(boundary);
+    let mut m = measurer();
+    let supervised = run_supervised(
+        &mut AutoTvmTuner::new(),
+        &spec(dir),
+        task,
+        &space,
+        &mut m,
+        Budget::measurements(BUDGET),
+        SEED,
+        &control,
+    )
+    .expect("cancelled run settles without error");
+    assert_eq!(
+        supervised.status,
+        CellStatus::Degraded(Degradation::Interrupted),
+        "boundary {boundary}: unexpected terminal status"
+    );
+    assert!(
+        !dir.join("complete.json").exists(),
+        "boundary {boundary}: cancelled run must not mark the cell complete"
+    );
+    let wal = std::fs::read(dir.join(JOURNAL_FILE)).expect("cancelled journal readable");
+    let baseline_wal = std::fs::read(baseline_dir.join(JOURNAL_FILE)).expect("baseline journal readable");
+    assert!(
+        wal.len() < baseline_wal.len() && baseline_wal.starts_with(&wal),
+        "boundary {boundary}: cancelled journal is not a proper byte prefix of the baseline"
+    );
+    let outcome = run_with_kills(dir, &[]);
+    assert_matches_baseline(dir, baseline_dir, &outcome, baseline);
+}
+
+fn cancel_resume_sweep(threads: usize, boundaries: &[u64], tag: &str) {
+    set_default_threads(threads);
+    let baseline_dir = temp_dir(&format!("{tag}-baseline"));
+    let baseline = run_with_kills(&baseline_dir, &[]);
+    for &boundary in boundaries {
+        let dir = temp_dir(&format!("{tag}-cancel{boundary}"));
+        cancel_resume_at(&dir, boundary, &baseline_dir, &baseline);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    set_default_threads(0);
+}
+
+#[test]
+fn cancelled_runs_resume_byte_identically_single_thread() {
+    // Cancel before the first trial, mid-run, and at a snapshot boundary.
+    cancel_resume_sweep(1, &[1, 7, 16], "c1");
+}
+
+#[test]
+fn cancelled_runs_resume_byte_identically_multi_thread() {
+    cancel_resume_sweep(8, &[1, 7, 16], "c8");
+}
+
+#[test]
+#[ignore = "chaos tier: run with --ignored"]
+fn every_trial_boundary_cancel_resumes_byte_identically() {
+    let boundaries: Vec<u64> = (1..=BUDGET as u64).collect();
+    for threads in [1usize, 8] {
+        cancel_resume_sweep(threads, &boundaries, &format!("csweep{threads}"));
+    }
 }
 
 #[test]

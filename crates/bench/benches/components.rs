@@ -102,6 +102,33 @@ fn bench_components(c: &mut Criterion) {
         })
     });
 
+    c.bench_function("gbt_fit_incremental_600x8_plus8", |b| {
+        // Warm-start continuation: append 8 trees to an existing forest
+        // (the per-round cost of the incremental surrogate lifecycle),
+        // versus `gbt_fit_600x8` which is the scratch refit it replaces.
+        use glimpse_mlkit::gbt::{Gbt, GbtParams};
+        use glimpse_mlkit::stats::child_rng;
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs: Vec<Vec<f64>> = (0..600).map(|_| (0..8).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + x[1] * x[2] - 2.0 * (x[3] - 0.5).powi(2)).collect();
+        let mut fit_rng = StdRng::seed_from_u64(1);
+        let forest = Gbt::fit(&xs, &ys, GbtParams::default(), &mut fit_rng);
+        b.iter(|| {
+            let mut boost_rng = child_rng(1, 2);
+            std::hint::black_box(forest.fit_incremental(&xs, &ys, 8, &mut boost_rng))
+        })
+    });
+
+    c.bench_function("feature_cache_batch64_hit", |b| {
+        // Steady-state cost of re-featurizing a warm batch through the
+        // campaign cache (one lock pass + 64 pointer clones).
+        use glimpse_tuners::FeatureCache;
+        let cache = FeatureCache::new();
+        let _ = cache.rows_batch(&space, configs.iter());
+        b.iter(|| std::hint::black_box(cache.rows_batch(&space, configs.iter())))
+    });
+
     c.bench_function("sa_batch_16x50", |b| {
         use glimpse_mlkit::parallel::Threads;
         use glimpse_mlkit::sa::{anneal_threaded, SaParams};

@@ -1,14 +1,20 @@
-//! Search-layer throughput record (not a paper artifact): times the four
-//! hot paths the deterministic parallel layer accelerates — SA chain
-//! batches, GBT surrogate fits, GP fits, and an end-to-end AutoTVM round —
-//! at one worker and at `max(4, available)` workers, and verifies the
-//! outputs are bit-identical at both settings.
+//! Search-layer throughput record (not a paper artifact): times the hot
+//! paths the deterministic parallel layer and the incremental surrogate
+//! lifecycle accelerate — SA chain batches, GBT surrogate fits, GP fits,
+//! the per-round surrogate-fit cadence (scratch-every-round vs
+//! warm-started boosting), and an end-to-end AutoTVM round — and verifies
+//! the outputs are bit-identical across worker counts / at every
+//! scratch-refit boundary.
 //!
 //! Emits `BENCH_search_throughput.json` so future PRs have a perf
 //! trajectory to regress against. The `split_search` block additionally
 //! records the *algorithmic* speedup of the prefix-sum split search over
-//! the original two-pass scan, which holds even on single-core hosts where
-//! thread scaling cannot show.
+//! the original two-pass scan, and the `surrogate_fit` block the
+//! *algorithmic* speedup of incremental boosting over per-round scratch
+//! refits — both hold even on single-core hosts where thread scaling
+//! cannot show. The `threads` block records requested vs effective worker
+//! counts: auto-resolved requests are clamped to available parallelism,
+//! explicit `Threads::fixed` pins are not.
 //!
 //! ```text
 //! search_throughput [--quick] [--out <path>]
@@ -17,13 +23,14 @@
 use glimpse_gpu_spec::database;
 use glimpse_mlkit::gbt::{prefix_sum_best_split, two_pass_best_split, Gbt, GbtParams};
 use glimpse_mlkit::gp::{GaussianProcess, RbfKernel};
-use glimpse_mlkit::parallel::{set_default_threads, Threads};
+use glimpse_mlkit::parallel::{available_workers, set_default_threads, Threads};
 use glimpse_mlkit::sa::{anneal_threaded, SaParams};
 use glimpse_sim::Measurer;
 use glimpse_space::templates;
 use glimpse_tensor_prog::models;
 use glimpse_tuners::autotvm::AutoTvmTuner;
-use glimpse_tuners::cost_model::GbtCostModel;
+use glimpse_tuners::cost_model::{FitKind, GbtCostModel};
+use glimpse_tuners::dgp::DgpTuner;
 use glimpse_tuners::history::{Trial, TuningHistory};
 use glimpse_tuners::{Budget, TuneContext, Tuner};
 use rand::rngs::StdRng;
@@ -48,8 +55,17 @@ fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("at least one rep"))
 }
 
+/// Wall-clock seconds of a single run of `f` — for stateful subjects
+/// (e.g. a surrogate's `fit`) where repetition would change the work done.
+#[allow(clippy::disallowed_methods)]
+fn time_once<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64(), r)
+}
+
 fn multi_workers() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get().max(4))
+    available_workers().max(4)
 }
 
 fn main() {
@@ -191,9 +207,84 @@ fn main() {
         round_o1.best_gflops.to_bits() == round_on.best_gflops.to_bits() && round_o1.explorer_steps == round_on.explorer_steps;
     assert!(round_identical, "tuning round diverged across thread counts");
 
+    // --- Incremental surrogate training (fit cadence) -------------------
+    // One simulated campaign feeds two cost models the identical trial
+    // stream: a scratch-every-round baseline (refit_every = 1, the legacy
+    // cadence bit-for-bit) and the default incremental lifecycle
+    // (warm-started boosting + periodic scratch refit). At every round
+    // where the incremental model performs a scratch refit, its
+    // predictions must be bitwise identical to the baseline's.
+    let (cadence_rounds, trials_per_round) = (if quick { 30usize } else { 200 }, 4usize);
+    let checkpoints: &[usize] = if quick { &[5, 10, 30] } else { &[10, 50, 200] };
+    let mut cadence_measurer = Measurer::new(gpu.clone(), 41);
+    let mut cadence_rng = StdRng::seed_from_u64(41);
+    let mut cadence_history = TuningHistory::new(&gpu.name, &task.id.model, task.id.index, task.template);
+    let mut scratch_model = GbtCostModel::new(7).with_refit_every(1);
+    let mut incr_model = GbtCostModel::new(7);
+    let probe: Vec<_> = (0..32).map(|_| space.sample_uniform(&mut cadence_rng)).collect();
+    let mut scratch_cum = 0.0;
+    let mut incr_cum = 0.0;
+    let mut identical_at_refit = true;
+    let mut refit_boundaries = 0usize;
+    let mut checkpoint_rows = Vec::new();
+    for round in 1..=cadence_rounds {
+        for _ in 0..trials_per_round {
+            let c = space.sample_uniform(&mut cadence_rng);
+            cadence_history.push(Trial::from_measure(&cadence_measurer.measure(&space, &c)));
+        }
+        let (scratch_s, ()) = time_once(|| scratch_model.fit(&space, &cadence_history));
+        let (incr_s, ()) = time_once(|| incr_model.fit(&space, &cadence_history));
+        scratch_cum += scratch_s;
+        incr_cum += incr_s;
+        if incr_model.last_fit() == FitKind::Scratch {
+            refit_boundaries += 1;
+            let a = scratch_model.predict_batch(&space, &probe);
+            let b = incr_model.predict_batch(&space, &probe);
+            identical_at_refit &= a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+        }
+        if checkpoints.contains(&round) {
+            checkpoint_rows.push(json!({
+                "round": round,
+                "training_rows": cadence_history.len(),
+                "scratch_round_ms": scratch_s * 1e3,
+                "incremental_round_ms": incr_s * 1e3,
+                "scratch_cumulative_ms": scratch_cum * 1e3,
+                "incremental_cumulative_ms": incr_cum * 1e3,
+                "cumulative_speedup": scratch_cum / incr_cum,
+            }));
+        }
+    }
+    assert!(
+        identical_at_refit,
+        "incremental surrogate diverged from scratch at a refit boundary"
+    );
+    assert!(refit_boundaries > 1, "cadence loop never crossed a scratch-refit boundary");
+    let incr_life = incr_model.lifecycle();
+
+    // Cache hit-rate in a standard tune run: DGP featurizes the full
+    // history through its prior's campaign cache every round, so only the
+    // trials measured since the last round miss.
+    let dgp_budget = if quick { 96 } else { 400 };
+    let (dgp_s, dgp_outcome) = time_once(|| {
+        let mut m = Measurer::new(gpu.clone(), 51);
+        let ctx = TuneContext::new(task, &space, &mut m, Budget::measurements(dgp_budget), 51);
+        DgpTuner::new().tune(ctx)
+    });
+    let dgp_life = dgp_outcome.surrogate.expect("DGP reports its surrogate lifecycle");
+    let round_life = round_o1.surrogate.expect("AutoTVM reports its surrogate lifecycle");
+
     let report = json!({
         "quick": quick,
-        "threads": { "single": 1, "multi": multi.resolve(), "available": std::thread::available_parallelism().map_or(1, |n| n.get()) },
+        "threads": {
+            "single": 1,
+            "available": available_workers(),
+            // Explicit pins bypass the clamp (that is how the determinism
+            // sections oversubscribe a small host on purpose)...
+            "multi_requested": multi_workers(),
+            "multi_effective": multi.resolve(),
+            // ...while auto-resolved requests are clamped to the host.
+            "auto_effective": Threads::AUTO.resolve(),
+        },
         "sa": {
             "chains": chains,
             "steps_per_chain": sa_steps,
@@ -233,6 +324,29 @@ fn main() {
             "multi_thread_ms": round_sn * 1e3,
             "speedup": round_s1 / round_sn,
             "identical": round_identical,
+            "surrogate": round_life,
+        },
+        "surrogate_fit": {
+            "rounds": cadence_rounds,
+            "trials_per_round": trials_per_round,
+            "refit_every": incr_life.refit_every,
+            "incremental_trees": incr_life.incremental_trees,
+            "scratch_fits": incr_life.scratch_fits,
+            "incremental_fits": incr_life.incremental_fits,
+            "forest_trees": incr_life.forest_trees,
+            "checkpoints": checkpoint_rows,
+            "cumulative_speedup": scratch_cum / incr_cum,
+            "refit_boundaries_checked": refit_boundaries,
+            "identical_at_refit": identical_at_refit,
+            "tuner_cache": {
+                "tuner": "dgp",
+                "budget": dgp_budget,
+                "wall_s": dgp_s,
+                "hits": dgp_life.cache.hits,
+                "misses": dgp_life.cache.misses,
+                "entries": dgp_life.cache.entries,
+                "hit_rate": dgp_life.cache.hit_rate(),
+            },
         },
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

@@ -16,7 +16,7 @@ use crate::artifacts::GlimpseArtifacts;
 use crate::blueprint::Blueprint;
 use crate::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
 use glimpse_gpu_spec::GpuSpec;
-use glimpse_mlkit::sa::{anneal_cancellable, SaParams};
+use glimpse_mlkit::sa::{anneal_cancellable_in_place, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use glimpse_tuners::cost_model::GbtCostModel;
@@ -187,10 +187,15 @@ impl Tuner for GlimpseTuner<'_> {
             // Blending by optimization progress is the exploration ->
             // exploitation shift MetaBO's budget feature modulates (§3.2).
             let exploit = t_frac.clamp(0.0, 1.0);
+            // Featurize each proposal once: the surrogate consumes the raw
+            // row and the acquisition zero-pads the same row internally
+            // (identical to its own featurization), halving the per-step
+            // lattice work when both are on.
             let energy = |c: &Config| {
-                let mu = model.predict(space, c);
+                let f = space.features(c);
+                let mu = model.predict_features(&f);
                 if use_acq {
-                    let acq = acquisition.score(space, c, mu, t_frac, blueprint);
+                    let acq = acquisition.score_features(&f, mu, t_frac, blueprint);
                     (1.0 - exploit) * acq + exploit * mu
                 } else {
                     mu
@@ -200,10 +205,10 @@ impl Tuner for GlimpseTuner<'_> {
             // split the seed per chain, so results are identical at any
             // thread count.
             let sa_seed: u64 = rng.gen();
-            let Some(outcome) = anneal_cancellable(
+            let Some(outcome) = anneal_cancellable_in_place(
                 &starts,
                 energy,
-                |c, r| space.neighbor(c, r),
+                |c: &Config, out: &mut Config, r: &mut _| space.neighbor_into(c, out, r),
                 SaParams {
                     chains: self.config.sa_chains,
                     max_steps: self.config.sa_steps,
@@ -254,7 +259,9 @@ impl Tuner for GlimpseTuner<'_> {
             }
             ctx.measure_batch(&batch);
         }
-        ctx.finish(self.name())
+        let mut outcome = ctx.finish(self.name());
+        outcome.surrogate = Some(model.lifecycle());
+        outcome
     }
 }
 

@@ -11,6 +11,13 @@
 //! threads via [`crate::parallel`]. Feature-subsampling coin flips are drawn
 //! *before* the fan-out, so the fitted ensemble is bit-identical at every
 //! thread count.
+//!
+//! [`Gbt::fit_incremental`] warm-starts boosting from an existing forest:
+//! new trees are fitted to the residuals of the current predictions, so a
+//! tuner can append a handful of trees per round instead of refitting the
+//! whole ensemble over the entire history. Training rows are accepted as any
+//! `AsRef<[f64]>` (plain `Vec<f64>` or shared `Arc<[f64]>` rows from a
+//! feature cache) so callers never have to clone feature matrices to fit.
 
 use crate::parallel::{parallel_map, parallel_map_range, Threads};
 use rand::Rng;
@@ -108,29 +115,68 @@ impl Gbt {
     ///
     /// Panics if the training set is empty or ragged.
     #[must_use]
-    pub fn fit<R: Rng + ?Sized>(xs: &[Vec<f64>], ys: &[f64], params: GbtParams, rng: &mut R) -> Self {
+    pub fn fit<X: AsRef<[f64]> + Sync, R: Rng + ?Sized>(xs: &[X], ys: &[f64], params: GbtParams, rng: &mut R) -> Self {
         assert!(!xs.is_empty(), "empty training set");
         assert_eq!(xs.len(), ys.len());
-        let width = xs[0].len();
-        assert!(xs.iter().all(|x| x.len() == width), "ragged features");
         let base = ys.iter().sum::<f64>() / ys.len() as f64;
         let mut residuals: Vec<f64> = ys.iter().map(|y| y - base).collect();
-        let mut trees = Vec::with_capacity(params.trees);
+        let mut forest = Self {
+            base,
+            trees: Vec::with_capacity(params.trees),
+            params,
+        };
+        forest.boost(xs, &mut residuals, params.trees, rng);
+        forest
+    }
+
+    /// Warm-starts boosting from this forest: fits `extra_trees` new trees
+    /// on the residuals of the current predictions over `(xs, ys)` and
+    /// returns the extended ensemble. `self` is unchanged.
+    ///
+    /// The base prediction and hyperparameters are inherited from the
+    /// original fit, so with `extra_trees == 0` the returned forest predicts
+    /// bit-identically to `self`. Continuing on the same `(xs, ys)` is the
+    /// cheap per-round path for a tuner's cost model; a periodic seeded
+    /// full [`Gbt::fit`] bounds any drift from the recomputed residuals
+    /// (the warm start recomputes `y − predict(x)` in one pass, which can
+    /// differ from the scratch fit's iteratively-updated residuals by
+    /// float-rounding ulps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty, ragged, or narrower than the
+    /// rows the forest was fitted on.
+    #[must_use]
+    pub fn fit_incremental<X: AsRef<[f64]> + Sync, R: Rng + ?Sized>(&self, xs: &[X], ys: &[f64], extra_trees: usize, rng: &mut R) -> Self {
+        assert!(!xs.is_empty(), "empty training set");
+        assert_eq!(xs.len(), ys.len());
+        let preds = self.predict_batch(xs);
+        let mut residuals: Vec<f64> = ys.iter().zip(&preds).map(|(y, p)| y - p).collect();
+        let mut forest = self.clone();
+        forest.trees.reserve(extra_trees);
+        forest.boost(xs, &mut residuals, extra_trees, rng);
+        forest
+    }
+
+    /// Shared boosting loop: appends `rounds` trees fitted on `residuals`,
+    /// updating the residuals in place with shrinkage after each round.
+    fn boost<X: AsRef<[f64]> + Sync, R: Rng + ?Sized>(&mut self, xs: &[X], residuals: &mut [f64], rounds: usize, rng: &mut R) {
+        let width = xs[0].as_ref().len();
+        assert!(xs.iter().all(|x| x.as_ref().len() == width), "ragged features");
         let indices: Vec<usize> = (0..xs.len()).collect();
         let predict_threads = if xs.len() >= PARALLEL_PREDICT_ROWS {
             Threads::AUTO
         } else {
             Threads::fixed(1)
         };
-        for _ in 0..params.trees {
-            let tree = build_tree(xs, &residuals, &indices, params.max_depth, &params, rng);
-            let preds = parallel_map(predict_threads, xs, |_, x| tree.predict(x));
+        for _ in 0..rounds {
+            let tree = build_tree(xs, residuals, &indices, self.params.max_depth, &self.params, rng);
+            let preds = parallel_map(predict_threads, xs, |_, x| tree.predict(x.as_ref()));
             for (r, p) in residuals.iter_mut().zip(&preds) {
-                *r -= params.learning_rate * p;
+                *r -= self.params.learning_rate * p;
             }
-            trees.push(tree);
+            self.trees.push(tree);
         }
-        Self { base, trees, params }
     }
 
     /// Predicted value at `x`.
@@ -142,13 +188,13 @@ impl Gbt {
     /// Predicted values for a batch of rows, fanned out across worker
     /// threads (same order and same values as mapping [`Gbt::predict`]).
     #[must_use]
-    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+    pub fn predict_batch<X: AsRef<[f64]> + Sync>(&self, xs: &[X]) -> Vec<f64> {
         let threads = if xs.len() >= PARALLEL_PREDICT_ROWS {
             Threads::AUTO
         } else {
             Threads::fixed(1)
         };
-        parallel_map(threads, xs, |_, x| self.predict(x))
+        parallel_map(threads, xs, |_, x| self.predict(x.as_ref()))
     }
 
     /// Number of fitted trees.
@@ -176,13 +222,20 @@ impl Gbt {
     }
 }
 
-fn build_tree<R: Rng + ?Sized>(xs: &[Vec<f64>], targets: &[f64], indices: &[usize], depth: usize, params: &GbtParams, rng: &mut R) -> Node {
+fn build_tree<X: AsRef<[f64]> + Sync, R: Rng + ?Sized>(
+    xs: &[X],
+    targets: &[f64],
+    indices: &[usize],
+    depth: usize,
+    params: &GbtParams,
+    rng: &mut R,
+) -> Node {
     let n = indices.len();
     let mean: f64 = indices.iter().map(|&i| targets[i]).sum::<f64>() / n.max(1) as f64;
     if depth == 0 || n < params.min_samples_split {
         return Node::Leaf(mean);
     }
-    let width = xs[0].len();
+    let width = xs[0].as_ref().len();
     // Feature-subsampling coin flips happen before the parallel fan-out so
     // the RNG stream (and thus the fitted model) is thread-count invariant.
     let included: Vec<bool> = (0..width)
@@ -212,7 +265,7 @@ fn build_tree<R: Rng + ?Sized>(xs: &[Vec<f64>], targets: &[f64], indices: &[usiz
     match best {
         None => Node::Leaf(mean),
         Some((feature, threshold, _)) => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| xs[i].as_ref()[feature] <= threshold);
             let left = build_tree(xs, targets, &left_idx, depth - 1, params, rng);
             let right = build_tree(xs, targets, &right_idx, depth - 1, params, rng);
             Node::Split {
@@ -232,9 +285,9 @@ fn build_tree<R: Rng + ?Sized>(xs: &[Vec<f64>], targets: &[f64], indices: &[usiz
 /// two-pass search visited (consecutive distinct sorted values, strided so
 /// at most ~16 candidates are scored), but each candidate now costs O(1)
 /// instead of two O(n) scans.
-fn best_split_for_feature(xs: &[Vec<f64>], targets: &[f64], indices: &[usize], feature: usize) -> Option<(f64, f64)> {
+fn best_split_for_feature<X: AsRef<[f64]>>(xs: &[X], targets: &[f64], indices: &[usize], feature: usize) -> Option<(f64, f64)> {
     let n = indices.len();
-    let mut pairs: Vec<(f64, f64)> = indices.iter().map(|&i| (xs[i][feature], targets[i])).collect();
+    let mut pairs: Vec<(f64, f64)> = indices.iter().map(|&i| (xs[i].as_ref()[feature], targets[i])).collect();
     pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Prefix sums of t and t² over the sorted order, plus the boundary
     // position (count of samples ≤ value) of each distinct-value run.
@@ -499,6 +552,97 @@ mod tests {
         let one = fit_at(1);
         assert_eq!(one, fit_at(4));
         assert_eq!(one, fit_at(13));
+    }
+
+    #[test]
+    fn incremental_with_zero_trees_is_bit_identical() {
+        let (xs, ys) = friedman_like(300, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let base = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(22);
+        let same = base.fit_incremental(&xs, &ys, 0, &mut rng);
+        assert_eq!(same.len(), base.len());
+        for x in &xs {
+            assert_eq!(base.predict(x).to_bits(), same.predict(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_trees_improve_training_fit() {
+        let (xs, ys) = friedman_like(400, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let short = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                trees: 8,
+                ..GbtParams::default()
+            },
+            &mut rng,
+        );
+        let extended = short.fit_incremental(&xs, &ys, 40, &mut rng);
+        assert_eq!(extended.len(), 48);
+        assert_eq!(short.len(), 8, "warm start must not mutate the original");
+        let mse = |g: &Gbt| xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mse(&extended) < mse(&short), "extra residual trees must tighten the fit");
+    }
+
+    #[test]
+    fn incremental_tracks_scratch_fit_quality() {
+        // Warm-start (8 scratch + 42 incremental) must land within a small
+        // factor of a 50-tree scratch fit: the residual recurrence is the
+        // same, only the RNG stream for the feature-subsampling differs.
+        let (xs, ys) = friedman_like(400, 25);
+        let mut rng = StdRng::seed_from_u64(26);
+        let scratch = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(26);
+        let short = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                trees: 8,
+                ..GbtParams::default()
+            },
+            &mut rng,
+        );
+        let warm = short.fit_incremental(&xs, &ys, 42, &mut rng);
+        let mse = |g: &Gbt| xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mse(&warm) < 2.0 * mse(&scratch), "warm {} vs scratch {}", mse(&warm), mse(&scratch));
+    }
+
+    #[test]
+    fn incremental_is_deterministic_and_thread_invariant() {
+        let (xs, ys) = friedman_like(600, 27);
+        let mut rng = StdRng::seed_from_u64(28);
+        let base = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+        let grow_at = |threads: usize| {
+            crate::parallel::set_default_threads(threads);
+            let mut rng = StdRng::seed_from_u64(29);
+            let grown = base.fit_incremental(&xs, &ys, 8, &mut rng);
+            crate::parallel::set_default_threads(0);
+            xs.iter().map(|x| grown.predict(x).to_bits()).collect::<Vec<u64>>()
+        };
+        let one = grow_at(1);
+        assert_eq!(one, grow_at(4));
+        assert_eq!(one, grow_at(13));
+    }
+
+    #[test]
+    fn fit_accepts_shared_rows() {
+        // The row type is generic over AsRef<[f64]> so cached Arc rows feed
+        // training without a clone; values must match the Vec path exactly.
+        use std::sync::Arc;
+        let (xs, ys) = friedman_like(200, 30);
+        let shared: Vec<Arc<[f64]>> = xs.iter().map(|x| Arc::from(x.as_slice())).collect();
+        let mut rng = StdRng::seed_from_u64(31);
+        let from_vecs = Gbt::fit(&xs, &ys, GbtParams::default(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(31);
+        let from_arcs = Gbt::fit(&shared, &ys, GbtParams::default(), &mut rng);
+        for x in &xs {
+            assert_eq!(from_vecs.predict(x).to_bits(), from_arcs.predict(x).to_bits());
+        }
+        let batch = from_arcs.predict_batch(&shared);
+        assert_eq!(batch.len(), xs.len());
     }
 
     #[test]

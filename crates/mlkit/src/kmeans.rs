@@ -37,24 +37,27 @@ pub struct KmeansResult {
 /// `k` is clamped to the number of points. Converges when assignments stop
 /// changing or after `max_iters`.
 ///
+/// Rows may be anything dereferencing to `[f64]` (`Vec<f64>`, `Arc<[f64]>`,
+/// …), so cached feature rows cluster without copying the matrix.
+///
 /// # Panics
 ///
 /// Panics if `points` is empty, `k == 0`, or rows are ragged.
 #[must_use]
-pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut R) -> KmeansResult {
+pub fn kmeans<X: AsRef<[f64]>, R: Rng + ?Sized>(points: &[X], k: usize, max_iters: usize, rng: &mut R) -> KmeansResult {
     assert!(!points.is_empty(), "kmeans needs at least one point");
     assert!(k > 0, "k must be positive");
-    let d = points[0].len();
-    assert!(points.iter().all(|p| p.len() == d), "ragged points");
+    let d = points[0].as_ref().len();
+    assert!(points.iter().all(|p| p.as_ref().len() == d), "ragged points");
     let k = k.min(points.len());
 
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    centroids.push(points[rng.gen_range(0..points.len())].as_ref().to_vec());
     while centroids.len() < k {
-        let d2: Vec<f64> = points.iter().map(|p| nearest_distance_sq(p, &centroids)).collect();
+        let d2: Vec<f64> = points.iter().map(|p| nearest_distance_sq(p.as_ref(), &centroids)).collect();
         let idx = crate::stats::sample_weighted(&d2, rng);
-        centroids.push(points[idx].clone());
+        centroids.push(points[idx].as_ref().to_vec());
     }
 
     let mut assignments = vec![0usize; points.len()];
@@ -64,7 +67,7 @@ pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, 
         // Assign.
         let mut changed = false;
         for (a, p) in assignments.iter_mut().zip(points) {
-            let best = nearest_index(p, &centroids);
+            let best = nearest_index(p.as_ref(), &centroids);
             if best != *a {
                 *a = best;
                 changed = true;
@@ -75,7 +78,7 @@ pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, 
         let mut counts = vec![0usize; k];
         for (a, p) in assignments.iter().zip(points) {
             counts[*a] += 1;
-            for (s, v) in sums[*a].iter_mut().zip(p) {
+            for (s, v) in sums[*a].iter_mut().zip(p.as_ref()) {
                 *s += v;
             }
         }
@@ -88,7 +91,11 @@ pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, 
             break;
         }
     }
-    let inertia = points.iter().zip(&assignments).map(|(p, &a)| distance_sq(p, &centroids[a])).sum();
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| distance_sq(p.as_ref(), &centroids[a]))
+        .sum();
     KmeansResult {
         centroids,
         assignments,
@@ -100,7 +107,7 @@ pub fn kmeans<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, max_iters: usize, 
 /// Index of the input point nearest to each centroid — Chameleon snaps
 /// centroids back to real configurations before measuring.
 #[must_use]
-pub fn snap_to_points(centroids: &[Vec<f64>], points: &[Vec<f64>]) -> Vec<usize> {
+pub fn snap_to_points<X: AsRef<[f64]>>(centroids: &[Vec<f64>], points: &[X]) -> Vec<usize> {
     centroids.iter().map(|c| nearest_index(c, points)).collect()
 }
 
@@ -108,11 +115,11 @@ fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
 }
 
-fn nearest_index(p: &[f64], set: &[Vec<f64>]) -> usize {
+fn nearest_index<X: AsRef<[f64]>>(p: &[f64], set: &[X]) -> usize {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
     for (i, c) in set.iter().enumerate() {
-        let d = distance_sq(p, c);
+        let d = distance_sq(p, c.as_ref());
         if d < best_d {
             best_d = d;
             best = i;
@@ -181,6 +188,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let result = kmeans(&points, 1, 20, &mut rng);
         assert!((result.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_rows_match_owned_rows_bitwise() {
+        use std::sync::Arc;
+        let points = three_blobs(8);
+        let shared: Vec<Arc<[f64]>> = points.iter().map(|p| Arc::from(p.as_slice())).collect();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = rng_a.clone();
+        let owned = kmeans(&points, 3, 50, &mut rng_a);
+        let borrowed = kmeans(&shared, 3, 50, &mut rng_b);
+        assert_eq!(owned, borrowed);
+        assert_eq!(
+            snap_to_points(&owned.centroids, &points),
+            snap_to_points(&borrowed.centroids, &shared)
+        );
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!    (plumbed from the CLI `--threads` flag),
 //! 3. the `GLIMPSE_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
+//!
+//! Requests from layers 2 and 3 are clamped to the machine's available
+//! parallelism: asking for 8 workers on a 1-core box would only add
+//! scheduling overhead to a compute-bound fan-out (the throughput harness
+//! recorded multi-thread *slower* than single under exactly that
+//! oversubscription). Only [`Threads::fixed`] bypasses the clamp — it is
+//! the call site saying it knows better (tests pinning determinism at
+//! thread counts above the core count rely on this).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -64,22 +72,34 @@ impl Threads {
     }
 
     /// The concrete worker count (always ≥ 1).
+    ///
+    /// The process-wide override and `GLIMPSE_THREADS` are clamped to
+    /// [`available_workers`]; an explicit [`Threads::fixed`] is not.
     #[must_use]
     pub fn resolve(self) -> usize {
         if self.0 > 0 {
             return self.0;
         }
+        let cap = available_workers();
         let global = default_threads();
         if global > 0 {
-            return global;
+            return global.min(cap);
         }
         if let Ok(value) = std::env::var(THREADS_ENV) {
             if let Some(n) = parse_threads(&value) {
-                return n;
+                return n.min(cap);
             }
         }
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        cap
     }
+}
+
+/// The machine's available parallelism (≥ 1): the cap applied to every
+/// auto-resolved worker-count request, and what the bench harness records
+/// as the *effective* count next to the *requested* one.
+#[must_use]
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl Default for Threads {
@@ -328,5 +348,32 @@ mod tests {
     fn fixed_wins_over_global_override() {
         assert_eq!(Threads::fixed(5).resolve(), 5);
         assert!(Threads::AUTO.resolve() >= 1);
+    }
+
+    #[test]
+    fn auto_resolution_never_oversubscribes() {
+        // Whatever the global override says (other tests mutate it
+        // concurrently), an AUTO resolution must never exceed the machine's
+        // available parallelism — only Threads::fixed may oversubscribe.
+        let cap = available_workers();
+        assert!(cap >= 1);
+        assert!(Threads::AUTO.resolve() <= cap);
+        assert_eq!(Threads::fixed(cap + 7).resolve(), cap + 7, "fixed bypasses the clamp");
+    }
+
+    #[test]
+    fn global_override_is_clamped_to_available_parallelism() {
+        // Serialize against other tests that flip the global override by
+        // checking the invariant rather than an exact count: a huge request
+        // resolves to at most the cap.
+        let before = default_threads();
+        set_default_threads(1_000_000);
+        let resolved = Threads::AUTO.resolve();
+        set_default_threads(before);
+        assert!(resolved <= 1_000_000);
+        assert!(
+            resolved <= available_workers() || resolved != 1_000_000,
+            "a requested 1,000,000 workers must be clamped (resolved {resolved})"
+        );
     }
 }

@@ -13,6 +13,15 @@
 //! pure function of `(seed, c, start state)` — independent of how many
 //! chains ran before it, of the worker count, and of chain execution order.
 //! The same seed replays bit-identically at any `--threads` setting.
+//!
+//! **Allocation:** the chain loop proposes into a persistent scratch state
+//! and swaps it in on acceptance, so the `*_in_place` entry points run the
+//! whole trajectory with a constant number of state allocations (start,
+//! best, scratch) instead of one fresh state per step. The classic
+//! `Fn(&S, &mut StdRng) -> S` entry points are kept as thin wrappers whose
+//! results are bit-identical — the in-place move must fully overwrite the
+//! scratch state from the current one, which `*out = neighbor(current, rng)`
+//! trivially does.
 
 use crate::parallel::{parallel_map, parallel_map_cancellable, Threads};
 use crate::stats::child_rng;
@@ -114,13 +123,52 @@ where
     F: Fn(&S) -> f64 + Sync,
     N: Fn(&S, &mut StdRng) -> S + Sync,
 {
+    anneal_threaded_in_place(initial, score, wrap_allocating(neighbor), params, seed, threads)
+}
+
+/// [`anneal`] with an in-place neighbor move: `neighbor_into(current, out,
+/// rng)` must fully overwrite `out` with the proposed state (any bytes left
+/// over from a previous proposal are stale). Runs each chain with a
+/// constant number of state allocations; results are bit-identical to the
+/// allocating entry points for the equivalent move.
+pub fn anneal_in_place<S, F, N>(initial: &[S], score: F, neighbor_into: N, params: SaParams, seed: u64) -> SaOutcome<S>
+where
+    S: Clone + Send + Sync,
+    F: Fn(&S) -> f64 + Sync,
+    N: Fn(&S, &mut S, &mut StdRng) + Sync,
+{
+    anneal_threaded_in_place(initial, score, neighbor_into, params, seed, Threads::AUTO)
+}
+
+/// [`anneal_in_place`] with an explicit worker-count request.
+pub fn anneal_threaded_in_place<S, F, N>(
+    initial: &[S],
+    score: F,
+    neighbor_into: N,
+    params: SaParams,
+    seed: u64,
+    threads: Threads,
+) -> SaOutcome<S>
+where
+    S: Clone + Send + Sync,
+    F: Fn(&S) -> f64 + Sync,
+    N: Fn(&S, &mut S, &mut StdRng) + Sync,
+{
     assert!(!initial.is_empty(), "need at least one starting state");
     assert!(params.t_start > 0.0 && params.t_end > 0.0, "temperatures must be positive");
     let chains = params.chains.max(1);
     let results = parallel_map(threads, &chain_indices(chains), |_, &c| {
-        run_chain(&initial[c % initial.len()], c, &score, &neighbor, &params, seed, None)
+        run_chain(&initial[c % initial.len()], c, &score, &neighbor_into, &params, seed, None)
     });
     collect_outcome(results, chains)
+}
+
+/// Adapts a classic allocating move to the in-place interface.
+fn wrap_allocating<S, N>(neighbor: N) -> impl Fn(&S, &mut S, &mut StdRng)
+where
+    N: Fn(&S, &mut StdRng) -> S,
+{
+    move |current: &S, out: &mut S, rng: &mut StdRng| *out = neighbor(current, rng)
 }
 
 /// Cancellable [`anneal`]: `None` if `cancel` trips before the batch
@@ -146,11 +194,29 @@ where
     F: Fn(&S) -> f64 + Sync,
     N: Fn(&S, &mut StdRng) -> S + Sync,
 {
+    anneal_cancellable_in_place(initial, score, wrap_allocating(neighbor), params, seed, cancel)
+}
+
+/// Cancellable [`anneal_in_place`]: the hot-loop entry point for the tuners
+/// — in-place moves and per-round cancellation in one call.
+pub fn anneal_cancellable_in_place<S, F, N>(
+    initial: &[S],
+    score: F,
+    neighbor_into: N,
+    params: SaParams,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Option<SaOutcome<S>>
+where
+    S: Clone + Send + Sync,
+    F: Fn(&S) -> f64 + Sync,
+    N: Fn(&S, &mut S, &mut StdRng) + Sync,
+{
     assert!(!initial.is_empty(), "need at least one starting state");
     assert!(params.t_start > 0.0 && params.t_end > 0.0, "temperatures must be positive");
     let chains = params.chains.max(1);
     let results = parallel_map_cancellable(Threads::AUTO, cancel, &chain_indices(chains), |_, &c| {
-        run_chain(&initial[c % initial.len()], c, &score, &neighbor, &params, seed, Some(cancel))
+        run_chain(&initial[c % initial.len()], c, &score, &neighbor_into, &params, seed, Some(cancel))
     })?;
     Some(collect_outcome(results, chains))
 }
@@ -180,11 +246,15 @@ const CANCEL_POLL_STEPS: usize = 16;
 /// One chain's trajectory: a pure function of `(start, chain index, seed)`.
 /// A tripped `cancel` only cuts the chain short — the caller discards the
 /// whole batch in that case, so the bail never leaks into results.
+///
+/// Proposals are generated into a persistent `candidate` scratch state and
+/// swapped into `current` on acceptance, so the loop allocates no fresh
+/// state per step (the in-place move must fully overwrite the scratch).
 fn run_chain<S, F, N>(
     start: &S,
     chain: usize,
     score: &F,
-    neighbor: &N,
+    neighbor_into: &N,
     params: &SaParams,
     seed: u64,
     cancel: Option<&CancelToken>,
@@ -192,7 +262,7 @@ fn run_chain<S, F, N>(
 where
     S: Clone,
     F: Fn(&S) -> f64,
-    N: Fn(&S, &mut StdRng) -> S,
+    N: Fn(&S, &mut S, &mut StdRng),
 {
     use rand::Rng;
     let cooling = if params.max_steps > 1 {
@@ -205,6 +275,7 @@ where
     let mut current_score = score(&current);
     let mut best = current.clone();
     let mut best_score = current_score;
+    let mut candidate = current.clone();
     let mut t = params.t_start;
     let mut stale = 0usize;
     let mut steps = 0usize;
@@ -213,18 +284,18 @@ where
             break;
         }
         steps += 1;
-        let candidate = neighbor(&current, &mut rng);
+        neighbor_into(&current, &mut candidate, &mut rng);
         let candidate_score = score(&candidate);
         let accept = candidate_score >= current_score || {
             let p = ((candidate_score - current_score) / t).exp();
             rng.gen::<f64>() < p
         };
         if accept {
-            current = candidate;
+            std::mem::swap(&mut current, &mut candidate);
             current_score = candidate_score;
         }
         if current_score > best_score {
-            best = current.clone();
+            best.clone_from(&current);
             best_score = current_score;
             stale = 0;
         } else {
@@ -372,10 +443,43 @@ mod tests {
             ..SaParams::default()
         };
         let batch = anneal(&starts, score, neighbor, params, 9);
+        let neighbor_into = wrap_allocating(neighbor);
         for (c, expected) in batch.chain_bests.iter().enumerate() {
-            let (solo, _) = run_chain(&starts[c], c, &score, &neighbor, &params, 9, None);
+            let (solo, _) = run_chain(&starts[c], c, &score, &neighbor_into, &params, 9, None);
             assert_eq!(&solo, expected, "chain {c} diverged from its solo replay");
         }
+    }
+
+    #[test]
+    fn in_place_moves_match_allocating_moves_bitwise() {
+        // The scratch-buffer hot loop and the classic allocating interface
+        // must produce identical batches: same RNG draws, same swaps.
+        let starts: Vec<i64> = (0..5).map(|i| i * 17).collect();
+        let params = SaParams {
+            chains: 7,
+            max_steps: 150,
+            patience: 20,
+            ..SaParams::default()
+        };
+        let allocating = anneal(&starts, score, neighbor, params, 21);
+        let in_place = anneal_in_place(
+            &starts,
+            score,
+            |x: &i64, out: &mut i64, rng: &mut StdRng| *out = neighbor(x, rng),
+            params,
+            21,
+        );
+        assert!(bests_equal(&allocating, &in_place));
+        let cancellable = anneal_cancellable_in_place(
+            &starts,
+            score,
+            |x: &i64, out: &mut i64, rng: &mut StdRng| *out = neighbor(x, rng),
+            params,
+            21,
+            &CancelToken::new(),
+        )
+        .expect("untripped token must not cancel");
+        assert!(bests_equal(&allocating, &cancellable));
     }
 
     fn bests_equal(a: &SaOutcome<i64>, b: &SaOutcome<i64>) -> bool {
@@ -405,8 +509,9 @@ mod tests {
             // the results back: must reproduce the batch exactly.
             let mut permuted: Vec<Option<(i64, f64)>> = vec![None; chains];
             let mut steps = 0usize;
+            let neighbor_into = wrap_allocating(neighbor);
             for c in (0..chains).rev() {
-                let (best, s) = run_chain(&starts[c % starts.len()], c, &score, &neighbor, &params, seed, None);
+                let (best, s) = run_chain(&starts[c % starts.len()], c, &score, &neighbor_into, &params, seed, None);
                 permuted[c] = Some(best);
                 steps += s;
             }

@@ -34,6 +34,22 @@ impl Config {
     pub fn index(&self, k: usize) -> usize {
         self.indices[k]
     }
+
+    /// Overwrites this config with `other`, reusing the existing index
+    /// buffer — the allocation-free `clone_from` the SA hot loop needs.
+    pub fn copy_from(&mut self, other: &Config) {
+        self.indices.clone_from(&other.indices);
+    }
+
+    /// Sets the choice index of the `k`-th knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range. Range checking of the *value* is the
+    /// owning [`SearchSpace`]'s job, as with [`Config::new`].
+    pub fn set_index(&mut self, k: usize, value: usize) {
+        self.indices[k] = value;
+    }
 }
 
 /// A complete, enumerable configuration space for one (template, operator)
@@ -157,25 +173,39 @@ impl SearchSpace {
     /// Single-knob mutation: pick one knob and move it to a different random
     /// choice — the Markov-chain step AutoTVM's simulated annealing uses.
     pub fn neighbor<R: Rng + ?Sized>(&self, config: &Config, rng: &mut R) -> Config {
-        let mut indices = config.indices().to_vec();
+        let mut out = config.clone();
+        self.neighbor_into(config, &mut out, rng);
+        out
+    }
+
+    /// Allocation-free [`SearchSpace::neighbor`]: writes the mutated config
+    /// into `out`, reusing its index buffer. Draw-for-draw identical to
+    /// `neighbor` — the SA hot loop swaps to this to stop allocating one
+    /// `Config` (plus a scratch index list) per chain step.
+    pub fn neighbor_into<R: Rng + ?Sized>(&self, config: &Config, out: &mut Config, rng: &mut R) {
+        out.copy_from(config);
         // Prefer knobs with more than one choice; fall back to identity if
-        // the whole space is a single point.
-        let mutable: Vec<usize> = self
-            .knobs
-            .iter()
-            .enumerate()
-            .filter(|(_, k)| k.cardinality() > 1)
-            .map(|(i, _)| i)
-            .collect();
-        if let Some(&knob) = mutable.get(rng.gen_range(0..mutable.len().max(1)).min(mutable.len().saturating_sub(1))) {
+        // the whole space is a single point. The pick is drawn even when no
+        // knob is mutable so the RNG stream matches the historical
+        // allocating implementation exactly.
+        let mutable_count = self.knobs.iter().filter(|k| k.cardinality() > 1).count();
+        let pick = rng.gen_range(0..mutable_count.max(1));
+        if mutable_count > 0 {
+            let knob = self
+                .knobs
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| k.cardinality() > 1)
+                .map(|(i, _)| i)
+                .nth(pick)
+                .unwrap_or(0);
             let card = self.knobs[knob].cardinality();
             let mut next = rng.gen_range(0..card - 1);
-            if next >= indices[knob] {
+            if next >= out.index(knob) {
                 next += 1;
             }
-            indices[knob] = next;
+            out.set_index(knob, next);
         }
-        Config::new(indices)
     }
 
     /// The knob values selected by `config`, in knob order.
@@ -395,6 +425,41 @@ mod tests {
         dedup.sort_by_key(|c| c.indices().to_vec());
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn neighbor_into_matches_neighbor_draw_for_draw() {
+        // The in-place variant must consume the RNG stream identically to
+        // the allocating one: run both from cloned RNG states across a long
+        // shared stream and compare configs and final RNG positions.
+        let s = space();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = rng_a.clone();
+        let mut current = s.sample_uniform(&mut rng_a);
+        let _ = s.sample_uniform(&mut rng_b);
+        let mut scratch = current.clone();
+        for step in 0..200 {
+            let allocated = s.neighbor(&current, &mut rng_a);
+            s.neighbor_into(&current, &mut scratch, &mut rng_b);
+            assert_eq!(allocated, scratch, "step {step} diverged");
+            current = allocated;
+        }
+        // Same number of draws consumed → identical next samples.
+        assert_eq!(s.sample_uniform(&mut rng_a), s.sample_uniform(&mut rng_b));
+    }
+
+    #[test]
+    fn copy_from_and_set_index_update_in_place() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(78);
+        let a = s.sample_uniform(&mut rng);
+        let b = s.sample_uniform(&mut rng);
+        let mut c = a.clone();
+        c.copy_from(&b);
+        assert_eq!(c, b);
+        let flipped = usize::from(c.index(0) == 0);
+        c.set_index(0, flipped);
+        assert_eq!(c.index(0), flipped);
     }
 
     #[test]

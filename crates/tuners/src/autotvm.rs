@@ -19,7 +19,7 @@
 use crate::context::{TuneContext, Tuner, TuningOutcome};
 use crate::cost_model::GbtCostModel;
 use crate::history::TuningHistory;
-use glimpse_mlkit::sa::{anneal_cancellable, SaParams};
+use glimpse_mlkit::sa::{anneal_cancellable_in_place, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use rand::Rng;
@@ -136,10 +136,10 @@ impl Tuner for AutoTvmTuner {
             // One seed per round keeps the batch deterministic while the
             // chains fan out across worker threads (seed-split per chain).
             let sa_seed: u64 = rng.gen();
-            let Some(outcome) = anneal_cancellable(
+            let Some(outcome) = anneal_cancellable_in_place(
                 &starts,
                 |c| model.predict(space, c),
-                |c, r| space.neighbor(c, r),
+                |c: &Config, out: &mut Config, r: &mut _| space.neighbor_into(c, out, r),
                 SaParams {
                     chains: self.config.sa_chains,
                     max_steps: self.config.sa_steps,
@@ -183,7 +183,9 @@ impl Tuner for AutoTvmTuner {
             }
             ctx.measure_batch(&batch);
         }
-        ctx.finish(self.name())
+        let mut outcome = ctx.finish(self.name());
+        outcome.surrogate = Some(model.lifecycle());
+        outcome
     }
 }
 

@@ -18,8 +18,7 @@
 use crate::context::{TuneContext, Tuner, TuningOutcome};
 use crate::cost_model::GbtCostModel;
 use glimpse_mlkit::kmeans::{kmeans, snap_to_points};
-use glimpse_mlkit::parallel::{parallel_map, Threads};
-use glimpse_mlkit::sa::{anneal_cancellable, SaParams};
+use glimpse_mlkit::sa::{anneal_cancellable_in_place, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
 use rand::Rng;
@@ -118,10 +117,10 @@ impl Tuner for ChameleonTuner {
             // Per-round seed: chains fan out across workers, seed-split per
             // chain, so the round is deterministic at any thread count.
             let sa_seed: u64 = rng.gen();
-            let Some(outcome) = anneal_cancellable(
+            let Some(outcome) = anneal_cancellable_in_place(
                 &starts,
                 |c| model.predict(space, c),
-                |c, r| space.neighbor(c, r),
+                |c: &Config, out: &mut Config, r: &mut _| space.neighbor_into(c, out, r),
                 SaParams {
                     chains: self.config.sa_chains,
                     max_steps: steps,
@@ -168,9 +167,10 @@ impl Tuner for ChameleonTuner {
             }
 
             // Adaptive sampling: cluster the pool, measure snapped centroids.
-            // Featurize and surrogate-score the whole pool once through the
-            // parallel layer; every later filter reads the batch results.
-            let features: Vec<Vec<f64>> = parallel_map(Threads::AUTO, &pool, |_, c| space.features(c));
+            // Featurize the whole pool once through the model's cache; the
+            // surrogate scores reuse those same shared rows, and every later
+            // filter reads the batch results.
+            let features = model.features_batch(space, &pool);
             let pool_preds = model.predict_batch(space, &pool);
             let clusters = kmeans(&features, self.config.batch_size, 25, &mut rng);
             let chosen = snap_to_points(&clusters.centroids, &features);
@@ -201,7 +201,9 @@ impl Tuner for ChameleonTuner {
             }
             ctx.measure_batch(&batch);
         }
-        ctx.finish(self.name())
+        let mut outcome = ctx.finish(self.name());
+        outcome.surrogate = Some(model.lifecycle());
+        outcome
     }
 }
 

@@ -1,6 +1,7 @@
 //! The tuning loop contract: [`Tuner`], [`TuneContext`], [`TuningOutcome`].
 
 use crate::budget::Budget;
+use crate::cost_model::SurrogateLifecycle;
 use crate::history::{Trial, TuningHistory};
 use crate::journal::{RunJournal, TrialRecord};
 use glimpse_sim::{measure_with_retry, Measurer, RetryPolicy};
@@ -370,6 +371,7 @@ impl<'a> TuneContext<'a> {
             explorer_steps: self.explorer_steps,
             retried_attempts: self.retried_attempts,
             gpu_seconds,
+            surrogate: None,
             history: self.history,
         }
     }
@@ -401,6 +403,11 @@ pub struct TuningOutcome {
     pub retried_attempts: usize,
     /// Simulated GPU seconds — Table 2's "GPU hours" contribution.
     pub gpu_seconds: f64,
+    /// Surrogate lifecycle + featurization-cache diagnostics, for tuners
+    /// that train a cost model (None for random/grid). Derived state: a
+    /// replayed or resumed campaign reproduces the same counters.
+    #[serde(default)]
+    pub surrogate: Option<SurrogateLifecycle>,
     /// The full measurement journal.
     pub history: TuningHistory,
 }

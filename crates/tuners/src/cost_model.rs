@@ -5,49 +5,158 @@
 //! hardware. Transfer learning (§2.2, Fig. 5) warm-starts the model with
 //! pairs from *other* (GPU, task) runs, decaying their weight as local
 //! evidence accumulates.
+//!
+//! # Surrogate lifecycle
+//!
+//! Refitting the forest from scratch over the whole history every round
+//! makes surrogate cost O(rounds²) over a campaign. [`GbtCostModel::fit`]
+//! is therefore *incremental* by default:
+//!
+//! * new fault-free trials since the last fit are featurized (through the
+//!   shared [`FeatureCache`]) and appended to a persistent training matrix
+//!   — the `usable` filter never rescans old history and transfer rows are
+//!   never re-cloned;
+//! * most rounds warm-start from the previous forest via
+//!   [`Gbt::fit_incremental`], appending [`DEFAULT_INCREMENTAL_TREES`]
+//!   trees fitted on the residuals, seeded by `child_rng(seed, round)`;
+//! * every [`DEFAULT_REFIT_EVERY`]-th fit (and whenever the transfer set
+//!   drops out) the forest is refitted from scratch with
+//!   `StdRng::seed_from_u64(seed)` — exactly the historical code path — to
+//!   bound drift. At these boundaries the model is bit-identical to what a
+//!   scratch-every-round model (`with_refit_every(1)`, the equivalence
+//!   baseline) produces on the same history.
+//!
+//! Every piece of this state is a pure function of `(seed, history)`: a
+//! replayed or resumed campaign reconstructs the same forests, so journals
+//! stay byte-identical with the incremental path on.
 
+use crate::feature_cache::{CacheStats, FeatureCache};
 use crate::history::TuningHistory;
 use glimpse_mlkit::gbt::{Gbt, GbtParams};
-use glimpse_mlkit::parallel::{parallel_map, Threads};
+use glimpse_mlkit::stats::child_rng;
 use glimpse_space::{Config, SearchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// Minimum batch size before featurization fans out across workers.
-const PARALLEL_FEATURIZE_ROWS: usize = 64;
-
-fn featurize_threads(rows: usize) -> Threads {
-    if rows >= PARALLEL_FEATURIZE_ROWS {
-        Threads::AUTO
-    } else {
-        Threads::fixed(1)
-    }
-}
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Throughput scale (GFLOPS) applied before fitting, keeping targets O(1).
 const SCORE_SCALE: f64 = 1000.0;
 
-/// A gradient-boosted surrogate with optional transfer warm-start.
+/// Default full-refit cadence: every K-th fit rebuilds the forest from
+/// scratch; the fits between warm-start from the previous forest.
+pub const DEFAULT_REFIT_EVERY: usize = 8;
+
+/// Default number of residual trees appended per incremental fit.
+pub const DEFAULT_INCREMENTAL_TREES: usize = 8;
+
+/// What the most recent [`GbtCostModel::fit`] call actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitKind {
+    /// Never fitted (no usable rows yet).
+    Unfitted,
+    /// Full seeded refit over the whole training matrix.
+    Scratch,
+    /// Warm start: residual trees appended to the previous forest.
+    Incremental,
+    /// No new usable trials since the last fit — forest kept as-is.
+    Skipped,
+}
+
+/// Lifecycle counters for diagnostics: how the surrogate has been trained
+/// and how the featurization cache is paying off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateLifecycle {
+    /// Fits that actually trained (scratch + incremental).
+    pub rounds: usize,
+    /// Full seeded refits.
+    pub scratch_fits: usize,
+    /// Warm-start fits.
+    pub incremental_fits: usize,
+    /// Fit calls skipped because no new usable trials arrived.
+    pub skipped_fits: usize,
+    /// Trees in the current forest.
+    pub forest_trees: usize,
+    /// Rows in the training matrix (local + active transfer).
+    pub training_rows: usize,
+    /// Full-refit cadence K.
+    pub refit_every: usize,
+    /// Residual trees appended per incremental fit.
+    pub incremental_trees: usize,
+    /// Featurization-cache hit/miss counters.
+    pub cache: CacheStats,
+}
+
+/// A gradient-boosted surrogate with optional transfer warm-start,
+/// incremental per-round training, and cached featurization.
 #[derive(Debug, Clone)]
 pub struct GbtCostModel {
     params: GbtParams,
     seed: u64,
     model: Option<Gbt>,
-    transfer_x: Vec<Vec<f64>>,
-    transfer_y: Vec<f64>,
+    cache: FeatureCache,
+    /// Persistent training matrix: local rows in history order, then the
+    /// still-active transfer rows as a tail.
+    train_x: Vec<Arc<[f64]>>,
+    train_y: Vec<f64>,
+    /// Number of local (non-transfer) rows at the front of the matrix.
+    local_rows: usize,
+    /// Transfer rows currently kept in the matrix tail (0 once dropped).
+    transfer_tail: usize,
+    /// Transfer pairs ever loaded (the stable [`GbtCostModel::transfer_len`]).
+    transfer_loaded: usize,
+    /// History trials consumed so far (including faulted ones).
+    seen_trials: usize,
+    rounds: usize,
+    fits_since_refit: usize,
+    refit_every: usize,
+    incremental_trees: usize,
+    scratch_fits: usize,
+    incremental_fits: usize,
+    skipped_fits: usize,
+    last_fit: FitKind,
 }
 
 impl GbtCostModel {
-    /// Fresh, unfitted model.
+    /// Fresh, unfitted model with the default incremental schedule.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self {
             params: GbtParams::default(),
             seed,
             model: None,
-            transfer_x: Vec::new(),
-            transfer_y: Vec::new(),
+            cache: FeatureCache::new(),
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            local_rows: 0,
+            transfer_tail: 0,
+            transfer_loaded: 0,
+            seen_trials: 0,
+            rounds: 0,
+            fits_since_refit: 0,
+            refit_every: DEFAULT_REFIT_EVERY,
+            incremental_trees: DEFAULT_INCREMENTAL_TREES,
+            scratch_fits: 0,
+            incremental_fits: 0,
+            skipped_fits: 0,
+            last_fit: FitKind::Unfitted,
         }
+    }
+
+    /// Sets the full-refit cadence (clamped to ≥ 1). `with_refit_every(1)`
+    /// refits from scratch every round — the pre-incremental behavior, kept
+    /// as the equivalence baseline.
+    #[must_use]
+    pub fn with_refit_every(mut self, rounds: usize) -> Self {
+        self.refit_every = rounds.max(1);
+        self
+    }
+
+    /// Sets the number of residual trees per incremental fit (≥ 1).
+    #[must_use]
+    pub fn with_incremental_trees(mut self, trees: usize) -> Self {
+        self.incremental_trees = trees.max(1);
+        self
     }
 
     /// Loads transfer pairs from foreign tuning logs. `space` must be the
@@ -64,8 +173,13 @@ impl GbtCostModel {
                 if config.indices().iter().zip(space.knobs()).any(|(i, k)| *i >= k.cardinality()) {
                     continue;
                 }
-                self.transfer_x.push(space.features(config));
-                self.transfer_y.push(gflops / SCORE_SCALE);
+                // Transfer rows live in the matrix tail, after local rows;
+                // they are featurized directly (not through the cache) so
+                // foreign configs never pollute the campaign's memo.
+                self.train_x.push(Arc::from(space.features(config)));
+                self.train_y.push(gflops / SCORE_SCALE);
+                self.transfer_tail += 1;
+                self.transfer_loaded += 1;
                 taken += 1;
             }
         }
@@ -74,7 +188,7 @@ impl GbtCostModel {
     /// Number of transfer pairs loaded.
     #[must_use]
     pub fn transfer_len(&self) -> usize {
-        self.transfer_x.len()
+        self.transfer_loaded
     }
 
     /// Whether the model has been fitted at least once.
@@ -83,30 +197,93 @@ impl GbtCostModel {
         self.model.is_some()
     }
 
-    /// Refits on the history's valid measurements (invalid trials enter as
+    /// Fits on the history's valid measurements (invalid trials enter as
     /// zero-throughput examples so the surrogate learns to avoid them).
     /// Faulted trials are *excluded* entirely: a timeout or device loss says
     /// nothing about the configuration, and feeding it in as a fake zero
     /// would teach the model to avoid perfectly good regions.
     /// Transfer pairs participate until local data outnumbers them 2:1.
+    ///
+    /// Only trials appended since the previous call are processed (the
+    /// history is append-only within a campaign); see the module docs for
+    /// the scratch/incremental schedule.
     pub fn fit(&mut self, space: &SearchSpace, history: &TuningHistory) {
-        let usable: Vec<&crate::history::Trial> = history.trials.iter().filter(|t| !t.is_fault()).collect();
-        let mut xs: Vec<Vec<f64>> = parallel_map(featurize_threads(usable.len()), &usable, |_, t| space.features(&t.config));
-        let mut ys: Vec<f64> = usable.iter().map(|t| t.gflops.unwrap_or(0.0) / SCORE_SCALE).collect();
-        if !self.transfer_x.is_empty() && xs.len() < 2 * self.transfer_x.len() {
-            xs.extend(self.transfer_x.iter().cloned());
-            ys.extend(self.transfer_y.iter().copied());
+        if history.trials.len() < self.seen_trials {
+            // A shorter history means a different campaign: drop all
+            // derived state (cache included) and start over.
+            self.reset_campaign_state();
         }
-        if xs.is_empty() {
+        let new_usable: Vec<&crate::history::Trial> = history.trials[self.seen_trials..].iter().filter(|t| !t.is_fault()).collect();
+        self.seen_trials = history.trials.len();
+        let had_new = !new_usable.is_empty();
+        if had_new {
+            let rows = self.cache.rows_batch(space, new_usable.iter().map(|t| &t.config));
+            let at = self.local_rows;
+            self.train_x.splice(at..at, rows);
+            self.train_y
+                .splice(at..at, new_usable.iter().map(|t| t.gflops.unwrap_or(0.0) / SCORE_SCALE));
+            self.local_rows += new_usable.len();
+        }
+        // One-way flip: once local data outnumbers transfer 2:1 the tail is
+        // dropped for good, and the forest is refitted from scratch so no
+        // tree trained on foreign rows lingers.
+        let mut force_scratch = false;
+        if self.transfer_tail > 0 && self.local_rows >= 2 * self.transfer_tail {
+            self.train_x.truncate(self.local_rows);
+            self.train_y.truncate(self.local_rows);
+            self.transfer_tail = 0;
+            force_scratch = true;
+        }
+        if self.train_x.is_empty() {
             return;
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.model = Some(Gbt::fit(&xs, &ys, self.params, &mut rng));
+        if !had_new && self.model.is_some() && !force_scratch {
+            self.skipped_fits += 1;
+            self.last_fit = FitKind::Skipped;
+            return;
+        }
+        let scratch = self.model.is_none() || force_scratch || self.fits_since_refit + 1 >= self.refit_every;
+        if scratch {
+            // The historical code path, bit-for-bit: one seeded scratch fit
+            // over (local rows in history order, then transfer rows).
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            self.model = Some(Gbt::fit(&self.train_x, &self.train_y, self.params, &mut rng));
+            self.fits_since_refit = 0;
+            self.scratch_fits += 1;
+            self.last_fit = FitKind::Scratch;
+        } else {
+            let grown = {
+                let prev = self.model.as_ref().expect("incremental fit implies a previous forest");
+                let mut rng = child_rng(self.seed, self.rounds as u64);
+                prev.fit_incremental(&self.train_x, &self.train_y, self.incremental_trees, &mut rng)
+            };
+            self.model = Some(grown);
+            self.fits_since_refit += 1;
+            self.incremental_fits += 1;
+            self.last_fit = FitKind::Incremental;
+        }
+        self.rounds += 1;
+    }
+
+    fn reset_campaign_state(&mut self) {
+        // Keep the transfer tail (it is campaign-independent warm-start
+        // data) but drop local rows, the forest, and the memo.
+        self.train_x.drain(..self.local_rows);
+        self.train_y.drain(..self.local_rows);
+        self.local_rows = 0;
+        self.seen_trials = 0;
+        self.model = None;
+        self.rounds = 0;
+        self.fits_since_refit = 0;
+        self.last_fit = FitKind::Unfitted;
+        self.cache.clear();
     }
 
     /// Predicted throughput (GFLOPS) of `config`.
     ///
-    /// Returns 0 before the first [`GbtCostModel::fit`].
+    /// Returns 0 before the first [`GbtCostModel::fit`]. Featurizes
+    /// directly (not through the cache): this is the SA per-step path,
+    /// where configs are almost never revisited.
     #[must_use]
     pub fn predict(&self, space: &SearchSpace, config: &Config) -> f64 {
         self.predict_features(&space.features(config))
@@ -118,16 +295,64 @@ impl GbtCostModel {
         self.model.as_ref().map_or(0.0, |m| m.predict(features) * SCORE_SCALE)
     }
 
-    /// Predicted throughput (GFLOPS) for a whole candidate batch:
-    /// featurization and tree walks fan out across worker threads, with
+    /// Predicted throughput (GFLOPS) for a whole candidate batch, with
     /// values identical to mapping [`GbtCostModel::predict`] in order.
+    /// Featurization goes through the campaign cache; tree walks fan out
+    /// across worker threads.
     #[must_use]
     pub fn predict_batch(&self, space: &SearchSpace, configs: &[Config]) -> Vec<f64> {
         let Some(model) = self.model.as_ref() else {
             return vec![0.0; configs.len()];
         };
-        let features = parallel_map(featurize_threads(configs.len()), configs, |_, c| space.features(c));
-        model.predict_batch(&features).into_iter().map(|v| v * SCORE_SCALE).collect()
+        let rows = self.cache.rows_batch(space, configs.iter());
+        model.predict_batch(&rows).into_iter().map(|v| v * SCORE_SCALE).collect()
+    }
+
+    /// Cached feature rows for a batch of configs (shared, not cloned) —
+    /// the same rows [`GbtCostModel::fit`] and
+    /// [`GbtCostModel::predict_batch`] train and predict on. Lets callers
+    /// (e.g. Chameleon's clustering) reuse the memo instead of
+    /// featurizing again.
+    #[must_use]
+    pub fn features_batch<'a, I>(&self, space: &SearchSpace, configs: I) -> Vec<Arc<[f64]>>
+    where
+        I: IntoIterator<Item = &'a Config>,
+    {
+        self.cache.rows_batch(space, configs)
+    }
+
+    /// Featurization-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// What the most recent fit call did.
+    #[must_use]
+    pub fn last_fit(&self) -> FitKind {
+        self.last_fit
+    }
+
+    /// Trees in the current forest (0 when unfitted).
+    #[must_use]
+    pub fn forest_trees(&self) -> usize {
+        self.model.as_ref().map_or(0, Gbt::len)
+    }
+
+    /// Lifecycle counters for diagnostics and the throughput harness.
+    #[must_use]
+    pub fn lifecycle(&self) -> SurrogateLifecycle {
+        SurrogateLifecycle {
+            rounds: self.rounds,
+            scratch_fits: self.scratch_fits,
+            incremental_fits: self.incremental_fits,
+            skipped_fits: self.skipped_fits,
+            forest_trees: self.forest_trees(),
+            training_rows: self.train_x.len(),
+            refit_every: self.refit_every,
+            incremental_trees: self.incremental_trees,
+            cache: self.cache.stats(),
+        }
     }
 }
 
@@ -155,12 +380,24 @@ mod tests {
         (space, history)
     }
 
+    /// A fresh model fitted once on a prefix of `history`, scratch-style.
+    fn scratch_at(space: &SearchSpace, history: &TuningHistory, trials: usize, seed: u64) -> GbtCostModel {
+        let mut prefix = TuningHistory::new(&history.gpu, &history.model, history.task_index, history.template);
+        for t in history.trials.iter().take(trials) {
+            prefix.push(t.clone());
+        }
+        let mut model = GbtCostModel::new(seed).with_refit_every(1);
+        model.fit(space, &prefix);
+        model
+    }
+
     #[test]
     fn unfitted_model_predicts_zero() {
         let (space, history) = measured_history(1, 1);
         let model = GbtCostModel::new(0);
         assert_eq!(model.predict(&space, &history.trials[0].config), 0.0);
         assert!(!model.is_fitted());
+        assert_eq!(model.last_fit(), FitKind::Unfitted);
     }
 
     #[test]
@@ -262,5 +499,142 @@ mod tests {
         let mut model = GbtCostModel::new(0);
         model.load_transfer(&space, &[&dense_history], 100);
         assert_eq!(model.transfer_len(), 0, "dense configs must not enter a conv space model");
+    }
+
+    #[test]
+    fn incremental_is_bitwise_equal_to_scratch_at_refit_boundaries() {
+        // Drive an incremental model round by round; at every round where
+        // it performed a scratch refit, its predictions must be bit-equal
+        // to a fresh scratch fit on the same prefix — the determinism
+        // contract that keeps replay/resume byte-identical.
+        let (space, history) = measured_history(96, 9);
+        let probe: Vec<Config> = history.trials.iter().take(30).map(|t| t.config.clone()).collect();
+        let mut incremental = GbtCostModel::new(0).with_refit_every(3).with_incremental_trees(4);
+        let batch = 8;
+        let mut prefix = TuningHistory::new(&history.gpu, &history.model, history.task_index, history.template);
+        let mut scratch_boundaries = 0usize;
+        for (i, t) in history.trials.iter().enumerate() {
+            prefix.push(t.clone());
+            if (i + 1) % batch != 0 {
+                continue;
+            }
+            incremental.fit(&space, &prefix);
+            match incremental.last_fit() {
+                FitKind::Scratch => {
+                    scratch_boundaries += 1;
+                    let baseline = scratch_at(&space, &history, i + 1, 0);
+                    let a = incremental.predict_batch(&space, &probe);
+                    let b = baseline.predict_batch(&space, &probe);
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "refit boundary diverged at trial {}", i + 1);
+                    }
+                }
+                FitKind::Incremental => {
+                    // Between refits the forest is larger than the scratch
+                    // baseline's but must stay well-correlated with it.
+                    let baseline = scratch_at(&space, &history, i + 1, 0);
+                    let a = incremental.predict_batch(&space, &probe);
+                    let b = baseline.predict_batch(&space, &probe);
+                    let rho = glimpse_mlkit::rank::spearman_rho(&a, &b);
+                    assert!(rho > 0.5, "rank divergence between refits: rho {rho} at trial {}", i + 1);
+                }
+                other => panic!("expected a training fit each round, got {other:?}"),
+            }
+        }
+        assert!(scratch_boundaries >= 2, "the cadence must produce multiple refit boundaries");
+        let life = incremental.lifecycle();
+        assert_eq!(life.rounds, life.scratch_fits + life.incremental_fits);
+        assert!(life.incremental_fits > life.scratch_fits);
+    }
+
+    #[test]
+    fn refit_every_one_is_scratch_every_round() {
+        let (space, history) = measured_history(48, 10);
+        let mut model = GbtCostModel::new(0).with_refit_every(1);
+        let mut prefix = TuningHistory::new(&history.gpu, &history.model, history.task_index, history.template);
+        for (i, t) in history.trials.iter().enumerate() {
+            prefix.push(t.clone());
+            if (i + 1) % 16 == 0 {
+                model.fit(&space, &prefix);
+                assert_eq!(model.last_fit(), FitKind::Scratch);
+            }
+        }
+        let life = model.lifecycle();
+        assert_eq!(life.incremental_fits, 0);
+        assert_eq!(life.scratch_fits, 3);
+    }
+
+    #[test]
+    fn fit_without_new_trials_is_a_deterministic_no_op() {
+        let (space, history) = measured_history(60, 11);
+        let mut model = GbtCostModel::new(0);
+        model.fit(&space, &history);
+        let probe: Vec<Config> = history.trials.iter().take(10).map(|t| t.config.clone()).collect();
+        let before = model.predict_batch(&space, &probe);
+        let trees = model.forest_trees();
+        model.fit(&space, &history);
+        assert_eq!(model.last_fit(), FitKind::Skipped);
+        assert_eq!(model.forest_trees(), trees, "a skipped fit must not grow the forest");
+        let after = model.predict_batch(&space, &probe);
+        for (x, y) in before.iter().zip(&after) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn usable_filter_is_incremental_and_complete() {
+        // Feed the history in two chunks; the training matrix must contain
+        // exactly the fault-free trials, each featurized once.
+        let (space, history) = measured_history(80, 12);
+        let usable = history.trials.iter().filter(|t| !t.is_fault()).count();
+        let mut model = GbtCostModel::new(0);
+        let mut prefix = TuningHistory::new(&history.gpu, &history.model, history.task_index, history.template);
+        for t in history.trials.iter().take(40) {
+            prefix.push(t.clone());
+        }
+        model.fit(&space, &prefix);
+        for t in history.trials.iter().skip(40) {
+            prefix.push(t.clone());
+        }
+        model.fit(&space, &prefix);
+        let life = model.lifecycle();
+        assert_eq!(life.training_rows, usable);
+        assert_eq!(
+            life.cache.lookups() as usize,
+            usable,
+            "each trial looked up exactly once across the two fits"
+        );
+        assert!(life.cache.entries <= usable);
+    }
+
+    #[test]
+    fn shrunken_history_resets_the_campaign() {
+        let (space, history) = measured_history(60, 13);
+        let mut model = GbtCostModel::new(0);
+        model.fit(&space, &history);
+        assert!(model.is_fitted());
+        // A shorter history is a new campaign: the model must refit from
+        // scratch on it rather than treating it as a suffix.
+        let (space2, short) = measured_history(24, 14);
+        model.fit(&space2, &short);
+        assert_eq!(model.last_fit(), FitKind::Scratch);
+        let usable = short.trials.iter().filter(|t| !t.is_fault()).count();
+        assert_eq!(model.lifecycle().training_rows, usable);
+    }
+
+    #[test]
+    fn features_batch_shares_rows_with_fit() {
+        let (space, history) = measured_history(50, 15);
+        let mut model = GbtCostModel::new(0);
+        model.fit(&space, &history);
+        let configs: Vec<Config> = history.trials.iter().map(|t| t.config.clone()).collect();
+        let stats_before = model.cache_stats();
+        let rows = model.features_batch(&space, &configs);
+        let stats_after = model.cache_stats();
+        assert_eq!(rows.len(), configs.len());
+        assert_eq!(stats_after.misses, stats_before.misses, "fit already featurized every trial config");
+        for (c, row) in configs.iter().zip(&rows) {
+            assert_eq!(row.as_ref(), space.features(c).as_slice());
+        }
     }
 }

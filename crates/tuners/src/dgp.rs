@@ -107,25 +107,32 @@ impl Tuner for DgpTuner {
                 prior.fit(ctx.space, ctx.history());
             }
             // GP over residuals (or raw values without a prior), on the
-            // most recent + best observations up to the cap. Featurization
-            // and prior evaluation fan out across workers per trial.
+            // most recent + best observations up to the cap. The full
+            // history is featurized through the prior's campaign cache —
+            // only trials measured since the last round miss — and prior
+            // evaluation fans out across workers per row.
             let space = ctx.space;
             let prior_ref = &prior;
-            let mut obs: Vec<(Vec<f64>, f64)> = parallel_map(Threads::AUTO, &ctx.history().trials, |_, t| {
-                let f = space.features(&t.config);
-                let y = t.gflops.unwrap_or(0.0);
-                let m = if prior_ref.is_fitted() {
-                    prior_ref.predict_features(&f)
-                } else {
-                    0.0
-                };
-                (f, (y - m) / SCALE)
-            });
+            let rows = prior_ref.features_batch(space, ctx.history().trials.iter().map(|t| &t.config));
+            let means: Vec<f64> = if prior_ref.is_fitted() {
+                parallel_map(Threads::AUTO, &rows, |_, f| prior_ref.predict_features(f))
+            } else {
+                vec![0.0; rows.len()]
+            };
+            let mut obs: Vec<(&[f64], f64)> = rows
+                .iter()
+                .map(std::convert::AsRef::as_ref)
+                .zip(&ctx.history().trials)
+                .zip(means)
+                .map(|((f, t), m)| (f, (t.gflops.unwrap_or(0.0) - m) / SCALE))
+                .collect();
             if obs.len() > self.config.gp_cap {
                 let skip = obs.len() - self.config.gp_cap;
                 obs.drain(0..skip);
             }
-            let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = obs.into_iter().unzip();
+            // The exact GP owns its conditioning matrix; copying the capped
+            // subset is cheap next to re-featurizing the whole history.
+            let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = obs.into_iter().map(|(f, y)| (f.to_vec(), y)).unzip();
             let gp = GaussianProcess::fit(
                 RbfKernel {
                     variance: 1.0,
@@ -193,7 +200,9 @@ impl Tuner for DgpTuner {
             }
             ctx.measure_batch(&batch);
         }
-        ctx.finish(self.name())
+        let mut outcome = ctx.finish(self.name());
+        outcome.surrogate = Some(prior.lifecycle());
+        outcome
     }
 }
 

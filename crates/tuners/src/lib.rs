@@ -28,6 +28,7 @@ pub mod context;
 pub mod cost_model;
 pub mod dgp;
 pub mod diagnostics;
+pub mod feature_cache;
 pub mod genetic;
 pub mod grid;
 pub mod history;
@@ -39,5 +40,6 @@ pub mod scheduler;
 
 pub use budget::Budget;
 pub use context::{RunControl, TuneContext, Tuner, TuningOutcome};
+pub use feature_cache::{CacheStats, FeatureCache};
 pub use history::{LogStore, Trial, TuningHistory};
 pub use journal::{run_checkpointed, run_supervised, CheckpointSpec, JournalError, RunHeader, RunJournal, SupervisedOutcome, TrialRecord};

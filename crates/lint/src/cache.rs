@@ -1,0 +1,292 @@
+//! Incremental fact cache: per-file content fingerprint → extracted facts
+//! plus that file's lexical violations.
+//!
+//! Lexing, parsing, and the per-file rules are a pure function of one
+//! file's bytes, so their results can be replayed for any file whose
+//! fingerprint is unchanged; only the (cheap) call-graph build and effect
+//! fixpoint re-run over the combined fact set. The cache persists to
+//! `target/glimpse-lint-cache.json` through `glimpse_durable::atomic_write`
+//! — a crash mid-save leaves the previous cache, never a torn one — and
+//! any load failure (missing file, schema drift, corruption) degrades to
+//! an empty cache, i.e. a full re-scan.
+
+use crate::parser::FileFacts;
+use crate::rules::{Violation, RULES};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Bumped whenever facts, rules, or violation shapes change meaning; a
+/// mismatched cache is discarded wholesale.
+const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit content fingerprint — stable, dependency-free, and fast
+/// enough that hashing is never the bottleneck next to lexing.
+#[must_use]
+pub fn fingerprint(content: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in content.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A [`Violation`] with the rule id as an owned string (the in-memory form
+/// borrows `&'static str` from [`RULES`], which cannot deserialize).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredViolation {
+    file: String,
+    line: usize,
+    col: usize,
+    rule: String,
+    message: String,
+    see: String,
+    #[serde(default)]
+    witness: Vec<String>,
+}
+
+impl StoredViolation {
+    fn from_violation(v: &Violation) -> Self {
+        Self {
+            file: v.file.clone(),
+            line: v.line,
+            col: v.col,
+            rule: v.rule.to_owned(),
+            message: v.message.clone(),
+            see: v.see.clone(),
+            witness: v.witness.clone(),
+        }
+    }
+
+    /// Rebinds the rule id to its static descriptor; `None` for a rule
+    /// that no longer exists (stale cache surviving a version bump).
+    fn into_violation(self) -> Option<Violation> {
+        let rule = RULES.iter().find(|r| r.id == self.rule)?.id;
+        Some(Violation {
+            file: self.file,
+            line: self.line,
+            col: self.col,
+            rule,
+            message: self.message,
+            see: self.see,
+            witness: self.witness,
+        })
+    }
+}
+
+/// Everything replayable for one unchanged file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// FNV-1a fingerprint of the file contents the entry was built from.
+    pub fingerprint: u64,
+    /// Line count (feeds the report's `lines_scanned`).
+    pub lines: usize,
+    /// Well-formed `lint:allow` directives (feeds `allow_directives`).
+    pub allow_count: usize,
+    /// Extracted per-file facts.
+    pub facts: FileFacts,
+    /// The file's lexical violations.
+    violations: Vec<StoredViolation>,
+}
+
+impl CacheEntry {
+    /// Builds an entry from a fresh scan.
+    #[must_use]
+    pub fn new(fingerprint: u64, lines: usize, allow_count: usize, facts: FileFacts, violations: &[Violation]) -> Self {
+        Self {
+            fingerprint,
+            lines,
+            allow_count,
+            facts,
+            violations: violations.iter().map(StoredViolation::from_violation).collect(),
+        }
+    }
+
+    /// The entry's lexical violations, rebound to static rule ids.
+    #[must_use]
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations
+            .iter()
+            .cloned()
+            .filter_map(StoredViolation::into_violation)
+            .collect()
+    }
+}
+
+/// The on-disk / in-memory cache: relative path → entry.
+#[derive(Debug, Default)]
+pub struct FactCache {
+    version: u32,
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+/// Serialized form: the vendored serde stand-in has no `BTreeMap` support,
+/// and a sorted pair list keeps the cache file byte-deterministic anyway.
+#[derive(Serialize, Deserialize)]
+struct DiskForm {
+    version: u32,
+    entries: Vec<(String, CacheEntry)>,
+}
+
+impl FactCache {
+    /// An empty cache (every lookup misses).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            version: SCHEMA_VERSION,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Loads from `path`; any failure — missing file, parse error, schema
+    /// mismatch — yields an empty cache rather than an error.
+    #[must_use]
+    pub fn load(path: &Path) -> Self {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Self::empty();
+        };
+        match serde_json::from_str::<DiskForm>(&text) {
+            Ok(disk) if disk.version == SCHEMA_VERSION => Self {
+                version: disk.version,
+                entries: disk.entries.into_iter().collect(),
+            },
+            _ => Self::empty(),
+        }
+    }
+
+    /// Persists atomically. Errors are returned so the caller can warn —
+    /// a failed save only costs the next run its warm start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or I/O failures.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let disk = DiskForm {
+            version: self.version,
+            entries: self.entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        };
+        let json = serde_json::to_string(&disk).map_err(std::io::Error::other)?;
+        glimpse_durable::atomic_write(path, json.as_bytes())
+    }
+
+    /// The entry for `rel_path` if its fingerprint still matches.
+    #[must_use]
+    pub fn lookup(&self, rel_path: &str, fingerprint: u64) -> Option<&CacheEntry> {
+        self.entries.get(rel_path).filter(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Inserts or replaces the entry for `rel_path`.
+    pub fn insert(&mut self, rel_path: &str, entry: CacheEntry) {
+        self.entries.insert(rel_path.to_owned(), entry);
+    }
+
+    /// Drops entries for files no longer in the scanned set (deleted or
+    /// renamed files must not linger forever).
+    pub fn retain_paths(&mut self, live: &BTreeSet<String>) {
+        self.entries.retain(|path, _| live.contains(path));
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use crate::source::SourceFile;
+
+    fn entry_for(path: &str, src: &str) -> CacheEntry {
+        let file = SourceFile::new(path, src.to_owned());
+        let violations = crate::rules::check_file(&file);
+        CacheEntry::new(
+            fingerprint(src),
+            file.line_starts.len(),
+            file.allows.iter().filter(|a| a.well_formed).count(),
+            parser::extract(&file),
+            &violations,
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint("fn a() {}"), fingerprint("fn a() {}"));
+        assert_ne!(fingerprint("fn a() {}"), fingerprint("fn b() {}"));
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn lookup_hits_only_on_matching_fingerprint() {
+        let mut cache = FactCache::empty();
+        let src = "let r = thread_rng();\n";
+        cache.insert("crates/mlkit/src/a.rs", entry_for("crates/mlkit/src/a.rs", src));
+        assert!(cache.lookup("crates/mlkit/src/a.rs", fingerprint(src)).is_some());
+        assert!(cache.lookup("crates/mlkit/src/a.rs", fingerprint("changed")).is_none());
+        assert!(cache.lookup("crates/mlkit/src/b.rs", fingerprint(src)).is_none());
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let dir = std::env::temp_dir().join("glimpse-lint-cache-json");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cache.json");
+        let mut cache = FactCache::empty();
+        let src = "pub fn f() {\n    let r = thread_rng();\n}\n";
+        cache.insert("crates/mlkit/src/a.rs", entry_for("crates/mlkit/src/a.rs", src));
+        cache.save(&path).expect("save");
+        let back = FactCache::load(&path);
+        let entry = back.lookup("crates/mlkit/src/a.rs", fingerprint(src)).expect("hit");
+        let violations = entry.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "D1");
+        assert_eq!(entry.facts.fns.len(), 1);
+    }
+
+    #[test]
+    fn schema_mismatch_degrades_to_empty() {
+        let dir = std::env::temp_dir().join("glimpse-lint-cache-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cache.json");
+        let stale = "{\"version\": 0, \"entries\": {}}";
+        glimpse_durable::atomic_write(&path, stale.as_bytes()).expect("write");
+        assert!(FactCache::load(&path).is_empty());
+        glimpse_durable::atomic_write(&path, b"not json at all").expect("write");
+        assert!(FactCache::load(&path).is_empty());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("glimpse-lint-cache-roundtrip");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cache.json");
+        let mut cache = FactCache::empty();
+        cache.insert("crates/core/src/x.rs", entry_for("crates/core/src/x.rs", "pub fn f() {}\n"));
+        cache.save(&path).expect("save");
+        let back = FactCache::load(&path);
+        assert_eq!(back.len(), 1);
+        assert!(back.lookup("crates/core/src/x.rs", fingerprint("pub fn f() {}\n")).is_some());
+    }
+
+    #[test]
+    fn retain_drops_dead_paths() {
+        let mut cache = FactCache::empty();
+        cache.insert("crates/core/src/live.rs", entry_for("crates/core/src/live.rs", "fn a() {}\n"));
+        cache.insert("crates/core/src/dead.rs", entry_for("crates/core/src/dead.rs", "fn b() {}\n"));
+        let live: BTreeSet<String> = ["crates/core/src/live.rs".to_owned()].into_iter().collect();
+        cache.retain_paths(&live);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,469 @@
+//! Workspace call graph built from per-file facts.
+//!
+//! Resolution is best-effort and deliberately over-approximate: an edge is
+//! added for every definition a call site *could* bind to, because a missed
+//! edge is an unsound hole (a laundered effect) while a spurious edge is at
+//! worst a false positive the fixture suite would catch. Calls into `std`
+//! and the vendored deps stay unresolved — their effects are covered by the
+//! intrinsic sink scan, not the graph.
+//!
+//! What resolves:
+//! - free-fn paths, absolute (`glimpse_durable::atomic_write`, re-exports
+//!   included via a crate-wide name fallback) and relative
+//!   (`crate::`/`self::`/`super::`, bare names in the same module, names
+//!   brought in by `use` including aliases and globs);
+//! - associated fns (`WalWriter::create`, `Self::helper`);
+//! - method calls (`pool.predict_batch(…)`), matched by name against every
+//!   impl whose self type is visible in the calling file — filtered by the
+//!   crate DAG, so `mlkit` code can never "call" a `cli` method.
+
+use crate::parser::{FileFacts, FnFact};
+use crate::rules;
+use std::collections::BTreeMap;
+
+/// One call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Global fn id of the callee.
+    pub callee: usize,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: usize,
+}
+
+/// The workspace call graph over flattened fn ids.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Global fn id → `(file index, fn index within file)`.
+    pub fns: Vec<(usize, usize)>,
+    /// Adjacency: per-fn outgoing edges, deduplicated.
+    pub edges: Vec<Vec<Edge>>,
+    /// Total edges.
+    pub edge_count: usize,
+    /// Call sites that bound to at least one definition.
+    pub resolved_calls: usize,
+    /// Call sites left unbound (std, vendored deps, trait-object methods).
+    pub unresolved_calls: usize,
+}
+
+impl CallGraph {
+    /// The [`FnFact`] behind a global fn id.
+    #[must_use]
+    pub fn fn_of<'a>(&self, facts: &'a [FileFacts], id: usize) -> &'a FnFact {
+        let (file, idx) = self.fns[id];
+        &facts[file].fns[idx]
+    }
+
+    /// The [`FileFacts`] a global fn id lives in.
+    #[must_use]
+    pub fn file_of<'a>(&self, facts: &'a [FileFacts], id: usize) -> &'a FileFacts {
+        &facts[self.fns[id].0]
+    }
+
+    /// Builds the graph for one set of file facts.
+    #[must_use]
+    pub fn build(facts: &[FileFacts]) -> Self {
+        let mut fns = Vec::new();
+        for (file_idx, file) in facts.iter().enumerate() {
+            for fn_idx in 0..file.fns.len() {
+                fns.push((file_idx, fn_idx));
+            }
+        }
+
+        let index = FnIndex::build(facts, &fns);
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+        let mut resolved_calls = 0usize;
+        let mut unresolved_calls = 0usize;
+
+        for (caller_id, &(file_idx, fn_idx)) in fns.iter().enumerate() {
+            let file = &facts[file_idx];
+            let caller = &file.fns[fn_idx];
+            let Some(crate_name) = file.crate_name.as_deref() else {
+                continue;
+            };
+            for call in &caller.calls {
+                let callees = index.resolve(facts, file, caller, crate_name, call);
+                if callees.is_empty() {
+                    unresolved_calls += 1;
+                } else {
+                    resolved_calls += 1;
+                    for callee in callees {
+                        let edge = Edge { callee, line: call.line };
+                        if !edges[caller_id].contains(&edge) {
+                            edges[caller_id].push(edge);
+                        }
+                    }
+                }
+            }
+        }
+
+        let edge_count = edges.iter().map(Vec::len).sum();
+        Self {
+            fns,
+            edges,
+            edge_count,
+            resolved_calls,
+            unresolved_calls,
+        }
+    }
+}
+
+/// Lookup tables over all fn definitions.
+struct FnIndex {
+    /// Free fns: `(crate, module path, name)` → ids.
+    free_exact: BTreeMap<(String, String, String), Vec<usize>>,
+    /// Free fns: `(crate, name)` → ids (re-export fallback).
+    free_by_crate: BTreeMap<(String, String), Vec<usize>>,
+    /// Associated fns: `(self type, name)` → ids.
+    assoc_exact: BTreeMap<(String, String), Vec<usize>>,
+    /// Associated fns by bare name (method-call candidates).
+    assoc_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl FnIndex {
+    fn build(facts: &[FileFacts], fns: &[(usize, usize)]) -> Self {
+        let mut free_exact: BTreeMap<(String, String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut assoc_exact: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut assoc_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, &(file_idx, fn_idx)) in fns.iter().enumerate() {
+            let file = &facts[file_idx];
+            let f = &file.fns[fn_idx];
+            let Some(crate_name) = file.crate_name.clone() else {
+                continue;
+            };
+            match &f.impl_type {
+                Some(ty) => {
+                    assoc_exact.entry((ty.clone(), f.name.clone())).or_default().push(id);
+                    assoc_by_name.entry(f.name.clone()).or_default().push(id);
+                }
+                None => {
+                    free_exact
+                        .entry((crate_name.clone(), f.module.join("::"), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                    free_by_crate.entry((crate_name, f.name.clone())).or_default().push(id);
+                }
+            }
+        }
+        Self {
+            free_exact,
+            free_by_crate,
+            assoc_exact,
+            assoc_by_name,
+        }
+    }
+
+    /// All definitions a call site could bind to.
+    fn resolve(
+        &self,
+        facts: &[FileFacts],
+        file: &FileFacts,
+        caller: &FnFact,
+        crate_name: &str,
+        call: &crate::parser::CallFact,
+    ) -> Vec<usize> {
+        let name = call.segments.last().expect("parser emits nonempty paths").clone();
+        if call.method {
+            // `recv.name(…)`: every impl of `name` whose self type is in the
+            // crate DAG *and* textually visible in the calling file (or is
+            // the caller's own impl type).
+            return self
+                .assoc_candidates(&name)
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let (file_idx, fn_idx) = id_pos(facts, id);
+                    let callee_file = &facts[file_idx];
+                    let callee = &callee_file.fns[fn_idx];
+                    let reachable = callee_file.crate_name.as_deref().is_some_and(|c| crate_reachable(crate_name, c));
+                    let ty = callee.impl_type.as_deref().unwrap_or_default();
+                    let visible =
+                        file.type_mentions.binary_search_by(|t| t.as_str().cmp(ty)).is_ok() || caller.impl_type.as_deref() == Some(ty);
+                    reachable && visible
+                })
+                .collect();
+        }
+
+        // Expand a leading `use`d name, then normalize to an absolute-ish
+        // path (`crate`-relative or a workspace-crate head).
+        let mut segs = call.segments.clone();
+        if let Some((_, path)) = file.uses.iter().find(|(local, _)| *local == segs[0]) {
+            segs.splice(0..1, path.iter().cloned());
+        }
+
+        match segs[0].as_str() {
+            "Self" => {
+                let Some(ty) = caller.impl_type.as_deref() else {
+                    return Vec::new();
+                };
+                self.assoc_in_reach(facts, crate_name, ty, &name)
+            }
+            "crate" => self.free_lookup(facts, crate_name, &segs[1..]),
+            "self" => {
+                let mut module = caller.module.clone();
+                module.extend(segs[1..segs.len() - 1].iter().cloned());
+                self.free_exact_lookup(crate_name, &module, &name)
+            }
+            "super" => {
+                let mut module = caller.module.clone();
+                let mut rest = &segs[1..];
+                module.pop();
+                while rest.first().is_some_and(|s| s == "super") {
+                    module.pop();
+                    rest = &rest[1..];
+                }
+                module.extend(rest[..rest.len() - 1].iter().cloned());
+                self.free_exact_lookup(crate_name, &module, &name)
+            }
+            head if head.starts_with("glimpse_") => {
+                let target = head["glimpse_".len()..].replace('_', "-");
+                if !crate_reachable(crate_name, &target) {
+                    return Vec::new();
+                }
+                self.free_lookup(facts, &target, &segs[1..])
+            }
+            _ if segs.len() == 1 => {
+                // Bare name: same module first, then glob imports.
+                let hit = self.free_exact_lookup(crate_name, &caller.module, &name);
+                if !hit.is_empty() {
+                    return hit;
+                }
+                for glob in &file.globs {
+                    let mut path = glob.clone();
+                    path.push(name.clone());
+                    let expanded = self.resolve(
+                        facts,
+                        file,
+                        caller,
+                        crate_name,
+                        &crate::parser::CallFact {
+                            segments: path,
+                            method: false,
+                            line: call.line,
+                        },
+                    );
+                    if !expanded.is_empty() {
+                        return expanded;
+                    }
+                }
+                Vec::new()
+            }
+            _ => {
+                // `Type::assoc` with a locally-defined type, or an external
+                // path (`std::…`, vendored deps) that stays unresolved.
+                let qualifier = &segs[segs.len() - 2];
+                if qualifier.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    self.assoc_in_reach(facts, crate_name, qualifier, &name)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Free-fn lookup inside one crate: exact module path first, then the
+    /// crate-wide name fallback (covers root re-exports like
+    /// `glimpse_durable::open_for_append`).
+    fn free_lookup(&self, facts: &[FileFacts], krate: &str, rel: &[String]) -> Vec<usize> {
+        if rel.is_empty() {
+            return Vec::new();
+        }
+        let name = rel.last().expect("nonempty").clone();
+        let module: Vec<String> = rel[..rel.len() - 1].to_vec();
+        let exact = self.free_exact_lookup(krate, &module, &name);
+        if !exact.is_empty() {
+            return exact;
+        }
+        // `Type::assoc` behind a crate-qualified path.
+        if module.last().is_some_and(|q| q.starts_with(|c: char| c.is_ascii_uppercase())) {
+            let ty = module.last().expect("nonempty");
+            return self
+                .assoc_candidates_exact(ty, &name)
+                .iter()
+                .copied()
+                .filter(|&id| facts[id_pos(facts, id).0].crate_name.as_deref() == Some(krate))
+                .collect();
+        }
+        self.free_by_crate.get(&(krate.to_owned(), name)).cloned().unwrap_or_default()
+    }
+
+    fn free_exact_lookup(&self, krate: &str, module: &[String], name: &str) -> Vec<usize> {
+        self.free_exact
+            .get(&(krate.to_owned(), module.join("::"), name.to_owned()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn assoc_candidates(&self, name: &str) -> &[usize] {
+        self.assoc_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    fn assoc_candidates_exact(&self, ty: &str, name: &str) -> &[usize] {
+        self.assoc_exact.get(&(ty.to_owned(), name.to_owned())).map_or(&[], Vec::as_slice)
+    }
+
+    /// `(type, name)` associated fns limited to crates the caller may
+    /// depend on.
+    fn assoc_in_reach(&self, facts: &[FileFacts], crate_name: &str, ty: &str, name: &str) -> Vec<usize> {
+        self.assoc_candidates_exact(ty, name)
+            .iter()
+            .copied()
+            .filter(|&id| {
+                facts[id_pos(facts, id).0]
+                    .crate_name
+                    .as_deref()
+                    .is_some_and(|c| crate_reachable(crate_name, c))
+            })
+            .collect()
+    }
+}
+
+/// Position of a global fn id without a built graph (index-construction
+/// helper): fn ids are assigned in file order, so rebuild the pair by
+/// walking the prefix sums.
+fn id_pos(facts: &[FileFacts], id: usize) -> (usize, usize) {
+    let mut remaining = id;
+    for (file_idx, file) in facts.iter().enumerate() {
+        if remaining < file.fns.len() {
+            return (file_idx, remaining);
+        }
+        remaining -= file.fns.len();
+    }
+    unreachable!("fn id out of range");
+}
+
+/// Whether `caller` may depend on `callee` per the crate DAG (`L1`'s
+/// layering table) — self-calls always allowed.
+fn crate_reachable(caller: &str, callee: &str) -> bool {
+    caller == callee || rules::allowed_deps(caller).contains(&callee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use crate::source::SourceFile;
+
+    fn graph_of(files: &[(&str, &str)]) -> (Vec<FileFacts>, CallGraph) {
+        let facts: Vec<FileFacts> = files
+            .iter()
+            .map(|(path, src)| parser::extract(&SourceFile::new(path, (*src).to_owned())))
+            .collect();
+        let graph = CallGraph::build(&facts);
+        (facts, graph)
+    }
+
+    fn edge_between(facts: &[FileFacts], graph: &CallGraph, caller: &str, callee: &str) -> bool {
+        (0..graph.fns.len())
+            .any(|id| graph.fn_of(facts, id).name == caller && graph.edges[id].iter().any(|e| graph.fn_of(facts, e.callee).name == callee))
+    }
+
+    #[test]
+    fn resolves_bare_use_and_crate_relative_calls() {
+        let (facts, graph) = graph_of(&[
+            (
+                "crates/tuners/src/journal.rs",
+                "use crate::codec::decode_frame;\nfn replay() {\n    decode_frame(b);\n    crate::codec::encode_frame(f);\n    sibling();\n}\nfn sibling() {}\n",
+            ),
+            ("crates/tuners/src/codec.rs", "pub fn decode_frame(b: &[u8]) {}\npub fn encode_frame(f: &F) {}\n"),
+        ]);
+        assert!(edge_between(&facts, &graph, "replay", "decode_frame"));
+        assert!(edge_between(&facts, &graph, "replay", "encode_frame"));
+        assert!(edge_between(&facts, &graph, "replay", "sibling"));
+    }
+
+    #[test]
+    fn resolves_cross_crate_paths_and_root_reexports() {
+        let (facts, graph) = graph_of(&[
+            (
+                "crates/core/src/artifacts.rs",
+                "fn save() {\n    glimpse_durable::atomic_write(p, b);\n    glimpse_durable::open_for_append(p);\n}\n",
+            ),
+            ("crates/durable/src/lib.rs", "pub fn atomic_write(p: &P, b: &[u8]) {}\n"),
+            ("crates/durable/src/wal.rs", "pub fn open_for_append(p: &P) {}\n"),
+        ]);
+        assert!(edge_between(&facts, &graph, "save", "atomic_write"));
+        assert!(
+            edge_between(&facts, &graph, "save", "open_for_append"),
+            "root re-export must resolve via the crate-wide fallback"
+        );
+    }
+
+    #[test]
+    fn layering_blocks_upward_edges() {
+        let (facts, graph) = graph_of(&[
+            ("crates/mlkit/src/gbt.rs", "fn fit() {\n    glimpse_core::tuner::run(t);\n}\n"),
+            ("crates/core/src/tuner.rs", "pub fn run(t: &T) {}\n"),
+        ]);
+        assert!(
+            !edge_between(&facts, &graph, "fit", "run"),
+            "mlkit cannot depend on core, so the edge must not exist"
+        );
+    }
+
+    #[test]
+    fn resolves_assoc_fns_and_visible_methods() {
+        let (facts, graph) = graph_of(&[
+            (
+                "crates/core/src/tuner.rs",
+                "use glimpse_durable::wal::WalWriter;\nfn run() {\n    let mut w = WalWriter::create(p);\n    w.append(frame);\n    Self::helper();\n}\n",
+            ),
+            (
+                "crates/durable/src/wal.rs",
+                "pub struct WalWriter;\nimpl WalWriter {\n    pub fn create(p: &P) -> Self { Self }\n    pub fn append(&mut self, f: F) {}\n}\n",
+            ),
+        ]);
+        assert!(edge_between(&facts, &graph, "run", "create"));
+        assert!(
+            edge_between(&facts, &graph, "run", "append"),
+            "method call on a visible type must bind"
+        );
+    }
+
+    #[test]
+    fn invisible_types_do_not_capture_method_calls() {
+        let (facts, graph) = graph_of(&[
+            ("crates/mlkit/src/gbt.rs", "fn fit() {\n    xs.append(ys);\n}\n"),
+            (
+                "crates/durable/src/wal.rs",
+                "pub struct WalWriter;\nimpl WalWriter {\n    pub fn append(&mut self, f: F) {}\n}\n",
+            ),
+        ]);
+        assert!(
+            !edge_between(&facts, &graph, "fit", "append"),
+            "WalWriter is neither mentioned in the file nor layering-reachable from mlkit"
+        );
+    }
+
+    #[test]
+    fn glob_imports_resolve_bare_names() {
+        let (facts, graph) = graph_of(&[
+            (
+                "crates/sim/src/measure.rs",
+                "use crate::retry::*;\nfn measure() {\n    with_backoff(f);\n}\n",
+            ),
+            ("crates/sim/src/retry.rs", "pub fn with_backoff(f: F) {}\n"),
+        ]);
+        assert!(edge_between(&facts, &graph, "measure", "with_backoff"));
+    }
+
+    #[test]
+    fn super_paths_resolve_to_the_parent_module() {
+        let (facts, graph) = graph_of(&[(
+            "crates/space/src/knob.rs",
+            "pub fn clamp() {}\nmod detail {\n    fn tighten() {\n        super::clamp();\n    }\n}\n",
+        )]);
+        assert!(edge_between(&facts, &graph, "tighten", "clamp"));
+    }
+
+    #[test]
+    fn std_and_vendored_calls_stay_unresolved() {
+        let (facts, graph) = graph_of(&[(
+            "crates/core/src/x.rs",
+            "fn f() {\n    std::fs::read_to_string(p);\n    serde_json::to_string(&v);\n}\n",
+        )]);
+        assert_eq!(graph.edge_count, 0);
+        assert_eq!(graph.unresolved_calls, 2);
+        let _ = facts;
+    }
+}

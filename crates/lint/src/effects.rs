@@ -1,0 +1,353 @@
+//! The effect lattice and its fixpoint propagation over the call graph.
+//!
+//! Each fn carries a bitmask of four effects. A fn's *local* mask is the
+//! union of its intrinsic sinks (an `Instant::now` call, a `.unwrap()`, …)
+//! and everything it inherits from its callees; its *exported* mask is the
+//! local mask minus whatever the fn absorbs as a sanctioned boundary
+//! (built-in: the `lint::clock` / `supervise::watchdog` wall-clock points
+//! absorb `NONDET`, `glimpse_durable`'s public surface absorbs `RAW_IO`;
+//! annotated: `// lint:boundary(<EFFECTS>) reason`). Callers inherit only
+//! exported masks, so effects stop at boundaries.
+//!
+//! For every `(fn, effect)` first set, the analysis records *why* — the
+//! sink itself or the call edge the bit arrived through. Because a bit is
+//! only inherited from a callee whose bit was set strictly earlier, the
+//! origin chain is acyclic and replays into a witness path: the exact
+//! `file:line` hops from an entry point down to the offending sink.
+
+use crate::callgraph::CallGraph;
+use crate::parser::FileFacts;
+use crate::source::SourceFile;
+
+/// Bitmask over the four effects.
+pub type EffectMask = u8;
+
+/// Reads the real clock or OS entropy.
+pub const NONDET: EffectMask = 1 << 0;
+/// May panic (unwrap/expect/panic-family macro).
+pub const PANICS: EffectMask = 1 << 1;
+/// Opens a write handle outside the durable-IO layer.
+pub const RAW_IO: EffectMask = 1 << 2;
+/// Terminates the process.
+pub const EXITS: EffectMask = 1 << 3;
+
+/// All effect bits with their names, in bit order.
+pub const EFFECTS: &[(EffectMask, &str)] = &[(NONDET, "NONDET"), (PANICS, "PANICS"), (RAW_IO, "RAW_IO"), (EXITS, "EXITS")];
+
+/// Entropy / wall-clock sinks (mirrors rule D1's needle list).
+const NONDET_SINKS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
+
+/// Direct write-API sinks (mirrors rule IO1's needle list).
+const RAW_IO_SINKS: &[&str] = &["fs::write", "File::create", "File::options", "OpenOptions"];
+
+/// Panic-family macros (besides `.unwrap()` / `.expect(`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Bit position of a single-bit mask.
+#[must_use]
+pub fn bit_index(effect: EffectMask) -> usize {
+    debug_assert_eq!(effect.count_ones(), 1);
+    effect.trailing_zeros() as usize
+}
+
+/// Name of a single-bit mask.
+#[must_use]
+pub fn name_of(effect: EffectMask) -> &'static str {
+    EFFECTS.iter().find(|(bit, _)| *bit == effect).map_or("?", |(_, name)| name)
+}
+
+/// Mask for a list of effect names (unknown names are ignored — `A0`
+/// already rejects them in directives).
+#[must_use]
+pub fn mask_of_names(names: &[String]) -> EffectMask {
+    names
+        .iter()
+        .filter_map(|n| EFFECTS.iter().find(|(_, name)| name == n))
+        .fold(0, |m, (bit, _)| m | bit)
+}
+
+/// The lexical and transitive rule pair guarding each effect. A
+/// `lint:allow` naming either one sanctions the sink itself, so the fact
+/// never enters the lattice.
+#[must_use]
+pub fn rules_for(effect: EffectMask) -> [&'static str; 2] {
+    match effect {
+        NONDET => ["D1", "E1"],
+        PANICS => ["P1", "E2"],
+        RAW_IO => ["IO1", "IO2"],
+        _ => ["S1", "S2"],
+    }
+}
+
+/// All intrinsic effect sinks in one file: `(effect, matched token, byte
+/// offsets)`. Queried from the shared [`crate::source::TokenIndex`] — no
+/// rescans.
+#[must_use]
+pub fn sink_hits(file: &SourceFile) -> Vec<(EffectMask, String, Vec<usize>)> {
+    let masked = &file.masked;
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut push = |effect: EffectMask, token: &str, hits: Vec<usize>| {
+        if !hits.is_empty() {
+            out.push((effect, token.to_owned(), hits));
+        }
+    };
+    for needle in NONDET_SINKS {
+        push(NONDET, needle, file.tokens.find(masked, needle));
+    }
+    push(PANICS, ".unwrap()", file.tokens.find_method(masked, "unwrap", "()"));
+    push(PANICS, ".expect(", file.tokens.find_method(masked, "expect", "("));
+    for name in PANIC_MACROS {
+        let hits: Vec<usize> = file
+            .tokens
+            .offsets(name)
+            .iter()
+            .copied()
+            .filter(|&at| bytes.get(at + name.len()) == Some(&b'!'))
+            .collect();
+        push(PANICS, &format!("{name}!"), hits);
+    }
+    for needle in RAW_IO_SINKS {
+        push(RAW_IO, needle, file.tokens.find(masked, needle));
+    }
+    push(EXITS, "process::exit", file.tokens.find(masked, "process::exit"));
+    out
+}
+
+/// Why a fn has an effect bit: its own sink, or a call that inherits it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// An intrinsic sink in the fn body.
+    Sink {
+        /// 1-based line of the sink token.
+        line: usize,
+        /// The matched token.
+        token: String,
+    },
+    /// Inherited through a call edge.
+    Call {
+        /// 1-based line of the call site.
+        line: usize,
+        /// Global fn id of the callee the bit came from.
+        callee: usize,
+    },
+}
+
+/// Fixpoint result over one call graph.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Per-fn exported mask (post-absorption) — what callers inherit and
+    /// what the transitive rules report on.
+    pub exported: Vec<EffectMask>,
+    /// Per-fn, per-bit origin of the first set.
+    pub origins: Vec<[Option<Origin>; 4]>,
+    /// Fixpoint rounds until quiescence (including the final empty round).
+    pub iterations: usize,
+}
+
+/// Effects this fn absorbs: built-in sanctioned boundaries plus its
+/// `lint:boundary` annotation.
+fn absorbed(facts: &FileFacts, f: &crate::parser::FnFact) -> EffectMask {
+    let mut mask = f.boundary;
+    if facts.rel_path == "crates/lint/src/clock.rs" || facts.rel_path == "crates/supervise/src/watchdog.rs" {
+        mask |= NONDET;
+    }
+    if facts.rel_path.starts_with("crates/durable/src/") && f.is_pub {
+        mask |= RAW_IO;
+    }
+    mask
+}
+
+/// Propagates effect masks to a fixpoint over `graph`.
+#[must_use]
+pub fn propagate(graph: &CallGraph, facts: &[FileFacts]) -> Analysis {
+    let n = graph.fns.len();
+    let mut local: Vec<EffectMask> = vec![0; n];
+    let mut exported: Vec<EffectMask> = vec![0; n];
+    let mut absorb: Vec<EffectMask> = vec![0; n];
+    let mut origins: Vec<[Option<Origin>; 4]> = vec![[None, None, None, None]; n];
+
+    for id in 0..n {
+        let f = graph.fn_of(facts, id);
+        absorb[id] = absorbed(graph.file_of(facts, id), f);
+        for sink in &f.sinks {
+            if local[id] & sink.effect == 0 {
+                local[id] |= sink.effect;
+                origins[id][bit_index(sink.effect)] = Some(Origin::Sink {
+                    line: sink.line,
+                    token: sink.token.clone(),
+                });
+            }
+        }
+        exported[id] = local[id] & !absorb[id];
+    }
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for caller in 0..n {
+            for edge in &graph.edges[caller] {
+                let inherit = exported[edge.callee] & !local[caller];
+                if inherit != 0 {
+                    for (bit, _) in EFFECTS {
+                        if inherit & bit != 0 {
+                            origins[caller][bit_index(*bit)] = Some(Origin::Call {
+                                line: edge.line,
+                                callee: edge.callee,
+                            });
+                        }
+                    }
+                    local[caller] |= inherit;
+                    exported[caller] = local[caller] & !absorb[caller];
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Analysis {
+        exported,
+        origins,
+        iterations,
+    }
+}
+
+/// Replays the origin chain of `(fn_id, effect)` into `file:line` hops:
+/// the fn definition, each call site walked through, and the sink.
+#[must_use]
+pub fn witness(graph: &CallGraph, analysis: &Analysis, facts: &[FileFacts], fn_id: usize, effect: EffectMask) -> Vec<String> {
+    let bit = bit_index(effect);
+    let mut hops = Vec::new();
+    let entry = graph.fn_of(facts, fn_id);
+    hops.push(format!(
+        "{}:{}: fn {}",
+        graph.file_of(facts, fn_id).rel_path,
+        entry.line,
+        entry.name
+    ));
+    let mut cur = fn_id;
+    while hops.len() < 64 {
+        match &analysis.origins[cur][bit] {
+            Some(Origin::Call { line, callee }) => {
+                let file = graph.file_of(facts, cur);
+                hops.push(format!("{}:{}: calls {}", file.rel_path, line, graph.fn_of(facts, *callee).name));
+                cur = *callee;
+            }
+            Some(Origin::Sink { line, token }) => {
+                hops.push(format!("{}:{}: {}", graph.file_of(facts, cur).rel_path, line, token));
+                break;
+            }
+            None => break,
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn analyze(files: &[(&str, &str)]) -> (Vec<FileFacts>, CallGraph, Analysis) {
+        let facts: Vec<FileFacts> = files
+            .iter()
+            .map(|(path, src)| parser::extract(&SourceFile::new(path, (*src).to_owned())))
+            .collect();
+        let graph = CallGraph::build(&facts);
+        let analysis = propagate(&graph, &facts);
+        (facts, graph, analysis)
+    }
+
+    fn fn_id(facts: &[FileFacts], graph: &CallGraph, name: &str) -> usize {
+        (0..graph.fns.len())
+            .find(|&id| graph.fn_of(facts, id).name == name)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn sink_hits_cover_all_four_effects() {
+        let src = "fn f() {\n    let t = Instant::now();\n    x.unwrap();\n    panic!(\"no\");\n    std::fs::write(p, b).ok();\n    std::process::exit(1);\n}\n";
+        let file = SourceFile::new("crates/core/src/x.rs", src.to_owned());
+        let mask = sink_hits(&file).iter().fold(0, |m, (e, _, _)| m | e);
+        assert_eq!(mask, NONDET | PANICS | RAW_IO | EXITS);
+    }
+
+    #[test]
+    fn effects_propagate_through_call_chains() {
+        let (facts, graph, analysis) = analyze(&[
+            (
+                "crates/mlkit/src/a.rs",
+                "pub fn entry() {\n    helper();\n}\nfn helper() {\n    crate::b::jitter();\n}\n",
+            ),
+            ("crates/mlkit/src/b.rs", "pub fn jitter() {\n    let t = Instant::now();\n}\n"),
+        ]);
+        let entry = fn_id(&facts, &graph, "entry");
+        assert_eq!(analysis.exported[entry] & NONDET, NONDET);
+        let hops = witness(&graph, &analysis, &facts, entry, NONDET);
+        assert_eq!(
+            hops,
+            vec![
+                "crates/mlkit/src/a.rs:1: fn entry",
+                "crates/mlkit/src/a.rs:2: calls helper",
+                "crates/mlkit/src/a.rs:5: calls jitter",
+                "crates/mlkit/src/b.rs:2: Instant::now",
+            ]
+        );
+    }
+
+    #[test]
+    fn boundary_annotation_absorbs_the_effect() {
+        let (facts, graph, analysis) = analyze(&[(
+            "crates/mlkit/src/a.rs",
+            "pub fn entry() {\n    pick();\n}\n// lint:boundary(PANICS) index proven in bounds\nfn pick() {\n    x.unwrap();\n}\n",
+        )]);
+        let entry = fn_id(&facts, &graph, "entry");
+        let pick = fn_id(&facts, &graph, "pick");
+        assert_eq!(analysis.exported[entry] & PANICS, 0, "boundary must stop propagation");
+        assert_eq!(analysis.exported[pick] & PANICS, 0);
+    }
+
+    #[test]
+    fn durable_pub_surface_absorbs_raw_io_but_private_fns_leak_internally() {
+        let (facts, graph, analysis) = analyze(&[
+            (
+                "crates/durable/src/lib.rs",
+                "pub fn atomic_write() {\n    raw();\n}\nfn raw() {\n    std::fs::File::create(p);\n}\n",
+            ),
+            ("crates/core/src/x.rs", "pub fn save() {\n    glimpse_durable::atomic_write();\n}\n"),
+        ]);
+        let save = fn_id(&facts, &graph, "save");
+        let atomic = fn_id(&facts, &graph, "atomic_write");
+        let raw = fn_id(&facts, &graph, "raw");
+        assert_eq!(analysis.exported[raw] & RAW_IO, RAW_IO, "private durable fn exports RAW_IO");
+        assert_eq!(analysis.exported[atomic] & RAW_IO, 0, "pub durable fn absorbs it");
+        assert_eq!(analysis.exported[save] & RAW_IO, 0, "callers of the sanctioned surface stay clean");
+    }
+
+    #[test]
+    fn recursion_reaches_a_fixpoint() {
+        let (facts, graph, analysis) = analyze(&[(
+            "crates/mlkit/src/a.rs",
+            "pub fn ping() {\n    pong();\n}\npub fn pong() {\n    ping();\n    let t = Instant::now();\n}\n",
+        )]);
+        let ping = fn_id(&facts, &graph, "ping");
+        assert_eq!(analysis.exported[ping] & NONDET, NONDET);
+        let hops = witness(&graph, &analysis, &facts, ping, NONDET);
+        assert!(hops.last().expect("nonempty").ends_with("Instant::now"));
+        assert!(hops.len() < 64);
+    }
+
+    #[test]
+    fn allow_at_the_sink_clears_the_fact_for_both_rule_tiers() {
+        let (facts, graph, analysis) = analyze(&[(
+            "crates/mlkit/src/a.rs",
+            "pub fn entry() {\n    helper();\n}\nfn helper() {\n    // lint:allow(D1) calibration smoke only\n    let t = Instant::now();\n}\n",
+        )]);
+        let entry = fn_id(&facts, &graph, "entry");
+        assert_eq!(analysis.exported[entry], 0);
+    }
+}

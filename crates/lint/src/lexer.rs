@@ -186,6 +186,11 @@ fn prefixed_string_end(b: &[u8], i: usize) -> Option<usize> {
         if j < n && b[j] == b'"' {
             return Some(escaped_string_end(b, j));
         }
+        // b'…': byte-char literal — mask the prefix together with the
+        // quoted payload so the lone `b` never reads as an identifier.
+        if b[i] == b'b' && j < n && b[j] == b'\'' {
+            return char_literal_end(b, j);
+        }
         return None;
     }
     let mut hashes = 0usize;
@@ -222,6 +227,20 @@ fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
         // (longest form is '\u{10FFFF}').
         let mut j = i + 2;
         let limit = (i + 12).min(n);
+        while j < limit {
+            if b[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Multi-byte UTF-8 scalar ('é', '→', …): the payload is 2–4 bytes, so
+    // the closing quote is not at i+2. Scan the bounded window; without
+    // this, the literal is misread as a lifetime and stays unmasked.
+    if b[i + 1] >= 0x80 {
+        let mut j = i + 2;
+        let limit = (i + 6).min(n);
         while j < limit {
             if b[j] == b'\'' {
                 return Some(j + 1);
@@ -326,6 +345,75 @@ mod tests {
         assert_eq!(lexed.comments.len(), 2);
         assert_eq!(lexed.comments[0].line, 2);
         assert_eq!(lexed.comments[1].line, 3);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let m = masked(r##"let a = b"thread_rng"; let b = br#"fs::write " inner"#; let c = b"\"esc"; tail();"##);
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("fs::write"));
+        assert!(!m.contains("esc"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn raw_byte_strings_honor_hash_depth() {
+        // The inner `"#` must not close a `##`-delimited raw byte string.
+        let m = masked(r###"let s = br##"stop "# not yet"##; go();"###);
+        assert!(!m.contains("not yet"));
+        assert!(m.contains("go();"));
+    }
+
+    #[test]
+    fn byte_char_literals_mask_their_prefix() {
+        let m = masked("let nl = b'\\n'; let q = b'x'; run();");
+        assert!(!m.contains("b'"), "byte-char prefix left unmasked: {m}");
+        assert!(m.contains("run();"));
+    }
+
+    #[test]
+    fn multibyte_char_literals_are_masked_not_lifetimes() {
+        let m = masked("let e = 'é'; let arrow = '→'; let l: &'a str = s; ok();");
+        assert!(!m.contains('é'));
+        assert!(!m.contains('→'));
+        assert!(m.contains("&'a str"));
+        assert!(m.contains("ok();"));
+    }
+
+    #[test]
+    fn lifetime_heavy_generics_stay_code() {
+        let src = "fn f<'a, 'b: 'a>(x: &'a str, y: &'b [u8]) -> &'a str { x }";
+        assert_eq!(masked(src), src);
+    }
+
+    #[test]
+    fn underscore_lifetime_and_static_stay_code() {
+        let src = "fn g(x: &'_ str, y: &'static str) { h(x, y) }";
+        assert_eq!(masked(src), src);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_correctly() {
+        let m = masked("/* a /* b /* c */ b */ a */ live();");
+        assert!(!m.contains('a'));
+        assert!(!m.contains('c'));
+        assert!(m.contains("live();"));
+    }
+
+    #[test]
+    fn unterminated_nested_block_comment_masks_to_eof() {
+        let m = masked("code(); /* open /* inner */ never closed thread_rng");
+        assert!(m.contains("code();"));
+        assert!(!m.contains("thread_rng"));
+    }
+
+    #[test]
+    fn adjacent_char_literals_and_lifetimes_disambiguate() {
+        // 'a' is a literal; Foo<'a> is a lifetime; the mix must not smear.
+        let m = masked("let p: (char, Foo<'a>) = ('a', f::<'a>()); done();");
+        assert!(m.contains("Foo<'a>"));
+        assert!(m.contains("done();"));
+        assert!(!m.contains("('a'"), "char literal should be masked: {m}");
     }
 
     #[test]

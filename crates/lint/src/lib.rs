@@ -29,11 +29,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod callgraph;
 pub mod clock;
+pub mod effects;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 
-pub use engine::{check_sources, check_workspace, collect_workspace_sources, find_workspace_root, JsonReport, Report};
+pub use cache::FactCache;
+pub use engine::{
+    analyze_sources, check_sources, check_workspace, collect_workspace_sources, find_workspace_root, scan_benchmark, JsonReport, Report,
+};
 pub use rules::{RuleInfo, Violation, RULES};

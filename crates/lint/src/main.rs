@@ -1,13 +1,17 @@
 //! CLI entry point: `glimpse-lint check [--root PATH] [--format human|json]
-//! [--bench-out PATH]` and `glimpse-lint rules`.
+//! [--bench-out PATH] [--changed-only] [--no-cache] [--cache PATH]
+//! [--max-warm-ms N]` and `glimpse-lint rules`.
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` violations found (or the warm-time budget
+//! exceeded), `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
+use glimpse_lint::cache::FactCache;
 use glimpse_lint::clock::Stopwatch;
 use glimpse_lint::{engine, JsonReport, Report, RULES};
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -15,7 +19,15 @@ glimpse-lint — workspace invariant analyzer
 
 USAGE:
     glimpse-lint check [--root PATH] [--format human|json] [--bench-out PATH]
+                       [--changed-only] [--no-cache] [--cache PATH] [--max-warm-ms N]
     glimpse-lint rules
+
+    --changed-only   report only violations whose span or witness chain touches
+                     a file changed since the merge base (full scan outside git)
+    --no-cache       skip the incremental fact cache entirely
+    --cache PATH     cache location (default: <root>/target/glimpse-lint-cache.json)
+    --max-warm-ms N  with --bench-out: fail if the warm full-workspace analysis
+                     exceeds N milliseconds (the CI latency budget)
 
 Rules are documented in DESIGN.md § Enforced invariants (#enforced-invariants).";
 
@@ -40,12 +52,26 @@ fn check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = "human".to_owned();
     let mut bench_out: Option<PathBuf> = None;
+    let mut changed_only = false;
+    let mut no_cache = false;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut max_warm_ms: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => root = it.next().map(PathBuf::from),
             "--format" => format = it.next().cloned().unwrap_or_default(),
             "--bench-out" => bench_out = it.next().map(PathBuf::from),
+            "--changed-only" => changed_only = true,
+            "--no-cache" => no_cache = true,
+            "--cache" => cache_path = it.next().map(PathBuf::from),
+            "--max-warm-ms" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => max_warm_ms = Some(v),
+                None => {
+                    eprintln!("--max-warm-ms needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -61,52 +87,144 @@ fn check(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let stopwatch = Stopwatch::start();
-    let report = match engine::check_workspace(&root) {
-        Ok(report) => report,
+    let sources = match engine::collect_workspace_sources(&root) {
+        Ok(sources) => sources,
         Err(err) => {
             eprintln!("glimpse-lint: scanning {} failed: {err}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    let cache_path = cache_path.unwrap_or_else(|| root.join("target/glimpse-lint-cache.json"));
+    let mut cache = if no_cache {
+        FactCache::empty()
+    } else {
+        FactCache::load(&cache_path)
+    };
+
+    let stopwatch = Stopwatch::start();
+    let mut report = engine::analyze_sources(&sources, &mut cache);
     let wall_ms = stopwatch.elapsed_ms();
 
-    #[allow(clippy::disallowed_methods)] // diagnostic artifact; lint stays dependency-free
-    if let Some(path) = bench_out {
-        let json = JsonReport::new(&report, wall_ms);
-        let payload = serde_json::to_string_pretty(&json).unwrap_or_default();
-        // lint:allow(IO1) diagnostic artifact; the lint crate stays dependency-free by design
-        if let Err(err) = std::fs::write(&path, payload + "\n") {
+    if !no_cache {
+        let live: BTreeSet<String> = sources.iter().map(|(rel, _)| rel.clone()).collect();
+        cache.retain_paths(&live);
+        if let Err(err) = cache.save(&cache_path) {
+            // Only costs the next run its warm start; never fails the check.
+            eprintln!("glimpse-lint: cache save to {} failed: {err}", cache_path.display());
+        }
+    }
+
+    // The full workspace is always analyzed (a change in one file can
+    // create a transitive violation reported in another); --changed-only
+    // narrows what is *reported* to violations touching a changed file.
+    if changed_only {
+        if let Some(changed) = changed_files(&root) {
+            report.violations.retain(|v| {
+                changed.contains(&v.file)
+                    || v.witness
+                        .iter()
+                        .any(|hop| hop.split(':').next().is_some_and(|f| changed.contains(f)))
+            });
+        }
+    }
+
+    let mut budget_blown = false;
+    let mut json = JsonReport::new(&report, wall_ms);
+    if let Some(path) = &bench_out {
+        // Dedicated cold/warm measurements: a fresh cache, then a fully
+        // populated one — independent of whatever the disk cache held.
+        let mut fresh = FactCache::empty();
+        let sw = Stopwatch::start();
+        let _ = engine::analyze_sources(&sources, &mut fresh);
+        json.callgraph.cold_wall_ms = sw.elapsed_ms();
+        let sw = Stopwatch::start();
+        let _ = engine::analyze_sources(&sources, &mut fresh);
+        json.callgraph.warm_wall_ms = sw.elapsed_ms();
+        json.scan = Some(engine::scan_benchmark(&sources));
+
+        if let Some(budget) = max_warm_ms {
+            if json.callgraph.warm_wall_ms > budget {
+                eprintln!(
+                    "glimpse-lint: warm analysis took {:.1} ms, over the {budget:.0} ms budget",
+                    json.callgraph.warm_wall_ms
+                );
+                budget_blown = true;
+            }
+        }
+
+        let payload = serde_json::to_string_pretty(&json).unwrap_or_default() + "\n";
+        if let Err(err) = glimpse_durable::atomic_write(path, payload.as_bytes()) {
             eprintln!("glimpse-lint: writing {} failed: {err}", path.display());
             return ExitCode::from(2);
         }
     }
 
     if format == "json" {
-        let json = JsonReport::new(&report, wall_ms);
         println!("{}", serde_json::to_string_pretty(&json).unwrap_or_default());
     } else {
         print_human(&report, wall_ms);
     }
-    if report.is_clean() {
+    if report.is_clean() && !budget_blown {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
+/// Workspace-relative paths changed since the merge base (plus uncommitted
+/// and untracked files). `None` — full reporting — when git is unavailable,
+/// this is not a repository, or any git invocation fails.
+fn changed_files(root: &Path) -> Option<BTreeSet<String>> {
+    let git = |args: &[&str]| -> Option<Vec<String>> {
+        let out = std::process::Command::new("git").arg("-C").arg(root).args(args).output().ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        Some(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_owned)
+                .collect(),
+        )
+    };
+
+    git(&["rev-parse", "--is-inside-work-tree"])?;
+    // Merge base against the main line when one exists; plain HEAD otherwise
+    // (then only uncommitted work counts as changed — the pre-commit case).
+    let base = ["origin/main", "main"]
+        .iter()
+        .find_map(|upstream| git(&["merge-base", "HEAD", upstream]).and_then(|lines| lines.first().cloned()))
+        .unwrap_or_else(|| "HEAD".to_owned());
+
+    let mut changed: BTreeSet<String> = git(&["diff", "--name-only", &base])?.into_iter().collect();
+    changed.extend(git(&["ls-files", "--others", "--exclude-standard"]).unwrap_or_default());
+    Some(changed)
+}
+
 fn print_human(report: &Report, wall_ms: f64) {
     for v in &report.violations {
         println!("{}:{}:{}: {} {} [{}]", v.file, v.line, v.col, v.rule, v.message, v.see);
+        for (i, hop) in v.witness.iter().enumerate() {
+            let arrow = if i + 1 == v.witness.len() { "sink" } else { "via " };
+            println!("    {arrow} {hop}");
+        }
     }
     let rules: Vec<&str> = RULES.iter().map(|r| r.id).collect();
     if report.is_clean() {
         println!(
-            "glimpse-lint: OK — {} files, {} lines, 0 violations (rules {}, {} allow directives, {wall_ms:.1} ms)",
+            "glimpse-lint: OK — {} files, {} lines, 0 violations (rules {}, {} allow directives, {wall_ms:.1} ms; callgraph {} fns / {} edges, fixpoint x{}, cache {}/{} hot)",
             report.files_scanned,
             report.lines_scanned,
             rules.join(" "),
             report.allow_directives,
+            report.graph.fns,
+            report.graph.edges,
+            report.graph.fixpoint_iterations,
+            report.graph.cache_hits,
+            report.graph.cache_hits + report.graph.cache_misses,
         );
     } else {
         let by_rule = report.by_rule();

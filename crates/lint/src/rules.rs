@@ -2,20 +2,33 @@
 //!
 //! | rule | contract guarded |
 //! |------|------------------|
-//! | `A0` | every `lint:allow` carries known rules and a nonempty reason |
+//! | `A0` | every `lint:allow` / `lint:boundary` carries known ids and a nonempty reason |
 //! | `D1` | no wall-clock or OS-entropy source in the search path |
 //! | `D2` | no hash-ordered collections in search-hot-path modules |
 //! | `D3` | parallel fan-outs never share an RNG across items |
+//! | `E1` | no `NONDET` reachable from a search entry point (interprocedural D1) |
+//! | `E2` | no panic reachable through calls in a load/measurement path (interprocedural P1) |
 //! | `IO1` | file writes go through the durable-IO layer, never bare `fs::write` |
+//! | `IO2` | no raw write reachable from a pub fn outside the durable layer (interprocedural IO1) |
 //! | `L1` | crate imports respect the workspace DAG |
 //! | `P1` | load/measurement paths propagate errors, never panic |
 //! | `S1` | `std::process::exit` only in `cli::main` — termination routes through the shutdown path |
+//! | `S2` | no process exit reachable from a pub fn outside `cli::main` (interprocedural S1) |
 //! | `U1` | `unsafe` only inside `mlkit::parallel` and `supervise::signal` |
 //!
-//! Rules run over masked text ([`crate::lexer`]), so tokens inside comments
-//! and string literals are invisible to them. Every violation can be
-//! suppressed for one statement with `// lint:allow(<rule>) reason`.
+//! The lexical rules run over masked text ([`crate::lexer`]), so tokens
+//! inside comments and string literals are invisible to them; they query
+//! the shared per-file [`crate::source::TokenIndex`] instead of rescanning
+//! the text once per needle. The transitive rules (`E1`/`E2`/`IO2`/`S2`)
+//! run over the effect fixpoint ([`crate::effects`]) on the workspace call
+//! graph and attach a witness path — the exact `file:line` call chain from
+//! the reported fn down to the offending sink. Every violation can be
+//! suppressed for one statement (lexical) or at the fn definition
+//! (transitive) with `// lint:allow(<rule>) reason`.
 
+use crate::callgraph::CallGraph;
+use crate::effects::{self, Analysis, Origin, EXITS, NONDET, PANICS, RAW_IO};
+use crate::parser::FileFacts;
 use crate::source::SourceFile;
 use serde::Serialize;
 
@@ -47,8 +60,20 @@ pub const RULES: &[RuleInfo] = &[
         summary: "parallel fan-out closures must derive per-item RNG via child_rng, never capture a shared rng",
     },
     RuleInfo {
+        id: "E1",
+        summary: "no entropy/wall-clock source reachable (through any call chain) from a pub fn in mlkit, tuners, core::acquisition, or core::sampler, except behind a sanctioned boundary",
+    },
+    RuleInfo {
+        id: "E2",
+        summary: "no panic reachable through callees of a load/measurement-path fn (P1, made interprocedural)",
+    },
+    RuleInfo {
         id: "IO1",
         summary: "no direct write API (fs::write, File::create, File::options, OpenOptions) outside crates/durable; route writes through atomic_write or the WAL",
+    },
+    RuleInfo {
+        id: "IO2",
+        summary: "no raw write API reachable (through any call chain) from a pub fn outside crates/durable; writes must route through atomic_write or the WAL appender",
     },
     RuleInfo {
         id: "L1",
@@ -61,6 +86,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "S1",
         summary: "std::process::exit is forbidden outside crates/cli/src/main.rs; all termination routes through the graceful-shutdown path",
+    },
+    RuleInfo {
+        id: "S2",
+        summary: "no process exit reachable (through any call chain) from a pub fn outside crates/cli/src/main.rs",
     },
     RuleInfo {
         id: "U1",
@@ -172,8 +201,23 @@ const LAYERING: &[(&str, &[&str])] = &[
             "core",
         ],
     ),
-    ("lint", &[]),
+    ("lint", &["durable"]),
 ];
+
+/// Allowed `glimpse_*` dependencies of `crate_name` per the layering table
+/// (empty for crates outside it). The call-graph builder uses this as its
+/// reachability filter: an edge that would violate `L1` cannot exist.
+#[must_use]
+pub fn allowed_deps(crate_name: &str) -> &'static [&'static str] {
+    LAYERING.iter().find(|(name, _)| *name == crate_name).map_or(&[], |(_, deps)| deps)
+}
+
+/// Crates whose pub fns are `E1` entry points (the whole search stack).
+const E1_ENTRY_CRATES: &[&str] = &["mlkit", "tuners"];
+
+/// Individual entry-point files outside those crates (the search-hot core
+/// modules, same set as D2's).
+const E1_ENTRY_FILES: &[&str] = &["crates/core/src/acquisition.rs", "crates/core/src/sampler.rs"];
 
 /// One rule violation at a `file:line` span.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -190,6 +234,10 @@ pub struct Violation {
     pub message: String,
     /// Pointer into the rule documentation.
     pub see: String,
+    /// For transitive rules: the `file:line` call chain from the reported
+    /// fn down to the offending sink (empty for lexical rules).
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub witness: Vec<String>,
 }
 
 fn violation(file: &SourceFile, offset: usize, rule: &'static str, message: String) -> Violation {
@@ -201,6 +249,7 @@ fn violation(file: &SourceFile, offset: usize, rule: &'static str, message: Stri
         rule,
         message,
         see: format!("DESIGN.md#enforced-invariants (rule {rule})"),
+        witness: Vec::new(),
     }
 }
 
@@ -222,21 +271,134 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
-/// A0: malformed `lint:allow` directives are themselves violations — a
-/// suppression without a reason (or naming an unknown rule) is a silent
-/// contract hole.
-fn rule_a0(file: &SourceFile, out: &mut Vec<Violation>) {
-    for allow in &file.allows {
-        if !allow.well_formed {
+/// Runs the transitive rules (`E1`/`E2`/`IO2`/`S2`) over the effect
+/// fixpoint. Violations anchor at the reported fn's definition and carry
+/// the full witness chain; a `lint:allow(<rule>)` directly above the fn
+/// suppresses them like any lexical rule.
+#[must_use]
+pub fn check_transitive(facts: &[FileFacts], graph: &CallGraph, analysis: &Analysis) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for id in 0..graph.fns.len() {
+        let file = graph.file_of(facts, id);
+        let f = graph.fn_of(facts, id);
+        if f.is_test {
+            continue;
+        }
+        let mask = analysis.exported[id];
+        let mut push = |rule: &'static str, message: String, effect| {
+            if file.allows.iter().any(|a| a.covers(rule, f.line)) {
+                return;
+            }
             out.push(Violation {
                 file: file.rel_path.clone(),
-                line: allow.line,
-                col: 1,
-                rule: "A0",
-                message: "malformed lint:allow — use `// lint:allow(<RULE>[,<RULE>]) <reason>` with known rule ids and a nonempty reason"
-                    .to_owned(),
-                see: "DESIGN.md#enforced-invariants (rule A0)".to_owned(),
+                line: f.line,
+                col: f.col,
+                rule,
+                message,
+                see: format!("DESIGN.md#enforced-invariants (rule {rule})"),
+                witness: effects::witness(graph, analysis, facts, id, effect),
             });
+        };
+
+        let e1_entry = f.is_pub
+            && (file.crate_name.as_deref().is_some_and(|c| E1_ENTRY_CRATES.contains(&c))
+                || E1_ENTRY_FILES.contains(&file.rel_path.as_str()));
+        if e1_entry && mask & NONDET != 0 {
+            push(
+                "E1",
+                format!(
+                    "search entry point `{}` transitively reaches an entropy/wall-clock source ({}); derive time from the simulated clock and randomness from child_rng, or absorb it behind a reviewed lint:boundary(NONDET)",
+                    f.name,
+                    sink_token(analysis, id, NONDET),
+                ),
+                NONDET,
+            );
+        }
+
+        // E2 fires only when the panic enters through a call — the intrinsic
+        // sink case is exactly P1's span, and reporting it twice helps no one.
+        let e2_scope = P1_SCOPE.contains(&file.rel_path.as_str());
+        if e2_scope && mask & PANICS != 0 && matches!(analysis.origins[id][effects::bit_index(PANICS)], Some(Origin::Call { .. })) {
+            push(
+                "E2",
+                format!(
+                    "`{}` sits on a load/measurement path but can panic through its callees ({}); propagate a typed error through the whole chain",
+                    f.name,
+                    sink_token(analysis, id, PANICS),
+                ),
+                PANICS,
+            );
+        }
+
+        if f.is_pub && mask & RAW_IO != 0 && !file.rel_path.starts_with(IO1_SANCTIONED_PREFIX) {
+            push(
+                "IO2",
+                format!(
+                    "pub fn `{}` transitively performs raw file writes ({}); route the write through glimpse_durable::atomic_write or the WAL appender so a crash can never leave a torn file",
+                    f.name,
+                    sink_token(analysis, id, RAW_IO),
+                ),
+                RAW_IO,
+            );
+        }
+
+        if f.is_pub && mask & EXITS != 0 && file.rel_path != S1_SANCTIONED_FILE {
+            push(
+                "S2",
+                format!(
+                    "pub fn `{}` can terminate the process ({}); only cli::main may exit — trip a CancelToken and drain at a trial boundary",
+                    f.name,
+                    sink_token(analysis, id, EXITS),
+                ),
+                EXITS,
+            );
+        }
+    }
+    out
+}
+
+/// The sink token at the end of `(fn, effect)`'s origin chain, for
+/// messages ("Instant::now", ".unwrap()", …).
+fn sink_token(analysis: &Analysis, fn_id: usize, effect: crate::effects::EffectMask) -> String {
+    let bit = effects::bit_index(effect);
+    let mut cur = fn_id;
+    for _ in 0..64 {
+        match &analysis.origins[cur][bit] {
+            Some(Origin::Call { callee, .. }) => cur = *callee,
+            Some(Origin::Sink { token, .. }) => return token.clone(),
+            None => break,
+        }
+    }
+    effects::name_of(effect).to_owned()
+}
+
+/// A0: malformed `lint:allow` / `lint:boundary` directives are themselves
+/// violations — a suppression or effect-absorption point without a reason
+/// (or naming an unknown rule/effect) is a silent contract hole.
+fn rule_a0(file: &SourceFile, out: &mut Vec<Violation>) {
+    let a0 = |line: usize, message: &str| Violation {
+        file: file.rel_path.clone(),
+        line,
+        col: 1,
+        rule: "A0",
+        message: message.to_owned(),
+        see: "DESIGN.md#enforced-invariants (rule A0)".to_owned(),
+        witness: Vec::new(),
+    };
+    for allow in &file.allows {
+        if !allow.well_formed {
+            out.push(a0(
+                allow.line,
+                "malformed lint:allow — use `// lint:allow(<RULE>[,<RULE>]) <reason>` with known rule ids and a nonempty reason",
+            ));
+        }
+    }
+    for boundary in &file.boundaries {
+        if !boundary.well_formed {
+            out.push(a0(
+                boundary.line,
+                "malformed lint:boundary — use `// lint:boundary(<EFFECT>[,<EFFECT>]) <reason>` with effects from NONDET/PANICS/RAW_IO/EXITS and a nonempty reason",
+            ));
         }
     }
 }
@@ -247,7 +409,7 @@ fn rule_d1(file: &SourceFile, out: &mut Vec<Violation>) {
         return;
     }
     for needle in D1_NEEDLES {
-        for offset in find_token(&file.masked, needle) {
+        for offset in file.tokens.find(&file.masked, needle) {
             out.push(violation(
                 file,
                 offset,
@@ -267,7 +429,7 @@ fn rule_d2(file: &SourceFile, out: &mut Vec<Violation>) {
         return;
     }
     for needle in ["HashMap", "HashSet"] {
-        for offset in find_token(&file.masked, needle) {
+        for offset in file.tokens.find(&file.masked, needle) {
             out.push(violation(
                 file,
                 offset,
@@ -285,7 +447,7 @@ fn rule_d2(file: &SourceFile, out: &mut Vec<Violation>) {
 /// `child_rng`.)
 fn rule_d3(file: &SourceFile, out: &mut Vec<Violation>) {
     for fan_out in ["parallel_map_range", "parallel_map_cancellable", "parallel_map"] {
-        for offset in find_token(&file.masked, fan_out) {
+        for &offset in file.tokens.offsets(fan_out) {
             let open = offset + fan_out.len();
             if file.masked.as_bytes().get(open) != Some(&b'(') {
                 continue; // an import or mention, not a call
@@ -317,7 +479,7 @@ fn rule_io1(file: &SourceFile, out: &mut Vec<Violation>) {
         return;
     }
     for needle in IO1_NEEDLES {
-        for offset in find_token(&file.masked, needle) {
+        for offset in file.tokens.find(&file.masked, needle) {
             let (line, _) = file.line_col(offset);
             if file.in_test(line) {
                 continue;
@@ -338,7 +500,12 @@ fn rule_l1(file: &SourceFile, out: &mut Vec<Violation>) {
         return;
     };
     let allowed: &[&str] = LAYERING.iter().find(|(name, _)| *name == crate_name).map_or(&[], |(_, deps)| deps);
-    for offset in find_token_prefix(&file.masked, "glimpse_") {
+    let glimpse_offsets: Vec<usize> = file
+        .tokens
+        .with_prefix("glimpse_")
+        .flat_map(|(_, offs)| offs.iter().copied())
+        .collect();
+    for offset in glimpse_offsets {
         let ident = read_ident(&file.masked, offset);
         // Only path references count: `use glimpse_x::…` or `glimpse_x::…`
         // inline. A local identifier that happens to start with `glimpse_`
@@ -376,8 +543,8 @@ fn rule_p1(file: &SourceFile, out: &mut Vec<Violation>) {
     if !P1_SCOPE.contains(&file.rel_path.as_str()) {
         return;
     }
-    for needle in [".unwrap()", ".expect("] {
-        for offset in find_substr(&file.masked, needle) {
+    for (name, suffix, needle) in [("unwrap", "()", ".unwrap()"), ("expect", "(", ".expect(")] {
+        for offset in file.tokens.find_method(&file.masked, name, suffix) {
             let (line, _) = file.line_col(offset);
             if file.in_test(line) {
                 continue;
@@ -401,7 +568,7 @@ fn rule_s1(file: &SourceFile, out: &mut Vec<Violation>) {
     if file.rel_path == S1_SANCTIONED_FILE {
         return;
     }
-    for offset in find_token(&file.masked, "process::exit") {
+    for offset in file.tokens.find(&file.masked, "process::exit") {
         let (line, _) = file.line_col(offset);
         if file.in_test(line) {
             continue;
@@ -421,7 +588,7 @@ fn rule_u1(file: &SourceFile, out: &mut Vec<Violation>) {
     if U1_EXEMPT.contains(&file.rel_path.as_str()) {
         return;
     }
-    for offset in find_token(&file.masked, "unsafe") {
+    for &offset in file.tokens.offsets("unsafe") {
         out.push(violation(
             file,
             offset,
@@ -429,6 +596,57 @@ fn rule_u1(file: &SourceFile, out: &mut Vec<Violation>) {
             "`unsafe` is forbidden outside mlkit::parallel and supervise::signal; crate roots carry #![forbid(unsafe_code)]".to_owned(),
         ));
     }
+}
+
+/// One legacy-style pass over `text`: every lexical-rule needle rescans
+/// the full masked text, exactly as the rules did before the shared
+/// [`crate::source::TokenIndex`]. Kept only as the baseline side of the
+/// scan benchmark; returns total hits so the comparison can assert parity.
+pub(crate) fn legacy_needle_scan(text: &str) -> usize {
+    let mut hits = 0usize;
+    for needle in D1_NEEDLES {
+        hits += find_token(text, needle).len();
+    }
+    for needle in ["HashMap", "HashSet"] {
+        hits += find_token(text, needle).len();
+    }
+    for needle in IO1_NEEDLES {
+        hits += find_token(text, needle).len();
+    }
+    for fan_out in ["parallel_map_range", "parallel_map_cancellable", "parallel_map"] {
+        hits += find_token(text, fan_out).len();
+    }
+    for needle in [".unwrap()", ".expect("] {
+        hits += find_substr(text, needle).len();
+    }
+    hits += find_token(text, "process::exit").len();
+    hits += find_token(text, "unsafe").len();
+    hits += find_token_prefix(text, "glimpse_").len();
+    hits
+}
+
+/// The same queries as [`legacy_needle_scan`], answered from a
+/// [`crate::source::TokenIndex`] — the benchmark's indexed side.
+pub(crate) fn indexed_needle_scan(text: &str, index: &crate::source::TokenIndex) -> usize {
+    let mut hits = 0usize;
+    for needle in D1_NEEDLES {
+        hits += index.find(text, needle).len();
+    }
+    for needle in ["HashMap", "HashSet"] {
+        hits += index.find(text, needle).len();
+    }
+    for needle in IO1_NEEDLES {
+        hits += index.find(text, needle).len();
+    }
+    for fan_out in ["parallel_map_range", "parallel_map_cancellable", "parallel_map"] {
+        hits += index.offsets(fan_out).len();
+    }
+    hits += index.find_method(text, "unwrap", "()").len();
+    hits += index.find_method(text, "expect", "(").len();
+    hits += index.find(text, "process::exit").len();
+    hits += index.offsets("unsafe").len();
+    hits += index.with_prefix("glimpse_").map(|(_, offs)| offs.len()).sum::<usize>();
+    hits
 }
 
 /// Byte offsets of `needle` in `text` where both ends sit on identifier

@@ -1,8 +1,158 @@
 //! A lexed source file plus the file-level facts rules need: which crate it
-//! belongs to, which lines are `#[cfg(test)]` code, and which
-//! `// lint:allow(<rule>) reason` directives it carries.
+//! belongs to, which lines are `#[cfg(test)]` code, which
+//! `// lint:allow(<rule>) reason` directives it carries, and a one-pass
+//! identifier index ([`TokenIndex`]) that every rule queries instead of
+//! rescanning the masked text needle by needle.
 
 use crate::lexer::{self, Comment, Lexed};
+
+/// FNV-1a: the cheapest adequate hasher for short ASCII identifiers. The
+/// default SipHash costs more than the lexical scans the index replaces.
+#[derive(Default)]
+struct Fnv(u64);
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+}
+
+// D2-compliant despite the hash map: it exists only inside `build`, and the
+// final sorted pair list normalizes away any iteration-order dependence.
+#[allow(clippy::disallowed_types)]
+type FnvMap<'a> = std::collections::HashMap<&'a str, Vec<usize>, std::hash::BuildHasherDefault<Fnv>>;
+
+/// Identifier → sorted byte offsets, built in a single pass over the masked
+/// text. Rules that used to each rescan the whole file for every needle now
+/// look their tokens up here; compound needles (`Instant::now`) verify the
+/// suffix in place from the first segment's offsets.
+///
+/// Stored as a sorted pair list: the build pass groups occurrences through a
+/// borrowed-key FNV hash map (no per-occurrence allocation, no ordered-map
+/// rebalancing), then sorts only the few thousand unique identifiers once.
+/// Lookups are binary searches; prefix scans are a partition point plus a
+/// bounded walk.
+#[derive(Debug, Clone, Default)]
+pub struct TokenIndex {
+    entries: Vec<(String, Vec<usize>)>,
+}
+
+/// First bytes of identifiers any consumer actually looks up: capitalized
+/// type names (the parser's `type_mentions`, `HashMap`, `Instant`, …) plus
+/// the lowercase heads of every rule and sink needle (`expect`, `fs`,
+/// `glimpse_`, `process`/`panic`/`parallel_map`, `thread_rng`/`todo`,
+/// `unsafe`/`unwrap`/…). Everything else — most keywords, most local
+/// variable names — is dead weight; dropping it up front is what keeps the
+/// index build cheaper than the rescans it replaces. The query paths
+/// `debug_assert` this set, so a future needle with a new first byte fails
+/// loudly in tests instead of silently missing.
+fn indexable_first_byte(byte: u8) -> bool {
+    byte.is_ascii_uppercase() || matches!(byte, b'e' | b'f' | b'g' | b'p' | b't' | b'u')
+}
+
+/// Keywords that pass the first-byte filter but are never queried (`unsafe`
+/// is the one keyword that *is* queried — rule U1 — so it stays indexed).
+fn unqueried_keyword(tok: &str) -> bool {
+    matches!(
+        tok,
+        "else" | "enum" | "extern" | "false" | "fn" | "for" | "pub" | "trait" | "true" | "type" | "use" | "Self"
+    )
+}
+
+impl TokenIndex {
+    /// Indexes every identifier-shaped token except unqueried keywords in
+    /// one left-to-right pass. Tokens starting with a digit are skipped —
+    /// no rule matches a numeric literal.
+    #[must_use]
+    pub fn build(masked: &str) -> Self {
+        let bytes = masked.as_bytes();
+        let mut map = FnvMap::default();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if lexer::is_ident_byte(bytes[i]) {
+                let start = i;
+                while i < bytes.len() && lexer::is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                if indexable_first_byte(bytes[start]) && !unqueried_keyword(&masked[start..i]) {
+                    map.entry(&masked[start..i]).or_default().push(start);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let mut entries: Vec<(String, Vec<usize>)> = map.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Self { entries }
+    }
+
+    /// Offsets of the identifier `ident`, token-boundary exact.
+    #[must_use]
+    pub fn offsets(&self, ident: &str) -> &[usize] {
+        debug_assert!(
+            ident.bytes().next().is_some_and(indexable_first_byte),
+            "`{ident}` starts with a byte the index skips — extend indexable_first_byte"
+        );
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(ident)) {
+            Ok(at) => &self.entries[at].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Offsets where `needle` matches with both ends on identifier
+    /// boundaries. `needle` must start with an identifier segment; compound
+    /// forms like `Instant::now` are verified in place against `masked`.
+    /// Equivalent to the legacy per-needle rescan, minus the rescan.
+    #[must_use]
+    pub fn find(&self, masked: &str, needle: &str) -> Vec<usize> {
+        let head_len = needle.bytes().take_while(|&c| lexer::is_ident_byte(c)).count();
+        let bytes = masked.as_bytes();
+        self.offsets(&needle[..head_len])
+            .iter()
+            .copied()
+            .filter(|&at| {
+                let end = at + needle.len();
+                masked[at..].starts_with(needle) && (end >= bytes.len() || !lexer::is_ident_byte(bytes[end]))
+            })
+            .collect()
+    }
+
+    /// Offsets of `name` used as a method (`.name<suffix>` — e.g. the P1
+    /// needles `.unwrap()` / `.expect(`).
+    #[must_use]
+    pub fn find_method(&self, masked: &str, name: &str, suffix: &str) -> Vec<usize> {
+        let bytes = masked.as_bytes();
+        self.offsets(name)
+            .iter()
+            .copied()
+            .filter(|&at| at > 0 && bytes[at - 1] == b'.' && masked[at + name.len()..].starts_with(suffix))
+            .map(|at| at - 1) // span starts at the dot, like the legacy needle
+            .collect()
+    }
+
+    /// All identifiers starting with `prefix`, with their offsets (used for
+    /// the `glimpse_` import scan).
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a [usize])> + 'a {
+        debug_assert!(
+            prefix.is_empty() || prefix.bytes().next().is_some_and(indexable_first_byte),
+            "`{prefix}…` starts with a byte the index skips — extend indexable_first_byte"
+        );
+        let from = self.entries.partition_point(|(k, _)| k.as_str() < prefix);
+        self.entries[from..]
+            .iter()
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
 
 /// A parsed `// lint:allow(<rules>) reason` directive.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +177,26 @@ impl AllowDirective {
     }
 }
 
+/// A parsed `// lint:boundary(<EFFECTS>) reason` directive: the fn directly
+/// below absorbs the named effects — callers no longer inherit them. This
+/// is the annotation form of the built-in sanctioned boundaries
+/// (`supervise::Watchdog`, `lint::clock`, `glimpse_durable`'s public IO
+/// surface); the reason is mandatory, like `lint:allow`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryDirective {
+    /// 1-based line the directive's comment starts on.
+    pub line: usize,
+    /// Effect names (`NONDET`, `PANICS`, `RAW_IO`, `EXITS`), upper-cased.
+    pub effects: Vec<String>,
+    /// Human justification after the closing parenthesis.
+    pub reason: String,
+    /// Whether the directive is well-formed (known effects + nonempty reason).
+    pub well_formed: bool,
+}
+
+/// Effect names a `lint:boundary` directive may absorb.
+pub const BOUNDARY_EFFECTS: &[&str] = &["NONDET", "PANICS", "RAW_IO", "EXITS"];
+
 /// One source file, lexed and annotated, ready for rule checks.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -42,10 +212,14 @@ pub struct SourceFile {
     pub comments: Vec<Comment>,
     /// Parsed `lint:allow` directives.
     pub allows: Vec<AllowDirective>,
+    /// Parsed `lint:boundary` directives (effect absorption points).
+    pub boundaries: Vec<BoundaryDirective>,
     /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
     pub test_ranges: Vec<(usize, usize)>,
     /// Byte offsets of line starts (for offset → line:col mapping).
     pub line_starts: Vec<usize>,
+    /// One-pass identifier index over the masked text.
+    pub tokens: TokenIndex,
 }
 
 impl SourceFile {
@@ -56,7 +230,9 @@ impl SourceFile {
         let Lexed { masked, comments } = lexer::lex(&raw);
         let line_starts = lexer::line_starts(&raw);
         let allows = comments.iter().filter_map(parse_allow).collect();
+        let boundaries = comments.iter().filter_map(parse_boundary).collect();
         let test_ranges = find_test_ranges(&masked, &line_starts);
+        let tokens = TokenIndex::build(&masked);
         let crate_name = rel_path
             .strip_prefix("crates/")
             .and_then(|rest| rest.split_once('/'))
@@ -69,8 +245,10 @@ impl SourceFile {
             masked,
             comments,
             allows,
+            boundaries,
             test_ranges,
             line_starts,
+            tokens,
         }
     }
 
@@ -127,6 +305,45 @@ fn malformed(line: usize) -> AllowDirective {
         reason: String::new(),
         well_formed: false,
     }
+}
+
+/// Parses a comment into a [`BoundaryDirective`]. Same shape discipline as
+/// `lint:allow`: the directive must start the comment, name only known
+/// effects, and carry a nonempty reason (enforced by rule `A0`).
+fn parse_boundary(comment: &Comment) -> Option<BoundaryDirective> {
+    let body = comment.text.trim_start_matches(['/', '*', '!']).trim_start();
+    if !body.starts_with("lint:boundary") {
+        return None;
+    }
+    let rest = &body["lint:boundary".len()..];
+    let malformed = || BoundaryDirective {
+        line: comment.line,
+        effects: Vec::new(),
+        reason: String::new(),
+        well_formed: false,
+    };
+    let Some(open) = rest.find('(') else {
+        return Some(malformed());
+    };
+    if rest[..open].trim() != "" {
+        return Some(malformed());
+    }
+    let Some(close) = rest.find(')') else {
+        return Some(malformed());
+    };
+    let effects: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|e| e.trim().to_ascii_uppercase())
+        .filter(|e| !e.is_empty())
+        .collect();
+    let reason = rest[close + 1..].trim().trim_start_matches([':', '-']).trim().to_owned();
+    let well_formed = !effects.is_empty() && !reason.is_empty() && effects.iter().all(|e| BOUNDARY_EFFECTS.contains(&e.as_str()));
+    Some(BoundaryDirective {
+        line: comment.line,
+        effects,
+        reason,
+        well_formed,
+    })
 }
 
 /// Finds the line ranges of `#[cfg(test)]` items by brace-matching the block
@@ -233,5 +450,37 @@ mod tests {
     fn allow_with_unknown_rule_is_malformed() {
         let f = SourceFile::new("crates/core/src/x.rs", "// lint:allow(Z9) because\n".to_owned());
         assert!(!f.allows[0].well_formed);
+    }
+
+    #[test]
+    fn parses_boundary_directive_with_reason() {
+        let src = "// lint:boundary(PANICS) index proven in bounds by the loop above\nfn f() {}\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src.to_owned());
+        assert_eq!(f.boundaries.len(), 1);
+        assert!(f.boundaries[0].well_formed);
+        assert_eq!(f.boundaries[0].effects, vec!["PANICS".to_owned()]);
+    }
+
+    #[test]
+    fn boundary_without_reason_or_with_unknown_effect_is_malformed() {
+        let f = SourceFile::new("crates/core/src/x.rs", "// lint:boundary(PANICS)\n".to_owned());
+        assert!(!f.boundaries[0].well_formed);
+        let g = SourceFile::new("crates/core/src/x.rs", "// lint:boundary(MAGIC) because\n".to_owned());
+        assert!(!g.boundaries[0].well_formed);
+    }
+
+    #[test]
+    fn token_index_matches_legacy_token_semantics() {
+        let idx = TokenIndex::build("let t = Instant::now(); my_thread_rng_helper(); x.unwrap(); y.unwrap_or(0);");
+        let text = "let t = Instant::now(); my_thread_rng_helper(); x.unwrap(); y.unwrap_or(0);";
+        assert_eq!(idx.find(text, "Instant::now").len(), 1);
+        assert!(
+            idx.find(text, "thread_rng").is_empty(),
+            "substring of a longer ident must not match"
+        );
+        assert_eq!(idx.find_method(text, "unwrap", "()").len(), 1, "unwrap_or must not match .unwrap()");
+        let imports = TokenIndex::build("use glimpse_core::x; glimpse_mlkit::y();");
+        let glimpse: Vec<&str> = imports.with_prefix("glimpse_").map(|(k, _)| k).collect();
+        assert_eq!(glimpse, vec!["glimpse_core", "glimpse_mlkit"]);
     }
 }

@@ -1,0 +1,9 @@
+//! Fixture: IO2 — a pub wrapper whose raw write hides one call deep.
+
+pub fn save_summary(path: &std::path::Path, text: &str) {
+    dump_raw(path, text);
+}
+
+fn dump_raw(path: &std::path::Path, text: &str) {
+    let _ = std::fs::write(path, text);
+}

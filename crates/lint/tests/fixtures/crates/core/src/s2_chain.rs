@@ -1,0 +1,11 @@
+//! Fixture: S2 — a pub guard that can terminate the process via a helper.
+
+pub fn guard(ok: bool) {
+    if !ok {
+        die();
+    }
+}
+
+fn die() {
+    std::process::exit(2);
+}

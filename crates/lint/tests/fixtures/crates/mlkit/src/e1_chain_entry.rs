@@ -1,0 +1,8 @@
+//! Fixture: E1 — a pub mlkit entry point that reaches wall-clock time one
+//! call away; the entry itself contains no lexical violation.
+
+use crate::e1_chain_sink::jitter_ms;
+
+pub fn schedule(n: u64) -> u64 {
+    n + jitter_ms()
+}

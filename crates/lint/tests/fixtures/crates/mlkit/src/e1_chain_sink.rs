@@ -1,0 +1,5 @@
+//! Helper for the E1 chain fixture: the private wall-clock sink.
+
+fn jitter_ms() -> u64 {
+    std::time::Instant::now().elapsed().as_millis() as u64
+}

@@ -1,0 +1,6 @@
+//! Helper for the E2 chain fixture: a panic outside P1's lexical scope —
+//! no rule fires here, yet the panic leaks into load paths that call in.
+
+fn decode_frame(text: &str) -> f64 {
+    text.parse::<f64>().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: E2 — a load-path fn with no panic of its own that inherits
+//! one from a callee outside P1's file list.
+
+use crate::codec::decode_frame;
+
+pub fn replay(line: &str) -> f64 {
+    decode_frame(line)
+}

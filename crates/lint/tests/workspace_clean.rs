@@ -31,6 +31,45 @@ fn workspace_satisfies_every_invariant() {
 }
 
 #[test]
+fn laundering_a_durable_write_is_caught_transitively() {
+    // The IO2 acceptance scenario, run on an in-memory copy: swap the
+    // sanctioned `glimpse_durable::atomic_write` inside `GlimpseArtifacts::
+    // save` for a bare `std::fs::write`. IO1 flags the sink, IO2 flags the
+    // wrapper, and — the interprocedural part — IO2 also flags the CLI
+    // entry that only reaches the raw write through the `save` call, with
+    // the full multi-hop witness chain.
+    let mut sources = glimpse_lint::engine::collect_workspace_sources(&workspace_root()).expect("workspace scan");
+    let artifacts = sources
+        .iter_mut()
+        .find(|(path, _)| path == "crates/core/src/artifacts.rs")
+        .expect("artifacts.rs present");
+    assert!(artifacts.1.contains("glimpse_durable::atomic_write("), "sanctioned write moved?");
+    artifacts.1 = artifacts.1.replace("glimpse_durable::atomic_write(", "std::fs::write(");
+
+    let report = check_sources(&sources);
+    let io2: Vec<_> = report.violations.iter().filter(|v| v.rule == "IO2").collect();
+    assert!(
+        io2.iter()
+            .any(|v| v.file == "crates/core/src/artifacts.rs" && v.message.contains("`save`")),
+        "the laundering wrapper itself must be flagged: {io2:?}"
+    );
+    let cli_hit = io2
+        .iter()
+        .find(|v| v.file == "crates/cli/src/commands.rs")
+        .expect("the CLI caller of save() must inherit the violation");
+    assert!(
+        cli_hit.witness.len() >= 3 && cli_hit.witness.iter().any(|hop| hop.contains("calls save")),
+        "expected a multi-hop witness through save(), got: {:?}",
+        cli_hit.witness
+    );
+    assert!(
+        cli_hit.witness.last().expect("nonempty witness").ends_with("fs::write"),
+        "chain must bottom out at the raw write: {:?}",
+        cli_hit.witness
+    );
+}
+
+#[test]
 fn reintroducing_thread_rng_in_sa_is_caught() {
     // The acceptance scenario, run on a copy so the repo stays clean: the
     // real sa.rs plus one thread_rng() call must produce a D1 violation.

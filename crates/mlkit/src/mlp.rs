@@ -116,6 +116,7 @@ impl Mlp {
     }
 
     /// Output width.
+    // lint:boundary(PANICS) every constructor installs at least one layer, so `last()` cannot be empty
     #[must_use]
     pub fn output_width(&self) -> usize {
         self.layers.last().expect("at least one layer").rows
@@ -195,10 +196,11 @@ impl Mlp {
 
         for (x, out_grad) in xs.iter().zip(output_grads) {
             assert_eq!(out_grad.len(), self.output_width(), "output grad width mismatch");
-            // Forward, caching activations per layer.
+            // Forward, caching activations per layer: layer `i` consumes
+            // activation `i` and pushes activation `i + 1`.
             let mut acts: Vec<Vec<f64>> = vec![x.clone()];
             for (i, layer) in self.layers.iter().enumerate() {
-                let mut h = layer.forward(acts.last().expect("nonempty"));
+                let mut h = layer.forward(&acts[i]);
                 if i != n_layers - 1 {
                     for v in &mut h {
                         *v = self.activation.apply(*v);

@@ -123,6 +123,7 @@ impl Default for Threads {
 /// let squares = parallel_map(Threads::fixed(4), &[1i64, 2, 3, 4, 5], |_, x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 /// ```
+// lint:boundary(PANICS) the scope join proves every worker wrote its slots; an empty slot after join is unreachable
 pub fn parallel_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -181,6 +182,7 @@ where
 /// let cut = parallel_map_cancellable(Threads::fixed(2), &token, &[1i64, 2, 3], |_, x| x * x);
 /// assert_eq!(cut, None);
 /// ```
+// lint:boundary(PANICS) the scope join proves every surviving slot was written; cancellation discards the batch before the unwrap
 pub fn parallel_map_cancellable<T, R, F>(threads: Threads, cancel: &glimpse_supervise::CancelToken, items: &[T], f: F) -> Option<Vec<R>>
 where
     T: Sync,

@@ -242,8 +242,18 @@ impl GbtCostModel {
             self.last_fit = FitKind::Skipped;
             return;
         }
-        let scratch = self.model.is_none() || force_scratch || self.fits_since_refit + 1 >= self.refit_every;
-        if scratch {
+        let refit_due = force_scratch || self.fits_since_refit + 1 >= self.refit_every;
+        // Growing requires a previous forest and no refit being due; taking
+        // the model out (instead of `as_ref().expect(..)`) makes the scratch
+        // path the structural fallback rather than a reachable panic.
+        if let Some(prev) = self.model.take().filter(|_| !refit_due) {
+            let mut rng = child_rng(self.seed, self.rounds as u64);
+            let grown = prev.fit_incremental(&self.train_x, &self.train_y, self.incremental_trees, &mut rng);
+            self.model = Some(grown);
+            self.fits_since_refit += 1;
+            self.incremental_fits += 1;
+            self.last_fit = FitKind::Incremental;
+        } else {
             // The historical code path, bit-for-bit: one seeded scratch fit
             // over (local rows in history order, then transfer rows).
             let mut rng = StdRng::seed_from_u64(self.seed);
@@ -251,16 +261,6 @@ impl GbtCostModel {
             self.fits_since_refit = 0;
             self.scratch_fits += 1;
             self.last_fit = FitKind::Scratch;
-        } else {
-            let grown = {
-                let prev = self.model.as_ref().expect("incremental fit implies a previous forest");
-                let mut rng = child_rng(self.seed, self.rounds as u64);
-                prev.fit_incremental(&self.train_x, &self.train_y, self.incremental_trees, &mut rng)
-            };
-            self.model = Some(grown);
-            self.fits_since_refit += 1;
-            self.incremental_fits += 1;
-            self.last_fit = FitKind::Incremental;
         }
         self.rounds += 1;
     }

@@ -1,15 +1,20 @@
 //! Implementations of the `glimpse` subcommands.
 
-use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions};
+use glimpse_core::artifacts::{GlimpseArtifacts, TrainingOptions, ARTIFACTS_ENVELOPE};
 use glimpse_core::blueprint::BlueprintCodec;
+use glimpse_core::corpus::CORPUS_ENVELOPE;
 use glimpse_core::explain;
-use glimpse_core::tuner::GlimpseTuner;
+use glimpse_core::health::{cause_of, ResolvedArtifacts};
+use glimpse_core::tuner::{GlimpseConfig, GlimpseTuner};
 use glimpse_durable::atomic_write;
-use glimpse_gpu_spec::{database, datasheet, GpuSpec};
+use glimpse_durable::envelope::{self, EnvelopeSpec, Integrity};
+use glimpse_gpu_spec::{database, datasheet, snapshot, GpuSpec};
 use glimpse_mlkit::parallel;
+use glimpse_sim::calibrate::CALIBRATION_ENVELOPE;
 use glimpse_sim::{DeviceError, DevicePool, DeviceStatus, FaultPlan, Measurer, PoolPolicy};
+use glimpse_space::logfmt::TUNING_LOG_ENVELOPE;
 use glimpse_space::{templates, SearchSpace};
-use glimpse_supervise::{signal, Abandonment, CancelToken, CellReport, CellStatus, DegradationReport, Heartbeat, Watchdog};
+use glimpse_supervise::{signal, Abandonment, CancelToken, CellReport, CellStatus, DegradationReport, HealthReport, Heartbeat, Watchdog};
 use glimpse_tensor_prog::{models, Task, TemplateKind};
 use glimpse_tuners::autotvm::AutoTvmTuner;
 use glimpse_tuners::chameleon::ChameleonTuner;
@@ -17,7 +22,7 @@ use glimpse_tuners::dgp::DgpTuner;
 use glimpse_tuners::genetic::GeneticTuner;
 use glimpse_tuners::random::RandomTuner;
 use glimpse_tuners::{run_supervised, Budget, CheckpointSpec, RunControl, SupervisedOutcome, TuneContext, Tuner, TuningOutcome};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Usage text for `glimpse help`.
 pub const USAGE: &str = "\
@@ -28,6 +33,9 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
   glimpse blueprint <gpu>           embed a GPU and explain the embedding
   glimpse sheet <file>              parse a textual data sheet
   glimpse sweep                     Blueprint size vs information loss (Fig. 8)
+  glimpse doctor <dir>              verify every artifact envelope under a
+                                    directory and print the component health
+                                    table; nonzero exit on any damage
   glimpse tune <model> <gpu> [opts] tune a model (or one task) on a GPU
     --tuner <glimpse|autotvm|chameleon|dgp|random|genetic>   default: glimpse
     --budget <n>                    measurements per task      default: 128
@@ -45,7 +53,13 @@ glimpse — hardware-aware neural compilation (DAC'22 reproduction)
     --fault-plan <spec>             inject measurement faults, e.g.
                                     timeout=0.1,launch=0.05,lost=0.02,dead=0.01;
                                     kind@device=rate overrides one device,
-                                    e.g. 'dead@RTX 2080 Ti=1.0'
+                                    e.g. 'dead@RTX 2080 Ti=1.0'; artifact
+                                    faults damage the saved artifact bundle
+                                    before loading: artifact_corrupt_at=N,
+                                    artifact_truncate_at=N,
+                                    artifact_version_bump=1, artifact_delete=1
+                                    (the run then completes degraded on the
+                                    fallback ladders, never aborts)
     --fault-seed <n>                fault stream seed          default: 0
     --pool-policy <spec>            fleet health thresholds, e.g.
                                     quarantine=3,probes=5,probe_cost=0.5
@@ -352,8 +366,9 @@ fn settle_unjournaled(control: &RunControl, outcome: TuningOutcome, device_dead:
         .flatten()
         .reduce(f64::min)
         .map(|tightest| tightest - outcome.gpu_seconds);
+    let component_fallback = outcome.health.as_ref().is_some_and(HealthReport::any_degraded);
     SupervisedOutcome {
-        status: CellStatus::settle(control.cancel.reason(), device_dead),
+        status: CellStatus::settle_with_health(control.cancel.reason(), device_dead, component_fallback),
         deadline_slack_s,
         outcome,
     }
@@ -372,6 +387,7 @@ fn cell_report(cell: String, device: &str, supervised: &SupervisedOutcome, quara
         gpu_seconds: supervised.outcome.gpu_seconds,
         best_gflops: supervised.outcome.best_gflops,
         deadline_slack_s: supervised.deadline_slack_s,
+        health: supervised.outcome.health.clone(),
     }
 }
 
@@ -389,6 +405,7 @@ fn empty_cell_report(cell: String, device: &str, status: CellStatus) -> CellRepo
         gpu_seconds: 0.0,
         best_gflops: 0.0,
         deadline_slack_s: None,
+        health: None,
     }
 }
 
@@ -501,11 +518,31 @@ fn parse_tune_options(args: &[String]) -> Result<TuneOptions, String> {
     })
 }
 
-fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtifacts, String> {
+/// Resolves the Glimpse artifact bundle for a tune run. A damaged, drifted,
+/// or missing bundle never aborts the campaign: the load degrades into a
+/// fallback [`HealthReport`] and the tuner runs its ladders. Armed artifact
+/// faults (chaos testing) are applied to the saved bundle before it is read
+/// back, and suppress retraining so the injected damage is what gets loaded.
+fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<ResolvedArtifacts, String> {
     if let Some(path) = &options.artifacts_path {
-        if path.exists() {
+        let faults = options.run.faults.artifact_faults();
+        if faults.any() {
+            faults
+                .apply(path)
+                .map_err(|e| format!("injecting artifact faults into {}: {e}", path.display()))?;
+            eprintln!("artifact faults applied to {}", path.display());
+        }
+        if path.exists() || faults.any() {
             eprintln!("loading artifacts from {}", path.display());
-            return GlimpseArtifacts::load(path).map_err(|e| e.to_string());
+            let resolved = ResolvedArtifacts::load(path);
+            if resolved.health.any_degraded() {
+                eprintln!(
+                    "artifact bundle at {} is unusable; running fallbacks for: {}",
+                    path.display(),
+                    resolved.health.degraded_names().join(", ")
+                );
+            }
+            return Ok(resolved);
         }
     }
     let training = if options.full_training {
@@ -523,7 +560,7 @@ fn obtain_artifacts(gpu: &GpuSpec, options: &TuneOptions) -> Result<GlimpseArtif
         artifacts.save(path).map_err(|e| e.to_string())?;
         eprintln!("saved artifacts to {}", path.display());
     }
-    Ok(artifacts)
+    Ok(ResolvedArtifacts::healthy(artifacts))
 }
 
 /// `glimpse tune <model> <gpu> [options]`
@@ -538,6 +575,9 @@ pub fn tune(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
+    // The resolved ladder rungs go into every cell's journal header, so a
+    // --resume under a different degradation state is a typed refusal.
+    let rungs: Vec<(String, u8)> = artifacts.as_ref().map(|r| r.health.rung_fingerprint()).unwrap_or_default();
 
     let tasks: Vec<usize> = match options.task {
         Some(i) if i < model.tasks().len() => vec![i],
@@ -577,7 +617,8 @@ pub fn tune(args: &[String]) -> Result<(), String> {
             let spec = CheckpointSpec::new(&cell)
                 .resuming(options.run.resume)
                 .with_storage(options.run.faults.storage_faults())
-                .with_faults(options.run.faults.seed, options.run.faults.rates_for(&gpu.name));
+                .with_faults(options.run.faults.seed, options.run.faults.rates_for(&gpu.name))
+                .with_rungs(&rungs);
             let mut tuner = build_tuner(&options.tuner, artifacts.as_ref(), gpu)?;
             run_supervised(&mut *tuner, &spec, task, &space, &mut measurer, budget, 7, &control).map_err(|e| e.to_string())?
         } else {
@@ -626,9 +667,12 @@ pub fn tune(args: &[String]) -> Result<(), String> {
     finish_campaign(&report, &options.run, &resume_hint)
 }
 
-fn build_tuner<'a>(tuner: &str, artifacts: Option<&'a GlimpseArtifacts>, gpu: &'a GpuSpec) -> Result<Box<dyn Tuner + 'a>, String> {
+fn build_tuner<'a>(tuner: &str, artifacts: Option<&'a ResolvedArtifacts>, gpu: &'a GpuSpec) -> Result<Box<dyn Tuner + 'a>, String> {
     Ok(match tuner {
-        "glimpse" => Box::new(GlimpseTuner::new(artifacts.expect("artifacts built"), gpu)),
+        "glimpse" => {
+            let resolved = artifacts.ok_or("the glimpse tuner needs resolved artifacts")?;
+            Box::new(GlimpseTuner::from_resolved(resolved, gpu, GlimpseConfig::default()))
+        }
         "autotvm" => Box::new(AutoTvmTuner::new()),
         "chameleon" => Box::new(ChameleonTuner::new()),
         "dgp" => Box::new(DgpTuner::new()),
@@ -638,8 +682,149 @@ fn build_tuner<'a>(tuner: &str, artifacts: Option<&'a GlimpseArtifacts>, gpu: &'
     })
 }
 
-fn run_tuner(tuner: &str, artifacts: Option<&GlimpseArtifacts>, gpu: &GpuSpec, ctx: TuneContext<'_>) -> Result<TuningOutcome, String> {
+fn run_tuner(tuner: &str, artifacts: Option<&ResolvedArtifacts>, gpu: &GpuSpec, ctx: TuneContext<'_>) -> Result<TuningOutcome, String> {
     Ok(build_tuner(tuner, artifacts, gpu)?.tune(ctx))
+}
+
+/// Every envelope spec the current build writes; doctor verifies each file
+/// against the spec its own header names.
+const KNOWN_ENVELOPES: [EnvelopeSpec; 5] = [
+    ARTIFACTS_ENVELOPE,
+    CORPUS_ENVELOPE,
+    TUNING_LOG_ENVELOPE,
+    CALIBRATION_ENVELOPE,
+    snapshot::SPEC_DB_ENVELOPE,
+];
+
+/// Recursively lists every regular file under `dir`.
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(&path, out)?;
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Whether `bytes` claim to be an artifact envelope: either the header
+/// sniffs, or the leading bytes are a prefix of the magic token (a file
+/// truncated inside its own header still gets diagnosed, while journals,
+/// reports, and other JSON are skipped).
+fn looks_enveloped(bytes: &[u8]) -> bool {
+    if envelope::sniff(bytes).is_ok() {
+        return true;
+    }
+    let take = bytes.len().min(envelope::MAGIC.len());
+    !bytes.is_empty() && bytes[..take] == envelope::MAGIC.as_bytes()[..take]
+}
+
+/// Diagnoses one enveloped file: the `kind vN` label from its header (or a
+/// placeholder when the header itself is gone) and the integrity verdict
+/// against the spec that kind implies.
+fn diagnose_envelope(path: &Path, bytes: &[u8]) -> (String, Integrity) {
+    match envelope::sniff(bytes) {
+        Ok(header) => {
+            let label = header.label();
+            let verdict = match KNOWN_ENVELOPES.iter().find(|spec| spec.kind == header.kind) {
+                Some(spec) if spec.kind == ARTIFACTS_ENVELOPE.kind => GlimpseArtifacts::verify(path),
+                Some(spec) if spec.kind == snapshot::SPEC_DB_ENVELOPE.kind => snapshot::verify_snapshot(path),
+                Some(spec) => envelope::verify_file(path, *spec),
+                None => Integrity::SchemaDrift {
+                    found: label.clone(),
+                    expected: "a known glimpse artifact kind".into(),
+                },
+            };
+            (label, verdict)
+        }
+        Err(verdict) => ("unidentified".into(), verdict),
+    }
+}
+
+/// Prints the component health table a bundle verdict resolves to, one row
+/// per learned component with its ladder rung and cause.
+fn print_health_table(verdict: &Integrity) {
+    let health = if verdict.is_intact() {
+        HealthReport::healthy()
+    } else {
+        HealthReport::all_degraded(&cause_of(verdict))
+    };
+    println!("\n{:<18} {:>4}  {:<26} cause", "component", "rung", "mode");
+    for row in &health.components {
+        println!(
+            "{:<18} {:>4}  {:<26} {}",
+            row.component.name(),
+            row.rung,
+            row.rung_label(),
+            row.health.cause().map_or_else(|| "-".into(), ToString::to_string)
+        );
+    }
+}
+
+/// `glimpse doctor <dir>` — walks a directory, verifies every artifact
+/// envelope against its own header's kind, prints the per-component health
+/// table the artifact bundle resolves to, and returns an error (nonzero
+/// exit, via `main`) when any artifact is not intact.
+pub fn doctor(args: &[String]) -> Result<(), String> {
+    let root = PathBuf::from(args.first().ok_or("usage: glimpse doctor <dir>")?);
+    if !root.is_dir() {
+        return Err(format!("{} is not a directory", root.display()));
+    }
+    let mut files = Vec::new();
+    collect_files(&root, &mut files)?;
+    files.sort();
+    let mut scanned = 0usize;
+    let mut damaged = 0usize;
+    let mut bundle_verdict: Option<Integrity> = None;
+    println!("{:<44} {:<18} verdict", "artifact", "envelope");
+    for path in &files {
+        let shown = path.strip_prefix(&root).unwrap_or(path);
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                scanned += 1;
+                damaged += 1;
+                println!(
+                    "{:<44} {:<18} {}",
+                    shown.display(),
+                    "unreadable",
+                    Integrity::Unreadable { detail: e.to_string() }
+                );
+                continue;
+            }
+        };
+        if !looks_enveloped(&bytes) {
+            continue;
+        }
+        let (label, verdict) = diagnose_envelope(path, &bytes);
+        scanned += 1;
+        if !verdict.is_intact() {
+            damaged += 1;
+        }
+        // The component table reflects the worst artifacts-bundle verdict.
+        if label.starts_with(ARTIFACTS_ENVELOPE.kind) && bundle_verdict.as_ref().is_none_or(Integrity::is_intact) {
+            bundle_verdict = Some(verdict.clone());
+        }
+        println!("{:<44} {:<18} {}", shown.display(), label, verdict);
+    }
+    if scanned == 0 {
+        println!("(no artifact envelopes found)");
+    }
+    if let Some(verdict) = &bundle_verdict {
+        print_health_table(verdict);
+    }
+    if damaged > 0 {
+        return Err(format!(
+            "doctor: {damaged} of {scanned} artifact(s) damaged under {}",
+            root.display()
+        ));
+    }
+    println!("\ndoctor: all {scanned} artifact(s) intact under {}", root.display());
+    Ok(())
 }
 
 #[derive(Debug)]
@@ -957,7 +1142,7 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for cmd in ["gpus", "models", "blueprint", "sheet", "sweep", "tune", "experiment"] {
+        for cmd in ["gpus", "models", "blueprint", "sheet", "sweep", "doctor", "tune", "experiment"] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
     }
@@ -1074,6 +1259,75 @@ mod tests {
         // With --resume the completed cell is served from complete.json.
         let resume_args: Vec<String> = args.iter().cloned().chain(["--resume".to_owned()]).collect();
         tune(&resume_args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn doctor_passes_clean_dirs_and_fails_damaged_ones() {
+        let dir = std::env::temp_dir().join("glimpse-cli-doctor-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // An intact corpus envelope next to a plain JSON report (skipped).
+        envelope::write_envelope(&dir.join("corpus.bin"), CORPUS_ENVELOPE, b"{\"rows\":[]}").unwrap();
+        atomic_write(&dir.join("degradation.json"), b"{\"cells\":[]}").unwrap();
+        doctor(&[dir.display().to_string()]).unwrap();
+        // A flipped payload byte must fail doctor with a damage count.
+        let mut bytes = std::fs::read(dir.join("corpus.bin")).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        atomic_write(&dir.join("corpus.bin"), &bytes).unwrap();
+        let err = doctor(&[dir.display().to_string()]).unwrap_err();
+        assert!(err.contains("damaged"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn doctor_rejects_missing_directories() {
+        assert!(doctor(&["/nonexistent/glimpse-doctor".to_owned()]).is_err());
+        assert!(doctor(&[]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn tune_with_a_lost_artifact_bundle_completes_degraded() {
+        let dir = std::env::temp_dir().join("glimpse-cli-artifact-chaos-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let artifacts = dir.join("artifacts.json");
+        // artifact_delete arms the chaos path: the bundle counts as lost
+        // (never retrained), every ladder falls to its rung-1 mode, and the
+        // cell still completes — degraded, with the components named.
+        let base = [
+            "alexnet",
+            "Titan Xp",
+            "--tuner",
+            "glimpse",
+            "--budget",
+            "6",
+            "--task",
+            "2",
+            "--fault-plan",
+            "artifact_delete=1",
+            "--artifacts",
+        ];
+        let args: Vec<String> = base
+            .iter()
+            .map(|s| (*s).to_owned())
+            .chain([
+                artifacts.display().to_string(),
+                "--checkpoint-dir".to_owned(),
+                dir.display().to_string(),
+            ])
+            .collect();
+        tune(&args).unwrap();
+        assert!(dir.join("task2").join("complete.json").exists());
+        let report = std::fs::read_to_string(dir.join("degradation.json")).unwrap();
+        assert!(report.contains("ComponentFallback"), "got: {report}");
+        assert!(report.contains("ArtifactMissing"), "got: {report}");
+        assert!(report.contains("CostModel"), "got: {report}");
+        // Resuming under the same rung set is accepted and stays complete.
+        let resume: Vec<String> = args.iter().cloned().chain(["--resume".to_owned()]).collect();
+        tune(&resume).unwrap();
+        let report = std::fs::read_to_string(dir.join("degradation.json")).unwrap();
+        assert!(report.contains("ComponentFallback"), "got: {report}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -6,6 +6,7 @@
 //! glimpse blueprint <gpu>           embed a GPU and explain the embedding
 //! glimpse sheet <file>              parse a textual data sheet
 //! glimpse sweep                     Blueprint size vs information loss
+//! glimpse doctor <dir>              verify artifact envelopes, print health
 //! glimpse tune <model> <gpu> [opts] tune a model (or one task) on a GPU
 //!   --tuner <glimpse|autotvm|chameleon|dgp|random|genetic>   (default glimpse)
 //!   --budget <n>                    measurements per task     (default 128)
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         Some("blueprint") => commands::blueprint(&args[1..]),
         Some("sheet") => commands::sheet(&args[1..]),
         Some("sweep") => commands::sweep(),
+        Some("doctor") => commands::doctor(&args[1..]),
         Some("tune") => commands::tune(&args[1..]),
         Some("experiment") => commands::experiment(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

@@ -11,12 +11,56 @@ use crate::acquisition::NeuralAcquisition;
 use crate::blueprint::{Blueprint, BlueprintCodec, CodecError};
 use crate::corpus::{self, CorpusEntry};
 use crate::prior::{PriorError, PriorNet};
+use glimpse_durable::envelope::{self, EnvelopeSpec, Integrity};
 use glimpse_gpu_spec::{database, GpuSpec};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::templates;
 use glimpse_tensor_prog::{Conv2dSpec, DenseSpec, TemplateKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Envelope identity of a persisted artifact bundle.
+pub const ARTIFACTS_ENVELOPE: EnvelopeSpec = EnvelopeSpec {
+    kind: "artifacts",
+    schema: 1,
+};
+
+/// Why a persisted artifact bundle failed to load. Total over arbitrary
+/// file contents — loading never panics, and every failure mode maps onto
+/// a fallback-ladder cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactLoadError {
+    /// The envelope did not verify (missing, truncated, checksum, drift).
+    Damaged(Integrity),
+    /// The envelope verified but the payload is not an artifact bundle.
+    Undecodable {
+        /// Decoder message.
+        detail: String,
+    },
+}
+
+impl ArtifactLoadError {
+    /// The envelope verdict, treating a verified-but-undecodable payload
+    /// as `Unreadable` (doctor's catch-all for semantic damage).
+    #[must_use]
+    pub fn integrity(&self) -> Integrity {
+        match self {
+            ArtifactLoadError::Damaged(verdict) => verdict.clone(),
+            ArtifactLoadError::Undecodable { detail } => Integrity::Unreadable { detail: detail.clone() },
+        }
+    }
+}
+
+impl fmt::Display for ArtifactLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactLoadError::Damaged(verdict) => write!(f, "artifact bundle damaged: {verdict}"),
+            ArtifactLoadError::Undecodable { detail } => write!(f, "artifact bundle undecodable: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactLoadError {}
 
 /// Error from the offline training pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,27 +217,41 @@ impl GlimpseArtifacts {
         })
     }
 
-    /// Persists the artifacts as JSON. The write is atomic (temp file +
-    /// fsync + rename): a crash mid-save leaves either the previous bundle
-    /// or the new one, never a torn file.
+    /// Persists the artifacts as JSON inside a CRC32-checksummed,
+    /// schema-versioned envelope ([`ARTIFACTS_ENVELOPE`]). The write is
+    /// atomic (temp file + fsync + rename): a crash mid-save leaves either
+    /// the previous bundle or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing `path`.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let text = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        glimpse_durable::atomic_write(path, text.as_bytes())
+        envelope::write_envelope(path, ARTIFACTS_ENVELOPE, text.as_bytes())
     }
 
-    /// Loads artifacts persisted by [`GlimpseArtifacts::save`].
+    /// Loads artifacts persisted by [`GlimpseArtifacts::save`], verifying
+    /// the envelope first. Total over arbitrary bytes: a torn, corrupted,
+    /// or drifted file is a typed [`ArtifactLoadError`], never a panic.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from reading `path`, or an
-    /// `InvalidData` error if the file is not a valid artifact bundle.
-    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
-        let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// [`ArtifactLoadError::Damaged`] when the envelope does not verify,
+    /// [`ArtifactLoadError::Undecodable`] when the verified payload is not
+    /// an artifact bundle.
+    pub fn load(path: &std::path::Path) -> Result<Self, ArtifactLoadError> {
+        let payload = envelope::read_envelope(path, ARTIFACTS_ENVELOPE).map_err(ArtifactLoadError::Damaged)?;
+        let text = std::str::from_utf8(&payload).map_err(|e| ArtifactLoadError::Undecodable { detail: e.to_string() })?;
+        serde_json::from_str(text).map_err(|e| ArtifactLoadError::Undecodable { detail: e.to_string() })
+    }
+
+    /// Classifies the artifact bundle at `path` for doctor output.
+    #[must_use]
+    pub fn verify(path: &std::path::Path) -> Integrity {
+        match Self::load(path) {
+            Ok(_) => Integrity::Intact,
+            Err(e) => e.integrity(),
+        }
     }
 
     /// Blueprint dimensionality.
@@ -287,11 +345,59 @@ mod tests {
 
     #[test]
     #[allow(clippy::disallowed_methods)] // hand-writes a corrupt fixture
-    fn load_rejects_garbage() {
+    fn load_rejects_garbage_with_typed_error() {
         let path = std::env::temp_dir().join("glimpse-artifacts-garbage.json");
         std::fs::write(&path, "not json").unwrap();
         let err = GlimpseArtifacts::load(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, ArtifactLoadError::Damaged(Integrity::Truncated { .. })), "{err:?}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_reports_missing_flipped_and_drifted_bundles() {
+        let dir = std::env::temp_dir().join(format!("glimpse-artifacts-verify-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifacts.json");
+        assert_eq!(
+            GlimpseArtifacts::load(&path).unwrap_err(),
+            ArtifactLoadError::Damaged(Integrity::Missing)
+        );
+
+        small_artifacts().save(&path).unwrap();
+        assert!(GlimpseArtifacts::verify(&path).is_intact());
+
+        // Flip one payload byte: checksum mismatch.
+        let clean = std::fs::read(&path).unwrap();
+        let mut bad = clean.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        glimpse_durable::atomic_write(&path, &bad).unwrap();
+        assert!(matches!(
+            GlimpseArtifacts::load(&path).unwrap_err(),
+            ArtifactLoadError::Damaged(Integrity::ChecksumMismatch { .. })
+        ));
+
+        // Bump the schema version in the header (CRC still valid): drift.
+        let header_end = clean.iter().position(|&b| b == b'\n').unwrap();
+        let header = String::from_utf8(clean[..header_end].to_vec()).unwrap();
+        let bumped = header.replace(" v1 ", " v2 ");
+        let mut drifted = bumped.into_bytes();
+        drifted.extend_from_slice(&clean[header_end..]);
+        glimpse_durable::atomic_write(&path, &drifted).unwrap();
+        match GlimpseArtifacts::load(&path).unwrap_err() {
+            ArtifactLoadError::Damaged(Integrity::SchemaDrift { found, expected }) => {
+                assert_eq!(found, "artifacts v2");
+                assert_eq!(expected, "artifacts v1");
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+
+        // Truncate mid-payload: truncated.
+        glimpse_durable::atomic_write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert!(matches!(
+            GlimpseArtifacts::load(&path).unwrap_err(),
+            ArtifactLoadError::Damaged(Integrity::Truncated { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,6 +23,26 @@ pub struct Blueprint {
 }
 
 impl Blueprint {
+    /// The codec's fallback-ladder bottom: the raw data-sheet feature
+    /// vector z-scored against the built-in GPU database, with no PCA
+    /// projection. Used when the fitted codec artifact is unusable — it
+    /// needs no trained state, and is a deterministic function of the spec
+    /// alone, so degraded runs stay byte-identically resumable.
+    ///
+    /// The dimensionality is the full feature width, not the codec's `k`;
+    /// components that require a codec-shaped embedding (prior,
+    /// acquisition, sampler) are disabled alongside a degraded codec, so
+    /// only dimension-agnostic consumers ever see this form.
+    #[must_use]
+    pub fn raw_normalized(gpu: &GpuSpec) -> Self {
+        let population: Vec<FeatureVector> = glimpse_gpu_spec::database::all().iter().map(FeatureVector::from_spec).collect();
+        let normalizer = Normalizer::fit(&population);
+        Self {
+            gpu: gpu.name.clone(),
+            values: normalizer.normalize(&FeatureVector::from_spec(gpu)),
+        }
+    }
+
     /// Embedding dimensionality.
     #[must_use]
     pub fn len(&self) -> usize {

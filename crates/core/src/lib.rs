@@ -51,6 +51,7 @@ pub mod artifacts;
 pub mod blueprint;
 pub mod corpus;
 pub mod explain;
+pub mod health;
 pub mod multi;
 pub mod prior;
 pub mod sampler;
@@ -58,5 +59,6 @@ pub mod tuner;
 
 pub use artifacts::GlimpseArtifacts;
 pub use blueprint::{Blueprint, BlueprintCodec};
+pub use health::ResolvedArtifacts;
 pub use sampler::EnsembleSampler;
 pub use tuner::{GlimpseConfig, GlimpseTuner};

@@ -14,14 +14,17 @@
 
 use crate::artifacts::GlimpseArtifacts;
 use crate::blueprint::Blueprint;
+use crate::health::ResolvedArtifacts;
 use crate::sampler::{EnsembleSampler, DEFAULT_MEMBERS, DEFAULT_TAU};
 use glimpse_gpu_spec::GpuSpec;
 use glimpse_mlkit::sa::{anneal_cancellable_in_place, SaParams};
 use glimpse_mlkit::stats::child_rng;
 use glimpse_space::Config;
+use glimpse_supervise::health::{Component, HealthCause, HealthReport};
 use glimpse_tuners::cost_model::GbtCostModel;
 use glimpse_tuners::{TuneContext, Tuner, TuningOutcome};
 use rand::Rng;
+use std::collections::BTreeMap;
 
 /// Glimpse hyperparameters and ablation switches.
 #[derive(Debug, Clone, Copy)]
@@ -66,11 +69,20 @@ impl Default for GlimpseConfig {
 }
 
 /// The Glimpse tuner for one target GPU.
+///
+/// Always runnable: built from intact artifacts it runs every learned
+/// component on rung 0; built via [`GlimpseTuner::from_resolved`] over a
+/// damaged or missing bundle it walks each component down its fallback
+/// ladder (uniform initial sampling, plain SA energy, validity-check-only
+/// sampling, rank-by-measured-history cost model) and records why in its
+/// [`HealthReport`]. Every rung is a deterministic function of
+/// (seed, history), preserving the byte-identical-resume contract.
 #[derive(Debug, Clone)]
 pub struct GlimpseTuner<'a> {
-    artifacts: &'a GlimpseArtifacts,
+    artifacts: Option<&'a GlimpseArtifacts>,
     blueprint: Blueprint,
-    sampler: EnsembleSampler,
+    sampler: Option<EnsembleSampler>,
+    health: HealthReport,
     config: GlimpseConfig,
 }
 
@@ -84,12 +96,43 @@ impl<'a> GlimpseTuner<'a> {
     /// Builds the tuner with explicit hyperparameters.
     #[must_use]
     pub fn with_config(artifacts: &'a GlimpseArtifacts, target: &GpuSpec, config: GlimpseConfig) -> Self {
-        let blueprint = artifacts.encode(target);
-        let sampler = EnsembleSampler::from_blueprint(&artifacts.codec, &blueprint, config.ensemble_members, config.tau);
+        Self::build(Some(artifacts), HealthReport::healthy(), target, config)
+    }
+
+    /// Builds the tuner from a (possibly degraded) artifact resolution;
+    /// each component runs the rung the resolution settled on.
+    #[must_use]
+    pub fn from_resolved(resolved: &'a ResolvedArtifacts, target: &GpuSpec, config: GlimpseConfig) -> Self {
+        Self::build(resolved.artifacts.as_ref(), resolved.health.clone(), target, config)
+    }
+
+    fn build(artifacts: Option<&'a GlimpseArtifacts>, mut health: HealthReport, target: &GpuSpec, config: GlimpseConfig) -> Self {
+        // A resolution claiming rung 0 without a bundle to back it cannot
+        // be honored — demote everything rather than panic.
+        if artifacts.is_none() && !health.any_degraded() {
+            health = HealthReport::all_degraded(&HealthCause::ArtifactMissing);
+        }
+        let codec_healthy = health.rung(Component::BlueprintCodec) == 0;
+        let blueprint = match artifacts {
+            Some(artifacts) if codec_healthy => artifacts.encode(target),
+            _ => Blueprint::raw_normalized(target),
+        };
+        // The threshold ensemble is generated from the codec's decode path,
+        // so it needs both its own rung 0 and a healthy codec.
+        let sampler = match artifacts {
+            Some(artifacts) if codec_healthy && health.rung(Component::Sampler) == 0 => Some(EnsembleSampler::from_blueprint(
+                &artifacts.codec,
+                &blueprint,
+                config.ensemble_members,
+                config.tau,
+            )),
+            _ => None,
+        };
         Self {
             artifacts,
             blueprint,
             sampler,
+            health,
             config,
         }
     }
@@ -100,11 +143,33 @@ impl<'a> GlimpseTuner<'a> {
         &self.blueprint
     }
 
-    /// The generated sampler ensemble.
+    /// The generated sampler ensemble (`None` when the sampler or codec is
+    /// off rung 0: the simulator's validity check is the only guard).
     #[must_use]
-    pub fn sampler(&self) -> &EnsembleSampler {
-        &self.sampler
+    pub fn sampler(&self) -> Option<&EnsembleSampler> {
+        self.sampler.as_ref()
     }
+
+    /// The component-health resolution this tuner runs under.
+    #[must_use]
+    pub fn health(&self) -> &HealthReport {
+        &self.health
+    }
+
+    /// Whether the prior net is usable on this run (rung 0 + bundle).
+    fn prior_available(&self) -> bool {
+        self.config.use_prior && self.artifacts.is_some() && self.health.rung(Component::Prior) == 0
+    }
+}
+
+/// Rank-by-measured-history energy: the cost-model ladder bottom. Scores
+/// a measured configuration by its normalized throughput and an unmeasured
+/// one at zero, so annealing climbs toward (and explores around) the best
+/// regions evidence already supports — a deterministic function of the
+/// history alone, with no trained state to lose.
+fn history_rank_energy(pairs: &[(&Config, f64)]) -> BTreeMap<Vec<usize>, f64> {
+    let best = pairs.iter().map(|(_, g)| *g).fold(0.0f64, f64::max).max(1.0);
+    pairs.iter().map(|(c, g)| (c.indices().to_vec(), g / best)).collect()
 }
 
 impl Tuner for GlimpseTuner<'_> {
@@ -115,24 +180,36 @@ impl Tuner for GlimpseTuner<'_> {
     fn tune(&mut self, mut ctx: TuneContext<'_>) -> TuningOutcome {
         let mut rng = child_rng(ctx.seed, 0x0911_A95E);
         let template = ctx.space.template();
-        let prior = self.artifacts.prior(template);
-        let acquisition = self.artifacts.acquisition(template);
         let total_budget = ctx.budget.max_measurements.max(1);
         // Validate the (disk-loaded) prior against the live space once; a
-        // layout mismatch degrades to uniform sampling instead of panicking
-        // mid-search.
-        let use_prior = self.config.use_prior && prior.prior_weights(ctx.space, &self.blueprint).is_ok();
+        // layout mismatch degrades to uniform sampling — demoting the
+        // component's health — instead of panicking mid-search.
+        let prior = match self.artifacts.map(|a| a.prior(template)) {
+            Some(p) if self.prior_available() => match p.prior_weights(ctx.space, &self.blueprint) {
+                Ok(_) => Some(p),
+                Err(err) => {
+                    self.health
+                        .demote(Component::Prior, 1, HealthCause::ValidationFailed { detail: err.to_string() });
+                    None
+                }
+            },
+            _ => None,
+        };
+        let acquisition = self
+            .artifacts
+            .filter(|_| self.config.use_acquisition && self.health.rung(Component::Acquisition) == 0)
+            .map(|a| a.acquisition(template));
+        let sampler = if self.config.use_sampler { self.sampler.as_ref() } else { None };
 
         // Initial batch from the prior distributions (Algorithm 1, line 1),
         // filtered by the hardware-aware sampler.
-        let initial: Vec<Config> = if use_prior {
+        let initial: Vec<Config> = if let Some(prior) = prior {
             let raw = prior
                 .sample_initial(ctx.space, &self.blueprint, self.config.n_init * 3, &mut rng)
                 .unwrap_or_default();
-            let mut filtered = if self.config.use_sampler {
-                self.sampler.filter(ctx.space, raw)
-            } else {
-                raw
+            let mut filtered = match sampler {
+                Some(sampler) => sampler.filter(ctx.space, raw),
+                None => raw,
             };
             filtered.truncate(self.config.n_init);
             let mut attempts = 0;
@@ -142,7 +219,7 @@ impl Tuner for GlimpseTuner<'_> {
                 for config in extra {
                     if filtered.len() < self.config.n_init
                         && !filtered.contains(&config)
-                        && (!self.config.use_sampler || self.sampler.accept(ctx.space, &config))
+                        && sampler.is_none_or(|s| s.accept(ctx.space, &config))
                     {
                         filtered.push(config);
                     }
@@ -154,20 +231,29 @@ impl Tuner for GlimpseTuner<'_> {
         };
         ctx.measure_batch(&initial);
 
-        let mut model = GbtCostModel::new(ctx.seed ^ 0x91);
+        // Cost-model ladder: rung 0 trains the GBT surrogate online; rung 1
+        // ranks by measured history only (nothing trained, nothing to lose).
+        let mut model = (self.health.rung(Component::CostModel) == 0).then(|| GbtCostModel::new(ctx.seed ^ 0x91));
         // A cancelled SA round is discarded whole, so supervision never
         // perturbs the journal.
         let cancel = ctx.cancel_token();
         while !ctx.exhausted() {
-            model.fit(ctx.space, ctx.history());
+            if let Some(model) = model.as_mut() {
+                model.fit(ctx.space, ctx.history());
+            }
             let t_frac = ctx.history().len() as f64 / total_budget as f64;
 
             // Chain starts: incumbents + fresh prior samples (the prior keeps
             // proposing plausible regions even mid-run).
             let mut ranked = ctx.history().valid_pairs();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let history_ranks = if model.is_none() {
+                Some(history_rank_energy(&ranked))
+            } else {
+                None
+            };
             let mut starts: Vec<Config> = ranked.iter().map(|(c, _)| (*c).clone()).take(self.config.sa_chains / 2).collect();
-            if use_prior {
+            if let Some(prior) = prior {
                 starts.extend(
                     prior
                         .sample_initial(ctx.space, &self.blueprint, self.config.sa_chains - starts.len(), &mut rng)
@@ -180,7 +266,6 @@ impl Tuner for GlimpseTuner<'_> {
 
             let space = ctx.space;
             let blueprint = &self.blueprint;
-            let use_acq = self.config.use_acquisition;
             // Early in the run the meta-learned, Blueprint-conditioned
             // acquisition carries most of the signal; as local evidence
             // accumulates the online surrogate becomes the sharper guide.
@@ -193,8 +278,12 @@ impl Tuner for GlimpseTuner<'_> {
             // lattice work when both are on.
             let energy = |c: &Config| {
                 let f = space.features(c);
-                let mu = model.predict_features(&f);
-                if use_acq {
+                let mu = match (&model, &history_ranks) {
+                    (Some(model), _) => model.predict_features(&f),
+                    (None, Some(ranks)) => ranks.get(c.indices()).copied().unwrap_or(0.0),
+                    (None, None) => 0.0,
+                };
+                if let Some(acquisition) = acquisition {
                     let acq = acquisition.score_features(&f, mu, t_frac, blueprint);
                     (1.0 - exploit) * acq + exploit * mu
                 } else {
@@ -230,7 +319,7 @@ impl Tuner for GlimpseTuner<'_> {
                     break;
                 }
                 let fresh = !ctx.seen(&config) && !batch.contains(&config);
-                let accepted = !self.config.use_sampler || self.sampler.accept(space, &config);
+                let accepted = sampler.is_none_or(|s| s.accept(space, &config));
                 if fresh && accepted {
                     batch.push(config);
                 }
@@ -239,7 +328,7 @@ impl Tuner for GlimpseTuner<'_> {
             let mut attempts = 0;
             while batch.len() < self.config.batch_size && attempts < 300 {
                 attempts += 1;
-                let config = if use_prior {
+                let config = if let Some(prior) = prior {
                     prior
                         .sample_initial(space, blueprint, 2, &mut rng)
                         .ok()
@@ -249,7 +338,7 @@ impl Tuner for GlimpseTuner<'_> {
                     space.sample_uniform(&mut rng)
                 };
                 let fresh = !ctx.seen(&config) && !batch.contains(&config);
-                let accepted = !self.config.use_sampler || self.sampler.accept(space, &config);
+                let accepted = sampler.is_none_or(|s| s.accept(space, &config));
                 if fresh && accepted {
                     batch.push(config);
                 }
@@ -260,7 +349,8 @@ impl Tuner for GlimpseTuner<'_> {
             ctx.measure_batch(&batch);
         }
         let mut outcome = ctx.finish(self.name());
-        outcome.surrogate = Some(model.lifecycle());
+        outcome.surrogate = model.as_ref().map(GbtCostModel::lifecycle);
+        outcome.health = Some(self.health.clone());
         outcome
     }
 }
@@ -364,6 +454,74 @@ mod tests {
         let target = database::find("RTX 2080 Ti").unwrap();
         let tuner = GlimpseTuner::new(artifacts(), target);
         assert_eq!(tuner.blueprint().len(), artifacts().blueprint_dim());
-        assert_eq!(tuner.sampler().len(), DEFAULT_MEMBERS);
+        assert_eq!(tuner.sampler().expect("healthy run builds the ensemble").len(), DEFAULT_MEMBERS);
+        assert!(!tuner.health().any_degraded());
+    }
+
+    fn run_resolved(resolved: &crate::health::ResolvedArtifacts, budget: usize, seed: u64) -> TuningOutcome {
+        let target = database::find("RTX 2080 Ti").unwrap();
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let mut measurer = Measurer::new(target.clone(), seed);
+        let ctx = TuneContext::new(task, &space, &mut measurer, Budget::measurements(budget), seed);
+        GlimpseTuner::from_resolved(resolved, target, GlimpseConfig::default()).tune(ctx)
+    }
+
+    #[test]
+    fn fully_degraded_tuner_still_completes_with_health_attached() {
+        use glimpse_supervise::health::HealthCause;
+        let resolved = crate::health::ResolvedArtifacts::fallback(HealthCause::ChecksumMismatch);
+        let outcome = run_resolved(&resolved, 48, 5);
+        assert_eq!(outcome.tuner, "Glimpse");
+        assert_eq!(outcome.measurements, 48, "degraded runs consume the full budget");
+        assert!(outcome.best_gflops > 0.0);
+        assert!(outcome.surrogate.is_none(), "rung-1 cost model trains no surrogate");
+        let health = outcome.health.expect("health is always attached");
+        assert!(health.any_degraded());
+        assert_eq!(health.degraded_names().len(), 5);
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic_functions_of_seed_and_history() {
+        use glimpse_supervise::health::HealthCause;
+        for cause in [HealthCause::ArtifactMissing, HealthCause::Truncated] {
+            let resolved = crate::health::ResolvedArtifacts::fallback(cause);
+            let a = run_resolved(&resolved, 32, 6);
+            let b = run_resolved(&resolved, 32, 6);
+            assert_eq!(a, b, "same seed + same rungs must reproduce bit-identically");
+        }
+    }
+
+    #[test]
+    fn single_component_injection_degrades_only_that_ladder() {
+        use glimpse_supervise::health::Component;
+        let resolved = crate::health::ResolvedArtifacts::healthy(artifacts().clone()).with_injected(Component::CostModel);
+        let outcome = run_resolved(&resolved, 32, 7);
+        assert_eq!(outcome.measurements, 32);
+        assert!(outcome.surrogate.is_none(), "injected cost-model fault switches to history-rank");
+        let health = outcome.health.expect("health attached");
+        assert_eq!(health.degraded_names(), vec!["cost-model"]);
+
+        // A sampler-only injection keeps the surrogate but drops the ensemble.
+        let resolved = crate::health::ResolvedArtifacts::healthy(artifacts().clone()).with_injected(Component::Sampler);
+        let target = database::find("RTX 2080 Ti").unwrap();
+        let tuner = GlimpseTuner::from_resolved(&resolved, target, GlimpseConfig::default());
+        assert!(tuner.sampler().is_none());
+        assert_eq!(tuner.blueprint().len(), artifacts().blueprint_dim(), "codec stays on rung 0");
+    }
+
+    #[test]
+    fn degraded_codec_falls_back_to_raw_normalized_features() {
+        use glimpse_supervise::health::Component;
+        let resolved = crate::health::ResolvedArtifacts::healthy(artifacts().clone()).with_injected(Component::BlueprintCodec);
+        let target = database::find("RTX 2080 Ti").unwrap();
+        let tuner = GlimpseTuner::from_resolved(&resolved, target, GlimpseConfig::default());
+        assert_eq!(
+            tuner.blueprint().len(),
+            glimpse_gpu_spec::features::FEATURE_COUNT,
+            "ladder bottom embeds the full feature width"
+        );
+        assert!(tuner.sampler().is_none(), "the ensemble needs a healthy codec");
     }
 }

@@ -14,6 +14,9 @@
 //! * [`wal`] — an append-only write-ahead log of length-prefixed,
 //!   checksummed, sequence-numbered frames whose recovery path tolerates a
 //!   truncated tail and a corrupted trailing record (lossy-tail recovery).
+//! * [`envelope`] — the CRC32-checksummed, schema-versioned wrapper every
+//!   saved artifact (priors, corpus, tuning logs, calibration, spec-DB
+//!   snapshots) travels in, with a panic-free typed verify-on-load.
 //!
 //! This crate sits at the bottom of the workspace DAG (no `glimpse_*`
 //! dependencies) so every layer — `space` log files, `core` artifacts,
@@ -21,11 +24,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod envelope;
 pub mod wal;
 
 use std::io::Write;
 use std::path::Path;
 
+pub use envelope::{read_envelope, write_envelope, EnvelopeSpec, Integrity};
 pub use wal::{open_for_append, open_for_append_at, recover, scan, Recovery, Tail, WalFrame, WalWriter};
 
 /// CRC-32 lookup table (IEEE 802.3 polynomial, reflected form).

@@ -104,9 +104,15 @@ pub fn parse_sheet(text: &str) -> Result<GpuSpec, ParseSheetError> {
             .ok_or_else(|| ParseSheetError::general(format!("missing required key {key:?}")))
     };
     let num = |key: &str| -> Result<f64, ParseSheetError> {
-        take(key)?
+        let value = take(key)?
             .parse::<f64>()
-            .map_err(|_| ParseSheetError::general(format!("{key:?} is not a number")))
+            .map_err(|_| ParseSheetError::general(format!("{key:?} is not a number")))?;
+        // `f64::parse` happily accepts "NaN" and "inf"; one such field
+        // poisons every derived quantity and blueprint PCA downstream.
+        if !value.is_finite() {
+            return Err(ParseSheetError::general(format!("{key:?} must be finite, got {value}")));
+        }
+        Ok(value)
     };
     let int = |key: &str| -> Result<u32, ParseSheetError> {
         take(key)?
@@ -125,9 +131,7 @@ pub fn parse_sheet(text: &str) -> Result<GpuSpec, ParseSheetError> {
     let boost = num("boost_clock_mhz")?;
     let derived_gflops = 2.0 * f64::from(sm_count * cores_per_sm) * boost / 1000.0;
     let fp32_gflops = match fields.get("fp32_gflops") {
-        Some(v) => v
-            .parse::<f64>()
-            .map_err(|_| ParseSheetError::general("\"fp32_gflops\" is not a number"))?,
+        Some(_) => num("fp32_gflops")?,
         None => derived_gflops,
     };
 
@@ -241,6 +245,32 @@ tdp_w: 200
         let text = SHEET.replace("Ampere", "Hopper");
         let err = parse_sheet(&text).unwrap_err();
         assert!(err.to_string().contains("Hopper"));
+    }
+
+    #[test]
+    fn rejects_nan_and_infinite_numeric_fields() {
+        // "NaN" and "inf" parse as f64 values; the loader must refuse them
+        // with a typed error instead of poisoning PCA downstream.
+        for (key, bad) in [
+            ("base_clock_mhz: 1920", "base_clock_mhz: NaN"),
+            ("mem_bandwidth_gb_s: 504", "mem_bandwidth_gb_s: inf"),
+            ("mem_size_gib: 12", "mem_size_gib: -NaN"),
+            ("tdp_w: 200", "tdp_w: -inf"),
+        ] {
+            let text = SHEET.replace(key, bad);
+            let err = parse_sheet(&text).unwrap_err();
+            assert!(err.to_string().contains("finite"), "{bad}: {err}");
+        }
+        let text = format!("{SHEET}fp32_gflops: NaN\n");
+        assert!(parse_sheet(&text).unwrap_err().to_string().contains("finite"));
+    }
+
+    #[test]
+    fn rejects_negative_fields() {
+        let text = SHEET.replace("mem_size_gib: 12", "mem_size_gib: -12");
+        assert!(parse_sheet(&text).is_err());
+        let text = SHEET.replace("tdp_w: 200", "tdp_w: 0");
+        assert!(parse_sheet(&text).is_err());
     }
 
     #[test]

@@ -100,17 +100,44 @@ impl GpuSpec {
     /// # Errors
     ///
     /// Returns a [`SpecError`] describing the first violated invariant:
-    /// non-positive clocks/bandwidth, zero structural counts, a data-sheet
-    /// GFLOPS figure more than 25 % away from `2 × cores × boost clock`, or a
-    /// block shared-memory limit exceeding the per-SM pool.
+    /// a NaN/infinite/non-positive numeric field (every float here is a
+    /// divisor or PCA input downstream, so one NaN poisons the whole
+    /// blueprint), zero structural counts, clocks out of order, a
+    /// data-sheet GFLOPS figure more than 25 % away from
+    /// `2 × cores × boost clock`, or a block shared-memory limit exceeding
+    /// the per-SM pool.
     pub fn validate(&self) -> Result<(), SpecError> {
+        // Finite-and-positive sweep over every float field first: NaN
+        // compares false against thresholds, so the ordering checks below
+        // would silently pass a poisoned record.
+        for (field, value) in [
+            ("base_clock_mhz", self.base_clock_mhz),
+            ("boost_clock_mhz", self.boost_clock_mhz),
+            ("mem_bandwidth_gb_s", self.mem_bandwidth_gb_s),
+            ("mem_size_gib", self.mem_size_gib),
+            ("fp32_gflops", self.fp32_gflops),
+            ("tdp_w", self.tdp_w),
+        ] {
+            if !value.is_finite() {
+                return Err(SpecError::new(&self.name, &format!("{field} must be finite, got {value}")));
+            }
+            if value <= 0.0 {
+                return Err(SpecError::new(&self.name, &format!("{field} must be positive, got {value}")));
+            }
+        }
         if self.sm_count == 0 || self.cores_per_sm == 0 {
             return Err(SpecError::new(&self.name, "core counts must be positive"));
         }
-        if self.base_clock_mhz <= 0.0 || self.boost_clock_mhz < self.base_clock_mhz {
+        if self.l2_cache_kib == 0 || self.shared_mem_per_sm_kib == 0 || self.registers_per_sm == 0 {
+            return Err(SpecError::new(&self.name, "cache and register files must be positive"));
+        }
+        if self.max_threads_per_sm == 0 || self.max_threads_per_block == 0 || self.max_blocks_per_sm == 0 {
+            return Err(SpecError::new(&self.name, "occupancy limits must be positive"));
+        }
+        if self.boost_clock_mhz < self.base_clock_mhz {
             return Err(SpecError::new(&self.name, "clocks must satisfy 0 < base <= boost"));
         }
-        if self.mem_bandwidth_gb_s <= 0.0 || self.mem_bus_bits == 0 {
+        if self.mem_bus_bits == 0 {
             return Err(SpecError::new(&self.name, "memory system must be positive"));
         }
         if self.warp_size != 32 {
@@ -220,6 +247,48 @@ mod tests {
         let mut gpu = database::find("Titan Xp").unwrap().clone();
         gpu.max_shared_mem_per_block_kib = gpu.shared_mem_per_sm_kib + 1;
         assert!(gpu.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nan_and_non_finite_fields() {
+        // NaN compares false against every threshold, so these records used
+        // to validate silently and poison blueprint PCA downstream.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for field in 0..6 {
+                let mut gpu = database::find("Titan Xp").unwrap().clone();
+                match field {
+                    0 => gpu.base_clock_mhz = bad,
+                    1 => gpu.boost_clock_mhz = bad,
+                    2 => gpu.mem_bandwidth_gb_s = bad,
+                    3 => gpu.mem_size_gib = bad,
+                    4 => gpu.fp32_gflops = bad,
+                    _ => gpu.tdp_w = bad,
+                }
+                assert!(gpu.validate().is_err(), "{bad} in float field {field} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_negative_and_zero_division_prone_fields() {
+        let mut gpu = database::find("Titan Xp").unwrap().clone();
+        gpu.mem_size_gib = -11.0;
+        assert!(gpu.validate().is_err(), "negative memory size accepted");
+        let mut gpu = database::find("Titan Xp").unwrap().clone();
+        gpu.tdp_w = 0.0;
+        assert!(gpu.validate().is_err(), "zero TDP accepted (divides power features)");
+        let mut gpu = database::find("Titan Xp").unwrap().clone();
+        gpu.mem_bandwidth_gb_s = 0.0;
+        assert!(gpu.validate().is_err(), "zero bandwidth accepted (divides ridge point)");
+        let mut gpu = database::find("Titan Xp").unwrap().clone();
+        gpu.fp32_gflops = 0.0;
+        assert!(gpu.validate().is_err(), "zero GFLOPS accepted (divides relative gap)");
+        let mut gpu = database::find("Titan Xp").unwrap().clone();
+        gpu.max_threads_per_sm = 0;
+        assert!(gpu.validate().is_err(), "zero SM thread limit accepted (divides warp occupancy)");
+        let mut gpu = database::find("Titan Xp").unwrap().clone();
+        gpu.l2_cache_kib = 0;
+        assert!(gpu.validate().is_err(), "zero L2 accepted");
     }
 
     #[test]

@@ -529,7 +529,8 @@ fn attach_sinks(file: &SourceFile, fns: &mut [FnFact], spans: &[(usize, usize)])
         }
     }
     for f in fns {
-        f.sinks.sort_by(|a, b| (a.line, a.effect, &a.token).cmp(&(b.line, b.effect, &b.token)));
+        f.sinks
+            .sort_by(|a, b| (a.line, a.effect, &a.token).cmp(&(b.line, b.effect, &b.token)));
     }
 }
 

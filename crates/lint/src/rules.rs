@@ -160,7 +160,9 @@ const IO1_NEEDLES: &[&str] = &["fs::write", "File::create", "File::options", "Op
 const LAYERING: &[(&str, &[&str])] = &[
     ("supervise", &[]),
     ("durable", &[]),
-    ("gpu-spec", &[]),
+    // gpu-spec may use the durable envelope for spec-DB snapshots; durable
+    // is the DAG bottom, so the edge cannot create a cycle.
+    ("gpu-spec", &["durable"]),
     ("tensor-prog", &[]),
     ("space", &["durable", "tensor-prog"]),
     ("mlkit", &["supervise"]),

@@ -33,18 +33,19 @@ fn workspace_satisfies_every_invariant() {
 #[test]
 fn laundering_a_durable_write_is_caught_transitively() {
     // The IO2 acceptance scenario, run on an in-memory copy: swap the
-    // sanctioned `glimpse_durable::atomic_write` inside `GlimpseArtifacts::
-    // save` for a bare `std::fs::write`. IO1 flags the sink, IO2 flags the
-    // wrapper, and — the interprocedural part — IO2 also flags the CLI
-    // entry that only reaches the raw write through the `save` call, with
-    // the full multi-hop witness chain.
+    // sanctioned envelope write inside `GlimpseArtifacts::save` (which
+    // funnels into `glimpse_durable::atomic_write`) for a bare
+    // `std::fs::write`. IO1 flags the sink, IO2 flags the wrapper, and —
+    // the interprocedural part — IO2 also flags the CLI entry that only
+    // reaches the raw write through the `save` call, with the full
+    // multi-hop witness chain.
     let mut sources = glimpse_lint::engine::collect_workspace_sources(&workspace_root()).expect("workspace scan");
     let artifacts = sources
         .iter_mut()
         .find(|(path, _)| path == "crates/core/src/artifacts.rs")
         .expect("artifacts.rs present");
-    assert!(artifacts.1.contains("glimpse_durable::atomic_write("), "sanctioned write moved?");
-    artifacts.1 = artifacts.1.replace("glimpse_durable::atomic_write(", "std::fs::write(");
+    assert!(artifacts.1.contains("envelope::write_envelope("), "sanctioned write moved?");
+    artifacts.1 = artifacts.1.replace("envelope::write_envelope(", "std::fs::write(");
 
     let report = check_sources(&sources);
     let io2: Vec<_> = report.violations.iter().filter(|v| v.rule == "IO2").collect();

@@ -8,10 +8,14 @@
 //! who swap in their own measurement channels.
 
 use crate::measure::{Measurer, Outcome};
+use glimpse_durable::envelope::{self, EnvelopeSpec, Integrity};
 use glimpse_space::{Config, SearchSpace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
 
 /// Noise statistics of repeated measurements of one configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NoiseEstimate {
     /// Sample mean latency (seconds).
     pub mean_latency_s: f64,
@@ -53,6 +57,60 @@ pub fn estimate_noise(measurer: &mut Measurer, space: &SearchSpace, config: &Con
         log_sigma: var.sqrt(),
         samples: kept,
     }
+}
+
+/// Envelope identity of a persisted calibration snapshot.
+pub const CALIBRATION_ENVELOPE: EnvelopeSpec = EnvelopeSpec {
+    kind: "calibration",
+    schema: 1,
+};
+
+/// Why a calibration snapshot failed to load (total over arbitrary bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationLoadError {
+    /// The envelope did not verify (missing, truncated, checksum, drift).
+    Damaged(Integrity),
+    /// The envelope verified but the payload is not a noise estimate.
+    Undecodable {
+        /// Decoder message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CalibrationLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationLoadError::Damaged(verdict) => write!(f, "calibration snapshot damaged: {verdict}"),
+            CalibrationLoadError::Undecodable { detail } => write!(f, "calibration snapshot undecodable: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationLoadError {}
+
+/// Persists a noise estimate inside the artifact envelope, so a campaign
+/// can pin the calibration it sized its repeat counts against.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing `path`.
+pub fn save_estimate(path: &Path, estimate: &NoiseEstimate) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(estimate).map_err(std::io::Error::other)?;
+    envelope::write_envelope(path, CALIBRATION_ENVELOPE, text.as_bytes())
+}
+
+/// Loads a noise estimate persisted by [`save_estimate`], verifying the
+/// envelope first.
+///
+/// # Errors
+///
+/// [`CalibrationLoadError::Damaged`] when the envelope does not verify,
+/// [`CalibrationLoadError::Undecodable`] when the payload is not a noise
+/// estimate.
+pub fn load_estimate(path: &Path) -> Result<NoiseEstimate, CalibrationLoadError> {
+    let payload = envelope::read_envelope(path, CALIBRATION_ENVELOPE).map_err(CalibrationLoadError::Damaged)?;
+    let text = std::str::from_utf8(&payload).map_err(|e| CalibrationLoadError::Undecodable { detail: e.to_string() })?;
+    serde_json::from_str(text).map_err(|e| CalibrationLoadError::Undecodable { detail: e.to_string() })
 }
 
 /// Estimates the per-measurement overhead (seconds) by differencing the
@@ -121,6 +179,34 @@ mod tests {
         let configs = vec![config; 20];
         let overhead = estimate_overhead(&mut measurer, &space, &configs);
         assert!((overhead - VALID_OVERHEAD_S).abs() < 1e-6, "overhead {overhead}");
+    }
+
+    #[test]
+    fn calibration_snapshot_round_trips_and_damage_is_typed() {
+        let estimate = NoiseEstimate {
+            mean_latency_s: 1.5e-3,
+            log_sigma: 0.03,
+            samples: 20,
+        };
+        let dir = std::env::temp_dir().join(format!("glimpse-calibration-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("calibration.json");
+        save_estimate(&path, &estimate).unwrap();
+        assert_eq!(load_estimate(&path).unwrap(), estimate);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x08;
+        glimpse_durable::atomic_write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_estimate(&path).unwrap_err(),
+            CalibrationLoadError::Damaged(Integrity::ChecksumMismatch { .. })
+        ));
+        assert_eq!(
+            load_estimate(&dir.join("absent.json")).unwrap_err(),
+            CalibrationLoadError::Damaged(Integrity::Missing)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

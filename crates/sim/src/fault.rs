@@ -175,6 +175,86 @@ impl StorageFaults {
     }
 }
 
+/// Artifact-file fault injection for the degraded-mode chaos tier: damage
+/// a saved artifact (bundle, corpus, log, calibration, spec-DB snapshot)
+/// *before* a run loads it, so tests can assert the run completes on a
+/// fallback ladder rung instead of aborting. Like [`StorageFaults`] these
+/// are deterministic triggers, not probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ArtifactFaults {
+    /// XOR `0xFF` into the byte at this offset (clamped to the last byte),
+    /// producing a checksum mismatch on an enveloped artifact.
+    pub corrupt_at_byte: Option<u64>,
+    /// Keep only this many leading bytes of the file.
+    pub truncate_at_byte: Option<u64>,
+    /// Rewrite the envelope header's schema version to `v+1`, leaving the
+    /// payload and its CRC intact — pure schema drift. A file without a
+    /// parseable envelope header is left untouched.
+    pub version_bump: bool,
+    /// Remove the file entirely.
+    pub delete: bool,
+}
+
+impl ArtifactFaults {
+    /// No artifact faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any artifact fault is armed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.corrupt_at_byte.is_some() || self.truncate_at_byte.is_some() || self.version_bump || self.delete
+    }
+
+    /// Applies the armed faults to the file at `path` (atomic replace, so
+    /// the damaged artifact is itself a well-formed file on disk). A
+    /// missing file is a no-op — there is nothing left to damage — and
+    /// `delete` wins over the byte-level faults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from reading or rewriting the file.
+    pub fn apply(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if !self.any() {
+            return Ok(());
+        }
+        if self.delete {
+            return match std::fs::remove_file(path) {
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+                _ => Ok(()),
+            };
+        }
+        let mut bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if let Some(keep) = self.truncate_at_byte {
+            bytes.truncate(usize::try_from(keep).unwrap_or(usize::MAX).min(bytes.len()));
+        }
+        if let Some(at) = self.corrupt_at_byte {
+            if !bytes.is_empty() {
+                let at = usize::try_from(at).unwrap_or(usize::MAX).min(bytes.len() - 1);
+                bytes[at] ^= 0xFF;
+            }
+        }
+        if self.version_bump {
+            if let Ok(header) = glimpse_durable::envelope::sniff(&bytes) {
+                let old = format!("{} {} v{} ", glimpse_durable::envelope::MAGIC, header.kind, header.schema);
+                let new = format!("{} {} v{} ", glimpse_durable::envelope::MAGIC, header.kind, header.schema + 1);
+                if bytes.starts_with(old.as_bytes()) {
+                    let mut bumped = new.into_bytes();
+                    bumped.extend_from_slice(&bytes[old.len()..]);
+                    bytes = bumped;
+                }
+            }
+        }
+        glimpse_durable::atomic_write(path, &bytes)
+    }
+}
+
 /// A reproducible description of which faults a fleet suffers: one seed,
 /// fleet-wide default rates, and optional per-device overrides.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -194,6 +274,9 @@ pub struct FaultPlan {
     /// [`PoolPolicy::default`]. Optional for the same backward-compatibility
     /// reason as `storage`.
     pub pool: Option<PoolPolicy>,
+    /// Artifact-file fault triggers; `None` means none armed. Optional for
+    /// the same backward-compatibility reason as `storage`.
+    pub artifact: Option<ArtifactFaults>,
 }
 
 impl FaultPlan {
@@ -213,7 +296,22 @@ impl FaultPlan {
             per_device: HashMap::new(),
             storage: None,
             pool: None,
+            artifact: None,
         }
+    }
+
+    /// Arms the artifact-fault triggers (chaos tests; see
+    /// [`ArtifactFaults`]).
+    #[must_use]
+    pub fn with_artifact_faults(mut self, artifact: ArtifactFaults) -> Self {
+        self.artifact = Some(artifact);
+        self
+    }
+
+    /// Artifact-fault triggers in effect (defaults to none armed).
+    #[must_use]
+    pub fn artifact_faults(&self) -> ArtifactFaults {
+        self.artifact.unwrap_or_default()
     }
 
     /// Arms the storage-fault triggers (chaos tests; see [`StorageFaults`]).
@@ -277,7 +375,10 @@ impl FaultPlan {
     /// Parses a CLI rate spec like `timeout=0.1,launch=0.05,noise=0.1,lost=0.02,dead=0.01`
     /// into a uniform plan with seed 0 (set the seed separately). Storage
     /// triggers use integer sequence numbers: `crash_at=12`, `torn_at=12`,
-    /// `torn_keep=7`. A key of the form `kind@device` overrides one rate
+    /// `torn_keep=7`. Artifact triggers damage a saved artifact before it
+    /// is loaded: `artifact_corrupt_at=<byte>`, `artifact_truncate_at=<byte>`,
+    /// `artifact_version_bump=1`, `artifact_delete=1`.
+    /// A key of the form `kind@device` overrides one rate
     /// for one device — `dead@RTX 2080 Ti=1.0` kills that board while the
     /// rest of the fleet keeps the fleet-wide rates. Per-device overrides
     /// start from the fleet-wide rates regardless of where they appear in
@@ -290,6 +391,7 @@ impl FaultPlan {
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut rates = FaultRates::none();
         let mut storage = StorageFaults::none();
+        let mut artifact = ArtifactFaults::none();
         // (device, kind, rate), applied after the fleet-wide pass so the
         // override base never depends on key order within the spec.
         let mut overrides: Vec<(String, String, f64)> = Vec::new();
@@ -307,6 +409,18 @@ impl FaultPlan {
                     "crash_at" => storage.crash_at_seq = Some(seq),
                     "torn_at" => storage.torn_at_seq = Some(seq),
                     _ => storage.torn_keep_bytes = Some(seq),
+                }
+                continue;
+            }
+            if let "artifact_corrupt_at" | "artifact_truncate_at" | "artifact_version_bump" | "artifact_delete" = key {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value `{value}` for `{key}`: expected an integer"))?;
+                match key {
+                    "artifact_corrupt_at" => artifact.corrupt_at_byte = Some(n),
+                    "artifact_truncate_at" => artifact.truncate_at_byte = Some(n),
+                    "artifact_version_bump" => artifact.version_bump = n != 0,
+                    _ => artifact.delete = n != 0,
                 }
                 continue;
             }
@@ -334,6 +448,9 @@ impl FaultPlan {
         if storage.any() || storage.torn_keep_bytes.is_some() {
             plan.storage = Some(storage);
         }
+        if artifact.any() {
+            plan.artifact = Some(artifact);
+        }
         Ok(plan)
     }
 
@@ -345,9 +462,8 @@ impl FaultPlan {
             "lost" | "device_lost" => rates.device_lost = rate,
             "dead" | "device_dead" => rates.device_dead = rate,
             other => {
-                return Err(format!(
-                    "unknown fault kind `{other}` (expected timeout, launch, noise, lost, dead, crash_at, torn_at, torn_keep)"
-                ))
+                let expected = "timeout, launch, noise, lost, dead, crash_at, torn_at, torn_keep, or artifact_*";
+                return Err(format!("unknown fault kind `{other}` (expected {expected})"));
             }
         }
         Ok(())
@@ -520,6 +636,96 @@ mod tests {
         assert_eq!(plan.default_rates.device_lost, 0.02);
         assert_eq!(plan.default_rates.device_dead, 0.01);
         assert!(plan.any());
+    }
+
+    #[test]
+    fn parse_accepts_artifact_triggers() {
+        let plan = FaultPlan::parse("artifact_corrupt_at=40,artifact_truncate_at=9").unwrap();
+        let faults = plan.artifact_faults();
+        assert_eq!(faults.corrupt_at_byte, Some(40));
+        assert_eq!(faults.truncate_at_byte, Some(9));
+        assert!(!faults.version_bump && !faults.delete);
+
+        let plan = FaultPlan::parse("artifact_version_bump=1,artifact_delete=1,timeout=0.1").unwrap();
+        assert!(plan.artifact_faults().version_bump);
+        assert!(plan.artifact_faults().delete);
+        assert_eq!(plan.default_rates.timeout, 0.1);
+
+        assert_eq!(FaultPlan::parse("timeout=0.1").unwrap().artifact, None);
+        assert!(FaultPlan::parse("artifact_corrupt_at=soon").is_err());
+    }
+
+    #[test]
+    fn artifact_faults_damage_files_as_armed() {
+        let dir = std::env::temp_dir().join(format!("glimpse-artifact-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        let spec = glimpse_durable::envelope::EnvelopeSpec {
+            kind: "spec-db",
+            schema: 1,
+        };
+        let seal = |p: &std::path::Path| glimpse_durable::envelope::write_envelope(p, spec, b"payload-bytes").unwrap();
+
+        seal(&path);
+        let clean = std::fs::read(&path).unwrap();
+        ArtifactFaults {
+            corrupt_at_byte: Some(clean.len() as u64 - 1),
+            ..ArtifactFaults::none()
+        }
+        .apply(&path)
+        .unwrap();
+        let corrupted = std::fs::read(&path).unwrap();
+        assert_eq!(corrupted.len(), clean.len());
+        assert_ne!(corrupted, clean);
+
+        seal(&path);
+        ArtifactFaults {
+            truncate_at_byte: Some(10),
+            ..ArtifactFaults::none()
+        }
+        .apply(&path)
+        .unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 10);
+
+        seal(&path);
+        ArtifactFaults {
+            version_bump: true,
+            ..ArtifactFaults::none()
+        }
+        .apply(&path)
+        .unwrap();
+        let bumped = glimpse_durable::envelope::sniff(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(bumped.schema, 2);
+        // Payload CRC stays valid: the damage is pure schema drift.
+        assert!(matches!(
+            glimpse_durable::envelope::verify_file(&path, spec),
+            glimpse_durable::envelope::Integrity::SchemaDrift { .. }
+        ));
+
+        seal(&path);
+        ArtifactFaults {
+            delete: true,
+            ..ArtifactFaults::none()
+        }
+        .apply(&path)
+        .unwrap();
+        assert!(!path.exists());
+        // Re-applying to the now-missing file is a no-op, not an error.
+        ArtifactFaults {
+            delete: true,
+            corrupt_at_byte: Some(0),
+            ..ArtifactFaults::none()
+        }
+        .apply(&path)
+        .unwrap();
+        ArtifactFaults {
+            corrupt_at_byte: Some(0),
+            ..ArtifactFaults::none()
+        }
+        .apply(&path)
+        .unwrap();
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod retry;
 pub mod trace;
 pub mod validity;
 
-pub use fault::{FaultPlan, FaultRates, InjectorState, MeasureFault, StorageFaults};
+pub use fault::{ArtifactFaults, FaultPlan, FaultRates, InjectorState, MeasureFault, StorageFaults};
 pub use measure::{MeasureResult, Measurer, MeasurerState, Outcome};
 pub use model::PerfModel;
 pub use pool::{DeviceError, DevicePool, DeviceStatus, PoolPolicy, PoolSummary};

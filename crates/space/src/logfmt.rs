@@ -15,6 +15,7 @@
 
 use crate::config::{Config, SearchSpace};
 use crate::knob::KnobValue;
+use glimpse_durable::envelope::{self, EnvelopeSpec, Integrity};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -90,7 +91,40 @@ pub fn decode(space: &SearchSpace, record: &LogRecord) -> Result<Config, Resolve
     Ok(Config::new(indices))
 }
 
-/// Saves records as a JSONL log file (one record per line).
+/// Envelope identity of a saved tuning log.
+pub const TUNING_LOG_ENVELOPE: EnvelopeSpec = EnvelopeSpec {
+    kind: "tuning-log",
+    schema: 1,
+};
+
+/// Why a tuning log failed to load (total over arbitrary bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogLoadError {
+    /// The envelope did not verify (missing, truncated, checksum, drift).
+    Damaged(Integrity),
+    /// A JSONL line inside a verified (or legacy, envelope-less) log did
+    /// not parse as a record.
+    Line {
+        /// 1-based line number within the JSONL body.
+        line: usize,
+        /// Decoder message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LogLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogLoadError::Damaged(verdict) => write!(f, "tuning log damaged: {verdict}"),
+            LogLoadError::Line { line, detail } => write!(f, "tuning log line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LogLoadError {}
+
+/// Saves records as JSONL inside the artifact envelope: one header line,
+/// then one record per line — still greppable, now checksummed.
 ///
 /// The write is atomic — temp file + fsync + rename — so a crash mid-save
 /// leaves either the previous log or the new one, never a torn file.
@@ -105,27 +139,41 @@ pub fn save_log(path: &std::path::Path, records: &[LogRecord]) -> std::io::Resul
         text.push_str(&line);
         text.push('\n');
     }
-    glimpse_durable::atomic_write(path, text.as_bytes())
+    envelope::write_envelope(path, TUNING_LOG_ENVELOPE, text.as_bytes())
 }
 
-/// Loads a JSONL log file written by [`save_log`].
+/// Loads a log written by [`save_log`], verifying the envelope first.
+/// Files that predate the envelope (raw JSONL, no header) still load:
+/// anything not starting with the envelope magic is parsed as plain JSONL.
 ///
 /// Blank lines are skipped, so hand-edited logs with trailing newlines or
 /// spacer lines still parse.
 ///
 /// # Errors
 ///
-/// Returns any I/O error from reading `path`, or an `InvalidData` error
-/// naming the offending line if a line is not a valid record.
-pub fn load_log(path: &std::path::Path) -> std::io::Result<Vec<LogRecord>> {
-    let text = std::fs::read_to_string(path)?;
+/// [`LogLoadError::Damaged`] when an envelope header is present but does
+/// not verify, [`LogLoadError::Line`] naming the offending line otherwise.
+pub fn load_log(path: &std::path::Path) -> Result<Vec<LogRecord>, LogLoadError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LogLoadError::Damaged(Integrity::Missing)),
+        Err(e) => return Err(LogLoadError::Damaged(Integrity::Unreadable { detail: e.to_string() })),
+    };
+    let body = if bytes.starts_with(envelope::MAGIC.as_bytes()) {
+        envelope::open(&bytes, TUNING_LOG_ENVELOPE).map_err(LogLoadError::Damaged)?.to_vec()
+    } else {
+        bytes
+    };
+    let text = String::from_utf8_lossy(&body);
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let record = serde_json::from_str(line)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("log line {}: {e}", i + 1)))?;
+        let record = serde_json::from_str(line).map_err(|e| LogLoadError::Line {
+            line: i + 1,
+            detail: e.to_string(),
+        })?;
         records.push(record);
     }
     Ok(records)
@@ -197,9 +245,40 @@ mod tests {
         assert_eq!(load_log(&path).unwrap().len(), 2);
         glimpse_durable::atomic_write(&path, format!("{line}\nnot json\n").as_bytes()).unwrap();
         let err = load_log(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, LogLoadError::Line { line: 2, .. }));
         assert!(err.to_string().contains("line 2"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn damaged_envelopes_surface_typed_verdicts() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(8);
+        let records: Vec<LogRecord> = (0..4).map(|_| encode(&s, &s.sample_uniform(&mut rng), Some(5.0))).collect();
+        let path = std::env::temp_dir().join(format!("glimpse-logfmt-damage-{}.jsonl", std::process::id()));
+        save_log(&path, &records).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Flip a payload byte (past the header line): checksum mismatch.
+        let header_end = clean.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mut bad = clean.clone();
+        bad[header_end + 3] ^= 0x10;
+        glimpse_durable::atomic_write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_log(&path).unwrap_err(),
+            LogLoadError::Damaged(Integrity::ChecksumMismatch { .. })
+        ));
+
+        // Truncate mid-payload: truncated.
+        glimpse_durable::atomic_write(&path, &clean[..clean.len() - 2]).unwrap();
+        assert!(matches!(
+            load_log(&path).unwrap_err(),
+            LogLoadError::Damaged(Integrity::Truncated { .. })
+        ));
+
+        // Missing file: typed, not an io::Error.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_log(&path).unwrap_err(), LogLoadError::Damaged(Integrity::Missing));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   process-wide token for a graceful drain, the second hard-exits.
 //! * [`report`] — the degradation taxonomy ([`report::CellStatus`]) and the
 //!   `degradation.json` schema ([`report::DegradationReport`]).
+//! * [`health`] — per-component health ([`health::ComponentHealth`]) and
+//!   the fallback-ladder vocabulary ([`health::HealthReport`]) that lets a
+//!   run with damaged learned artifacts complete degraded instead of
+//!   aborting.
 //!
 //! The crate is a DAG leaf (it imports no `glimpse_*` crate), so every
 //! layer — `mlkit`'s fan-outs included — may depend on it.
@@ -28,10 +32,12 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cancel;
+pub mod health;
 pub mod report;
 pub mod signal;
 pub mod watchdog;
 
 pub use cancel::{CancelReason, CancelToken};
+pub use health::{Component, ComponentHealth, ComponentReport, HealthCause, HealthReport};
 pub use report::{Abandonment, CellReport, CellStatus, Degradation, DegradationReport};
 pub use watchdog::{Heartbeat, Watchdog};

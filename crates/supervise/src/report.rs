@@ -8,9 +8,12 @@
 //! not the exit status, is the machine-readable verdict.
 
 use crate::cancel::CancelReason;
+use crate::health::HealthReport;
 use serde::{Deserialize, Serialize};
 
-/// Why a cell finished early but cleanly (snapshot flushed, resumable).
+/// Why a cell finished early but cleanly (snapshot flushed, resumable) —
+/// or, for [`Degradation::ComponentFallback`], why a cell that ran its
+/// full budget still does not count as healthy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Degradation {
     /// The per-cell `--deadline-s` budget ran out (simulated clock).
@@ -21,6 +24,11 @@ pub enum Degradation {
     Stalled,
     /// An operator signal (SIGINT/SIGTERM) requested a graceful drain.
     Interrupted,
+    /// One or more learned components ran on a fallback ladder rung
+    /// (damaged artifact, failed validation, or injected fault). The cell
+    /// ran its full budget; the [`CellReport::health`] payload names the
+    /// components, causes, and rungs.
+    ComponentFallback,
 }
 
 impl From<CancelReason> for Degradation {
@@ -73,6 +81,18 @@ impl CellStatus {
         }
     }
 
+    /// [`CellStatus::settle`] extended with component health: a cell that
+    /// ran its full budget on fallback rungs settles as
+    /// `Degraded(ComponentFallback)`. Precedence: cancellation > device
+    /// death > component fallback > complete — a requested stop or a dead
+    /// device says more about the cell than a weakened search strategy.
+    pub fn settle_with_health(reason: Option<CancelReason>, device_dead: bool, component_fallback: bool) -> Self {
+        match Self::settle(reason, device_dead) {
+            CellStatus::Complete if component_fallback => CellStatus::Degraded(Degradation::ComponentFallback),
+            settled => settled,
+        }
+    }
+
     /// Whether the cell produced its full budget of measurements.
     pub fn is_complete(&self) -> bool {
         matches!(self, CellStatus::Complete)
@@ -104,6 +124,11 @@ pub struct CellReport {
     /// Simulated seconds left under the tightest deadline when the cell
     /// ended (negative: overshoot; `null`: no deadline was set).
     pub deadline_slack_s: Option<f64>,
+    /// Resolved component health for the cell (`null` for tuners without
+    /// learned components). Kept optional so reports written before health
+    /// tracking existed still deserialize.
+    #[serde(default)]
+    pub health: Option<HealthReport>,
 }
 
 /// The whole campaign's verdict, serialized as `degradation.json`.
@@ -158,6 +183,7 @@ mod tests {
             gpu_seconds: 3.5,
             best_gflops: 4200.0,
             deadline_slack_s: Some(1.25),
+            health: None,
         }
     }
 
@@ -169,6 +195,48 @@ mod tests {
         );
         assert_eq!(CellStatus::settle(None, true), CellStatus::Abandoned(Abandonment::DeviceDead));
         assert_eq!(CellStatus::settle(None, false), CellStatus::Complete);
+    }
+
+    #[test]
+    fn component_fallback_only_demotes_completed_cells() {
+        assert_eq!(
+            CellStatus::settle_with_health(None, false, true),
+            CellStatus::Degraded(Degradation::ComponentFallback)
+        );
+        assert_eq!(CellStatus::settle_with_health(None, false, false), CellStatus::Complete);
+        // A requested stop or dead device outranks a fallback rung.
+        assert_eq!(
+            CellStatus::settle_with_health(Some(CancelReason::Interrupted), false, true),
+            CellStatus::Degraded(Degradation::Interrupted)
+        );
+        assert_eq!(
+            CellStatus::settle_with_health(None, true, true),
+            CellStatus::Abandoned(Abandonment::DeviceDead)
+        );
+    }
+
+    #[test]
+    fn cell_report_without_health_field_still_deserializes() {
+        // Reports written before health tracking existed lack the field.
+        let legacy = serde_json::json!({
+            "cell": "task0", "device": "Titan Xp", "status": "Complete",
+            "measurements": 12, "faults_absorbed": 0, "retries": 0,
+            "quarantines": 0, "gpu_seconds": 1.0, "best_gflops": 100.0,
+            "deadline_slack_s": null,
+        });
+        let back: CellReport = serde_json::from_value(&legacy).unwrap();
+        assert_eq!(back.health, None);
+    }
+
+    #[test]
+    fn health_payload_round_trips_in_a_cell_report() {
+        let mut health = crate::health::HealthReport::healthy();
+        health.demote(crate::health::Component::Prior, 1, crate::health::HealthCause::Truncated);
+        let mut c = cell(CellStatus::Degraded(Degradation::ComponentFallback));
+        c.health = Some(health.clone());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CellReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.health, Some(health));
     }
 
     #[test]

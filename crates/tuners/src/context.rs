@@ -6,7 +6,7 @@ use crate::history::{Trial, TuningHistory};
 use crate::journal::{RunJournal, TrialRecord};
 use glimpse_sim::{measure_with_retry, Measurer, RetryPolicy};
 use glimpse_space::{Config, SearchSpace};
-use glimpse_supervise::{CancelReason, CancelToken, Heartbeat};
+use glimpse_supervise::{CancelReason, CancelToken, HealthReport, Heartbeat};
 use glimpse_tensor_prog::Task;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
@@ -372,6 +372,7 @@ impl<'a> TuneContext<'a> {
             retried_attempts: self.retried_attempts,
             gpu_seconds,
             surrogate: None,
+            health: None,
             history: self.history,
         }
     }
@@ -408,6 +409,12 @@ pub struct TuningOutcome {
     /// replayed or resumed campaign reproduces the same counters.
     #[serde(default)]
     pub surrogate: Option<SurrogateLifecycle>,
+    /// Component-health resolution the tuner ran under (None for tuners
+    /// without learned components, and for outcomes recorded before health
+    /// tracking existed). Derived at run construction from artifact
+    /// integrity, so a resumed run reproduces the same report.
+    #[serde(default)]
+    pub health: Option<HealthReport>,
     /// The full measurement journal.
     pub history: TuningHistory,
 }

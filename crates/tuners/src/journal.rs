@@ -156,6 +156,13 @@ pub struct RunHeader {
     pub fault_seed: u64,
     /// Fault rates in effect for this device.
     pub fault_rates: FaultRates,
+    /// Fallback-ladder fingerprint (`component name` → rung) the run was
+    /// constructed with. Empty in journals written before health tracking
+    /// existed, which reads as "every component on rung 0" — resuming a
+    /// run under a *different* rung set is a header mismatch, because the
+    /// tuner is a deterministic function of (seed, history, rungs).
+    #[serde(default)]
+    pub rungs: Vec<(String, u8)>,
     /// Measurer state when the run started.
     pub start: MeasurerState,
 }
@@ -474,6 +481,9 @@ pub struct CheckpointSpec<'p> {
     pub fault_seed: u64,
     /// Device fault rates recorded in (and checked against) the header.
     pub fault_rates: FaultRates,
+    /// Fallback-ladder fingerprint recorded in (and checked against) the
+    /// header. Empty means every component on its learned rung.
+    pub rungs: &'p [(String, u8)],
 }
 
 impl<'p> CheckpointSpec<'p> {
@@ -488,6 +498,7 @@ impl<'p> CheckpointSpec<'p> {
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             fault_seed: 0,
             fault_rates: FaultRates::none(),
+            rungs: &[],
         }
     }
 
@@ -510,6 +521,14 @@ impl<'p> CheckpointSpec<'p> {
     pub fn with_faults(mut self, seed: u64, rates: FaultRates) -> Self {
         self.fault_seed = seed;
         self.fault_rates = rates;
+        self
+    }
+
+    /// Records the fallback-ladder fingerprint the tuner was resolved
+    /// with (see `HealthReport::rung_fingerprint`).
+    #[must_use]
+    pub fn with_rungs(mut self, rungs: &'p [(String, u8)]) -> Self {
+        self.rungs = rungs;
         self
     }
 }
@@ -602,9 +621,12 @@ pub fn run_supervised<T: Tuner + ?Sized>(
             return Err(JournalError::AlreadyExists(journal_path));
         }
         if let Some(outcome) = load_complete(spec.dir)? {
+            // A completed cell re-reports through its stored health: a run
+            // that finished on fallback rungs stays Degraded on resume.
+            let fallback = outcome.health.as_ref().is_some_and(glimpse_supervise::HealthReport::any_degraded);
             return Ok(SupervisedOutcome {
                 deadline_slack_s: deadline_slack(control, outcome.gpu_seconds),
-                status: CellStatus::Complete,
+                status: CellStatus::settle_with_health(None, false, fallback),
                 outcome,
             });
         }
@@ -633,6 +655,7 @@ pub fn run_supervised<T: Tuner + ?Sized>(
                 retry,
                 fault_seed: spec.fault_seed,
                 fault_rates: spec.fault_rates,
+                rungs: spec.rungs.to_vec(),
                 start: measurer.state(),
             };
             (
@@ -650,6 +673,7 @@ pub fn run_supervised<T: Tuner + ?Sized>(
     if let Some(err) = journal.take_poison() {
         return Err(err);
     }
+    let component_fallback = outcome.health.as_ref().is_some_and(glimpse_supervise::HealthReport::any_degraded);
     let status = match (control.cancel.reason(), measurer.is_device_dead()) {
         (Some(reason), _) => {
             journal.flush_snapshot(&measurer.state())?;
@@ -660,8 +684,11 @@ pub fn run_supervised<T: Tuner + ?Sized>(
             CellStatus::Abandoned(Abandonment::DeviceDead)
         }
         (None, false) => {
+            // A full-budget run on fallback rungs is still *finished*:
+            // complete.json is written (the cell never re-runs), but the
+            // status reports the weakened search strategy.
             journal.mark_complete(&outcome)?;
-            CellStatus::Complete
+            CellStatus::settle_with_health(None, false, component_fallback)
         }
     };
     Ok(SupervisedOutcome {
@@ -724,7 +751,33 @@ fn verify_header(
             format!("seed {} {:?}", spec.fault_seed, spec.fault_rates),
         ));
     }
+    if !rungs_match(&header.rungs, spec.rungs) {
+        return Err(mismatch("rungs", format_rungs(&header.rungs), format_rungs(spec.rungs)));
+    }
     Ok(())
+}
+
+/// Whether two ladder fingerprints describe the same resolution. An absent
+/// entry (including the wholly empty fingerprint of a pre-health journal)
+/// reads as rung 0, so old journals resume under healthy artifacts but not
+/// under degraded ones.
+fn rungs_match(journal: &[(String, u8)], run: &[(String, u8)]) -> bool {
+    let rung_of = |list: &[(String, u8)], name: &str| list.iter().find(|(n, _)| n == name).map_or(0, |(_, r)| *r);
+    journal
+        .iter()
+        .chain(run)
+        .all(|(name, _)| rung_of(journal, name) == rung_of(run, name))
+}
+
+fn format_rungs(rungs: &[(String, u8)]) -> String {
+    if rungs.is_empty() {
+        return "all-healthy".to_owned();
+    }
+    rungs
+        .iter()
+        .map(|(name, rung)| format!("{name}={rung}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 #[cfg(test)]
@@ -981,6 +1034,110 @@ mod tests {
         assert_eq!(resumed.status, CellStatus::Complete);
         assert_eq!(resumed.outcome, baseline);
         assert_eq!(std::fs::read(dir.join(JOURNAL_FILE)).unwrap(), baseline_wal);
+    }
+
+    #[test]
+    fn resume_under_a_different_rung_set_is_refused() {
+        let dir = temp_dir("rung_mismatch");
+        let (task, space, plan) = fixture();
+        let degraded_rungs = vec![("prior".to_owned(), 1u8)];
+        let crash = StorageFaults {
+            crash_at_seq: Some(3),
+            ..StorageFaults::none()
+        };
+        let spec = CheckpointSpec::new(&dir)
+            .with_faults(plan.seed, plan.default_rates)
+            .with_rungs(&degraded_rungs)
+            .with_storage(crash);
+        let mut m = measurer(&plan);
+        let _ = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(10), 3);
+        // Resuming with healthy artifacts (rung 0 everywhere) must refuse:
+        // the journaled prefix was produced by a different strategy.
+        let spec = CheckpointSpec::new(&dir).with_faults(plan.seed, plan.default_rates).resuming(true);
+        let mut m = measurer(&plan);
+        let err = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(10), 3).unwrap_err();
+        assert!(matches!(err, JournalError::HeaderMismatch { .. }), "{err}");
+        // Resuming under the recorded rung set continues fine.
+        let spec = spec.with_rungs(&degraded_rungs);
+        let mut m = measurer(&plan);
+        let outcome = run_checkpointed(&mut RandomTuner::new(), &spec, &task, &space, &mut m, Budget::measurements(10), 3).unwrap();
+        assert_eq!(outcome.measurements, 10);
+    }
+
+    #[test]
+    fn explicit_rung_zero_fingerprint_matches_a_legacy_empty_header() {
+        // A fingerprint that spells out rung 0 for every component is the
+        // same resolution as the empty fingerprint old journals carry.
+        let all_zero: Vec<(String, u8)> = vec![("prior".to_owned(), 0), ("cost-model".to_owned(), 0)];
+        assert!(rungs_match(&[], &all_zero));
+        assert!(rungs_match(&all_zero, &[]));
+        assert!(!rungs_match(&[("prior".to_owned(), 1)], &all_zero));
+        assert!(!rungs_match(&[], &[("sampler".to_owned(), 1)]));
+    }
+
+    /// A tuner that delegates to [`RandomTuner`] but reports degraded
+    /// component health, standing in for a Glimpse run on fallback rungs.
+    struct DegradedTuner(RandomTuner);
+
+    impl Tuner for DegradedTuner {
+        fn name(&self) -> &str {
+            "degraded-test"
+        }
+
+        fn tune(&mut self, ctx: TuneContext<'_>) -> TuningOutcome {
+            let mut outcome = self.0.tune(ctx);
+            let mut health = glimpse_supervise::HealthReport::healthy();
+            health.demote(
+                glimpse_supervise::health::Component::Prior,
+                1,
+                glimpse_supervise::health::HealthCause::ChecksumMismatch,
+            );
+            outcome.health = Some(health);
+            outcome
+        }
+    }
+
+    #[test]
+    fn full_budget_run_on_fallback_rungs_settles_degraded_but_complete() {
+        let dir = temp_dir("fallback_settle");
+        let (task, space, plan) = fixture();
+        let rungs = vec![("prior".to_owned(), 1u8)];
+        let spec = CheckpointSpec::new(&dir)
+            .with_faults(plan.seed, plan.default_rates)
+            .with_rungs(&rungs);
+        let mut m = measurer(&plan);
+        let supervised = run_supervised(
+            &mut DegradedTuner(RandomTuner::new()),
+            &spec,
+            &task,
+            &space,
+            &mut m,
+            Budget::measurements(6),
+            3,
+            &RunControl::none(),
+        )
+        .unwrap();
+        assert_eq!(supervised.status, CellStatus::Degraded(Degradation::ComponentFallback));
+        assert_eq!(supervised.outcome.measurements, 6, "a fallback rung still runs the full budget");
+        assert!(load_complete(&dir).unwrap().is_some(), "fallback cells are finished, not resumable");
+        // Resuming the finished cell re-reports the same status from the
+        // stored outcome without re-measuring.
+        let spec = spec.resuming(true);
+        let mut m2 = measurer(&plan);
+        let again = run_supervised(
+            &mut DegradedTuner(RandomTuner::new()),
+            &spec,
+            &task,
+            &space,
+            &mut m2,
+            Budget::measurements(6),
+            3,
+            &RunControl::none(),
+        )
+        .unwrap();
+        assert_eq!(again.status, CellStatus::Degraded(Degradation::ComponentFallback));
+        assert_eq!(again.outcome, supervised.outcome);
+        assert_eq!(m2.elapsed_gpu_seconds(), 0.0);
     }
 
     #[test]

@@ -241,6 +241,188 @@ fn every_trial_boundary_cancel_resumes_byte_identically() {
     }
 }
 
+/// Kill/resume under every degraded ladder rung: a Glimpse run whose
+/// learned components fell back (singly or wholesale) must keep the
+/// byte-identical-journal contract — fallbacks are deterministic functions
+/// of (seed, history), and the rung fingerprint in the header pins the
+/// resume to the same ladder state.
+mod degraded {
+    use super::*;
+    use glimpse_repro::core::artifacts::{GlimpseArtifacts, TrainingOptions};
+    use glimpse_repro::core::health::ResolvedArtifacts;
+    use glimpse_repro::core::tuner::{GlimpseConfig, GlimpseTuner};
+    use glimpse_repro::gpu_spec::database;
+    use glimpse_repro::supervise::{Component, HealthCause};
+    use glimpse_repro::tuners::run_checkpointed;
+    use std::sync::OnceLock;
+
+    /// One small meta-trained bundle, shared across the sweep (training is
+    /// the expensive part; the sweeps only need a usable bundle to injure).
+    fn artifacts() -> &'static GlimpseArtifacts {
+        static BUNDLE: OnceLock<GlimpseArtifacts> = OnceLock::new();
+        BUNDLE.get_or_init(|| {
+            let gpus = vec![
+                database::find("GTX 1080").unwrap(),
+                database::find("RTX 2060").unwrap(),
+                database::find("RTX 3070").unwrap(),
+            ];
+            GlimpseArtifacts::train_with(&gpus, TrainingOptions::fast(), 9).unwrap()
+        })
+    }
+
+    /// The rung set under test: every component degraded (lost bundle), or
+    /// one injected component fallback on an otherwise healthy bundle.
+    fn resolved_for(component: Option<Component>) -> ResolvedArtifacts {
+        match component {
+            None => ResolvedArtifacts::fallback(HealthCause::ArtifactMissing),
+            Some(component) => ResolvedArtifacts::healthy(artifacts().clone()).with_injected(component),
+        }
+    }
+
+    /// Like [`run_with_kills`], but driving the Glimpse tuner under a fixed
+    /// degraded rung set, with the rung fingerprint pinned in the header.
+    fn run_degraded_with_kills(dir: &Path, resolved: &ResolvedArtifacts, kills: &[u64]) -> TuningOutcome {
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let gpu = database::find("Titan Xp").unwrap();
+        let rungs = resolved.health.rung_fingerprint();
+        for &kill in kills {
+            let storage = StorageFaults {
+                crash_at_seq: Some(kill),
+                ..StorageFaults::none()
+            };
+            let mut m = measurer();
+            let mut tuner = GlimpseTuner::from_resolved(resolved, gpu, GlimpseConfig::default());
+            let err = run_checkpointed(
+                &mut tuner,
+                &spec(dir).with_storage(storage).with_rungs(&rungs),
+                task,
+                &space,
+                &mut m,
+                Budget::measurements(BUDGET),
+                SEED,
+            )
+            .expect_err("injected crash must surface");
+            assert!(
+                matches!(err, JournalError::SimulatedCrash { .. }),
+                "unexpected failure at seq {kill}: {err}"
+            );
+        }
+        let mut m = measurer();
+        let mut tuner = GlimpseTuner::from_resolved(resolved, gpu, GlimpseConfig::default());
+        run_checkpointed(
+            &mut tuner,
+            &spec(dir).with_rungs(&rungs),
+            task,
+            &space,
+            &mut m,
+            Budget::measurements(BUDGET),
+            SEED,
+        )
+        .expect("final resumed degraded run completes")
+    }
+
+    fn degraded_kill_resume_sweep(threads: usize, component: Option<Component>, tag: &str) {
+        set_default_threads(threads);
+        let resolved = resolved_for(component);
+        let baseline_dir = temp_dir(&format!("{tag}-baseline"));
+        let baseline = run_degraded_with_kills(&baseline_dir, &resolved, &[]);
+        assert!(
+            baseline.health.as_ref().is_some_and(|h| h.any_degraded()),
+            "{tag}: the outcome must carry the degraded health report"
+        );
+        for (i, kills) in [&[1u64][..], &[9], &[3, 9]].iter().enumerate() {
+            let dir = temp_dir(&format!("{tag}-kill{i}"));
+            let outcome = run_degraded_with_kills(&dir, &resolved, kills);
+            assert_matches_baseline(&dir, &baseline_dir, &outcome, &baseline);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&baseline_dir);
+        set_default_threads(0);
+    }
+
+    /// Each rung set: all-fallback plus every single-component injection.
+    fn all_rung_sets() -> Vec<(Option<Component>, &'static str)> {
+        vec![
+            (None, "all"),
+            (Some(Component::BlueprintCodec), "codec"),
+            (Some(Component::Prior), "prior"),
+            (Some(Component::Acquisition), "acq"),
+            (Some(Component::Sampler), "sampler"),
+            (Some(Component::CostModel), "cost"),
+        ]
+    }
+
+    #[test]
+    fn degraded_rungs_kill_resume_byte_identically_single_thread() {
+        for (component, tag) in all_rung_sets() {
+            degraded_kill_resume_sweep(1, component, &format!("deg1-{tag}"));
+        }
+    }
+
+    #[test]
+    fn degraded_rungs_kill_resume_byte_identically_multi_thread() {
+        for (component, tag) in all_rung_sets() {
+            degraded_kill_resume_sweep(8, component, &format!("deg8-{tag}"));
+        }
+    }
+
+    /// Resuming a journal recorded under one rung set with a tuner on a
+    /// different rung set is a typed refusal, not a silent divergence.
+    #[test]
+    fn resume_under_a_different_rung_set_is_refused() {
+        set_default_threads(1);
+        let dir = temp_dir("deg-mismatch");
+        let degraded = resolved_for(None);
+        let model = models::alexnet();
+        let task = &model.tasks()[2];
+        let space = templates::space_for_task(task);
+        let gpu = database::find("Titan Xp").unwrap();
+        // Crash a degraded run mid-journal, leaving a resumable cell whose
+        // header pins the all-fallback rung set.
+        {
+            let storage = StorageFaults {
+                crash_at_seq: Some(3),
+                ..StorageFaults::none()
+            };
+            let rungs = degraded.health.rung_fingerprint();
+            let mut m = measurer();
+            let mut tuner = GlimpseTuner::from_resolved(&degraded, gpu, GlimpseConfig::default());
+            let err = run_checkpointed(
+                &mut tuner,
+                &spec(&dir).with_storage(storage).with_rungs(&rungs),
+                task,
+                &space,
+                &mut m,
+                Budget::measurements(BUDGET),
+                SEED,
+            )
+            .expect_err("injected crash must surface");
+            assert!(matches!(err, JournalError::SimulatedCrash { .. }), "{err}");
+        }
+        // Re-opening the interrupted journal with an all-healthy
+        // fingerprint must be refused.
+        let healthy = ResolvedArtifacts::healthy(artifacts().clone());
+        let rungs = healthy.health.rung_fingerprint();
+        let mut m = measurer();
+        let mut tuner = GlimpseTuner::from_resolved(&healthy, gpu, GlimpseConfig::default());
+        let err = run_checkpointed(
+            &mut tuner,
+            &spec(&dir).with_rungs(&rungs),
+            task,
+            &space,
+            &mut m,
+            Budget::measurements(BUDGET),
+            SEED,
+        )
+        .expect_err("rung mismatch must refuse the resume");
+        assert!(matches!(err, JournalError::HeaderMismatch { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        set_default_threads(0);
+    }
+}
+
 #[test]
 #[ignore = "chaos tier: run with --ignored"]
 fn every_trial_boundary_kill_resumes_byte_identically() {
